@@ -1,0 +1,43 @@
+// Ablation: sequence-value encoding strategies (the paper's Section-8
+// future work "explore new encoding ... techniques").
+//
+// Compares the paper's Figure-5 group-order assignment against our BFS
+// component traversal on PRQ/PkNN I/O across grouping factors. BFS keeps
+// transitively-related users adjacent (one anchor per connected component),
+// which matters most when groups overlap (small θ).
+#include "bench_common.h"
+
+int main() {
+  using namespace peb::eval;
+
+  QuerySetOptions q;
+  q.count = Scaled(200, 20);
+
+  TablePrinter t({"theta", "Fig.5 PRQ I/O", "BFS PRQ I/O", "Fig.5 PkNN I/O",
+                  "BFS PkNN I/O"});
+  for (double theta : {0.0, 0.5, 0.7, 1.0}) {
+    ComparisonPoint fig5, bfs;
+    for (auto strategy : {peb::SequenceStrategy::kGroupOrder,
+                          peb::SequenceStrategy::kBfsTraversal}) {
+      WorkloadParams p;
+      p.num_users = Scaled(60000, 1000);
+      p.grouping_factor = theta;
+      p.sequence_strategy = strategy;
+      p.seed = 1;
+      Workload w = Workload::Build(p);
+      ComparisonPoint m = MeasureBoth(w, q);
+      if (strategy == peb::SequenceStrategy::kGroupOrder) {
+        fig5 = m;
+      } else {
+        bfs = m;
+      }
+    }
+    t.AddRow({Fmt(theta, 1), Fmt(fig5.peb_prq.avg_io, 2),
+              Fmt(bfs.peb_prq.avg_io, 2), Fmt(fig5.peb_knn.avg_io, 2),
+              Fmt(bfs.peb_knn.avg_io, 2)});
+  }
+  PrintBanner(std::cout,
+              "Ablation 4: Figure-5 group-order vs BFS sequence values");
+  t.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Shared scaffolding for the figure-reproduction benches. Each bench binary
+// regenerates one figure of Section 7: it sweeps the figure's parameter,
+// runs the paper's query batch (Table 1 defaults elsewhere), and prints the
+// PEB-tree and spatial-index series side by side.
+//
+// Environment knobs:
+//   PEB_BENCH_SCALE  — divides user counts and query counts (default 1 =
+//                      full paper scale; e.g. 10 for a quick smoke run).
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "eval/runner.h"
+#include "eval/table_printer.h"
+#include "eval/workload.h"
+
+namespace peb {
+namespace eval {
+
+/// Scale divisor from the environment (>= 1).
+inline double BenchScale() {
+  const char* s = std::getenv("PEB_BENCH_SCALE");
+  if (s == nullptr) return 1.0;
+  double v = std::atof(s);
+  return v >= 1.0 ? v : 1.0;
+}
+
+/// Scales a count down by BenchScale(), keeping a sane floor.
+inline size_t Scaled(size_t full, size_t floor_value = 1) {
+  auto v = static_cast<size_t>(static_cast<double>(full) / BenchScale());
+  return v < floor_value ? floor_value : v;
+}
+
+/// One measured point: PEB vs spatial on the same query batch.
+struct ComparisonPoint {
+  RunResult peb_prq, spatial_prq;
+  RunResult peb_knn, spatial_knn;
+};
+
+/// Runs the standard PRQ + PkNN batches on a built workload.
+inline ComparisonPoint MeasureBoth(Workload& w, const QuerySetOptions& q) {
+  ComparisonPoint out;
+  auto prq = MakePrqQueries(w, q);
+  auto knn = MakePknnQueries(w, q);
+  w.peb().pool()->ResetStats();
+  out.peb_prq = RunPrqBatch(w.peb(), prq);
+  out.peb_knn = RunPknnBatch(w.peb(), knn);
+  w.spatial().pool()->ResetStats();
+  out.spatial_prq = RunPrqBatch(w.spatial(), prq);
+  out.spatial_knn = RunPknnBatch(w.spatial(), knn);
+  return out;
+}
+
+/// Standard header for the two-series I/O tables.
+inline TablePrinter MakeIoTable(const std::string& param) {
+  return TablePrinter({param, "PEB-tree I/O", "Spatial-index I/O", "ratio"});
+}
+
+inline void AddIoRow(TablePrinter& t, const std::string& x, double peb,
+                     double spatial) {
+  double ratio = peb > 0.0 ? spatial / peb : 0.0;
+  t.AddRow({x, Fmt(peb, 2), Fmt(spatial, 2), Fmt(ratio, 1) + "x"});
+}
+
+}  // namespace eval
+}  // namespace peb

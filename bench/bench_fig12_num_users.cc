@@ -1,0 +1,35 @@
+// Figure 12: Effect of the total number of users (Section 7.3).
+// Sweeps N from 10K to 100K (Table 1) and reports the average I/O of 200
+// privacy-aware range queries (a) and kNN queries (b) for the PEB-tree and
+// the spatial-index filtering baseline.
+#include "bench_common.h"
+
+int main() {
+  using namespace peb::eval;
+
+  std::vector<size_t> user_counts{10000, 20000, 30000, 40000, 50000,
+                                  60000, 70000, 80000, 90000, 100000};
+
+  QuerySetOptions q;
+  q.count = Scaled(200, 20);
+
+  TablePrinter prq = MakeIoTable("users");
+  TablePrinter knn = MakeIoTable("users");
+
+  for (size_t n : user_counts) {
+    WorkloadParams p;
+    p.num_users = Scaled(n, 1000);
+    p.seed = 1;
+    Workload w = Workload::Build(p);
+    ComparisonPoint m = MeasureBoth(w, q);
+    std::string label = std::to_string(n / 1000) + "K";
+    AddIoRow(prq, label, m.peb_prq.avg_io, m.spatial_prq.avg_io);
+    AddIoRow(knn, label, m.peb_knn.avg_io, m.spatial_knn.avg_io);
+  }
+
+  PrintBanner(std::cout, "Figure 12(a): PRQ I/O vs number of users");
+  prq.Print(std::cout);
+  PrintBanner(std::cout, "Figure 12(b): PkNN I/O vs number of users");
+  knn.Print(std::cout);
+  return 0;
+}

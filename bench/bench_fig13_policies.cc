@@ -1,0 +1,34 @@
+// Figure 13: Effect of the number of policies per user (Section 7.4).
+// Sweeps Np from 10 to 100 at 60K users; the PEB-tree cost grows with Np
+// (more qualifying users per query) while the spatial baseline is flat
+// (it only ever looks at locations).
+#include "bench_common.h"
+
+int main() {
+  using namespace peb::eval;
+
+  QuerySetOptions q;
+  q.count = Scaled(200, 20);
+
+  TablePrinter prq = MakeIoTable("policies/user");
+  TablePrinter knn = MakeIoTable("policies/user");
+
+  for (size_t np : {10, 20, 30, 40, 50, 60, 70, 80, 90, 100}) {
+    WorkloadParams p;
+    p.num_users = Scaled(60000, 1000);
+    p.policies_per_user = np;
+    p.seed = 1;
+    Workload w = Workload::Build(p);
+    ComparisonPoint m = MeasureBoth(w, q);
+    AddIoRow(prq, std::to_string(np), m.peb_prq.avg_io,
+             m.spatial_prq.avg_io);
+    AddIoRow(knn, std::to_string(np), m.peb_knn.avg_io,
+             m.spatial_knn.avg_io);
+  }
+
+  PrintBanner(std::cout, "Figure 13(a): PRQ I/O vs policies per user");
+  prq.Print(std::cout);
+  PrintBanner(std::cout, "Figure 13(b): PkNN I/O vs policies per user");
+  knn.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Figure 14: Effect of the grouping factor (Section 7.5).
+// Sweeps θ from 0 (policies toward anyone) to 1 (only in-group policies).
+// Larger θ lets the sequence values cluster related users, so PEB cost
+// falls; the spatial index is insensitive to θ.
+#include "bench_common.h"
+
+int main() {
+  using namespace peb::eval;
+
+  QuerySetOptions q;
+  q.count = Scaled(200, 20);
+
+  TablePrinter prq = MakeIoTable("theta");
+  TablePrinter knn = MakeIoTable("theta");
+
+  for (double theta : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9,
+                       1.0}) {
+    WorkloadParams p;
+    p.num_users = Scaled(60000, 1000);
+    p.grouping_factor = theta;
+    p.seed = 1;
+    Workload w = Workload::Build(p);
+    ComparisonPoint m = MeasureBoth(w, q);
+    AddIoRow(prq, Fmt(theta, 1), m.peb_prq.avg_io, m.spatial_prq.avg_io);
+    AddIoRow(knn, Fmt(theta, 1), m.peb_knn.avg_io, m.spatial_knn.avg_io);
+  }
+
+  PrintBanner(std::cout, "Figure 14(a): PRQ I/O vs grouping factor");
+  prq.Print(std::cout);
+  PrintBanner(std::cout, "Figure 14(b): PkNN I/O vs grouping factor");
+  knn.Print(std::cout);
+  return 0;
+}

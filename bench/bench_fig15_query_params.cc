@@ -1,0 +1,46 @@
+// Figure 15: Effect of the location-related query parameters (Section 7.6).
+// (a) PRQ I/O as the query window side grows 100..1000: the PEB-tree stays
+//     nearly constant (bounded by the issuer's related users) while the
+//     spatial index grows with the window.
+// (b) PkNN I/O as k grows 1..10.
+#include "bench_common.h"
+
+int main() {
+  using namespace peb::eval;
+
+  WorkloadParams p;
+  p.num_users = Scaled(60000, 1000);
+  p.seed = 1;
+  Workload w = Workload::Build(p);
+
+  TablePrinter prq = MakeIoTable("window side");
+  for (double side : {100, 200, 300, 400, 500, 600, 700, 800, 900, 1000}) {
+    QuerySetOptions q;
+    q.count = Scaled(200, 20);
+    q.window_side = side;
+    auto queries = MakePrqQueries(w, q);
+    w.peb().pool()->ResetStats();
+    RunResult peb = RunPrqBatch(w.peb(), queries);
+    w.spatial().pool()->ResetStats();
+    RunResult spatial = RunPrqBatch(w.spatial(), queries);
+    AddIoRow(prq, Fmt(side, 0), peb.avg_io, spatial.avg_io);
+  }
+  PrintBanner(std::cout, "Figure 15(a): PRQ I/O vs query window size");
+  prq.Print(std::cout);
+
+  TablePrinter knn = MakeIoTable("k");
+  for (size_t k = 1; k <= 10; ++k) {
+    QuerySetOptions q;
+    q.count = Scaled(200, 20);
+    q.k = k;
+    auto queries = MakePknnQueries(w, q);
+    w.peb().pool()->ResetStats();
+    RunResult peb = RunPknnBatch(w.peb(), queries);
+    w.spatial().pool()->ResetStats();
+    RunResult spatial = RunPknnBatch(w.spatial(), queries);
+    AddIoRow(knn, std::to_string(k), peb.avg_io, spatial.avg_io);
+  }
+  PrintBanner(std::cout, "Figure 15(b): PkNN I/O vs k");
+  knn.Print(std::cout);
+  return 0;
+}

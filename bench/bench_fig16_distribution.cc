@@ -1,0 +1,40 @@
+// Figure 16: Effect of the spatial distribution (Section 7.7).
+// Uses the network-based datasets with 25..500 destination hubs (fewer
+// hubs = more skew), plus the uniform dataset as reference. The PEB-tree
+// is largely insensitive to skew because the location bits are not the
+// dominant key component.
+#include "bench_common.h"
+
+int main() {
+  using namespace peb::eval;
+
+  QuerySetOptions q;
+  q.count = Scaled(200, 20);
+
+  TablePrinter prq = MakeIoTable("destinations");
+  TablePrinter knn = MakeIoTable("destinations");
+
+  auto run_point = [&](const std::string& label, Distribution dist,
+                       size_t hubs) {
+    WorkloadParams p;
+    p.num_users = Scaled(60000, 1000);
+    p.distribution = dist;
+    p.num_hubs = hubs;
+    p.seed = 1;
+    Workload w = Workload::Build(p);
+    ComparisonPoint m = MeasureBoth(w, q);
+    AddIoRow(prq, label, m.peb_prq.avg_io, m.spatial_prq.avg_io);
+    AddIoRow(knn, label, m.peb_knn.avg_io, m.spatial_knn.avg_io);
+  };
+
+  run_point("uniform", Distribution::kUniform, 0);
+  for (size_t hubs : {25, 50, 100, 200, 300, 400, 500}) {
+    run_point(std::to_string(hubs), Distribution::kNetwork, hubs);
+  }
+
+  PrintBanner(std::cout, "Figure 16(a): PRQ I/O vs number of destinations");
+  prq.Print(std::cout);
+  PrintBanner(std::cout, "Figure 16(b): PkNN I/O vs number of destinations");
+  knn.Print(std::cout);
+  return 0;
+}

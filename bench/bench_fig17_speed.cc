@@ -1,0 +1,32 @@
+// Figure 17: Effect of the maximum object speed (Section 7.8).
+// Sweeps vmax 1..6. Faster objects force larger query-window enlargement
+// (Figure 2), growing the spatial index's search region; the PEB-tree is
+// much less sensitive because policy compatibility dominates its keys.
+#include "bench_common.h"
+
+int main() {
+  using namespace peb::eval;
+
+  QuerySetOptions q;
+  q.count = Scaled(200, 20);
+
+  TablePrinter prq = MakeIoTable("max speed");
+  TablePrinter knn = MakeIoTable("max speed");
+
+  for (double speed : {1.0, 2.0, 3.0, 4.0, 5.0, 6.0}) {
+    WorkloadParams p;
+    p.num_users = Scaled(60000, 1000);
+    p.max_speed = speed;
+    p.seed = 1;
+    Workload w = Workload::Build(p);
+    ComparisonPoint m = MeasureBoth(w, q);
+    AddIoRow(prq, Fmt(speed, 0), m.peb_prq.avg_io, m.spatial_prq.avg_io);
+    AddIoRow(knn, Fmt(speed, 0), m.peb_knn.avg_io, m.spatial_knn.avg_io);
+  }
+
+  PrintBanner(std::cout, "Figure 17(a): PRQ I/O vs maximum speed");
+  prq.Print(std::cout);
+  PrintBanner(std::cout, "Figure 17(b): PkNN I/O vs maximum speed");
+  knn.Print(std::cout);
+  return 0;
+}

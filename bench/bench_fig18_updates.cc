@@ -1,0 +1,35 @@
+// Figure 18: Effect of updates (Section 7.9).
+// Measures query cost each time 25% of the dataset has been updated, until
+// the dataset has been fully updated twice (8 rounds). Both trees share
+// the Bx time-partitioning, so costs only fluctuate as objects migrate
+// between time partitions.
+#include "bench_common.h"
+
+int main() {
+  using namespace peb::eval;
+
+  WorkloadParams p;
+  p.num_users = Scaled(60000, 1000);
+  p.seed = 1;
+  Workload w = Workload::Build(p);
+
+  TablePrinter prq = MakeIoTable("updates (%)");
+  TablePrinter knn = MakeIoTable("updates (%)");
+
+  for (int round = 1; round <= 8; ++round) {
+    if (!w.ApplyUpdates(p.num_users / 4).ok()) return 1;
+    QuerySetOptions q;
+    q.count = Scaled(200, 20);
+    q.seed = 99 + static_cast<uint64_t>(round);
+    ComparisonPoint m = MeasureBoth(w, q);
+    std::string label = std::to_string(round * 25);
+    AddIoRow(prq, label, m.peb_prq.avg_io, m.spatial_prq.avg_io);
+    AddIoRow(knn, label, m.peb_knn.avg_io, m.spatial_knn.avg_io);
+  }
+
+  PrintBanner(std::cout, "Figure 18(a): PRQ I/O while updating");
+  prq.Print(std::cout);
+  PrintBanner(std::cout, "Figure 18(b): PkNN I/O while updating");
+  knn.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Figure 19: Cost-function evaluation (Sections 6 and 7.10).
+// Calibrates Equation 7's a1, a2 from two measured sample points, then
+// compares estimated vs actual PRQ I/O while varying (i) the number of
+// users, (ii) the policies per user, and (iii) the grouping factor.
+#include "bench_common.h"
+
+#include "costmodel/cost_model.h"
+
+namespace {
+
+using namespace peb;
+using namespace peb::eval;
+
+/// Builds a workload and measures actual PRQ I/O + the model inputs.
+CostSample MeasurePoint(size_t users, size_t policies, double theta,
+                        size_t queries) {
+  WorkloadParams p;
+  p.num_users = users;
+  p.policies_per_user = policies;
+  p.grouping_factor = theta;
+  p.seed = 1;
+  Workload w = Workload::Build(p);
+  QuerySetOptions q;
+  q.count = queries;
+  auto batch = MakePrqQueries(w, q);
+  w.peb().pool()->ResetStats();
+  RunResult r = RunPrqBatch(w.peb(), batch);
+
+  CostSample s;
+  s.inputs.num_users = static_cast<double>(users);
+  s.inputs.policies_per_user = static_cast<double>(policies);
+  s.inputs.grouping_factor = theta;
+  s.inputs.num_leaves = static_cast<double>(w.peb().tree_stats().num_leaves);
+  s.inputs.space_side = p.space_side;
+  s.measured_io = r.avg_io;
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  size_t queries = Scaled(200, 20);
+
+  // Calibration: two sample points differing in density (Section 6's
+  // procedure; the paper quotes a1 = 10, a2 = 0.3 for uniform data).
+  CostSample c1 = MeasurePoint(Scaled(20000, 1000), 50, 0.7, queries);
+  CostSample c2 = MeasurePoint(Scaled(80000, 2000), 50, 0.7, queries);
+  auto model = CostModel::Calibrate(c1, c2);
+  if (!model.ok()) {
+    std::cerr << "calibration failed: " << model.status() << "\n";
+    return 1;
+  }
+  std::cout << "Calibrated Eq. 7: a1 = " << Fmt(model->a1(), 3)
+            << ", a2 = " << Fmt(model->a2(), 3) << "\n";
+
+  TablePrinter users_t({"users", "actual I/O", "estimated I/O"});
+  for (size_t n : {10000, 30000, 50000, 70000, 90000}) {
+    CostSample s = MeasurePoint(Scaled(n, 1000), 50, 0.7, queries);
+    users_t.AddRow({std::to_string(n / 1000) + "K", Fmt(s.measured_io, 2),
+                    Fmt(model->EstimateIo(s.inputs), 2)});
+  }
+  PrintBanner(std::cout, "Figure 19 (left): cost model vs users");
+  users_t.Print(std::cout);
+
+  TablePrinter pol_t({"policies/user", "actual I/O", "estimated I/O"});
+  for (size_t np : {10, 30, 50, 70, 90}) {
+    CostSample s = MeasurePoint(Scaled(60000, 1000), np, 0.7, queries);
+    pol_t.AddRow({std::to_string(np), Fmt(s.measured_io, 2),
+                  Fmt(model->EstimateIo(s.inputs), 2)});
+  }
+  PrintBanner(std::cout, "Figure 19 (middle): cost model vs policies");
+  pol_t.Print(std::cout);
+
+  TablePrinter theta_t({"theta", "actual I/O", "estimated I/O"});
+  for (double theta : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    CostSample s = MeasurePoint(Scaled(60000, 1000), 50, theta, queries);
+    theta_t.AddRow({Fmt(theta, 1), Fmt(s.measured_io, 2),
+                    Fmt(model->EstimateIo(s.inputs), 2)});
+  }
+  PrintBanner(std::cout, "Figure 19 (right): cost model vs grouping factor");
+  theta_t.Print(std::cout);
+  return 0;
+}

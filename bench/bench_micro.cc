@@ -1,0 +1,169 @@
+// Micro-benchmarks (google-benchmark): per-operation costs of the building
+// blocks — space-filling curves, PEB key generation, B+-tree operations,
+// buffer pool hits, policy compatibility, and end-to-end index updates.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "btree/btree.h"
+#include "btree/btree_traits.h"
+#include "bxtree/bxtree.h"
+#include "common/rng.h"
+#include "motion/uniform_generator.h"
+#include "peb/peb_key.h"
+#include "policy/compatibility.h"
+#include "spatial/hilbert.h"
+#include "spatial/zcurve.h"
+#include "spatial/zrange.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace peb {
+namespace {
+
+void BM_ZEncode(benchmark::State& state) {
+  Rng rng(1);
+  uint32_t x = static_cast<uint32_t>(rng.Next64());
+  uint32_t y = static_cast<uint32_t>(rng.Next64());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ZEncode(x, y, 21));
+    x += 7;
+    y += 13;
+  }
+}
+BENCHMARK(BM_ZEncode);
+
+void BM_ZDecode(benchmark::State& state) {
+  uint64_t z = 0x12345678ABCDull;
+  uint32_t x, y;
+  for (auto _ : state) {
+    ZDecode(z, 21, &x, &y);
+    benchmark::DoNotOptimize(x + y);
+    z += 0x9E37;
+  }
+}
+BENCHMARK(BM_ZDecode);
+
+void BM_HilbertEncode(benchmark::State& state) {
+  Rng rng(2);
+  uint32_t x = static_cast<uint32_t>(rng.Next64()) & 0x1FFFFF;
+  uint32_t y = static_cast<uint32_t>(rng.Next64()) & 0x1FFFFF;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HilbertEncode(x, y, 21));
+    x = (x + 7) & 0x1FFFFF;
+    y = (y + 13) & 0x1FFFFF;
+  }
+}
+BENCHMARK(BM_HilbertEncode);
+
+void BM_WindowDecomposition(benchmark::State& state) {
+  GridMapper grid(1000.0, 10);
+  Rect window{{300, 300}, {300.0 + static_cast<double>(state.range(0)),
+               300.0 + static_cast<double>(state.range(0))}};
+  ZRangeOptions opts;
+  opts.max_intervals = 32;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ZIntervalsForWindow(grid, window, opts));
+  }
+}
+BENCHMARK(BM_WindowDecomposition)->Arg(100)->Arg(300)->Arg(600);
+
+void BM_PebKeyGeneration(benchmark::State& state) {
+  PebKeyLayout layout;
+  Rng rng(3);
+  uint32_t partition = 1;
+  for (auto _ : state) {
+    uint32_t qsv = static_cast<uint32_t>(rng.Next64() & 0x3FFFFFF);
+    uint64_t zv = rng.Next64() & 0xFFFFF;
+    benchmark::DoNotOptimize(layout.MakeKey(partition, qsv, zv));
+  }
+}
+BENCHMARK(BM_PebKeyGeneration);
+
+void BM_BTreeInsert(benchmark::State& state) {
+  InMemoryDiskManager disk;
+  BufferPool pool(&disk, BufferPoolOptions{1024});
+  BTree<U64Traits> tree(&pool);
+  Rng rng(4);
+  for (auto _ : state) {
+    (void)tree.Insert(rng.Next64(), 1);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BTreeInsert);
+
+void BM_BTreeLookupHit(benchmark::State& state) {
+  InMemoryDiskManager disk;
+  BufferPool pool(&disk, BufferPoolOptions{1024});
+  BTree<U64Traits> tree(&pool);
+  Rng fill(5);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 100000; ++i) {
+    uint64_t k = fill.Next64();
+    if (tree.Insert(k, 1).ok()) keys.push_back(k);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Lookup(keys[i % keys.size()]));
+    i += 7919;
+  }
+}
+BENCHMARK(BM_BTreeLookupHit);
+
+void BM_BufferPoolHit(benchmark::State& state) {
+  InMemoryDiskManager disk;
+  BufferPool pool(&disk, BufferPoolOptions{64});
+  auto page = pool.NewPage();
+  PageId id = page->id();
+  page->Release();
+  for (auto _ : state) {
+    auto g = pool.FetchPage(id);
+    benchmark::DoNotOptimize(g->page());
+  }
+}
+BENCHMARK(BM_BufferPoolHit);
+
+void BM_CompatibilityScore(benchmark::State& state) {
+  Lpp a, b;
+  a.role = b.role = 1;
+  a.locr = {{100, 100}, {600, 700}};
+  a.tint = {480, 1020};
+  b.locr = {{300, 50}, {900, 500}};
+  b.tint = {300, 800};
+  CompatibilityOptions opts;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        CompatibilityFromAlpha(ComputeAlpha({&a, 1}, {&b, 1}, opts)));
+  }
+}
+BENCHMARK(BM_CompatibilityScore);
+
+void BM_BxTreeUpdate(benchmark::State& state) {
+  UniformGeneratorOptions gen;
+  gen.num_objects = 20000;
+  gen.stagger_window = 120.0;
+  gen.seed = 6;
+  Dataset ds = GenerateUniformDataset(gen);
+  InMemoryDiskManager disk;
+  BufferPool pool(&disk, BufferPoolOptions{256});
+  MovingIndexOptions opt;
+  BxTree tree(&pool, opt);
+  for (const auto& o : ds.objects) (void)tree.Insert(o);
+  Rng rng(7);
+  Timestamp t = 120.0;
+  for (auto _ : state) {
+    UserId id = static_cast<UserId>(rng.NextBelow(ds.objects.size()));
+    MovingObject o = ds.objects[id];
+    t += 0.001;
+    o.pos = o.PositionAt(t);
+    o.tu = t;
+    (void)tree.Update(o);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BxTreeUpdate);
+
+}  // namespace
+}  // namespace peb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,124 @@
+// Concrete key/value trait instantiations for the B+-tree.
+//
+// The moving-object indexes use a composite key (index_key, user_id): the
+// 1-D transformed value (Bx value or PEB key, Eq. 1 / Eq. 5) ordered first,
+// with the user id breaking ties so that B+-tree keys are unique even when
+// two users fall into the same cell with the same sequence value.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "btree/btree.h"
+#include "common/types.h"
+
+namespace peb {
+
+/// Composite B+-tree key: (1-D index value, user id), lexicographic.
+struct CompositeKey {
+  uint64_t primary = 0;
+  UserId uid = 0;
+
+  friend bool operator==(const CompositeKey&, const CompositeKey&) = default;
+
+  /// Smallest key with the given primary value.
+  static CompositeKey Min(uint64_t primary) { return {primary, 0}; }
+  /// Largest key with the given primary value.
+  static CompositeKey Max(uint64_t primary) {
+    return {primary, kInvalidUserId};
+  }
+};
+
+/// Leaf payload: the paper's leaf format <PEB_key, UID, x, y, vx, vy, t,
+/// pntp> (Section 5.2). The key and UID live in the CompositeKey; the rest
+/// is this record. `pntp` stands in for the paper's pointer to the user's
+/// privacy-policy set (policies are keyed by UID in the PolicyStore, so the
+/// field is informational).
+struct ObjectRecord {
+  double x = 0.0;
+  double y = 0.0;
+  double vx = 0.0;
+  double vy = 0.0;
+  double tu = 0.0;    ///< Time of the most recent update.
+  uint32_t pntp = 0;  ///< Policy-set reference.
+};
+
+/// Traits for the moving-object trees (Bx-tree and PEB-tree).
+struct ObjectTreeTraits {
+  using Key = CompositeKey;
+  using Value = ObjectRecord;
+
+  static constexpr size_t kKeySize = 12;   // 8 (primary) + 4 (uid)
+  static constexpr size_t kValueSize = 44; // 4*8 coords + 8 tu + 4 pntp
+  static constexpr size_t kFanoutCap = 0;  // Use the full page.
+
+  static int Compare(const Key& a, const Key& b) {
+    if (a.primary != b.primary) return a.primary < b.primary ? -1 : 1;
+    if (a.uid != b.uid) return a.uid < b.uid ? -1 : 1;
+    return 0;
+  }
+
+  static void EncodeKey(std::byte* dst, const Key& k) {
+    std::memcpy(dst, &k.primary, 8);
+    std::memcpy(dst + 8, &k.uid, 4);
+  }
+  static Key DecodeKey(const std::byte* src) {
+    Key k;
+    std::memcpy(&k.primary, src, 8);
+    std::memcpy(&k.uid, src + 8, 4);
+    return k;
+  }
+
+  static void EncodeValue(std::byte* dst, const Value& v) {
+    std::memcpy(dst, &v.x, 8);
+    std::memcpy(dst + 8, &v.y, 8);
+    std::memcpy(dst + 16, &v.vx, 8);
+    std::memcpy(dst + 24, &v.vy, 8);
+    std::memcpy(dst + 32, &v.tu, 8);
+    std::memcpy(dst + 40, &v.pntp, 4);
+  }
+  static Value DecodeValue(const std::byte* src) {
+    Value v;
+    std::memcpy(&v.x, src, 8);
+    std::memcpy(&v.y, src + 8, 8);
+    std::memcpy(&v.vx, src + 16, 8);
+    std::memcpy(&v.vy, src + 24, 8);
+    std::memcpy(&v.tu, src + 32, 8);
+    std::memcpy(&v.pntp, src + 40, 4);
+    return v;
+  }
+};
+
+/// Simple uint64 -> uint64 traits for tests and micro-benchmarks.
+struct U64Traits {
+  using Key = uint64_t;
+  using Value = uint64_t;
+  static constexpr size_t kKeySize = 8;
+  static constexpr size_t kValueSize = 8;
+  static constexpr size_t kFanoutCap = 0;
+
+  static int Compare(Key a, Key b) { return a < b ? -1 : (a > b ? 1 : 0); }
+  static void EncodeKey(std::byte* dst, Key k) { std::memcpy(dst, &k, 8); }
+  static Key DecodeKey(const std::byte* src) {
+    Key k;
+    std::memcpy(&k, src, 8);
+    return k;
+  }
+  static void EncodeValue(std::byte* dst, Value v) { std::memcpy(dst, &v, 8); }
+  static Value DecodeValue(const std::byte* src) {
+    Value v;
+    std::memcpy(&v, src, 8);
+    return v;
+  }
+};
+
+/// Tiny-fanout traits: forces deep trees, splits, borrows, and merges with
+/// few keys, so structural edge cases get exercised heavily in tests.
+struct TinyFanoutTraits : U64Traits {
+  static constexpr size_t kFanoutCap = 4;
+};
+
+/// The tree type both moving-object indexes build on.
+using ObjectBTree = BTree<ObjectTreeTraits>;
+
+}  // namespace peb

@@ -1,0 +1,72 @@
+// Bx-tree key machinery (Section 2.1, "The Bx-Tree"):
+//
+//   Bx_value(O, tu) = [index_partition]2 ⊕ [x_rep]2            (Eq. 1)
+//   index_partition = (tlab/(Δtmu/n) − 1) mod (n+1)            (Eq. 2)
+//   x_rep           = Z-curve(position as of tlab)             (Eq. 3)
+//
+// The time axis is cut into phases of length Δtmu/n; an update at tu is
+// indexed as of the label timestamp two phases ahead, so at any instant at
+// most n+1 distinct label timestamps — one per partition — hold live data.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace peb {
+
+/// Time partitioning shared by the Bx-tree and the PEB-tree.
+struct TimePartitionLayout {
+  /// Δtmu: the maximum update interval (objects must update at least this
+  /// often). The value 120 follows the Bx-tree evaluation settings [13].
+  double delta_t_mu = 120.0;
+  /// n: phases per Δtmu (the Bx-tree default of 2 gives 3 partitions).
+  uint32_t n = 2;
+
+  double PhaseLength() const { return delta_t_mu / n; }
+  uint32_t NumPartitions() const { return n + 1; }
+
+  /// Integer label index: label timestamps are label_index * PhaseLength().
+  /// An update at tu is indexed as of ⌈tu + Δtmu/n⌉_l, i.e. two phases
+  /// ahead of the phase containing tu.
+  int64_t LabelIndexFor(Timestamp tu) const {
+    return static_cast<int64_t>(std::floor(tu / PhaseLength())) + 2;
+  }
+
+  Timestamp LabelTimestamp(int64_t label_index) const {
+    return static_cast<double>(label_index) * PhaseLength();
+  }
+
+  /// Equation 2, expressed on the label index.
+  uint32_t PartitionOf(int64_t label_index) const {
+    int64_t p = (label_index - 1) % static_cast<int64_t>(NumPartitions());
+    if (p < 0) p += NumPartitions();
+    return static_cast<uint32_t>(p);
+  }
+};
+
+/// Packs (partition, zv) into the 1-D Bx value.
+struct BxKeyLayout {
+  uint32_t tid_bits = 4;   ///< Bits for the partition number.
+  uint32_t grid_bits = 10; ///< Bits per spatial dimension.
+
+  uint32_t zv_bits() const { return 2 * grid_bits; }
+  uint32_t total_bits() const { return tid_bits + zv_bits(); }
+
+  uint64_t MakeKey(uint32_t partition, uint64_t zv) const {
+    assert(partition < (1u << tid_bits));
+    assert(zv < (1ull << zv_bits()));
+    return (static_cast<uint64_t>(partition) << zv_bits()) | zv;
+  }
+
+  uint32_t PartitionOfKey(uint64_t key) const {
+    return static_cast<uint32_t>(key >> zv_bits());
+  }
+  uint64_t ZvOfKey(uint64_t key) const {
+    return key & ((1ull << zv_bits()) - 1);
+  }
+};
+
+}  // namespace peb

@@ -1,0 +1,47 @@
+#include "bxtree/filtering_index.h"
+
+#include <algorithm>
+
+namespace peb {
+
+Result<std::vector<UserId>> FilteringIndex::RangeQuery(UserId issuer,
+                                                       const Rect& range,
+                                                       Timestamp tq) {
+  PEB_ASSIGN_OR_RETURN(auto candidates, tree_.RangeQuery(range, tq));
+  std::vector<UserId> out;
+  for (const SpatialCandidate& cand : candidates) {
+    if (Qualifies(issuer, cand, tq)) out.push_back(cand.uid);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+namespace {
+
+struct AcceptCtx {
+  const FilteringIndex* self;
+  UserId issuer;
+  Timestamp tq;
+  const PolicyStore* store;
+  const RoleRegistry* roles;
+  double time_domain;
+};
+
+bool PolicyAccept(void* raw, const SpatialCandidate& cand) {
+  auto* ctx = static_cast<AcceptCtx*>(raw);
+  return cand.uid != ctx->issuer &&
+         ctx->store->Allows(cand.uid, ctx->issuer, cand.pos, ctx->tq,
+                            *ctx->roles, ctx->time_domain);
+}
+
+}  // namespace
+
+Result<std::vector<Neighbor>> FilteringIndex::KnnQuery(UserId issuer,
+                                                       const Point& qloc,
+                                                       size_t k,
+                                                       Timestamp tq) {
+  AcceptCtx ctx{this, issuer, tq, store_, roles_, time_domain_};
+  return tree_.KnnQuery(qloc, k, tq, &PolicyAccept, &ctx);
+}
+
+}  // namespace peb

@@ -1,0 +1,68 @@
+// The spatial-index filtering approach (Section 4): process privacy-aware
+// queries as if they were plain spatial queries on the Bx-tree, then filter
+// the preliminary result by evaluating each found user's location-privacy
+// policies against the query issuer. This is the baseline the PEB-tree is
+// compared with throughout Section 7.
+#pragma once
+
+#include <memory>
+
+#include "bxtree/bxtree.h"
+#include "bxtree/privacy_index.h"
+#include "policy/policy_store.h"
+#include "policy/role_registry.h"
+
+namespace peb {
+
+class FilteringIndex final : public PrivacyAwareIndex {
+ public:
+  /// `store` and `roles` must outlive the index.
+  FilteringIndex(BufferPool* pool, const MovingIndexOptions& options,
+                 const PolicyStore* store, const RoleRegistry* roles,
+                 double time_domain = kDefaultTimeDomain)
+      : tree_(pool, options),
+        store_(store),
+        roles_(roles),
+        time_domain_(time_domain) {}
+
+  Status Insert(const MovingObject& object) override {
+    return tree_.Insert(object);
+  }
+  Status Update(const MovingObject& object) override {
+    return tree_.Update(object);
+  }
+  Status Delete(UserId id) override { return tree_.Delete(id); }
+  size_t size() const override { return tree_.size(); }
+  BufferPool* pool() override { return tree_.pool(); }
+  const QueryCounters& last_query() const override {
+    return tree_.last_query();
+  }
+
+  /// PRQ: spatial range query, then policy filtering on the result.
+  Result<std::vector<UserId>> RangeQuery(UserId issuer, const Rect& range,
+                                         Timestamp tq) override;
+
+  /// PkNN: iterative spatial enlargement that keeps going until k
+  /// policy-qualified users are confirmed (the Section 4 example: when the
+  /// spatial NN fails the policy check, "the query then needs to examine
+  /// the next nearest neighbor, and this must be repeated").
+  Result<std::vector<Neighbor>> KnnQuery(UserId issuer, const Point& qloc,
+                                         size_t k, Timestamp tq) override;
+
+  BxTree& tree() { return tree_; }
+
+ private:
+  bool Qualifies(UserId issuer, const SpatialCandidate& cand,
+                 Timestamp tq) const {
+    return cand.uid != issuer &&
+           store_->Allows(cand.uid, issuer, cand.pos, tq, *roles_,
+                          time_domain_);
+  }
+
+  BxTree tree_;
+  const PolicyStore* store_;
+  const RoleRegistry* roles_;
+  double time_domain_;
+};
+
+}  // namespace peb

@@ -1,0 +1,28 @@
+// Shared kNN enlargement schedule.
+//
+// The paper grows the kNN query square linearly: radius_j = j * rq with
+// rq = Dk/k (Section 5.4). When the qualifying users are sparse relative to
+// the population (the defining situation for privacy-aware queries), a
+// purely linear schedule needs hundreds of rounds before the k-th
+// qualified user is inside the inscribed circle, which repeatedly rescans
+// and evicts the same pages. Both competitors therefore use the same
+// bounded schedule: linear growth for the first kKnnLinearRounds rounds,
+// doubling afterwards. Rings stay nested, so each key range is still
+// scanned at most once per query; late rounds are merely coarser.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+namespace peb {
+
+inline constexpr size_t kKnnLinearRounds = 8;
+
+/// Radius of enlargement round `j` (0-based) for base step `rq`.
+inline double KnnRadiusForRound(double rq, size_t j) {
+  if (j < kKnnLinearRounds) return rq * static_cast<double>(j + 1);
+  double base = rq * static_cast<double>(kKnnLinearRounds);
+  return base * std::pow(2.0, static_cast<double>(j + 1 - kKnnLinearRounds));
+}
+
+}  // namespace peb

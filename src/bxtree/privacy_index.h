@@ -1,0 +1,71 @@
+// The common interface of the two privacy-aware query processors compared
+// in the paper: the PEB-tree (Section 5) and the spatial-index filtering
+// approach (Section 4). The experiment harness drives both through this
+// interface and reads I/O from the underlying buffer pool.
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "motion/moving_object.h"
+#include "spatial/geometry.h"
+#include "storage/buffer_pool.h"
+
+namespace peb {
+
+/// A kNN answer entry.
+struct Neighbor {
+  UserId uid = kInvalidUserId;
+  double distance = 0.0;
+
+  friend bool operator==(const Neighbor&, const Neighbor&) = default;
+};
+
+/// Per-query work counters (tree I/O is read from BufferPool::stats()).
+struct QueryCounters {
+  size_t candidates_examined = 0;  ///< Leaf entries inspected.
+  size_t results = 0;              ///< Entries surviving verification.
+  size_t range_probes = 0;         ///< 1-D key intervals searched.
+  size_t rounds = 0;               ///< kNN enlargement rounds.
+};
+
+/// A moving-object index answering privacy-aware queries.
+class PrivacyAwareIndex {
+ public:
+  virtual ~PrivacyAwareIndex() = default;
+
+  /// Inserts a (new) user's state. Fails with AlreadyExists when present.
+  virtual Status Insert(const MovingObject& object) = 0;
+
+  /// Replaces the state of user `object.id` (delete + insert).
+  virtual Status Update(const MovingObject& object) = 0;
+
+  /// Removes user `id`. Fails with NotFound when absent.
+  virtual Status Delete(UserId id) = 0;
+
+  /// Number of indexed users.
+  virtual size_t size() const = 0;
+
+  /// PRQ (Definition 2): users inside `range` at time `tq` whose policies
+  /// allow `issuer` to see them. The result is sorted by user id.
+  virtual Result<std::vector<UserId>> RangeQuery(UserId issuer,
+                                                 const Rect& range,
+                                                 Timestamp tq) = 0;
+
+  /// PkNN (Definition 3): the k nearest users to `qloc` at `tq` among those
+  /// whose policies allow `issuer`. Sorted by ascending distance; fewer
+  /// than k entries when fewer qualify.
+  virtual Result<std::vector<Neighbor>> KnnQuery(UserId issuer,
+                                                 const Point& qloc, size_t k,
+                                                 Timestamp tq) = 0;
+
+  /// The buffer pool serving this index (for I/O accounting).
+  virtual BufferPool* pool() = 0;
+
+  /// Counters of the most recent query.
+  virtual const QueryCounters& last_query() const = 0;
+};
+
+}  // namespace peb

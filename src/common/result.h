@@ -1,0 +1,77 @@
+// Result<T>: a value-or-Status, the Arrow idiom for fallible producers.
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace peb {
+
+/// Holds either a T (success) or a non-OK Status (failure).
+///
+/// Usage:
+///   Result<PageId> r = tree.AllocateLeaf();
+///   if (!r.ok()) return r.status();
+///   PageId id = *r;
+template <typename T>
+class Result {
+ public:
+  /// Constructs a success result. Intentionally implicit so that functions
+  /// can `return value;`.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a failure result from a non-OK status. Intentionally
+  /// implicit so that functions can `return Status::NotFound(...);`.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(repr_).ok() && "Result must not hold an OK Status");
+  }
+
+  /// True iff a value is held.
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The status; OK if a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// The held value. Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when this result is an error.
+  T value_or(T fallback) const {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or returns its status.
+#define PEB_ASSIGN_OR_RETURN(lhs, expr)         \
+  auto PEB_CONCAT_(_res_, __LINE__) = (expr);   \
+  if (!PEB_CONCAT_(_res_, __LINE__).ok())       \
+    return PEB_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(PEB_CONCAT_(_res_, __LINE__)).value()
+
+#define PEB_CONCAT_IMPL_(a, b) a##b
+#define PEB_CONCAT_(a, b) PEB_CONCAT_IMPL_(a, b)
+
+}  // namespace peb

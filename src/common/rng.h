@@ -1,0 +1,89 @@
+// Deterministic pseudo-random number generation.
+//
+// All workload generators take an explicit seed so experiments are exactly
+// reproducible across runs and platforms; we avoid std::mt19937 plus
+// std::uniform_*_distribution because their outputs are not guaranteed to be
+// identical across standard library implementations.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+namespace peb {
+
+/// SplitMix64: used to seed and to hash seeds into independent streams.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256**: fast, high-quality 64-bit PRNG with explicit state.
+class Rng {
+ public:
+  /// Seeds the generator; distinct seeds give independent streams.
+  explicit Rng(uint64_t seed = 0x5EEDDA7Aull) {
+    uint64_t sm = seed;
+    for (auto& w : s_) w = SplitMix64(sm);
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t Next64() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    assert(lo <= hi);
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0. Uses Lemire's method.
+  uint64_t NextBelow(uint64_t n) {
+    assert(n > 0);
+    // Multiply-shift; the modulo bias is negligible for our n (< 2^32) but we
+    // still debias with the standard rejection step.
+    uint64_t x = Next64();
+    __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+    uint64_t l = static_cast<uint64_t>(m);
+    if (l < n) {
+      uint64_t t = (0 - n) % n;
+      while (l < t) {
+        x = Next64();
+        m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+        l = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    NextBelow(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+}  // namespace peb

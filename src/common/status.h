@@ -1,0 +1,131 @@
+// Status: lightweight error propagation without exceptions, in the style of
+// LevelDB/RocksDB/Arrow. Hot paths in the storage engine and indexes return
+// Status (or Result<T>, see result.h) instead of throwing.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace peb {
+
+/// Error categories used across the library.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kNotFound = 1,
+  kInvalidArgument = 2,
+  kCorruption = 3,
+  kIOError = 4,
+  kNotSupported = 5,
+  kOutOfRange = 6,
+  kResourceExhausted = 7,
+  kAlreadyExists = 8,
+  kInternal = 9,
+};
+
+/// Returns a stable human-readable name for a status code.
+inline std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kCorruption: return "Corruption";
+    case StatusCode::kIOError: return "IOError";
+    case StatusCode::kNotSupported: return "NotSupported";
+    case StatusCode::kOutOfRange: return "OutOfRange";
+    case StatusCode::kResourceExhausted: return "ResourceExhausted";
+    case StatusCode::kAlreadyExists: return "AlreadyExists";
+    case StatusCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+/// A success-or-error value. Cheap to copy in the OK case (no allocation).
+///
+/// Usage:
+///   Status s = pool.FlushAll();
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg = "not found") {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff the status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsResourceExhausted() const { return code_ == StatusCode::kResourceExhausted; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string out(StatusCodeToString(code_));
+    if (!msg_.empty()) {
+      out += ": ";
+      out += msg_;
+    }
+    return out;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates a non-OK status to the caller.
+#define PEB_RETURN_NOT_OK(expr)                 \
+  do {                                          \
+    ::peb::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+}  // namespace peb

@@ -1,0 +1,54 @@
+#include "costmodel/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace peb {
+
+namespace {
+
+/// The grouping benefit term (Np − Np^θ) or (Nl − Np^θ), per Eq. 6/7.
+double GroupingTerm(const CostModelInputs& in) {
+  double np = in.policies_per_user;
+  double benefit = std::pow(np, in.grouping_factor);
+  double bound = np <= in.num_leaves ? np : in.num_leaves;
+  return std::max(0.0, bound - benefit);
+}
+
+double Density(const CostModelInputs& in) {
+  return in.num_users / (in.space_side * in.space_side);
+}
+
+}  // namespace
+
+double CostC1(const CostModelInputs& in) {
+  return 1.0 + GroupingTerm(in);
+}
+
+double CostModel::EstimateIo(const CostModelInputs& in) const {
+  return 1.0 + (a1_ * Density(in) + a2_) * GroupingTerm(in);
+}
+
+Result<CostModel> CostModel::Calibrate(const CostSample& s1,
+                                       const CostSample& s2) {
+  // measured = 1 + (a1*d + a2) * g  =>  (measured-1)/g = a1*d + a2.
+  double g1 = GroupingTerm(s1.inputs);
+  double g2 = GroupingTerm(s2.inputs);
+  if (g1 <= 0.0 || g2 <= 0.0) {
+    return Status::InvalidArgument(
+        "calibration sample with zero grouping term");
+  }
+  double d1 = Density(s1.inputs);
+  double d2 = Density(s2.inputs);
+  if (std::abs(d1 - d2) < 1e-12) {
+    return Status::InvalidArgument(
+        "calibration samples have identical object density");
+  }
+  double y1 = (s1.measured_io - 1.0) / g1;
+  double y2 = (s2.measured_io - 1.0) / g2;
+  double a1 = (y1 - y2) / (d1 - d2);
+  double a2 = y1 - a1 * d1;
+  return CostModel(a1, a2);
+}
+
+}  // namespace peb

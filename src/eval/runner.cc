@@ -1,0 +1,142 @@
+#include "eval/runner.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace peb {
+namespace eval {
+
+namespace {
+
+[[noreturn]] void Die(const std::string& msg) {
+  std::fprintf(stderr, "runner: %s\n", msg.c_str());
+  std::abort();
+}
+
+}  // namespace
+
+std::vector<PrqQuery> MakePrqQueries(const Workload& workload,
+                                     const QuerySetOptions& options) {
+  Rng rng(options.seed);
+  const auto& params = workload.params();
+  std::vector<PrqQuery> out;
+  out.reserve(options.count);
+  for (size_t i = 0; i < options.count; ++i) {
+    PrqQuery q;
+    q.issuer = static_cast<UserId>(rng.NextBelow(params.num_users));
+    Point center{rng.Uniform(0.0, params.space_side),
+                 rng.Uniform(0.0, params.space_side)};
+    q.range = Rect::CenteredSquare(center, options.window_side)
+                  .ClampedTo(Rect::Space(params.space_side));
+    q.tq = workload.now();
+    out.push_back(q);
+  }
+  return out;
+}
+
+std::vector<PknnQuery> MakePknnQueries(const Workload& workload,
+                                       const QuerySetOptions& options) {
+  Rng rng(options.seed ^ 0xD1CEull);
+  const auto& params = workload.params();
+  std::vector<PknnQuery> out;
+  out.reserve(options.count);
+  for (size_t i = 0; i < options.count; ++i) {
+    PknnQuery q;
+    q.issuer = static_cast<UserId>(rng.NextBelow(params.num_users));
+    q.k = options.k;
+    q.tq = workload.now();
+    q.qloc = workload.dataset().objects[q.issuer].PositionAt(q.tq);
+    out.push_back(q);
+  }
+  return out;
+}
+
+RunResult RunPrqBatch(PrivacyAwareIndex& index,
+                      const std::vector<PrqQuery>& queries) {
+  RunResult r;
+  if (queries.empty()) return r;
+  auto t0 = std::chrono::steady_clock::now();
+  for (const PrqQuery& q : queries) {
+    uint64_t before = index.pool()->stats().physical_reads;
+    auto res = index.RangeQuery(q.issuer, q.range, q.tq);
+    if (!res.ok()) Die("PRQ failed: " + res.status().ToString());
+    uint64_t after = index.pool()->stats().physical_reads;
+    r.avg_io += static_cast<double>(after - before);
+    r.avg_candidates +=
+        static_cast<double>(index.last_query().candidates_examined);
+    r.avg_probes += static_cast<double>(index.last_query().range_probes);
+    r.avg_results += static_cast<double>(res->size());
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  double n = static_cast<double>(queries.size());
+  r.avg_io /= n;
+  r.avg_candidates /= n;
+  r.avg_probes /= n;
+  r.avg_results /= n;
+  r.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  return r;
+}
+
+RunResult RunPknnBatch(PrivacyAwareIndex& index,
+                       const std::vector<PknnQuery>& queries) {
+  RunResult r;
+  if (queries.empty()) return r;
+  auto t0 = std::chrono::steady_clock::now();
+  for (const PknnQuery& q : queries) {
+    uint64_t before = index.pool()->stats().physical_reads;
+    auto res = index.KnnQuery(q.issuer, q.qloc, q.k, q.tq);
+    if (!res.ok()) Die("PkNN failed: " + res.status().ToString());
+    uint64_t after = index.pool()->stats().physical_reads;
+    r.avg_io += static_cast<double>(after - before);
+    r.avg_candidates +=
+        static_cast<double>(index.last_query().candidates_examined);
+    r.avg_probes += static_cast<double>(index.last_query().range_probes);
+    r.avg_results += static_cast<double>(res->size());
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  double n = static_cast<double>(queries.size());
+  r.avg_io /= n;
+  r.avg_candidates /= n;
+  r.avg_probes /= n;
+  r.avg_results /= n;
+  r.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  return r;
+}
+
+size_t CrossCheckPrq(Workload& workload,
+                     const std::vector<PrqQuery>& queries) {
+  for (const PrqQuery& q : queries) {
+    auto a = workload.peb().RangeQuery(q.issuer, q.range, q.tq);
+    auto b = workload.spatial().RangeQuery(q.issuer, q.range, q.tq);
+    if (!a.ok() || !b.ok()) Die("cross-check query failed");
+    if (*a != *b) {
+      Die("PRQ mismatch: PEB returned " + std::to_string(a->size()) +
+          " users, spatial returned " + std::to_string(b->size()));
+    }
+  }
+  return queries.size();
+}
+
+size_t CrossCheckPknn(Workload& workload,
+                      const std::vector<PknnQuery>& queries) {
+  for (const PknnQuery& q : queries) {
+    auto a = workload.peb().KnnQuery(q.issuer, q.qloc, q.k, q.tq);
+    auto b = workload.spatial().KnnQuery(q.issuer, q.qloc, q.k, q.tq);
+    if (!a.ok() || !b.ok()) Die("cross-check query failed");
+    if (a->size() != b->size()) {
+      Die("PkNN size mismatch: " + std::to_string(a->size()) + " vs " +
+          std::to_string(b->size()));
+    }
+    for (size_t i = 0; i < a->size(); ++i) {
+      if (std::abs((*a)[i].distance - (*b)[i].distance) > 1e-6) {
+        Die("PkNN distance mismatch at rank " + std::to_string(i));
+      }
+    }
+  }
+  return queries.size();
+}
+
+}  // namespace eval
+}  // namespace peb

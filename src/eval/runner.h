@@ -1,0 +1,77 @@
+// Query-set generation and measurement (Section 7.1: "we measure the
+// average I/O cost of 200 queries"). I/O per query is the number of
+// physical page reads the index's buffer pool performs while answering it;
+// the 50-page LRU buffer stays warm across the query batch, as in the
+// paper's simulation.
+#pragma once
+
+#include <vector>
+
+#include "bxtree/privacy_index.h"
+#include "common/rng.h"
+#include "eval/workload.h"
+
+namespace peb {
+namespace eval {
+
+/// A privacy-aware range query instance.
+struct PrqQuery {
+  UserId issuer = kInvalidUserId;
+  Rect range;
+  Timestamp tq = 0.0;
+};
+
+/// A privacy-aware kNN query instance.
+struct PknnQuery {
+  UserId issuer = kInvalidUserId;
+  Point qloc;
+  size_t k = 5;
+  Timestamp tq = 0.0;
+};
+
+/// Query-set parameters (Table 1 defaults).
+struct QuerySetOptions {
+  size_t count = 200;
+  double window_side = 200.0;  ///< PRQ window side length.
+  size_t k = 5;                ///< PkNN k.
+  uint64_t seed = 99;
+};
+
+/// Uniformly random PRQ instances: random issuer, random window center.
+std::vector<PrqQuery> MakePrqQueries(const Workload& workload,
+                                     const QuerySetOptions& options);
+
+/// PkNN instances: random issuer, query location = the issuer's own
+/// position at query time (Definition 3's qLoc).
+std::vector<PknnQuery> MakePknnQueries(const Workload& workload,
+                                       const QuerySetOptions& options);
+
+/// Aggregated measurement over a query batch.
+struct RunResult {
+  double avg_io = 0.0;          ///< Physical reads per query.
+  double avg_candidates = 0.0;  ///< Leaf entries inspected per query.
+  double avg_results = 0.0;     ///< Result size per query.
+  double avg_probes = 0.0;      ///< 1-D key ranges searched per query.
+  double wall_ms = 0.0;         ///< Total wall time for the batch.
+};
+
+/// Runs the PRQ batch on `index`, returning averages. Aborts the process on
+/// index errors (experiments must not silently drop queries).
+RunResult RunPrqBatch(PrivacyAwareIndex& index,
+                      const std::vector<PrqQuery>& queries);
+
+/// Runs the PkNN batch on `index`.
+RunResult RunPknnBatch(PrivacyAwareIndex& index,
+                       const std::vector<PknnQuery>& queries);
+
+/// Verifies that both indexes return identical PRQ answers on the batch
+/// (used by integration tests and optionally by benches). Returns the
+/// number of queries checked; aborts on a mismatch.
+size_t CrossCheckPrq(Workload& workload, const std::vector<PrqQuery>& queries);
+
+/// Same for PkNN (compares distances within tolerance).
+size_t CrossCheckPknn(Workload& workload,
+                      const std::vector<PknnQuery>& queries);
+
+}  // namespace eval
+}  // namespace peb

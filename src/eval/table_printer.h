@@ -1,0 +1,35 @@
+// Aligned console tables for the benchmark binaries, so each bench prints
+// the rows/series of its paper figure in a readable form.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace peb {
+namespace eval {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Adds a data row; must have as many cells as there are headers.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table with a header rule.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double formatting ("12.34").
+std::string Fmt(double v, int precision = 2);
+
+/// Section banner used by the bench binaries.
+void PrintBanner(std::ostream& os, const std::string& title);
+
+}  // namespace eval
+}  // namespace peb

@@ -1,0 +1,146 @@
+#include "eval/workload.h"
+
+#include <cassert>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "motion/uniform_generator.h"
+
+namespace peb {
+namespace eval {
+
+namespace {
+
+/// Dies loudly on harness errors: experiment setup is not allowed to fail.
+void CheckOk(const Status& s, const char* what) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "workload %s failed: %s\n", what,
+                 s.ToString().c_str());
+    std::abort();
+  }
+}
+
+}  // namespace
+
+Workload Workload::Build(const WorkloadParams& params) {
+  Workload w;
+  w.params_ = params;
+
+  // --- data ---------------------------------------------------------------
+  if (params.distribution == Distribution::kUniform) {
+    UniformGeneratorOptions gen;
+    gen.num_objects = params.num_users;
+    gen.space_side = params.space_side;
+    gen.max_speed = params.max_speed;
+    gen.stagger_window = params.delta_t_mu;
+    gen.seed = params.seed;
+    w.dataset_ = GenerateUniformDataset(gen);
+  } else {
+    NetworkWorkloadOptions gen;
+    gen.num_objects = params.num_users;
+    gen.num_hubs = params.num_hubs;
+    gen.space_side = params.space_side;
+    gen.seed = params.seed;
+    w.network_ = std::make_unique<NetworkWorkload>(gen);
+    w.dataset_ = w.network_->initial_dataset();
+  }
+
+  // --- policies + encoding (the Figure-11 offline step) --------------------
+  PolicyGeneratorOptions pg;
+  pg.num_users = params.num_users;
+  pg.policies_per_user = params.policies_per_user;
+  pg.grouping_factor = params.grouping_factor;
+  pg.space = Rect::Space(params.space_side);
+  pg.time_domain = params.time_domain;
+  pg.seed = params.seed + 0x9E37;
+  GeneratedPolicies gen_policies = GeneratePolicies(pg);
+  w.store_ = std::make_unique<PolicyStore>(std::move(gen_policies.store));
+  w.roles_ = std::make_unique<RoleRegistry>(std::move(gen_policies.roles));
+
+  CompatibilityOptions compat;
+  compat.space = Rect::Space(params.space_side);
+  compat.time_domain = params.time_domain;
+  SvQuantizer quantizer(params.sv_scale, params.sv_bits);
+
+  auto t0 = std::chrono::steady_clock::now();
+  w.encoding_ = std::make_unique<PolicyEncoding>(PolicyEncoding::Build(
+      *w.store_, params.num_users, compat, SequenceValueOptions{}, quantizer,
+      params.sequence_strategy));
+  auto t1 = std::chrono::steady_clock::now();
+  w.preprocessing_seconds_ =
+      std::chrono::duration<double>(t1 - t0).count();
+
+  // --- indexes -------------------------------------------------------------
+  MovingIndexOptions idx;
+  idx.space_side = params.space_side;
+  idx.grid_bits = params.grid_bits;
+  idx.partitions.delta_t_mu = params.delta_t_mu;
+  idx.partitions.n = params.partitions_n;
+  idx.max_speed = params.max_speed;
+  idx.zrange.max_intervals = params.max_z_intervals;
+
+  BufferPoolOptions pool_opts;
+  pool_opts.capacity = params.buffer_pages;
+
+  w.peb_disk_ = std::make_unique<InMemoryDiskManager>();
+  w.peb_pool_ = std::make_unique<BufferPool>(w.peb_disk_.get(), pool_opts);
+  PebTreeOptions peb_opts;
+  peb_opts.index = idx;
+  peb_opts.sv_bits = params.sv_bits;
+  peb_opts.prq_strategy = params.prq_strategy;
+  peb_opts.knn_order = params.knn_order;
+  peb_opts.time_domain = params.time_domain;
+  w.peb_ = std::make_unique<PebTree>(w.peb_pool_.get(), peb_opts,
+                                     w.store_.get(), w.roles_.get(),
+                                     w.encoding_.get());
+
+  w.spatial_disk_ = std::make_unique<InMemoryDiskManager>();
+  w.spatial_pool_ =
+      std::make_unique<BufferPool>(w.spatial_disk_.get(), pool_opts);
+  w.spatial_ = std::make_unique<FilteringIndex>(w.spatial_pool_.get(), idx,
+                                                w.store_.get(),
+                                                w.roles_.get(),
+                                                params.time_domain);
+
+  // --- load ----------------------------------------------------------------
+  for (const MovingObject& o : w.dataset_.objects) {
+    CheckOk(w.peb_->Insert(o), "peb insert");
+    CheckOk(w.spatial_->Insert(o), "spatial insert");
+  }
+
+  // --- update stream -------------------------------------------------------
+  if (params.distribution == Distribution::kUniform) {
+    UniformUpdateStreamOptions us;
+    us.max_update_interval = params.delta_t_mu;
+    us.seed = params.seed + 0xABCD;
+    w.updates_ = std::make_unique<UniformUpdateStream>(w.dataset_, us);
+  } else {
+    w.updates_ = std::make_unique<NetworkUpdateStream>(w.network_.get(),
+                                                       params.delta_t_mu);
+  }
+
+  // Queries run as of one maximum update interval after the start, so the
+  // staggered initial population is all still "fresh".
+  w.now_ = params.delta_t_mu;
+  return w;
+}
+
+Result<UpdateEvent> Workload::ApplyNextUpdate() {
+  UpdateEvent ev = updates_->Next();
+  PEB_RETURN_NOT_OK(peb_->Update(ev.state));
+  PEB_RETURN_NOT_OK(spatial_->Update(ev.state));
+  dataset_.objects[ev.state.id] = ev.state;
+  if (ev.t > now_) now_ = ev.t;
+  return ev;
+}
+
+Status Workload::ApplyUpdates(size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    PEB_RETURN_NOT_OK(ApplyNextUpdate().status());
+  }
+  return Status::OK();
+}
+
+}  // namespace eval
+}  // namespace peb

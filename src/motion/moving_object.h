@@ -1,0 +1,41 @@
+// The moving-object model shared by the paper and this library
+// (Section 2.1): an object's position is a linear function of time,
+// x(t) = x + v * (t - tu), valid until the next update; objects must update
+// at least every delta_t_mu (the maximum update interval).
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "spatial/geometry.h"
+
+namespace peb {
+
+/// A moving user: the triple (position, velocity, update time) plus identity.
+struct MovingObject {
+  UserId id = kInvalidUserId;
+  Point pos;       ///< Position at time `tu`.
+  Point vel;       ///< Velocity (distance units per time unit).
+  Timestamp tu = 0;
+
+  /// Linearly extrapolated position at time `t` (t may precede tu; the
+  /// linear model extrapolates both ways, as Bx-tree queries require).
+  Point PositionAt(Timestamp t) const {
+    return pos + vel * (t - tu);
+  }
+};
+
+/// A position/velocity update issued by an object at time `t`.
+struct UpdateEvent {
+  Timestamp t = 0;
+  MovingObject state;  ///< state.tu == t.
+};
+
+/// A dataset: objects plus the motion parameters they obey.
+struct Dataset {
+  std::vector<MovingObject> objects;
+  double space_side = 1000.0;  ///< Square space [0, side]^2 (Section 7.1).
+  double max_speed = 3.0;      ///< Per-axis speed bound used by queries.
+};
+
+}  // namespace peb

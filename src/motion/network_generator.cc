@@ -1,0 +1,238 @@
+#include "motion/network_generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace peb {
+
+namespace {
+
+/// Union-find for connectivity repair.
+class DisjointSets {
+ public:
+  explicit DisjointSets(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), size_t{0});
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  bool Union(size_t a, size_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return false;
+    parent_[a] = b;
+    return true;
+  }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+void AddEdge(std::vector<std::vector<size_t>>& adj, size_t a, size_t b) {
+  if (a == b) return;
+  auto& na = adj[a];
+  if (std::find(na.begin(), na.end(), b) != na.end()) return;
+  na.push_back(b);
+  adj[b].push_back(a);
+}
+
+}  // namespace
+
+RoadNetwork RoadNetwork::Generate(size_t num_hubs, double space_side,
+                                  uint64_t seed, size_t degree) {
+  assert(num_hubs >= 2);
+  RoadNetwork net;
+  net.space_side_ = space_side;
+  net.hubs_.reserve(num_hubs);
+  Rng rng(seed ^ 0x0FF0ADull);
+  for (size_t i = 0; i < num_hubs; ++i) {
+    net.hubs_.push_back(
+        {rng.Uniform(0.0, space_side), rng.Uniform(0.0, space_side)});
+  }
+  net.adj_.assign(num_hubs, {});
+
+  // Connect each hub to its `degree` nearest neighbors.
+  std::vector<size_t> order(num_hubs);
+  for (size_t i = 0; i < num_hubs; ++i) {
+    std::iota(order.begin(), order.end(), size_t{0});
+    size_t want = std::min(degree + 1, num_hubs);  // +1: self sorts first.
+    std::partial_sort(order.begin(), order.begin() + static_cast<long>(want),
+                      order.end(), [&](size_t a, size_t b) {
+                        return net.hubs_[i].DistanceTo(net.hubs_[a]) <
+                               net.hubs_[i].DistanceTo(net.hubs_[b]);
+                      });
+    for (size_t j = 0; j < want; ++j) {
+      if (order[j] != i) AddEdge(net.adj_, i, order[j]);
+    }
+  }
+
+  // Repair connectivity: greedily connect each unreached component to the
+  // nearest hub of the growing component.
+  DisjointSets ds(num_hubs);
+  for (size_t i = 0; i < num_hubs; ++i) {
+    for (size_t j : net.adj_[i]) ds.Union(i, j);
+  }
+  for (size_t i = 1; i < num_hubs; ++i) {
+    if (ds.Find(i) == ds.Find(0)) continue;
+    // Find the closest cross-component pair (i's component vs 0's).
+    size_t best_a = i, best_b = 0;
+    double best = std::numeric_limits<double>::max();
+    for (size_t a = 0; a < num_hubs; ++a) {
+      if (ds.Find(a) != ds.Find(i)) continue;
+      for (size_t b = 0; b < num_hubs; ++b) {
+        if (ds.Find(b) == ds.Find(i)) continue;
+        double d = net.hubs_[a].DistanceTo(net.hubs_[b]);
+        if (d < best) {
+          best = d;
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    AddEdge(net.adj_, best_a, best_b);
+    ds.Union(best_a, best_b);
+  }
+  return net;
+}
+
+bool RoadNetwork::IsConnected() const {
+  if (hubs_.empty()) return true;
+  std::vector<bool> seen(hubs_.size(), false);
+  std::vector<size_t> stack{0};
+  seen[0] = true;
+  size_t reached = 1;
+  while (!stack.empty()) {
+    size_t u = stack.back();
+    stack.pop_back();
+    for (size_t v : adj_[u]) {
+      if (!seen[v]) {
+        seen[v] = true;
+        reached++;
+        stack.push_back(v);
+      }
+    }
+  }
+  return reached == hubs_.size();
+}
+
+NetworkWorkload::NetworkWorkload(const NetworkWorkloadOptions& options)
+    : options_(options),
+      network_(RoadNetwork::Generate(options.num_hubs, options.space_side,
+                                     options.seed)),
+      rng_(options.seed * 0x9E3779B97F4A7C15ull + 7) {
+  dataset_.space_side = options.space_side;
+  dataset_.max_speed = kNetworkSpeedGroups.back();
+  dataset_.objects.reserve(options.num_objects);
+  states_.reserve(options.num_objects);
+  state_time_.assign(options.num_objects, 0.0);
+  next_time_.assign(options.num_objects, 0.0);
+
+  for (size_t i = 0; i < options.num_objects; ++i) {
+    RouteState st;
+    st.from_hub = rng_.NextBelow(network_.num_hubs());
+    const auto& nbrs = network_.neighbors(st.from_hub);
+    assert(!nbrs.empty());
+    st.to_hub = nbrs[rng_.NextBelow(nbrs.size())];
+    double len =
+        network_.hub(st.from_hub).DistanceTo(network_.hub(st.to_hub));
+    st.distance_on_edge = rng_.Uniform(0.0, len);
+    st.cruise_speed = kNetworkSpeedGroups[rng_.NextBelow(3)];
+    states_.push_back(st);
+    dataset_.objects.push_back(Snapshot(i, 0.0));
+    // Next boundary: end of the current phase.
+    PhaseInfo ph = PhaseAt(st.distance_on_edge, len, st.cruise_speed);
+    next_time_[i] = ph.length / ph.speed;
+  }
+}
+
+NetworkWorkload::PhaseInfo NetworkWorkload::PhaseAt(double d, double len,
+                                                    double cruise) const {
+  double ramp = options_.ramp_fraction * len;
+  double slow = cruise * options_.ramp_speed_factor;
+  if (d < ramp) return {ramp - d, slow};              // Leaving the hub.
+  if (d < len - ramp) return {len - ramp - d, cruise};  // Cruising.
+  return {len - d, slow};                             // Approaching the hub.
+}
+
+MovingObject NetworkWorkload::Snapshot(size_t i, Timestamp t) const {
+  const RouteState& st = states_[i];
+  Point a = network_.hub(st.from_hub);
+  Point b = network_.hub(st.to_hub);
+  double len = a.DistanceTo(b);
+  Point dir = len > 0.0 ? (b - a) * (1.0 / len) : Point{0.0, 0.0};
+  PhaseInfo ph = PhaseAt(st.distance_on_edge, len, st.cruise_speed);
+  MovingObject o;
+  o.id = static_cast<UserId>(i);
+  o.pos = a + dir * st.distance_on_edge;
+  o.vel = dir * ph.speed;
+  o.tu = t;
+  return o;
+}
+
+void NetworkWorkload::AdvanceToNextEdge(RouteState* state) {
+  const auto& nbrs = network_.neighbors(state->to_hub);
+  assert(!nbrs.empty());
+  size_t next = nbrs[rng_.NextBelow(nbrs.size())];
+  // Avoid immediate backtracking when an alternative exists ("chooses the
+  // next target destination at random" — we exclude the U-turn unless the
+  // hub is a dead end).
+  if (next == state->from_hub && nbrs.size() > 1) {
+    next = nbrs[rng_.NextBelow(nbrs.size())];
+    if (next == state->from_hub) {
+      for (size_t cand : nbrs) {
+        if (cand != state->from_hub) {
+          next = cand;
+          break;
+        }
+      }
+    }
+  }
+  state->from_hub = state->to_hub;
+  state->to_hub = next;
+  state->distance_on_edge = 0.0;
+}
+
+UpdateEvent NetworkWorkload::NextUpdate(UserId id) {
+  RouteState& st = states_[id];
+  double len = network_.hub(st.from_hub).DistanceTo(network_.hub(st.to_hub));
+  PhaseInfo ph = PhaseAt(st.distance_on_edge, len, st.cruise_speed);
+  Timestamp t = next_time_[id];
+
+  st.distance_on_edge += ph.length;
+  if (st.distance_on_edge >= len - 1e-9) {
+    AdvanceToNextEdge(&st);
+    len = network_.hub(st.from_hub).DistanceTo(network_.hub(st.to_hub));
+  }
+  state_time_[id] = t;
+
+  UpdateEvent ev;
+  ev.t = t;
+  ev.state = Snapshot(id, t);
+
+  PhaseInfo next_ph = PhaseAt(st.distance_on_edge, len, st.cruise_speed);
+  next_time_[id] = t + std::max(next_ph.length / next_ph.speed, 1e-9);
+  return ev;
+}
+
+UpdateEvent NetworkWorkload::ForceUpdate(UserId id, Timestamp t) {
+  RouteState& st = states_[id];
+  assert(t >= state_time_[id] && t <= next_time_[id] + 1e-9);
+  double len = network_.hub(st.from_hub).DistanceTo(network_.hub(st.to_hub));
+  PhaseInfo ph = PhaseAt(st.distance_on_edge, len, st.cruise_speed);
+  st.distance_on_edge += ph.speed * (t - state_time_[id]);
+  state_time_[id] = t;
+
+  UpdateEvent ev;
+  ev.t = t;
+  ev.state = Snapshot(id, t);
+  return ev;
+}
+
+}  // namespace peb

@@ -1,0 +1,123 @@
+// Network-based synthetic data (Section 7.1): a reimplementation of the
+// behavior of the generator of Šaltenis et al. [27], which is not publicly
+// distributed. Users move in a network of two-way routes connecting a
+// configurable number of destinations ("hubs"):
+//   * objects start at random positions on routes;
+//   * each object belongs to one of three groups with maximum speeds
+//     0.75, 1.5, and 3;
+//   * on reaching a destination, the next target destination is chosen at
+//     random;
+//   * objects accelerate as they leave a destination and decelerate as they
+//     approach one — modeled as piecewise-constant speed phases (ramp-up /
+//     cruise / ramp-down), each phase boundary being a position/velocity
+//     update, which matches the linear-motion update model of the indexes.
+//
+// The number of hubs controls spatial skew (fewer hubs = more skew), which
+// is the property Figure 16 varies.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "motion/moving_object.h"
+
+namespace peb {
+
+/// The three speed groups of [27] as reported in Section 7.1.
+inline constexpr std::array<double, 3> kNetworkSpeedGroups = {0.75, 1.5, 3.0};
+
+/// A network of two-way straight-line routes between destination hubs.
+class RoadNetwork {
+ public:
+  /// Generates `num_hubs` hubs uniformly in the space and connects each hub
+  /// to its `degree` nearest neighbors, then adds edges until the network is
+  /// connected.
+  static RoadNetwork Generate(size_t num_hubs, double space_side,
+                              uint64_t seed, size_t degree = 3);
+
+  size_t num_hubs() const { return hubs_.size(); }
+  const Point& hub(size_t i) const { return hubs_[i]; }
+  const std::vector<size_t>& neighbors(size_t i) const { return adj_[i]; }
+  double space_side() const { return space_side_; }
+
+  /// True iff every hub can reach every other hub.
+  bool IsConnected() const;
+
+ private:
+  std::vector<Point> hubs_;
+  std::vector<std::vector<size_t>> adj_;
+  double space_side_ = 0.0;
+};
+
+/// Per-object route-following state.
+struct RouteState {
+  size_t from_hub = 0;
+  size_t to_hub = 0;
+  double distance_on_edge = 0.0;  ///< Distance traveled from from_hub.
+  double cruise_speed = 0.0;      ///< This object's group maximum speed.
+};
+
+/// Options for the network workload.
+struct NetworkWorkloadOptions {
+  size_t num_objects = 60000;
+  size_t num_hubs = 100;
+  double space_side = 1000.0;
+  uint64_t seed = 1;
+  /// Fraction of each edge driven at reduced speed while leaving /
+  /// approaching a hub.
+  double ramp_fraction = 0.2;
+  /// Speed multiplier within ramp phases.
+  double ramp_speed_factor = 0.5;
+};
+
+/// A simulation of objects moving through a RoadNetwork. Produces the
+/// initial dataset snapshot and per-object update events at phase
+/// boundaries.
+class NetworkWorkload {
+ public:
+  explicit NetworkWorkload(const NetworkWorkloadOptions& options);
+
+  const RoadNetwork& network() const { return network_; }
+
+  /// Snapshot of all objects at time 0 (each object mid-route, in a random
+  /// phase of a random edge).
+  const Dataset& initial_dataset() const { return dataset_; }
+
+  /// Advances object `id` from its current state to its next phase boundary
+  /// and returns the update event there. Successive calls walk the object
+  /// through the network indefinitely.
+  UpdateEvent NextUpdate(UserId id);
+
+  /// Issues an update for object `id` at time `t` without crossing a phase
+  /// boundary (requires state_time <= t <= NextUpdateTime(id)). Used for
+  /// forced refreshes under the maximum-update-interval contract.
+  UpdateEvent ForceUpdate(UserId id, Timestamp t);
+
+  /// Time at which object `id` reaches its next phase boundary.
+  Timestamp NextUpdateTime(UserId id) const { return next_time_[id]; }
+
+ private:
+  struct PhaseInfo {
+    double length;  ///< Distance covered by the current phase.
+    double speed;   ///< Speed within the current phase.
+  };
+
+  /// Phase covering edge offset `d` on an edge of length `len`.
+  PhaseInfo PhaseAt(double d, double len, double cruise) const;
+  /// Builds the MovingObject snapshot for object i at time t.
+  MovingObject Snapshot(size_t i, Timestamp t) const;
+  /// Chooses the next edge after arriving at `state.to_hub`.
+  void AdvanceToNextEdge(RouteState* state);
+
+  NetworkWorkloadOptions options_;
+  RoadNetwork network_;
+  Dataset dataset_;
+  std::vector<RouteState> states_;
+  std::vector<Timestamp> state_time_;  ///< Time of each object's RouteState.
+  std::vector<Timestamp> next_time_;   ///< Next phase-boundary time.
+  Rng rng_;
+};
+
+}  // namespace peb

@@ -1,0 +1,34 @@
+#include "motion/uniform_generator.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace peb {
+
+Point RandomVelocity(Rng& rng, double max_speed) {
+  double angle = rng.Uniform(0.0, 2.0 * std::numbers::pi);
+  double speed = rng.Uniform(0.0, max_speed);
+  return {speed * std::cos(angle), speed * std::sin(angle)};
+}
+
+Dataset GenerateUniformDataset(const UniformGeneratorOptions& options) {
+  Dataset ds;
+  ds.space_side = options.space_side;
+  ds.max_speed = options.max_speed;
+  ds.objects.reserve(options.num_objects);
+  Rng rng(options.seed);
+  for (size_t i = 0; i < options.num_objects; ++i) {
+    MovingObject o;
+    o.id = static_cast<UserId>(i);
+    o.pos = {rng.Uniform(0.0, options.space_side),
+             rng.Uniform(0.0, options.space_side)};
+    o.vel = RandomVelocity(rng, options.max_speed);
+    o.tu = options.stagger_window > 0.0
+               ? rng.Uniform(0.0, options.stagger_window)
+               : 0.0;
+    ds.objects.push_back(o);
+  }
+  return ds;
+}
+
+}  // namespace peb

@@ -1,0 +1,29 @@
+// Uniform synthetic dataset (Section 7.1): "user positions are chosen
+// randomly, and they move in randomly chosen directions and at speeds
+// ranging from 0 to `max_speed`" in a `space_side` x `space_side` space.
+#pragma once
+
+#include "common/rng.h"
+#include "motion/moving_object.h"
+
+namespace peb {
+
+/// Parameters for the uniform workload.
+struct UniformGeneratorOptions {
+  size_t num_objects = 60000;  ///< Table 1 default.
+  double space_side = 1000.0;
+  double max_speed = 3.0;
+  /// Update times of the initial population are staggered uniformly over
+  /// [0, stagger_window) so objects spread across index time partitions.
+  double stagger_window = 0.0;
+  uint64_t seed = 1;
+};
+
+/// Generates a uniform dataset. Object ids are 0..num_objects-1.
+Dataset GenerateUniformDataset(const UniformGeneratorOptions& options);
+
+/// Draws a fresh uniform velocity: random direction, speed uniform in
+/// [0, max_speed].
+Point RandomVelocity(Rng& rng, double max_speed);
+
+}  // namespace peb

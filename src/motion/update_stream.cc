@@ -1,0 +1,90 @@
+#include "motion/update_stream.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "motion/uniform_generator.h"
+
+namespace peb {
+
+void ReflectIntoSpace(double side, Point* pos, Point* vel) {
+  // Fold the coordinate into [0, 2*side) and mirror the upper half; flip the
+  // velocity when the fold mirrored the position.
+  auto reflect1 = [side](double* p, double* v) {
+    double period = 2.0 * side;
+    double m = std::fmod(*p, period);
+    if (m < 0.0) m += period;
+    if (m > side) {
+      m = period - m;
+      *v = -*v;
+    }
+    *p = m;
+  };
+  reflect1(&pos->x, &vel->x);
+  reflect1(&pos->y, &vel->y);
+}
+
+UniformUpdateStream::UniformUpdateStream(const Dataset& dataset,
+                                         UniformUpdateStreamOptions options)
+    : dataset_(dataset), options_(options), rng_(options.seed) {
+  assert(options_.min_interval_fraction > 0.0 &&
+         options_.min_interval_fraction <= 1.0);
+  for (const MovingObject& o : dataset_.objects) {
+    queue_.push({o.tu + SampleInterval(), o.id});
+  }
+}
+
+double UniformUpdateStream::SampleInterval() {
+  return rng_.Uniform(
+      options_.min_interval_fraction * options_.max_update_interval,
+      options_.max_update_interval);
+}
+
+UpdateEvent UniformUpdateStream::Next() {
+  assert(!queue_.empty());
+  Pending p = queue_.top();
+  queue_.pop();
+
+  MovingObject& o = dataset_.objects[p.id];
+  Point pos = o.PositionAt(p.t);
+  Point vel = RandomVelocity(rng_, dataset_.max_speed);
+  ReflectIntoSpace(dataset_.space_side, &pos, &vel);
+  o.pos = pos;
+  o.vel = vel;
+  o.tu = p.t;
+
+  queue_.push({p.t + SampleInterval(), p.id});
+  return {p.t, o};
+}
+
+NetworkUpdateStream::NetworkUpdateStream(NetworkWorkload* workload,
+                                         double max_update_interval)
+    : workload_(workload), max_update_interval_(max_update_interval) {
+  size_t n = workload_->initial_dataset().objects.size();
+  last_update_.assign(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    UserId id = static_cast<UserId>(i);
+    Timestamp t = std::min(workload_->NextUpdateTime(id),
+                           last_update_[i] + max_update_interval_);
+    queue_.push({t, id});
+  }
+}
+
+UpdateEvent NetworkUpdateStream::Next() {
+  assert(!queue_.empty());
+  Pending p = queue_.top();
+  queue_.pop();
+
+  // Forced refresh when the max-update-interval deadline precedes the next
+  // route phase boundary; otherwise advance to the boundary.
+  UpdateEvent ev = p.t + 1e-9 < workload_->NextUpdateTime(p.id)
+                       ? workload_->ForceUpdate(p.id, p.t)
+                       : workload_->NextUpdate(p.id);
+  last_update_[p.id] = ev.t;
+  Timestamp t = std::min(workload_->NextUpdateTime(p.id),
+                         ev.t + max_update_interval_);
+  queue_.push({std::max(t, ev.t + 1e-6), p.id});
+  return ev;
+}
+
+}  // namespace peb

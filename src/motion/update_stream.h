@@ -1,0 +1,89 @@
+// Update streams: time-ordered sequences of position/velocity updates.
+//
+// Objects "issue an update at least once within a maximum update time
+// delta_t_mu in order to keep the server informed about their existence"
+// (Section 2.1). The experiment harness consumes these streams to drive
+// index updates (Section 7.9 measures query cost while 25% chunks of the
+// dataset are updated).
+#pragma once
+
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/rng.h"
+#include "motion/moving_object.h"
+#include "motion/network_generator.h"
+
+namespace peb {
+
+/// Abstract time-ordered update producer.
+class UpdateStream {
+ public:
+  virtual ~UpdateStream() = default;
+
+  /// The next update event in global time order.
+  virtual UpdateEvent Next() = 0;
+};
+
+/// Options for the uniform-motion update stream.
+struct UniformUpdateStreamOptions {
+  double max_update_interval = 120.0;  ///< delta_t_mu.
+  /// Updates are spaced uniformly in
+  /// [min_interval_fraction * delta_t_mu, delta_t_mu].
+  double min_interval_fraction = 0.5;
+  uint64_t seed = 42;
+};
+
+/// Update stream for the uniform dataset: each object re-randomizes its
+/// velocity at every update; objects reflect off the space boundary so the
+/// population stays inside the domain.
+class UniformUpdateStream final : public UpdateStream {
+ public:
+  UniformUpdateStream(const Dataset& dataset,
+                      UniformUpdateStreamOptions options);
+
+  UpdateEvent Next() override;
+
+ private:
+  struct Pending {
+    Timestamp t;
+    UserId id;
+    bool operator>(const Pending& o) const { return t > o.t; }
+  };
+
+  double SampleInterval();
+
+  Dataset dataset_;  // Current object states (mutated as updates fire).
+  UniformUpdateStreamOptions options_;
+  Rng rng_;
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<>> queue_;
+};
+
+/// Update stream for the network workload: updates fire at route phase
+/// boundaries (hub arrivals and speed changes), plus a forced refresh when
+/// an object would otherwise exceed the maximum update interval.
+class NetworkUpdateStream final : public UpdateStream {
+ public:
+  NetworkUpdateStream(NetworkWorkload* workload, double max_update_interval);
+
+  UpdateEvent Next() override;
+
+ private:
+  struct Pending {
+    Timestamp t;
+    UserId id;
+    bool operator>(const Pending& o) const { return t > o.t; }
+  };
+
+  NetworkWorkload* workload_;
+  double max_update_interval_;
+  std::vector<Timestamp> last_update_;
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<>> queue_;
+};
+
+/// Reflects a position into [0, side] and flips the matching velocity
+/// components; used to keep uniform-motion objects in the domain.
+void ReflectIntoSpace(double side, Point* pos, Point* vel);
+
+}  // namespace peb

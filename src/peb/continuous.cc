@@ -1,0 +1,125 @@
+#include "peb/continuous.h"
+
+#include <algorithm>
+
+namespace peb {
+
+ContinuousQueryMonitor::ContinuousQueryMonitor(PebTree* tree,
+                                               const PolicyStore* store,
+                                               const RoleRegistry* roles,
+                                               const PolicyEncoding* encoding,
+                                               double time_domain)
+    : tree_(tree),
+      store_(store),
+      roles_(roles),
+      encoding_(encoding),
+      time_domain_(time_domain) {}
+
+bool ContinuousQueryMonitor::Qualifies(const RegisteredQuery& q, UserId uid,
+                                       const Point& pos,
+                                       Timestamp now) const {
+  return uid != q.issuer && q.range.Contains(pos) &&
+         store_->Allows(uid, q.issuer, pos, now, *roles_, time_domain_);
+}
+
+void ContinuousQueryMonitor::SetMembership(ContinuousQueryId id,
+                                           RegisteredQuery& q, UserId uid,
+                                           bool in_result, Timestamp now) {
+  bool was_member = q.members.contains(uid);
+  if (in_result == was_member) return;
+  if (in_result) {
+    q.members.insert(uid);
+  } else {
+    q.members.erase(uid);
+  }
+  events_.push_back({id, uid, in_result, now});
+}
+
+Result<ContinuousQueryId> ContinuousQueryMonitor::Register(UserId issuer,
+                                                           const Rect& range,
+                                                           Timestamp now) {
+  if (issuer >= encoding_->num_users()) {
+    return Status::InvalidArgument("issuer outside the policy encoding");
+  }
+  RegisteredQuery q;
+  q.issuer = issuer;
+  q.range = range;
+
+  // Seed with a one-shot index query (no events for the initial members).
+  PEB_ASSIGN_OR_RETURN(std::vector<UserId> seed,
+                       tree_->RangeQuery(issuer, range, now));
+  q.members.insert(seed.begin(), seed.end());
+
+  ContinuousQueryId id = next_id_++;
+  for (const FriendEntry& f : encoding_->FriendsOf(issuer)) {
+    watchers_[f.uid].push_back(id);
+  }
+  queries_.emplace(id, std::move(q));
+  return id;
+}
+
+Status ContinuousQueryMonitor::Unregister(ContinuousQueryId id) {
+  auto it = queries_.find(id);
+  if (it == queries_.end()) {
+    return Status::NotFound("continuous query " + std::to_string(id));
+  }
+  for (const FriendEntry& f : encoding_->FriendsOf(it->second.issuer)) {
+    auto w = watchers_.find(f.uid);
+    if (w == watchers_.end()) continue;
+    auto& list = w->second;
+    list.erase(std::remove(list.begin(), list.end(), id), list.end());
+    if (list.empty()) watchers_.erase(w);
+  }
+  queries_.erase(it);
+  return Status::OK();
+}
+
+Status ContinuousQueryMonitor::OnUpdate(const MovingObject& state,
+                                        Timestamp now) {
+  auto w = watchers_.find(state.id);
+  if (w == watchers_.end()) return Status::OK();
+  Point pos = state.PositionAt(now);
+  for (ContinuousQueryId id : w->second) {
+    auto q = queries_.find(id);
+    if (q == queries_.end()) continue;
+    SetMembership(id, q->second, state.id,
+                  Qualifies(q->second, state.id, pos, now), now);
+  }
+  return Status::OK();
+}
+
+Status ContinuousQueryMonitor::Advance(Timestamp now) {
+  for (auto& [id, q] : queries_) {
+    for (const FriendEntry& f : encoding_->FriendsOf(q.issuer)) {
+      auto state = tree_->GetObject(f.uid);
+      if (!state.ok()) {
+        // Friend not currently indexed: cannot be in any answer.
+        SetMembership(id, q, f.uid, false, now);
+        continue;
+      }
+      SetMembership(id, q, f.uid,
+                    Qualifies(q, f.uid, state->PositionAt(now), now), now);
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<UserId>> ContinuousQueryMonitor::ResultOf(
+    ContinuousQueryId id) const {
+  auto it = queries_.find(id);
+  if (it == queries_.end()) {
+    return Status::NotFound("continuous query " + std::to_string(id));
+  }
+  std::vector<UserId> out(it->second.members.begin(),
+                          it->second.members.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<ContinuousQueryEvent> ContinuousQueryMonitor::TakeEvents() {
+  std::vector<ContinuousQueryEvent> out;
+  out.swap(events_);
+  return out;
+}
+
+}  // namespace peb

@@ -1,0 +1,110 @@
+// Continuous privacy-aware range queries — the paper's future-work
+// direction "extend other types of location-based queries to take into
+// account peer-wise privacy concerns" (Section 8).
+//
+// A continuous PRQ keeps its answer set current while users move and
+// while policy time windows open and close. The monitor exploits the
+// defining property of peer-wise privacy queries: the answer can only ever
+// contain the issuer's friends (users with a policy toward the issuer), so
+// maintenance is O(affected queries) per update instead of a spatial
+// re-evaluation:
+//
+//  * Register   — seeds the result with a one-shot PEB-tree PRQ.
+//  * OnUpdate   — feed every index update through the monitor; only the
+//                 queries whose friend lists contain the updated user are
+//                 re-checked.
+//  * Advance    — re-evaluates memberships at a later time (linear motion
+//                 and time-of-day policy windows change answers even
+//                 without updates).
+//
+// Membership transitions are reported as Events (entered/left).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "peb/peb_tree.h"
+
+namespace peb {
+
+/// Identifier of a registered continuous query.
+using ContinuousQueryId = uint32_t;
+
+/// A membership transition in some registered query's answer set.
+struct ContinuousQueryEvent {
+  ContinuousQueryId query = 0;
+  UserId user = kInvalidUserId;
+  bool entered = false;  ///< true: entered the result; false: left it.
+  Timestamp t = 0;
+
+  friend bool operator==(const ContinuousQueryEvent&,
+                         const ContinuousQueryEvent&) = default;
+};
+
+/// Maintains the answer sets of continuous privacy-aware range queries on
+/// top of a PebTree. Single-threaded, like the rest of the library. The
+/// tree, store, roles, and encoding must outlive the monitor.
+class ContinuousQueryMonitor {
+ public:
+  ContinuousQueryMonitor(PebTree* tree, const PolicyStore* store,
+                         const RoleRegistry* roles,
+                         const PolicyEncoding* encoding,
+                         double time_domain = kDefaultTimeDomain);
+
+  /// Registers a continuous PRQ and seeds its result via the index.
+  Result<ContinuousQueryId> Register(UserId issuer, const Rect& range,
+                                     Timestamp now);
+
+  /// Removes a query. Fails with NotFound for unknown ids.
+  Status Unregister(ContinuousQueryId id);
+
+  /// Notifies the monitor that `state` was just applied to the tree.
+  /// Re-evaluates exactly the queries that can be affected.
+  Status OnUpdate(const MovingObject& state, Timestamp now);
+
+  /// Re-evaluates every registered query at time `now` (motion and policy
+  /// time windows shift answers even without updates).
+  Status Advance(Timestamp now);
+
+  /// Current answer of query `id`, sorted by user id.
+  Result<std::vector<UserId>> ResultOf(ContinuousQueryId id) const;
+
+  /// Drains and returns the accumulated membership events, in order.
+  std::vector<ContinuousQueryEvent> TakeEvents();
+
+  size_t num_queries() const { return queries_.size(); }
+
+ private:
+  struct RegisteredQuery {
+    UserId issuer = kInvalidUserId;
+    Rect range;
+    std::unordered_set<UserId> members;
+  };
+
+  /// Definition-2 membership of `uid` (at `pos`) in query `q` at `now`.
+  bool Qualifies(const RegisteredQuery& q, UserId uid, const Point& pos,
+                 Timestamp now) const;
+
+  /// Applies a membership decision, emitting an event on transition.
+  void SetMembership(ContinuousQueryId id, RegisteredQuery& q, UserId uid,
+                     bool in_result, Timestamp now);
+
+  PebTree* tree_;
+  const PolicyStore* store_;
+  const RoleRegistry* roles_;
+  const PolicyEncoding* encoding_;
+  double time_domain_;
+
+  ContinuousQueryId next_id_ = 1;
+  std::unordered_map<ContinuousQueryId, RegisteredQuery> queries_;
+  /// uid -> queries whose friend list contains uid.
+  std::unordered_map<UserId, std::vector<ContinuousQueryId>> watchers_;
+  std::vector<ContinuousQueryEvent> events_;
+};
+
+}  // namespace peb

@@ -1,0 +1,50 @@
+// PEB key construction (Section 5.2, Equation 5):
+//
+//   PEB_key = [TID]2 ⊕ [SV]2 ⊕ [ZV]2
+//
+// The sequence value sits in more significant bits than the Z value: "the
+// construction of the PEB_key gives higher priority to sequence values than
+// to location mapping values", because the users related to a query issuer
+// are usually far fewer than the unrelated users near the query. Users with
+// compatible policies therefore cluster in the same leaves, with location
+// ordering within each SV bucket.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "bxtree/bx_key.h"
+
+namespace peb {
+
+struct PebKeyLayout {
+  uint32_t tid_bits = 4;    ///< Partition bits.
+  uint32_t sv_bits = 26;    ///< Quantized sequence-value bits.
+  uint32_t grid_bits = 10;  ///< Z-curve bits per dimension.
+
+  uint32_t zv_bits() const { return 2 * grid_bits; }
+  uint32_t total_bits() const { return tid_bits + sv_bits + zv_bits(); }
+  bool Fits() const { return total_bits() <= 64; }
+
+  uint64_t MakeKey(uint32_t partition, uint32_t qsv, uint64_t zv) const {
+    assert(Fits());
+    assert(partition < (1u << tid_bits));
+    assert(static_cast<uint64_t>(qsv) < (1ull << sv_bits));
+    assert(zv < (1ull << zv_bits()));
+    return (static_cast<uint64_t>(partition) << (sv_bits + zv_bits())) |
+           (static_cast<uint64_t>(qsv) << zv_bits()) | zv;
+  }
+
+  uint32_t PartitionOfKey(uint64_t key) const {
+    return static_cast<uint32_t>(key >> (sv_bits + zv_bits()));
+  }
+  uint32_t SvOfKey(uint64_t key) const {
+    return static_cast<uint32_t>((key >> zv_bits()) &
+                                 ((1ull << sv_bits) - 1));
+  }
+  uint64_t ZvOfKey(uint64_t key) const {
+    return key & ((1ull << zv_bits()) - 1);
+  }
+};
+
+}  // namespace peb

@@ -1,0 +1,526 @@
+#include "peb/peb_tree.h"
+
+#include "bxtree/knn_schedule.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace peb {
+
+PebTree::PebTree(BufferPool* pool, const PebTreeOptions& options,
+                 const PolicyStore* store, const RoleRegistry* roles,
+                 const PolicyEncoding* encoding)
+    : pool_(pool),
+      options_(options),
+      grid_(options.index.space_side, options.index.grid_bits),
+      tree_(pool),
+      store_(store),
+      roles_(roles),
+      encoding_(encoding) {
+  layout_.sv_bits = options.sv_bits;
+  layout_.grid_bits = options.index.grid_bits;
+  assert(layout_.Fits() && "PEB key layout exceeds 64 bits");
+  assert(encoding_->quantizer().bits() <= options.sv_bits &&
+         "SV quantizer wider than the key's SV field");
+}
+
+uint64_t PebTree::KeyFor(const MovingObject& object) const {
+  int64_t label = options_.index.partitions.LabelIndexFor(object.tu);
+  Timestamp tlab = options_.index.partitions.LabelTimestamp(label);
+  Point projected = object.PositionAt(tlab);
+  uint64_t zv = grid_.ZValueOf(projected);
+  uint32_t qsv = encoding_->quantized_sv(object.id);
+  return layout_.MakeKey(options_.index.partitions.PartitionOf(label), qsv,
+                         zv);
+}
+
+Status PebTree::Insert(const MovingObject& object) {
+  if (objects_.contains(object.id)) {
+    return Status::AlreadyExists("object " + std::to_string(object.id) +
+                                 " already indexed");
+  }
+  if (object.id >= encoding_->num_users()) {
+    return Status::InvalidArgument("object id outside the policy encoding");
+  }
+  StoredObject stored;
+  stored.state = object;
+  stored.label_index = options_.index.partitions.LabelIndexFor(object.tu);
+  stored.key = KeyFor(object);
+
+  ObjectRecord rec;
+  rec.x = object.pos.x;
+  rec.y = object.pos.y;
+  rec.vx = object.vel.x;
+  rec.vy = object.vel.y;
+  rec.tu = object.tu;
+  rec.pntp = object.id;
+
+  PEB_RETURN_NOT_OK(tree_.Insert({stored.key, object.id}, rec));
+  objects_.emplace(object.id, stored);
+  label_counts_[stored.label_index]++;
+  return Status::OK();
+}
+
+Status PebTree::Delete(UserId id) {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return Status::NotFound("object " + std::to_string(id));
+  }
+  PEB_RETURN_NOT_OK(tree_.Delete({it->second.key, id}));
+  auto lc = label_counts_.find(it->second.label_index);
+  if (--lc->second == 0) label_counts_.erase(lc);
+  objects_.erase(it);
+  return Status::OK();
+}
+
+Status PebTree::Update(const MovingObject& object) {
+  if (objects_.contains(object.id)) {
+    PEB_RETURN_NOT_OK(Delete(object.id));
+  }
+  return Insert(object);
+}
+
+Result<MovingObject> PebTree::GetObject(UserId id) const {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return Status::NotFound("object " + std::to_string(id));
+  }
+  return it->second.state;
+}
+
+Status PebTree::AttachExisting(const PebTreeManifest& manifest) {
+  if (!objects_.empty()) {
+    return Status::InvalidArgument("AttachExisting requires an empty index");
+  }
+  PEB_RETURN_NOT_OK(tree_.Attach(manifest.root, manifest.stats));
+
+  // Rebuild the direct-access object table and partition counts from the
+  // leaf level. Every leaf entry is self-describing: the key carries the
+  // PEB value and uid, the record carries the motion state.
+  PEB_ASSIGN_OR_RETURN(auto it, tree_.SeekFirst());
+  while (it.Valid()) {
+    CompositeKey key = it.key();
+    ObjectRecord rec = it.value();
+    StoredObject stored;
+    stored.state.id = key.uid;
+    stored.state.pos = {rec.x, rec.y};
+    stored.state.vel = {rec.vx, rec.vy};
+    stored.state.tu = rec.tu;
+    stored.label_index = options_.index.partitions.LabelIndexFor(rec.tu);
+    stored.key = key.primary;
+    if (objects_.contains(key.uid)) {
+      objects_.clear();
+      label_counts_.clear();
+      return Status::Corruption("duplicate uid " + std::to_string(key.uid) +
+                                " in persisted index");
+    }
+    objects_.emplace(key.uid, stored);
+    label_counts_[stored.label_index]++;
+    PEB_RETURN_NOT_OK(it.Next());
+  }
+  return Status::OK();
+}
+
+std::vector<PebTree::SvRow> PebTree::BuildRows(UserId issuer) const {
+  std::vector<SvRow> rows;
+  const auto& friends = encoding_->FriendsOf(issuer);  // Ascending (qsv, uid).
+  for (const FriendEntry& f : friends) {
+    if (rows.empty() || rows.back().qsv != f.qsv) {
+      rows.push_back({f.qsv, {}});
+    }
+    rows.back().uids.push_back(f.uid);
+  }
+  return rows;
+}
+
+bool PebTree::Verify(UserId issuer, const SpatialCandidate& cand,
+                     Timestamp tq) const {
+  return cand.uid != issuer &&
+         store_->Allows(cand.uid, issuer, cand.pos, tq, *roles_,
+                        options_.time_domain);
+}
+
+Status PebTree::ScanSvInterval(uint32_t partition, uint32_t qsv, uint64_t zlo,
+                               uint64_t zhi,
+                               const std::unordered_set<UserId>* wanted,
+                               std::unordered_set<UserId>* found,
+                               std::vector<SpatialCandidate>* out,
+                               Timestamp tq) {
+  if (zlo > zhi) return Status::OK();
+  CompositeKey start = CompositeKey::Min(layout_.MakeKey(partition, qsv, zlo));
+  uint64_t end_primary = layout_.MakeKey(partition, qsv, zhi);
+  counters_.range_probes++;
+
+  PEB_ASSIGN_OR_RETURN(auto it, tree_.SeekGE(start));
+  while (it.Valid()) {
+    CompositeKey key = it.key();
+    if (key.primary > end_primary) break;
+    counters_.candidates_examined++;
+    UserId uid = key.uid;
+    if ((wanted == nullptr || wanted->contains(uid)) &&
+        !found->contains(uid)) {
+      found->insert(uid);
+      ObjectRecord rec = it.value();
+      MovingObject obj;
+      obj.id = uid;
+      obj.pos = {rec.x, rec.y};
+      obj.vel = {rec.vx, rec.vy};
+      obj.tu = rec.tu;
+      out->push_back({uid, obj.PositionAt(tq), obj});
+    }
+    PEB_RETURN_NOT_OK(it.Next());
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// PRQ
+// ---------------------------------------------------------------------------
+
+Result<std::vector<UserId>> PebTree::RangeQuery(UserId issuer,
+                                                const Rect& range,
+                                                Timestamp tq) {
+  counters_ = QueryCounters{};
+  switch (options_.prq_strategy) {
+    case PrqStrategy::kPerFriendIntervals:
+      return RangeQueryPerFriend(issuer, range, tq);
+    case PrqStrategy::kSpanScan:
+      return RangeQuerySpan(issuer, range, tq);
+  }
+  return Status::Internal("unknown PRQ strategy");
+}
+
+Result<std::vector<UserId>> PebTree::RangeQueryPerFriend(UserId issuer,
+                                                         const Rect& range,
+                                                         Timestamp tq) {
+  std::vector<SvRow> rows = BuildRows(issuer);
+  std::vector<UserId> results;
+  if (rows.empty()) return results;
+
+  std::unordered_set<UserId> found;
+  std::vector<SpatialCandidate> candidates;
+
+  for (const auto& [label, count] : label_counts_) {
+    Timestamp tlab = options_.index.partitions.LabelTimestamp(label);
+    uint32_t partition = options_.index.partitions.PartitionOf(label);
+    double d = options_.index.max_speed * std::abs(tq - tlab);
+    auto intervals =
+        ZIntervalsForWindow(grid_, range.Expanded(d), options_.index.zrange);
+    if (intervals.empty()) continue;
+
+    for (const SvRow& row : rows) {
+      std::unordered_set<UserId> wanted(row.uids.begin(), row.uids.end());
+      // Skip rule: a user has one location; once each of the row's users
+      // has been found (in any partition), its remaining ranges are dead.
+      bool all_found = true;
+      for (UserId u : row.uids) {
+        if (!found.contains(u)) {
+          all_found = false;
+          break;
+        }
+      }
+      if (all_found) continue;
+      for (const CurveInterval& iv : intervals) {
+        PEB_RETURN_NOT_OK(ScanSvInterval(partition, row.qsv, iv.lo, iv.hi,
+                                         &wanted, &found, &candidates, tq));
+        bool row_done = true;
+        for (UserId u : row.uids) {
+          if (!found.contains(u)) {
+            row_done = false;
+            break;
+          }
+        }
+        if (row_done) break;
+      }
+    }
+  }
+
+  for (const SpatialCandidate& cand : candidates) {
+    if (range.Contains(cand.pos) && Verify(issuer, cand, tq)) {
+      results.push_back(cand.uid);
+    }
+  }
+  std::sort(results.begin(), results.end());
+  counters_.results = results.size();
+  return results;
+}
+
+Result<std::vector<UserId>> PebTree::RangeQuerySpan(UserId issuer,
+                                                    const Rect& range,
+                                                    Timestamp tq) {
+  std::vector<SvRow> rows = BuildRows(issuer);
+  std::vector<UserId> results;
+  if (rows.empty()) return results;
+
+  uint32_t sv_min = rows.front().qsv;
+  uint32_t sv_max = rows.back().qsv;
+  std::unordered_set<UserId> wanted;
+  for (const SvRow& row : rows) {
+    wanted.insert(row.uids.begin(), row.uids.end());
+  }
+  std::unordered_set<UserId> found;
+  std::vector<SpatialCandidate> candidates;
+
+  for (const auto& [label, count] : label_counts_) {
+    Timestamp tlab = options_.index.partitions.LabelTimestamp(label);
+    uint32_t partition = options_.index.partitions.PartitionOf(label);
+    double d = options_.index.max_speed * std::abs(tq - tlab);
+    auto intervals =
+        ZIntervalsForWindow(grid_, range.Expanded(d), options_.index.zrange);
+
+    for (const CurveInterval& iv : intervals) {
+      // Figure 7 literally: StartPnt = TID ⊕ SVmin ⊕ ZVstart,
+      // EndPnt = TID ⊕ SVmax ⊕ ZVend — a single scan spanning every
+      // sequence value between the issuer's smallest and largest friend.
+      CompositeKey start =
+          CompositeKey::Min(layout_.MakeKey(partition, sv_min, iv.lo));
+      uint64_t end_primary = layout_.MakeKey(partition, sv_max, iv.hi);
+      counters_.range_probes++;
+      PEB_ASSIGN_OR_RETURN(auto it, tree_.SeekGE(start));
+      while (it.Valid()) {
+        CompositeKey key = it.key();
+        if (key.primary > end_primary) break;
+        counters_.candidates_examined++;
+        UserId uid = key.uid;
+        if (wanted.contains(uid) && !found.contains(uid)) {
+          found.insert(uid);
+          ObjectRecord rec = it.value();
+          MovingObject obj;
+          obj.id = uid;
+          obj.pos = {rec.x, rec.y};
+          obj.vel = {rec.vx, rec.vy};
+          obj.tu = rec.tu;
+          candidates.push_back({uid, obj.PositionAt(tq), obj});
+        }
+        PEB_RETURN_NOT_OK(it.Next());
+      }
+    }
+  }
+
+  for (const SpatialCandidate& cand : candidates) {
+    if (range.Contains(cand.pos) && Verify(issuer, cand, tq)) {
+      results.push_back(cand.uid);
+    }
+  }
+  std::sort(results.begin(), results.end());
+  counters_.results = results.size();
+  return results;
+}
+
+// ---------------------------------------------------------------------------
+// PkNN
+// ---------------------------------------------------------------------------
+
+double PebTree::EstimateKnnDistance(size_t k) const {
+  size_t n = std::max<size_t>(size(), 1);
+  double ratio = std::min(1.0, static_cast<double>(k) / static_cast<double>(n));
+  double inner = 1.0 - std::sqrt(ratio);
+  double dk = 2.0 / std::sqrt(std::numbers::pi) *
+              (1.0 - std::sqrt(std::max(0.0, inner)));
+  return std::max(dk * options_.index.space_side,
+                  1e-6 * options_.index.space_side);
+}
+
+Result<std::vector<Neighbor>> PebTree::KnnQuery(UserId issuer,
+                                                const Point& qloc, size_t k,
+                                                Timestamp tq) {
+  counters_ = QueryCounters{};
+  std::vector<Neighbor> verified;
+  if (k == 0) return verified;
+  std::vector<SvRow> rows = BuildRows(issuer);
+  if (rows.empty()) return verified;
+  size_t m = rows.size();
+
+  size_t total_friends = 0;
+  std::vector<std::unordered_set<UserId>> row_wanted(m);
+  for (size_t i = 0; i < m; ++i) {
+    row_wanted[i].insert(rows[i].uids.begin(), rows[i].uids.end());
+    total_friends += rows[i].uids.size();
+  }
+
+  double dk_estimate = EstimateKnnDistance(k);
+  double rq = dk_estimate / static_cast<double>(k);
+  double space_diag = options_.index.space_side * std::numbers::sqrt2;
+  size_t max_rounds = 1;
+  while (KnnRadiusForRound(rq, max_rounds - 1) < space_diag) max_rounds++;
+
+  // Snapshot the live labels (stable during the query).
+  struct LabelInfo {
+    int64_t label;
+    uint32_t partition;
+    double enlarge;
+  };
+  std::vector<LabelInfo> labels;
+  for (const auto& [label, count] : label_counts_) {
+    Timestamp tlab = options_.index.partitions.LabelTimestamp(label);
+    labels.push_back({label, options_.index.partitions.PartitionOf(label),
+                      options_.index.max_speed * std::abs(tq - tlab)});
+  }
+
+  // Per-label, per-round single Z span (Section 5.4 uses one interval per
+  // round: the min/max of the round's decomposed 1-D values).
+  std::vector<std::vector<CurveInterval>> spans(labels.size());
+  auto span_for = [&](size_t li, size_t j) -> CurveInterval {
+    auto& memo = spans[li];
+    while (memo.size() <= j) {
+      size_t round = memo.size();
+      Rect rect =
+          Rect::CenteredSquare(qloc, 2.0 * KnnRadiusForRound(rq, round));
+      auto intervals = ZIntervalsForWindow(
+          grid_, rect.Expanded(labels[li].enlarge), options_.index.zrange);
+      if (intervals.empty()) {
+        // Degenerate; cover nothing yet (outer rounds will grow).
+        memo.push_back(
+            {memo.empty() ? 1 : memo.back().lo, memo.empty() ? 0 : memo.back().hi});
+      } else {
+        uint64_t lo = intervals.front().lo;
+        uint64_t hi = intervals.back().hi;
+        if (!memo.empty()) {
+          lo = std::min(lo, memo.back().lo);
+          hi = std::max(hi, memo.back().hi);
+        }
+        memo.push_back({lo, hi});
+      }
+    }
+    return memo[j];
+  };
+
+  std::unordered_set<UserId> found;
+  std::vector<SpatialCandidate> batch;
+
+  // Processes matrix cell (row i, round j): scans the ring new to round j
+  // for the row's sequence value, in every partition.
+  auto process_cell = [&](size_t i, size_t j) -> Status {
+    bool all_found = true;
+    for (UserId u : rows[i].uids) {
+      if (!found.contains(u)) {
+        all_found = false;
+        break;
+      }
+    }
+    if (all_found) return Status::OK();
+    for (size_t li = 0; li < labels.size(); ++li) {
+      CurveInterval cur = span_for(li, j);
+      if (cur.lo > cur.hi) continue;
+      batch.clear();
+      if (j == 0) {
+        PEB_RETURN_NOT_OK(ScanSvInterval(labels[li].partition, rows[i].qsv,
+                                         cur.lo, cur.hi, &row_wanted[i],
+                                         &found, &batch, tq));
+      } else {
+        CurveInterval prev = span_for(li, j - 1);
+        if (prev.lo > prev.hi) {
+          PEB_RETURN_NOT_OK(ScanSvInterval(labels[li].partition, rows[i].qsv,
+                                           cur.lo, cur.hi, &row_wanted[i],
+                                           &found, &batch, tq));
+        } else {
+          if (cur.lo < prev.lo) {
+            PEB_RETURN_NOT_OK(ScanSvInterval(labels[li].partition,
+                                             rows[i].qsv, cur.lo, prev.lo - 1,
+                                             &row_wanted[i], &found, &batch,
+                                             tq));
+          }
+          if (cur.hi > prev.hi) {
+            PEB_RETURN_NOT_OK(ScanSvInterval(labels[li].partition,
+                                             rows[i].qsv, prev.hi + 1, cur.hi,
+                                             &row_wanted[i], &found, &batch,
+                                             tq));
+          }
+        }
+      }
+      for (const SpatialCandidate& cand : batch) {
+        if (Verify(issuer, cand, tq)) {
+          Neighbor nb{cand.uid, cand.pos.DistanceTo(qloc)};
+          auto pos = std::lower_bound(
+              verified.begin(), verified.end(), nb,
+              [](const Neighbor& a, const Neighbor& b) {
+                return a.distance < b.distance;
+              });
+          verified.insert(pos, nb);
+        }
+      }
+    }
+    return Status::OK();
+  };
+
+  // Final step (Section 5.4): with k candidates in hand, scan the square of
+  // side 2 * d(q, kth candidate) for every friend not yet located, to rule
+  // out closer unexamined users.
+  auto vertical_scan = [&]() -> Status {
+    double dk = verified[k - 1].distance;
+    Rect rect = Rect::CenteredSquare(qloc, 2.0 * dk);
+    for (size_t li = 0; li < labels.size(); ++li) {
+      auto intervals = ZIntervalsForWindow(
+          grid_, rect.Expanded(labels[li].enlarge), options_.index.zrange);
+      if (intervals.empty()) continue;
+      uint64_t lo = intervals.front().lo;
+      uint64_t hi = intervals.back().hi;
+      for (size_t i = 0; i < m; ++i) {
+        bool all_found = true;
+        for (UserId u : rows[i].uids) {
+          if (!found.contains(u)) {
+            all_found = false;
+            break;
+          }
+        }
+        if (all_found) continue;
+        batch.clear();
+        PEB_RETURN_NOT_OK(ScanSvInterval(labels[li].partition, rows[i].qsv,
+                                         lo, hi, &row_wanted[i], &found,
+                                         &batch, tq));
+        for (const SpatialCandidate& cand : batch) {
+          if (Verify(issuer, cand, tq)) {
+            Neighbor nb{cand.uid, cand.pos.DistanceTo(qloc)};
+            auto pos = std::lower_bound(
+                verified.begin(), verified.end(), nb,
+                [](const Neighbor& a, const Neighbor& b) {
+                  return a.distance < b.distance;
+                });
+            verified.insert(pos, nb);
+          }
+        }
+      }
+    }
+    return Status::OK();
+  };
+
+  // Triangular (anti-diagonal) traversal of the (m x max_rounds) matrix,
+  // or spatial-first column-major for the ablation variant.
+  bool done = false;
+  auto after_cell = [&](size_t j) -> Result<bool> {
+    counters_.rounds = std::max(counters_.rounds, j + 1);
+    if (verified.size() >= k) {
+      PEB_RETURN_NOT_OK(vertical_scan());
+      return true;
+    }
+    if (found.size() >= total_friends) return true;
+    return false;
+  };
+
+  if (options_.knn_order == KnnOrder::kTriangular) {
+    for (size_t d = 0; d < m + max_rounds - 1 && !done; ++d) {
+      size_t i_hi = std::min(d, m - 1);
+      for (size_t i = 0; i <= i_hi && !done; ++i) {
+        size_t j = d - i;
+        if (j >= max_rounds) continue;
+        PEB_RETURN_NOT_OK(process_cell(i, j));
+        PEB_ASSIGN_OR_RETURN(done, after_cell(j));
+      }
+    }
+  } else {
+    for (size_t j = 0; j < max_rounds && !done; ++j) {
+      for (size_t i = 0; i < m && !done; ++i) {
+        PEB_RETURN_NOT_OK(process_cell(i, j));
+        PEB_ASSIGN_OR_RETURN(done, after_cell(j));
+      }
+    }
+  }
+
+  if (verified.size() > k) verified.resize(k);
+  counters_.results = verified.size();
+  return verified;
+}
+
+}  // namespace peb

@@ -1,0 +1,166 @@
+// The PEB-tree (Policy-Embedded Bx-tree) — the paper's contribution
+// (Section 5). A B+-tree over PEB keys (peb_key.h) that clusters users by
+// policy compatibility first and spatial proximity second, with query
+// algorithms that search the cross product of the issuer's friend SV values
+// and the query window's Z intervals:
+//
+//  * PRQ (Section 5.3 / Figure 7): per time partition, the enlarged window
+//    is decomposed into Z intervals; for each friend sequence value, the
+//    key ranges [TID ⊕ SV ⊕ ZVs, TID ⊕ SV ⊕ ZVe] are scanned. Once a
+//    user's record is located, the remaining intervals for that SV are
+//    skipped (a user has one location).
+//  * PkNN (Section 5.4 / Figures 8-10): iterative range enlargement with
+//    estimated initial radius Dk/k; the (friend x round) search matrix is
+//    traversed in triangular (anti-diagonal) order; each round searches
+//    only the ring new to that round; after k candidates are verified, a
+//    final vertical scan bounded by the distance to the current k-th
+//    candidate closes the search.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "btree/btree.h"
+#include "btree/btree_traits.h"
+#include "bxtree/bx_key.h"
+#include "bxtree/privacy_index.h"
+#include "bxtree/bxtree.h"
+#include "peb/peb_key.h"
+#include "policy/policy_store.h"
+#include "policy/role_registry.h"
+#include "policy/sequence_value.h"
+#include "spatial/zcurve.h"
+#include "spatial/zrange.h"
+#include "storage/buffer_pool.h"
+
+namespace peb {
+
+/// PRQ search-range construction strategy.
+enum class PrqStrategy {
+  /// Section 5.3: one key range per (friend SV, Z interval) pair, with the
+  /// per-user skip rule. The default.
+  kPerFriendIntervals,
+  /// Figure 7 taken literally: one scan from SVmin ⊕ ZVs to SVmax ⊕ ZVe
+  /// per Z interval. Reads every user between the two sequence values;
+  /// kept as an ablation variant.
+  kSpanScan,
+};
+
+/// PkNN search-matrix traversal order.
+enum class KnnOrder {
+  kTriangular,   ///< Figure 9 anti-diagonal sweep. The default.
+  kColumnMajor,  ///< Spatial-first: whole column (round) at a time.
+};
+
+/// PEB-tree configuration.
+struct PebTreeOptions {
+  MovingIndexOptions index;  ///< Shared moving-index parameters.
+  uint32_t sv_bits = 26;     ///< Bits reserved for the quantized SV.
+  PrqStrategy prq_strategy = PrqStrategy::kPerFriendIntervals;
+  KnnOrder knn_order = KnnOrder::kTriangular;
+  double time_domain = kDefaultTimeDomain;
+};
+
+/// Everything about a persisted PEB-tree that is not stored in its pages:
+/// the root page id and shape statistics. Together with the backing file
+/// (FileDiskManager) and the policy encoding, this is sufficient to reopen
+/// an index without re-inserting (see PebTree::AttachExisting).
+struct PebTreeManifest {
+  PageId root = kInvalidPageId;
+  BTreeStats stats;
+};
+
+/// The PEB-tree. Policies, roles, and the policy encoding must outlive the
+/// tree; the encoding must have been built with a quantizer whose bit width
+/// fits options.sv_bits.
+class PebTree final : public PrivacyAwareIndex {
+ public:
+  PebTree(BufferPool* pool, const PebTreeOptions& options,
+          const PolicyStore* store, const RoleRegistry* roles,
+          const PolicyEncoding* encoding);
+
+  Status Insert(const MovingObject& object) override;
+  Status Update(const MovingObject& object) override;
+  Status Delete(UserId id) override;
+  size_t size() const override { return objects_.size(); }
+  BufferPool* pool() override { return pool_; }
+  const QueryCounters& last_query() const override { return counters_; }
+
+  Result<std::vector<UserId>> RangeQuery(UserId issuer, const Rect& range,
+                                         Timestamp tq) override;
+  Result<std::vector<Neighbor>> KnnQuery(UserId issuer, const Point& qloc,
+                                         size_t k, Timestamp tq) override;
+
+  const PebTreeOptions& options() const { return options_; }
+  const BTreeStats& tree_stats() const { return tree_.stats(); }
+
+  /// The PEB key (Eq. 5 value, without the uid tiebreaker) for an object.
+  uint64_t KeyFor(const MovingObject& object) const;
+
+  /// Current stored state of a user.
+  Result<MovingObject> GetObject(UserId id) const;
+
+  /// Dk estimate (Section 5.4), scaled to the space side.
+  double EstimateKnnDistance(size_t k) const;
+
+  /// Snapshot of the out-of-page state needed to reopen this index later.
+  /// Flush the buffer pool before persisting the manifest.
+  PebTreeManifest Manifest() const {
+    return {tree_.root(), tree_.stats()};
+  }
+
+  /// Reopens a persisted index: attaches to the pages already on the
+  /// pool's disk (validating structure) and rebuilds the in-memory object
+  /// table and partition counts by scanning the leaves. The tree handle
+  /// must be freshly constructed (empty).
+  Status AttachExisting(const PebTreeManifest& manifest);
+
+ private:
+  struct StoredObject {
+    MovingObject state;
+    int64_t label_index = 0;
+    uint64_t key = 0;
+  };
+
+  /// Friends of the issuer grouped by quantized SV (ascending).
+  struct SvRow {
+    uint32_t qsv = 0;
+    std::vector<UserId> uids;
+  };
+
+  std::vector<SvRow> BuildRows(UserId issuer) const;
+
+  /// Scans PEB keys [MakeKey(p, qsv, zlo), MakeKey(p, qsv, zhi)]. For every
+  /// entry whose uid is in `wanted`, marks it found and appends its state.
+  Status ScanSvInterval(uint32_t partition, uint32_t qsv, uint64_t zlo,
+                        uint64_t zhi,
+                        const std::unordered_set<UserId>* wanted,
+                        std::unordered_set<UserId>* found,
+                        std::vector<SpatialCandidate>* out, Timestamp tq);
+
+  /// Verification: Definition 2's policy conditions.
+  bool Verify(UserId issuer, const SpatialCandidate& cand, Timestamp tq) const;
+
+  Result<std::vector<UserId>> RangeQueryPerFriend(UserId issuer,
+                                                  const Rect& range,
+                                                  Timestamp tq);
+  Result<std::vector<UserId>> RangeQuerySpan(UserId issuer, const Rect& range,
+                                             Timestamp tq);
+
+  BufferPool* pool_;
+  PebTreeOptions options_;
+  PebKeyLayout layout_;
+  GridMapper grid_;
+  BTree<ObjectTreeTraits> tree_;
+  const PolicyStore* store_;
+  const RoleRegistry* roles_;
+  const PolicyEncoding* encoding_;
+
+  std::unordered_map<UserId, StoredObject> objects_;
+  std::unordered_map<int64_t, size_t> label_counts_;
+  QueryCounters counters_;
+};
+
+}  // namespace peb

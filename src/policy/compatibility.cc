@@ -1,0 +1,72 @@
+#include "policy/compatibility.h"
+
+#include <algorithm>
+
+namespace peb {
+
+namespace {
+
+/// |locr|/S · |tint|/T for a single policy.
+double PolicyWeight(const Lpp& p, const CompatibilityOptions& options) {
+  double S = options.space.Area();
+  double T = options.time_domain;
+  // Clamp the region into the space domain so |locr| <= S.
+  double area = p.locr.OverlapArea(options.space);
+  return (area / S) * (p.tint.Duration(T) / T);
+}
+
+}  // namespace
+
+AlphaResult ComputeAlpha(std::span<const Lpp> p12, std::span<const Lpp> p21,
+                         const CompatibilityOptions& options) {
+  if (p12.empty() && p21.empty()) return {0.0, CompatibilityCase::kNone};
+
+  double S = options.space.Area();
+  double T = options.time_domain;
+
+  // Bidirectional case: some pair of policies overlaps in both space and
+  // time, so the two users can simultaneously disclose to each other.
+  double best_bidir = -1.0;
+  for (const Lpp& a : p12) {
+    for (const Lpp& b : p21) {
+      double o = a.locr.OverlapArea(b.locr);
+      double d = a.tint.OverlapDuration(b.tint, T);
+      if (o > 0.0 && d > 0.0) {
+        best_bidir = std::max(best_bidir, (o / S) * (d / T));
+      }
+    }
+  }
+  if (best_bidir >= 0.0) {
+    return {best_bidir, CompatibilityCase::kBidirectional};
+  }
+
+  // One-directional case: each side contributes its own (best) policy
+  // weight; a missing side's term is omitted.
+  double w12 = 0.0;
+  for (const Lpp& a : p12) w12 = std::max(w12, PolicyWeight(a, options));
+  double w21 = 0.0;
+  for (const Lpp& b : p21) w21 = std::max(w21, PolicyWeight(b, options));
+  double alpha = 0.5 * (w12 + w21);
+  return {alpha, alpha > 0.0 ? CompatibilityCase::kOneDirectional
+                             : CompatibilityCase::kNone};
+}
+
+double CompatibilityFromAlpha(const AlphaResult& r) {
+  switch (r.kase) {
+    case CompatibilityCase::kBidirectional:
+      return 0.5 * (1.0 + r.alpha);
+    case CompatibilityCase::kOneDirectional:
+      return r.alpha;
+    case CompatibilityCase::kNone:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+double Compatibility(const PolicyStore& store, UserId u1, UserId u2,
+                     const CompatibilityOptions& options) {
+  return CompatibilityFromAlpha(
+      ComputeAlpha(store.Get(u1, u2), store.Get(u2, u1), options));
+}
+
+}  // namespace peb

@@ -1,0 +1,58 @@
+// Policy comparison (Section 5.1): the score α ∈ [0,1] and the degree of
+// compatibility C(u1, u2) of Equation 4.
+//
+// Cases:
+//  * P1→2 ↔ P2→1 (both users may simultaneously disclose to each other,
+//    i.e. their policies' locr and tint overlap):
+//        α = O(locr1, locr2)/S · D(tint1, tint2)/T,       C = (1 + α)/2
+//  * P1→2 = P2→1 (policies exist in at most one direction, or in both but
+//    never simultaneously active):
+//        α = 1/2 (|locr1|/S·|tint1|/T + |locr2|/S·|tint2|/T), C = α ≤ 1/2
+//    (a missing side's term is omitted)
+//  * no policies at all: α = 0, C = 0.
+//
+// Multiple policies per pair (the paper's future-work extension) are
+// aggregated by taking the best (maximum) pairing, which degenerates to the
+// paper's formulas for single policies.
+#pragma once
+
+#include <span>
+
+#include "policy/lpp.h"
+#include "policy/policy_store.h"
+#include "spatial/geometry.h"
+
+namespace peb {
+
+/// Normalization constants: the area S of the space domain and the duration
+/// T of the time domain (Section 5.1).
+struct CompatibilityOptions {
+  Rect space = Rect::Space(1000.0);
+  double time_domain = kDefaultTimeDomain;
+};
+
+/// Which branch of Equation 4 applied.
+enum class CompatibilityCase {
+  kNone,           ///< α = 0: unrelated users.
+  kOneDirectional, ///< P1→2 = P2→1 (C ≤ 0.5).
+  kBidirectional,  ///< P1→2 ↔ P2→1 (C > 0.5).
+};
+
+/// α plus the case that produced it.
+struct AlphaResult {
+  double alpha = 0.0;
+  CompatibilityCase kase = CompatibilityCase::kNone;
+};
+
+/// Computes α between two policy sets (either may be empty).
+AlphaResult ComputeAlpha(std::span<const Lpp> p12, std::span<const Lpp> p21,
+                         const CompatibilityOptions& options);
+
+/// Equation 4 on top of ComputeAlpha.
+double CompatibilityFromAlpha(const AlphaResult& alpha);
+
+/// C(u1, u2) straight from a policy store.
+double Compatibility(const PolicyStore& store, UserId u1, UserId u2,
+                     const CompatibilityOptions& options);
+
+}  // namespace peb

@@ -1,0 +1,99 @@
+// Location-Privacy Policies (Definition 1):
+//   P_{1->2} = <role, locr, tint> states that if u2 is related to u1 by
+//   `role`, then u2 may see u1's location while u1 is inside `locr` during
+//   `tint`.
+//
+// `tint` is a time-of-day interval over a cyclic day (the paper's example:
+// "8 a.m. to 5 p.m."); `locr` is a Euclidean region produced by policy
+// translation (Section 5.1) — we represent it directly as a rectangle.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/types.h"
+#include "spatial/geometry.h"
+
+namespace peb {
+
+/// Default time-domain length T: one day in minutes.
+inline constexpr double kDefaultTimeDomain = 1440.0;
+
+/// A cyclic time-of-day interval [start, end] within a day of length T.
+/// start > end denotes an interval wrapping midnight, e.g. [22:00, 02:00].
+struct TimeOfDayInterval {
+  double start = 0.0;
+  double end = 0.0;
+
+  friend bool operator==(const TimeOfDayInterval&,
+                         const TimeOfDayInterval&) = default;
+
+  /// The whole day.
+  static TimeOfDayInterval AllDay(double time_domain = kDefaultTimeDomain) {
+    return {0.0, time_domain};
+  }
+
+  /// Interval duration within a day of length `T`.
+  double Duration(double T = kDefaultTimeDomain) const {
+    if (start <= end) return std::min(end - start, T);
+    return (T - start) + end;  // Wraps midnight.
+  }
+
+  /// True iff the (absolute) time `t` falls in the interval, cyclically.
+  bool Contains(double t, double T = kDefaultTimeDomain) const {
+    double tod = std::fmod(t, T);
+    if (tod < 0.0) tod += T;
+    if (start <= end) return tod >= start && tod <= end;
+    return tod >= start || tod <= end;
+  }
+
+  /// Duration of overlap with `o` within a day of length `T` — the paper's
+  /// D(tint1, tint2).
+  double OverlapDuration(const TimeOfDayInterval& o,
+                         double T = kDefaultTimeDomain) const {
+    // Decompose each cyclic interval into at most two linear segments and
+    // sum the pairwise segment overlaps.
+    struct Seg {
+      double a, b;
+    };
+    auto segments = [T](const TimeOfDayInterval& iv, Seg out[2]) -> int {
+      if (iv.start <= iv.end) {
+        out[0] = {iv.start, std::min(iv.end, T)};
+        return 1;
+      }
+      out[0] = {iv.start, T};
+      out[1] = {0.0, iv.end};
+      return 2;
+    };
+    Seg s1[2], s2[2];
+    int n1 = segments(*this, s1);
+    int n2 = segments(o, s2);
+    double total = 0.0;
+    for (int i = 0; i < n1; ++i) {
+      for (int j = 0; j < n2; ++j) {
+        total += std::max(
+            0.0, std::min(s1[i].b, s2[j].b) - std::max(s1[i].a, s2[j].a));
+      }
+    }
+    return total;
+  }
+};
+
+/// A location-privacy policy (Definition 1).
+struct Lpp {
+  RoleId role = kInvalidRoleId;
+  Rect locr;
+  TimeOfDayInterval tint;
+
+  friend bool operator==(const Lpp&, const Lpp&) = default;
+
+  /// True iff this policy grants visibility for an issuer holding `role`
+  /// toward an owner located at `pos` at absolute time `t`.
+  bool Permits(RoleId issuer_role, const Point& pos, double t,
+               double time_domain = kDefaultTimeDomain) const {
+    return issuer_role == role && locr.Contains(pos) &&
+           tint.Contains(t, time_domain);
+  }
+};
+
+}  // namespace peb

@@ -1,0 +1,88 @@
+#include "policy/policy_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace peb {
+
+Lpp RandomLpp(Rng& rng, RoleId role, const PolicyGeneratorOptions& options) {
+  Lpp p;
+  p.role = role;
+
+  double side = options.space.Width();
+  double w = rng.Uniform(options.min_region_fraction,
+                         options.max_region_fraction) *
+             side;
+  double h = rng.Uniform(options.min_region_fraction,
+                         options.max_region_fraction) *
+             side;
+  Point center{rng.Uniform(0.0, side), rng.Uniform(0.0, side)};
+  p.locr = Rect{{center.x - w / 2.0, center.y - h / 2.0},
+                {center.x + w / 2.0, center.y + h / 2.0}}
+               .ClampedTo(options.space);
+
+  double T = options.time_domain;
+  double dur =
+      rng.Uniform(options.min_time_fraction, options.max_time_fraction) * T;
+  double start = rng.Uniform(0.0, T);
+  double end = start + dur;
+  if (end >= T) end -= T;  // Wraps midnight.
+  p.tint = {start, end};
+  return p;
+}
+
+GeneratedPolicies GeneratePolicies(const PolicyGeneratorOptions& options) {
+  GeneratedPolicies out;
+  out.friend_role = out.roles.RegisterRole("friend");
+  out.group_size = options.group_size != 0
+                       ? options.group_size
+                       : std::max(options.policies_per_user + 1, size_t{64});
+
+  Rng rng(options.seed);
+  size_t n = options.num_users;
+  size_t np = options.policies_per_user;
+  if (n < 2 || np == 0) return out;
+
+  auto in_group_count = static_cast<size_t>(
+      std::lround(options.grouping_factor * static_cast<double>(np)));
+
+  for (UserId i = 0; i < static_cast<UserId>(n); ++i) {
+    size_t group = i / out.group_size;
+    size_t g_lo = group * out.group_size;
+    size_t g_hi = std::min(g_lo + out.group_size, n);  // Exclusive.
+    size_t g_len = g_hi - g_lo;
+
+    std::unordered_set<UserId> targets;
+    targets.reserve(np * 2);
+
+    // θ·Np in-group targets (as many distinct ones as the group allows).
+    size_t want_in = std::min(in_group_count, g_len - 1);
+    size_t guard = 0;
+    while (targets.size() < want_in && guard++ < 50 * np) {
+      UserId t = static_cast<UserId>(g_lo + rng.NextBelow(g_len));
+      if (t != i) targets.insert(t);
+    }
+    // Remaining targets uniform over the whole population.
+    size_t want_total = std::min(np, n - 1);
+    guard = 0;
+    while (targets.size() < want_total && guard++ < 50 * np) {
+      UserId t = static_cast<UserId>(rng.NextBelow(n));
+      if (t != i) targets.insert(t);
+    }
+
+    // Sort targets so the stream of RandomLpp draws (and thus the whole
+    // workload) is independent of hash-set iteration order.
+    std::vector<UserId> sorted_targets(targets.begin(), targets.end());
+    std::sort(sorted_targets.begin(), sorted_targets.end());
+    for (UserId t : sorted_targets) {
+      out.store.Add(i, t, RandomLpp(rng, out.friend_role, options));
+      // The policy's role condition must be satisfiable: i declares t a
+      // friend so the check "t ∈ role" can pass (Definition 1).
+      out.roles.AssignRole(i, t, out.friend_role);
+    }
+  }
+  return out;
+}
+
+}  // namespace peb

@@ -1,0 +1,54 @@
+// Synthetic policy workload (Sections 6-7.1): users are divided into groups
+// and each user gets Np random policies; the grouping factor θ = Ngr/Np is
+// the fraction of a user's policies that target users in the same group
+// (θ = 1: only in-group policies; θ = 0: targets chosen uniformly from the
+// whole population). Policies get random rectangular regions and random
+// time-of-day intervals, and each user has at most one policy toward any
+// particular user (Section 7.4).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "policy/policy_store.h"
+#include "policy/role_registry.h"
+#include "spatial/geometry.h"
+
+namespace peb {
+
+struct PolicyGeneratorOptions {
+  size_t num_users = 60000;       ///< Table 1 default.
+  size_t policies_per_user = 50;  ///< Np (Table 1 default).
+  double grouping_factor = 0.7;   ///< θ (Table 1 default).
+  /// Users per group; 0 = auto: max(policies_per_user + 1, 64) so a user's
+  /// in-group policies always have enough distinct targets.
+  size_t group_size = 0;
+  Rect space = Rect::Space(1000.0);
+  double time_domain = kDefaultTimeDomain;
+  /// Policy regions are random rectangles whose side is a uniform fraction
+  /// of the space side within [min_region_fraction, max_region_fraction].
+  double min_region_fraction = 0.1;
+  double max_region_fraction = 0.6;
+  /// Policy time windows cover a uniform fraction of the day within
+  /// [min_time_fraction, max_time_fraction]; start is uniform (may wrap).
+  double min_time_fraction = 0.1;
+  double max_time_fraction = 0.6;
+  uint64_t seed = 7;
+};
+
+/// Generator output: the policies, the role assignments backing them, and
+/// the single role id used ("friend").
+struct GeneratedPolicies {
+  PolicyStore store;
+  RoleRegistry roles;
+  RoleId friend_role = kInvalidRoleId;
+  size_t group_size = 0;  ///< The resolved (possibly auto) group size.
+};
+
+/// Generates the policy workload. Deterministic in options.seed.
+GeneratedPolicies GeneratePolicies(const PolicyGeneratorOptions& options);
+
+/// Draws a random policy region/time window pair (exposed for tests).
+Lpp RandomLpp(Rng& rng, RoleId role, const PolicyGeneratorOptions& options);
+
+}  // namespace peb

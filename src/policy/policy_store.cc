@@ -1,0 +1,67 @@
+#include "policy/policy_store.h"
+
+#include <algorithm>
+
+namespace peb {
+
+void PolicyStore::Add(UserId owner, UserId peer, const Lpp& policy) {
+  auto& list = policies_[PairKey(owner, peer)];
+  if (list.empty()) {
+    outgoing_[owner].push_back(peer);
+    incoming_[peer].push_back(owner);
+  }
+  list.push_back(policy);
+  num_policies_++;
+}
+
+size_t PolicyStore::RemoveAll(UserId owner, UserId peer) {
+  auto it = policies_.find(PairKey(owner, peer));
+  if (it == policies_.end()) return 0;
+  size_t removed = it->second.size();
+  policies_.erase(it);
+  num_policies_ -= removed;
+  auto erase_from = [](std::vector<UserId>& v, UserId x) {
+    v.erase(std::remove(v.begin(), v.end(), x), v.end());
+  };
+  erase_from(outgoing_[owner], peer);
+  erase_from(incoming_[peer], owner);
+  return removed;
+}
+
+std::span<const Lpp> PolicyStore::Get(UserId owner, UserId peer) const {
+  auto it = policies_.find(PairKey(owner, peer));
+  return it == policies_.end() ? std::span<const Lpp>{}
+                               : std::span<const Lpp>(it->second);
+}
+
+std::span<const UserId> PolicyStore::PeersOf(UserId owner) const {
+  auto it = outgoing_.find(owner);
+  return it == outgoing_.end() ? std::span<const UserId>{}
+                               : std::span<const UserId>(it->second);
+}
+
+std::span<const UserId> PolicyStore::OwnersToward(UserId peer) const {
+  auto it = incoming_.find(peer);
+  return it == incoming_.end() ? std::span<const UserId>{}
+                               : std::span<const UserId>(it->second);
+}
+
+size_t PolicyStore::NumPoliciesOf(UserId owner) const {
+  size_t n = 0;
+  for (UserId peer : PeersOf(owner)) n += Get(owner, peer).size();
+  return n;
+}
+
+bool PolicyStore::Allows(UserId owner, UserId issuer, const Point& pos,
+                         double t, const RoleRegistry& roles,
+                         double time_domain) const {
+  for (const Lpp& p : Get(owner, issuer)) {
+    if (roles.HasRole(owner, issuer, p.role) && p.locr.Contains(pos) &&
+        p.tint.Contains(t, time_domain)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace peb

@@ -1,0 +1,56 @@
+#include "policy/role_registry.h"
+
+#include <algorithm>
+
+namespace peb {
+
+namespace {
+const std::string kEmpty;
+}  // namespace
+
+RoleId RoleRegistry::RegisterRole(const std::string& name) {
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) return it->second;
+  RoleId id = static_cast<RoleId>(names_.size());
+  names_.push_back(name);
+  by_name_.emplace(name, id);
+  return id;
+}
+
+const std::string& RoleRegistry::RoleName(RoleId id) const {
+  return id < names_.size() ? names_[id] : kEmpty;
+}
+
+void RoleRegistry::AssignRole(UserId owner, UserId peer, RoleId role) {
+  auto& roles = assignments_[PairKey(owner, peer)];
+  if (std::find(roles.begin(), roles.end(), role) == roles.end()) {
+    roles.push_back(role);
+    num_assignments_++;
+  }
+}
+
+void RoleRegistry::RevokeRole(UserId owner, UserId peer, RoleId role) {
+  auto it = assignments_.find(PairKey(owner, peer));
+  if (it == assignments_.end()) return;
+  auto& roles = it->second;
+  auto pos = std::find(roles.begin(), roles.end(), role);
+  if (pos != roles.end()) {
+    roles.erase(pos);
+    num_assignments_--;
+    if (roles.empty()) assignments_.erase(it);
+  }
+}
+
+bool RoleRegistry::HasRole(UserId owner, UserId peer, RoleId role) const {
+  auto it = assignments_.find(PairKey(owner, peer));
+  if (it == assignments_.end()) return false;
+  return std::find(it->second.begin(), it->second.end(), role) !=
+         it->second.end();
+}
+
+std::vector<RoleId> RoleRegistry::RolesOf(UserId owner, UserId peer) const {
+  auto it = assignments_.find(PairKey(owner, peer));
+  return it == assignments_.end() ? std::vector<RoleId>{} : it->second;
+}
+
+}  // namespace peb

@@ -1,0 +1,57 @@
+// RoleRegistry: who stands in which relationship to whom.
+//
+// Inspired by Role-Based Access Control (the paper cites Ferraiolo & Kuhn
+// [7]): a user `owner` assigns a role (friend / colleague / family ...) to a
+// peer, and policies reference the role instead of individual users. The
+// PRQ/PkNN condition "qID ∈ role" (Definitions 2-3) is exactly
+// HasRole(owner, qID, role).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+
+namespace peb {
+
+class RoleRegistry {
+ public:
+  /// Registers (or finds) a role by name; role names are global.
+  RoleId RegisterRole(const std::string& name);
+
+  /// Name of a registered role id (empty when unknown).
+  const std::string& RoleName(RoleId id) const;
+
+  /// Number of registered roles.
+  size_t num_roles() const { return names_.size(); }
+
+  /// Records that `owner` considers `peer` to hold `role`.
+  void AssignRole(UserId owner, UserId peer, RoleId role);
+
+  /// Removes a role assignment (no-op when absent).
+  void RevokeRole(UserId owner, UserId peer, RoleId role);
+
+  /// True iff `owner` has assigned `role` to `peer`.
+  bool HasRole(UserId owner, UserId peer, RoleId role) const;
+
+  /// All roles `owner` has assigned to `peer`.
+  std::vector<RoleId> RolesOf(UserId owner, UserId peer) const;
+
+  /// Total number of (owner, peer, role) assignments.
+  size_t num_assignments() const { return num_assignments_; }
+
+ private:
+  static uint64_t PairKey(UserId owner, UserId peer) {
+    return (static_cast<uint64_t>(owner) << 32) | peer;
+  }
+
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, RoleId> by_name_;
+  std::unordered_map<uint64_t, std::vector<RoleId>> assignments_;
+  size_t num_assignments_ = 0;
+};
+
+}  // namespace peb

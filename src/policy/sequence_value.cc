@@ -1,0 +1,167 @@
+#include "policy/sequence_value.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace peb {
+
+namespace {
+
+/// Adjacency of the relatedness graph. Related users are those connected by
+/// a policy in either direction with C > 0; computing C lazily per edge
+/// keeps the cost linear in the number of policies rather than quadratic in
+/// users.
+std::vector<std::vector<UserId>> BuildRelatednessGraph(
+    const PolicyStore& store, size_t num_users,
+    const CompatibilityOptions& compat) {
+  std::vector<std::vector<UserId>> groups(num_users);
+  for (size_t i = 0; i < num_users; ++i) {
+    UserId ui = static_cast<UserId>(i);
+    std::unordered_set<UserId> seen;
+    for (UserId peer : store.PeersOf(ui)) seen.insert(peer);
+    for (UserId owner : store.OwnersToward(ui)) seen.insert(owner);
+    seen.erase(ui);
+    auto& g = groups[i];
+    g.reserve(seen.size());
+    for (UserId uj : seen) {
+      if (uj < num_users && Compatibility(store, ui, uj, compat) > 0.0) {
+        g.push_back(uj);
+      }
+    }
+    std::sort(g.begin(), g.end());
+  }
+  return groups;
+}
+
+/// Users ordered by |G| descending, ties by id (Figure 5 line 5).
+std::vector<UserId> OrderByDegreeDesc(
+    size_t num_users, const std::vector<std::vector<UserId>>& groups) {
+  std::vector<UserId> order(num_users);
+  for (size_t i = 0; i < num_users; ++i) {
+    order[i] = static_cast<UserId>(i);
+  }
+  std::stable_sort(order.begin(), order.end(), [&](UserId a, UserId b) {
+    if (groups[a].size() != groups[b].size()) {
+      return groups[a].size() > groups[b].size();
+    }
+    return a < b;
+  });
+  return order;
+}
+
+}  // namespace
+
+SequenceAssignment AssignSequenceValues(const PolicyStore& store,
+                                        size_t num_users,
+                                        const CompatibilityOptions& compat,
+                                        const SequenceValueOptions& options) {
+  auto groups = BuildRelatednessGraph(store, num_users, compat);
+  return AssignSequenceValuesFromGraph(
+      num_users, groups,
+      [&](UserId a, UserId b) { return Compatibility(store, a, b, compat); },
+      options);
+}
+
+SequenceAssignment AssignSequenceValuesFromGraph(
+    size_t num_users, const std::vector<std::vector<UserId>>& groups,
+    const CompatFn& compat, const SequenceValueOptions& options) {
+  SequenceAssignment out;
+  out.sv.assign(num_users, -1.0);  // -1 = unassigned (⊥ in Figure 5).
+  out.order = OrderByDegreeDesc(num_users, groups);
+
+  // Step 3: assignment (Figure 5 lines 6-12).
+  for (size_t k = 0; k < num_users; ++k) {
+    UserId uk = out.order[k];
+    if (out.sv[uk] >= 0.0) continue;  // Already assigned via a group.
+    if (k == 0) {
+      out.sv[uk] = options.initial_sv;
+    } else {
+      // SV(uk) = SV(u_{k-1}) + δ, where u_{k-1} is the previous user in the
+      // sorted list (guaranteed assigned by now).
+      out.sv[uk] = out.sv[out.order[k - 1]] + options.delta;
+    }
+    out.num_anchors++;
+    for (UserId uj : groups[uk]) {
+      if (out.sv[uj] < 0.0) {
+        out.sv[uj] = out.sv[uk] + (1.0 - compat(uk, uj));
+      }
+    }
+  }
+  return out;
+}
+
+SequenceAssignment AssignSequenceValuesBfsFromGraph(
+    size_t num_users, const std::vector<std::vector<UserId>>& groups,
+    const CompatFn& compat, const SequenceValueOptions& options) {
+  SequenceAssignment out;
+  out.sv.assign(num_users, -1.0);
+  out.order = OrderByDegreeDesc(num_users, groups);
+
+  double cursor = options.initial_sv;  // Next component anchor value.
+  double max_assigned = -1.0;
+  std::vector<UserId> queue;
+  for (UserId seed : out.order) {
+    if (out.sv[seed] >= 0.0) continue;
+    out.sv[seed] = cursor;
+    max_assigned = std::max(max_assigned, cursor);
+    out.num_anchors++;
+    queue.clear();
+    queue.push_back(seed);
+    for (size_t head = 0; head < queue.size(); ++head) {
+      UserId u = queue[head];
+      for (UserId v : groups[u]) {
+        if (out.sv[v] >= 0.0) continue;
+        out.sv[v] = out.sv[u] + (1.0 - compat(u, v));
+        max_assigned = std::max(max_assigned, out.sv[v]);
+        queue.push_back(v);
+      }
+    }
+    cursor = max_assigned + options.delta;
+  }
+  return out;
+}
+
+PolicyEncoding PolicyEncoding::Build(const PolicyStore& store,
+                                     size_t num_users,
+                                     const CompatibilityOptions& compat,
+                                     const SequenceValueOptions& sv_options,
+                                     const SvQuantizer& quantizer,
+                                     SequenceStrategy strategy) {
+  PolicyEncoding enc(quantizer);
+  auto graph = BuildRelatednessGraph(store, num_users, compat);
+  auto edge_compat = [&](UserId a, UserId b) {
+    return Compatibility(store, a, b, compat);
+  };
+  enc.assignment_ =
+      strategy == SequenceStrategy::kGroupOrder
+          ? AssignSequenceValuesFromGraph(num_users, graph, edge_compat,
+                                          sv_options)
+          : AssignSequenceValuesBfsFromGraph(num_users, graph, edge_compat,
+                                             sv_options);
+  enc.sv_ = enc.assignment_.sv;
+  enc.qsv_.resize(num_users);
+  for (size_t i = 0; i < num_users; ++i) {
+    enc.qsv_[i] = quantizer.Quantize(enc.sv_[i]);
+  }
+
+  enc.friends_.resize(num_users);
+  for (size_t i = 0; i < num_users; ++i) {
+    UserId u = static_cast<UserId>(i);
+    auto owners = store.OwnersToward(u);
+    auto& list = enc.friends_[i];
+    list.reserve(owners.size());
+    for (UserId owner : owners) {
+      if (owner == u || owner >= num_users) continue;
+      list.push_back({owner, enc.sv_[owner], enc.qsv_[owner]});
+    }
+    std::sort(list.begin(), list.end(), [](const FriendEntry& a,
+                                           const FriendEntry& b) {
+      if (a.qsv != b.qsv) return a.qsv < b.qsv;
+      return a.uid < b.uid;
+    });
+  }
+  return enc;
+}
+
+}  // namespace peb

@@ -1,0 +1,121 @@
+// 2-D Euclidean geometry primitives used by the indexes, policies, and
+// workload generators. The paper's space domain is the square
+// [0, 1000] x [0, 1000] (Section 7.1).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+namespace peb {
+
+/// A point (or vector) in 2-D Euclidean space.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  Point operator+(const Point& o) const { return {x + o.x, y + o.y}; }
+  Point operator-(const Point& o) const { return {x - o.x, y - o.y}; }
+  Point operator*(double s) const { return {x * s, y * s}; }
+
+  friend bool operator==(const Point&, const Point&) = default;
+
+  /// Euclidean norm.
+  double Norm() const { return std::hypot(x, y); }
+
+  /// Euclidean distance to `o`.
+  double DistanceTo(const Point& o) const { return (*this - o).Norm(); }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << "(" << p.x << ", " << p.y << ")";
+}
+
+/// An axis-aligned rectangle [lo.x, hi.x] x [lo.y, hi.y]. A rectangle with
+/// lo.x > hi.x or lo.y > hi.y is empty.
+struct Rect {
+  Point lo;
+  Point hi;
+
+  /// The full rectangle for a square space [0, side] x [0, side].
+  static Rect Space(double side) { return {{0.0, 0.0}, {side, side}}; }
+
+  /// A square centered at `c` with the given side length.
+  static Rect CenteredSquare(Point c, double side) {
+    double h = side / 2.0;
+    return {{c.x - h, c.y - h}, {c.x + h, c.y + h}};
+  }
+
+  friend bool operator==(const Rect&, const Rect&) = default;
+
+  bool Empty() const { return lo.x > hi.x || lo.y > hi.y; }
+
+  double Width() const { return std::max(0.0, hi.x - lo.x); }
+  double Height() const { return std::max(0.0, hi.y - lo.y); }
+  double Area() const { return Width() * Height(); }
+
+  Point Center() const { return {(lo.x + hi.x) / 2.0, (lo.y + hi.y) / 2.0}; }
+
+  /// True iff `p` lies inside (borders inclusive).
+  bool Contains(const Point& p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+
+  /// True iff `o` lies fully inside this rectangle.
+  bool ContainsRect(const Rect& o) const {
+    return !o.Empty() && o.lo.x >= lo.x && o.hi.x <= hi.x && o.lo.y >= lo.y &&
+           o.hi.y <= hi.y;
+  }
+
+  /// True iff the rectangles share at least a boundary point.
+  bool Intersects(const Rect& o) const {
+    return !Empty() && !o.Empty() && lo.x <= o.hi.x && o.lo.x <= hi.x &&
+           lo.y <= o.hi.y && o.lo.y <= hi.y;
+  }
+
+  /// The intersection rectangle (possibly empty).
+  Rect Intersection(const Rect& o) const {
+    return {{std::max(lo.x, o.lo.x), std::max(lo.y, o.lo.y)},
+            {std::min(hi.x, o.hi.x), std::min(hi.y, o.hi.y)}};
+  }
+
+  /// Area of overlap with `o` — the paper's O(locr1, locr2).
+  double OverlapArea(const Rect& o) const {
+    Rect i = Intersection(o);
+    return i.Empty() ? 0.0 : i.Area();
+  }
+
+  /// Grows every border outward by `d` (>= 0).
+  Rect Expanded(double d) const {
+    return {{lo.x - d, lo.y - d}, {hi.x + d, hi.y + d}};
+  }
+
+  /// Grows asymmetrically: each border moves outward by the given amount.
+  Rect ExpandedDirectional(double left, double right, double down,
+                           double up) const {
+    return {{lo.x - left, lo.y - down}, {hi.x + right, hi.y + up}};
+  }
+
+  /// Clamps this rectangle into `bounds`.
+  Rect ClampedTo(const Rect& bounds) const {
+    return Intersection(bounds);
+  }
+
+  /// Minimum distance from `p` to this rectangle (0 when inside).
+  double MinDistanceTo(const Point& p) const {
+    double dx = std::max({lo.x - p.x, 0.0, p.x - hi.x});
+    double dy = std::max({lo.y - p.y, 0.0, p.y - hi.y});
+    return std::hypot(dx, dy);
+  }
+
+  /// Radius of the inscribed circle around the center.
+  double InscribedRadius() const {
+    return std::min(Width(), Height()) / 2.0;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << "[" << r.lo << ", " << r.hi << "]";
+}
+
+}  // namespace peb

@@ -1,0 +1,55 @@
+#include "spatial/hilbert.h"
+
+#include <cassert>
+
+namespace peb {
+
+namespace {
+
+/// Rotates/flips a quadrant appropriately (the classic iterative algorithm).
+void Rot(uint32_t n, uint32_t* x, uint32_t* y, uint32_t rx, uint32_t ry) {
+  if (ry == 0) {
+    if (rx == 1) {
+      *x = n - 1 - *x;
+      *y = n - 1 - *y;
+    }
+    uint32_t t = *x;
+    *x = *y;
+    *y = t;
+  }
+}
+
+}  // namespace
+
+uint64_t HilbertEncode(uint32_t cx, uint32_t cy, uint32_t bits) {
+  assert(bits <= kMaxGridBits);
+  uint64_t d = 0;
+  uint32_t x = cx;
+  uint32_t y = cy;
+  for (uint32_t s = (1u << bits) >> 1; s > 0; s >>= 1) {
+    uint32_t rx = (x & s) > 0 ? 1 : 0;
+    uint32_t ry = (y & s) > 0 ? 1 : 0;
+    d += static_cast<uint64_t>(s) * s * ((3 * rx) ^ ry);
+    Rot(1u << bits, &x, &y, rx, ry);
+  }
+  return d;
+}
+
+void HilbertDecode(uint64_t d, uint32_t bits, uint32_t* cx, uint32_t* cy) {
+  assert(bits <= kMaxGridBits);
+  uint32_t x = 0;
+  uint32_t y = 0;
+  uint64_t t = d;
+  for (uint32_t s = 1; s < (1u << bits); s <<= 1) {
+    uint32_t rx = 1 & static_cast<uint32_t>(t / 2);
+    uint32_t ry = 1 & static_cast<uint32_t>(t ^ rx);
+    Rot(s, &x, &y, rx, ry);
+    x += s * rx;
+    y += s * ry;
+    t /= 4;
+  }
+  *cx = x;
+  *cy = y;
+}
+
+}  // namespace peb

@@ -1,0 +1,26 @@
+// Hilbert curve encoding — an alternative space-filling curve for the
+// location component of index keys. The paper uses the Z-curve and cites
+// Moon et al. [22] (a Hilbert clustering analysis); we provide Hilbert as an
+// ablation (bench_ablation) to quantify how much the curve choice matters
+// once policy compatibility dominates the key.
+#pragma once
+
+#include <cstdint>
+
+#include "spatial/geometry.h"
+#include "spatial/zcurve.h"
+
+namespace peb {
+
+/// Maps cell coordinates to their Hilbert index on a 2^bits x 2^bits grid.
+uint64_t HilbertEncode(uint32_t cx, uint32_t cy, uint32_t bits);
+
+/// Inverse of HilbertEncode.
+void HilbertDecode(uint64_t d, uint32_t bits, uint32_t* cx, uint32_t* cy);
+
+/// Hilbert-value counterpart of GridMapper::ZValueOf.
+inline uint64_t HilbertValueOf(const GridMapper& grid, const Point& p) {
+  return HilbertEncode(grid.CellOf(p.x), grid.CellOf(p.y), grid.bits());
+}
+
+}  // namespace peb

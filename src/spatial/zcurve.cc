@@ -1,0 +1,69 @@
+#include "spatial/zcurve.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace peb {
+
+namespace {
+
+/// Spreads the low 32 bits of v so bit i moves to bit 2i.
+uint64_t SpreadBits(uint64_t v) {
+  v &= 0xFFFFFFFFull;
+  v = (v | (v << 16)) & 0x0000FFFF0000FFFFull;
+  v = (v | (v << 8)) & 0x00FF00FF00FF00FFull;
+  v = (v | (v << 4)) & 0x0F0F0F0F0F0F0F0Full;
+  v = (v | (v << 2)) & 0x3333333333333333ull;
+  v = (v | (v << 1)) & 0x5555555555555555ull;
+  return v;
+}
+
+/// Inverse of SpreadBits: collects bits at even positions.
+uint32_t CompactBits(uint64_t v) {
+  v &= 0x5555555555555555ull;
+  v = (v ^ (v >> 1)) & 0x3333333333333333ull;
+  v = (v ^ (v >> 2)) & 0x0F0F0F0F0F0F0F0Full;
+  v = (v ^ (v >> 4)) & 0x00FF00FF00FF00FFull;
+  v = (v ^ (v >> 8)) & 0x0000FFFF0000FFFFull;
+  v = (v ^ (v >> 16)) & 0x00000000FFFFFFFFull;
+  return static_cast<uint32_t>(v);
+}
+
+}  // namespace
+
+uint64_t ZEncode(uint32_t cx, uint32_t cy, uint32_t bits) {
+  assert(bits <= kMaxGridBits);
+  uint32_t mask = bits >= 32 ? ~0u : ((1u << bits) - 1);
+  return SpreadBits(cx & mask) | (SpreadBits(cy & mask) << 1);
+}
+
+void ZDecode(uint64_t z, uint32_t bits, uint32_t* cx, uint32_t* cy) {
+  assert(bits <= kMaxGridBits);
+  uint32_t mask = bits >= 32 ? ~0u : ((1u << bits) - 1);
+  *cx = CompactBits(z) & mask;
+  *cy = CompactBits(z >> 1) & mask;
+}
+
+GridMapper::GridMapper(double space_side, uint32_t bits)
+    : space_side_(space_side), bits_(bits) {
+  assert(bits >= 1 && bits <= kMaxGridBits);
+  assert(space_side > 0.0);
+  cells_ = 1u << bits_;
+  cell_side_ = space_side_ / static_cast<double>(cells_);
+}
+
+uint32_t GridMapper::CellOf(double v) const {
+  if (v <= 0.0) return 0;
+  auto c = static_cast<int64_t>(std::floor(v / cell_side_));
+  return static_cast<uint32_t>(
+      std::clamp<int64_t>(c, 0, static_cast<int64_t>(cells_) - 1));
+}
+
+Rect GridMapper::CellRangeRect(uint32_t cx_lo, uint32_t cy_lo, uint32_t cx_hi,
+                               uint32_t cy_hi) const {
+  return {{cx_lo * cell_side_, cy_lo * cell_side_},
+          {(cx_hi + 1) * cell_side_, (cy_hi + 1) * cell_side_}};
+}
+
+}  // namespace peb

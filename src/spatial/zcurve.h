@@ -1,0 +1,56 @@
+// Z-curve (Morton order) encoding. The Bx-tree and PEB-tree map 2-D cell
+// coordinates to a 1-D proximity-preserving value by bit interleaving
+// (the paper's ZV component, Section 5.2, citing Moon et al. [22]).
+#pragma once
+
+#include <cstdint>
+
+#include "spatial/geometry.h"
+
+namespace peb {
+
+/// Maximum supported bits per dimension (2*21 = 42 bits fits a uint64 with
+/// room for the TID and SV components of the PEB key).
+inline constexpr uint32_t kMaxGridBits = 21;
+
+/// Interleaves the low `bits` bits of cx (even positions) and cy (odd
+/// positions): z = ... y1 x1 y0 x0.
+uint64_t ZEncode(uint32_t cx, uint32_t cy, uint32_t bits);
+
+/// Inverse of ZEncode.
+void ZDecode(uint64_t z, uint32_t bits, uint32_t* cx, uint32_t* cy);
+
+/// Maps continuous coordinates in a square space of side `space_side` onto a
+/// 2^bits x 2^bits uniform grid, clamping out-of-domain coordinates onto the
+/// border cells.
+class GridMapper {
+ public:
+  /// `bits` per dimension; the grid has 2^bits cells per side.
+  GridMapper(double space_side, uint32_t bits);
+
+  uint32_t bits() const { return bits_; }
+  double space_side() const { return space_side_; }
+  double cell_side() const { return cell_side_; }
+  uint32_t cells_per_side() const { return cells_; }
+
+  /// Grid cell of a continuous coordinate (clamped to the domain).
+  uint32_t CellOf(double v) const;
+
+  /// Z-curve value of a continuous point.
+  uint64_t ZValueOf(const Point& p) const {
+    return ZEncode(CellOf(p.x), CellOf(p.y), bits_);
+  }
+
+  /// Continuous bounding box of the cell column/row range
+  /// [cx_lo, cx_hi] x [cy_lo, cy_hi].
+  Rect CellRangeRect(uint32_t cx_lo, uint32_t cy_lo, uint32_t cx_hi,
+                     uint32_t cy_hi) const;
+
+ private:
+  double space_side_;
+  uint32_t bits_;
+  uint32_t cells_;
+  double cell_side_;
+};
+
+}  // namespace peb

@@ -1,0 +1,146 @@
+#include "spatial/zrange.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace peb {
+
+namespace {
+
+struct CellRange {
+  uint32_t cx_lo, cy_lo, cx_hi, cy_hi;
+};
+
+/// Quadtree recursion. `level` is the number of remaining bit levels; the
+/// current quadrant spans cells [qx, qx + size) x [qy, qy + size) where
+/// size = 1 << level, and Z values [z_base, z_base + size^2).
+void Decompose(uint32_t level, uint32_t qx, uint32_t qy, uint64_t z_base,
+               const CellRange& query, std::vector<CurveInterval>* out) {
+  uint32_t size = 1u << level;
+  uint32_t x_hi = qx + size - 1;
+  uint32_t y_hi = qy + size - 1;
+  // Disjoint?
+  if (x_hi < query.cx_lo || qx > query.cx_hi || y_hi < query.cy_lo ||
+      qy > query.cy_hi) {
+    return;
+  }
+  // Fully contained?
+  if (qx >= query.cx_lo && x_hi <= query.cx_hi && qy >= query.cy_lo &&
+      y_hi <= query.cy_hi) {
+    uint64_t cell_count = static_cast<uint64_t>(size) * size;
+    uint64_t lo = z_base;
+    uint64_t hi = z_base + cell_count - 1;
+    // Merge with the previous interval when contiguous: the recursion emits
+    // intervals in increasing Z order.
+    if (!out->empty() && out->back().hi + 1 == lo) {
+      out->back().hi = hi;
+    } else {
+      out->push_back({lo, hi});
+    }
+    return;
+  }
+  assert(level > 0);
+  uint32_t half = size >> 1;
+  uint64_t quarter = static_cast<uint64_t>(half) * half;
+  // Z-order of children: (0,0), (1,0), (0,1), (1,1) — x is the low
+  // interleaved bit.
+  Decompose(level - 1, qx, qy, z_base, query, out);
+  Decompose(level - 1, qx + half, qy, z_base + quarter, query, out);
+  Decompose(level - 1, qx, qy + half, z_base + 2 * quarter, query, out);
+  Decompose(level - 1, qx + half, qy + half, z_base + 3 * quarter, query, out);
+}
+
+}  // namespace
+
+void CapIntervalCount(std::vector<CurveInterval>* intervals,
+                      size_t max_intervals) {
+  if (max_intervals == 0 || intervals->size() <= max_intervals) return;
+  // Repeatedly merge the pair with the smallest gap. The lists are short
+  // (tens of entries), so the quadratic scan is fine.
+  while (intervals->size() > max_intervals) {
+    size_t best = 0;
+    uint64_t best_gap = ~0ull;
+    for (size_t i = 0; i + 1 < intervals->size(); ++i) {
+      uint64_t gap = (*intervals)[i + 1].lo - (*intervals)[i].hi;
+      if (gap < best_gap) {
+        best_gap = gap;
+        best = i;
+      }
+    }
+    (*intervals)[best].hi = (*intervals)[best + 1].hi;
+    intervals->erase(intervals->begin() + static_cast<ptrdiff_t>(best) + 1);
+  }
+}
+
+std::vector<CurveInterval> ZIntervalsForCellRange(
+    uint32_t cx_lo, uint32_t cy_lo, uint32_t cx_hi, uint32_t cy_hi,
+    uint32_t bits, const ZRangeOptions& options) {
+  std::vector<CurveInterval> out;
+  if (cx_lo > cx_hi || cy_lo > cy_hi) return out;
+  CellRange query{cx_lo, cy_lo, cx_hi, cy_hi};
+  Decompose(bits, 0, 0, 0, query, &out);
+  CapIntervalCount(&out, options.max_intervals);
+  return out;
+}
+
+std::vector<CurveInterval> SubtractIntervals(
+    const std::vector<CurveInterval>& a, const std::vector<CurveInterval>& b) {
+  std::vector<CurveInterval> out;
+  size_t j = 0;
+  for (const CurveInterval& iv : a) {
+    uint64_t lo = iv.lo;
+    // Skip b-intervals entirely before lo.
+    while (j < b.size() && b[j].hi < lo) ++j;
+    size_t jj = j;
+    while (lo <= iv.hi) {
+      if (jj >= b.size() || b[jj].lo > iv.hi) {
+        out.push_back({lo, iv.hi});
+        break;
+      }
+      const CurveInterval& cut = b[jj];
+      if (cut.lo > lo) {
+        out.push_back({lo, cut.lo - 1});
+      }
+      if (cut.hi >= iv.hi) break;  // Remainder fully covered.
+      lo = cut.hi + 1;
+      ++jj;
+    }
+  }
+  return out;
+}
+
+std::vector<CurveInterval> UnionIntervals(const std::vector<CurveInterval>& a,
+                                          const std::vector<CurveInterval>& b) {
+  std::vector<CurveInterval> merged;
+  merged.reserve(a.size() + b.size());
+  std::merge(a.begin(), a.end(), b.begin(), b.end(),
+             std::back_inserter(merged),
+             [](const CurveInterval& x, const CurveInterval& y) {
+               return x.lo < y.lo;
+             });
+  std::vector<CurveInterval> out;
+  for (const CurveInterval& iv : merged) {
+    // Coalesce overlapping or adjacent intervals (guard hi+1 overflow).
+    if (!out.empty() &&
+        (iv.lo <= out.back().hi ||
+         (out.back().hi != ~0ull && iv.lo == out.back().hi + 1))) {
+      out.back().hi = std::max(out.back().hi, iv.hi);
+    } else {
+      out.push_back(iv);
+    }
+  }
+  return out;
+}
+
+std::vector<CurveInterval> ZIntervalsForWindow(const GridMapper& grid,
+                                               const Rect& window,
+                                               const ZRangeOptions& options) {
+  Rect clamped = window.ClampedTo(Rect::Space(grid.space_side()));
+  if (clamped.Empty()) return {};
+  return ZIntervalsForCellRange(
+      grid.CellOf(clamped.lo.x), grid.CellOf(clamped.lo.y),
+      grid.CellOf(clamped.hi.x), grid.CellOf(clamped.hi.y), grid.bits(),
+      options);
+}
+
+}  // namespace peb

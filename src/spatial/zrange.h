@@ -1,0 +1,66 @@
+// Decomposition of a 2-D query window into intervals of consecutive
+// space-filling-curve values (the paper's "ZVconvert" step, Section 5.3).
+//
+// A rectangle on the grid maps to a set of [lo, hi] Z-value intervals that
+// together cover exactly the cells of the rectangle. The decomposition is a
+// quadtree recursion: a quadrant fully inside the window emits one interval;
+// a partially covered quadrant recurses. Adjacent intervals are merged, and
+// the interval count can optionally be capped by merging the closest pairs
+// (trading extra scanned cells for fewer B+-tree probes, as the Bx-tree
+// does).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "spatial/geometry.h"
+#include "spatial/zcurve.h"
+
+namespace peb {
+
+/// A closed interval of 1-D curve values.
+struct CurveInterval {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+
+  friend bool operator==(const CurveInterval&, const CurveInterval&) = default;
+};
+
+/// Options for window decomposition.
+struct ZRangeOptions {
+  /// Maximum number of intervals returned; 0 means unlimited. When capped,
+  /// the intervals with the smallest gaps between them are merged first.
+  size_t max_intervals = 0;
+};
+
+/// Returns the sorted, non-overlapping, non-adjacent Z-value intervals
+/// covering exactly the grid cells [cx_lo, cx_hi] x [cy_lo, cy_hi].
+/// Returns an empty vector when the cell range is empty.
+std::vector<CurveInterval> ZIntervalsForCellRange(
+    uint32_t cx_lo, uint32_t cy_lo, uint32_t cx_hi, uint32_t cy_hi,
+    uint32_t bits, const ZRangeOptions& options = {});
+
+/// Convenience: decomposes a continuous window. The window is clamped to the
+/// grid domain; an empty (or fully outside) window yields no intervals.
+std::vector<CurveInterval> ZIntervalsForWindow(
+    const GridMapper& grid, const Rect& window,
+    const ZRangeOptions& options = {});
+
+/// Merges a sorted interval list down to at most `max_intervals` by closing
+/// the smallest gaps first. No-op if already within the budget.
+void CapIntervalCount(std::vector<CurveInterval>* intervals,
+                      size_t max_intervals);
+
+/// Set difference a \ b for sorted, non-overlapping interval lists. Used by
+/// the kNN algorithms, which search only the ring R'_qi − R'_q(i−1) in each
+/// enlargement round (Section 5.4).
+std::vector<CurveInterval> SubtractIntervals(
+    const std::vector<CurveInterval>& a, const std::vector<CurveInterval>& b);
+
+/// Set union a ∪ b for sorted, non-overlapping interval lists (adjacent
+/// intervals are coalesced). Used to accumulate the covered key space
+/// across kNN enlargement rounds.
+std::vector<CurveInterval> UnionIntervals(const std::vector<CurveInterval>& a,
+                                          const std::vector<CurveInterval>& b);
+
+}  // namespace peb

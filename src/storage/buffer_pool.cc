@@ -1,0 +1,142 @@
+#include "storage/buffer_pool.h"
+
+#include <cassert>
+
+namespace peb {
+
+void PageGuard::Release() {
+  if (pool_ != nullptr && page_ != nullptr) {
+    pool_->Unpin(id_);
+  }
+  pool_ = nullptr;
+  page_ = nullptr;
+  dirty_flag_ = nullptr;
+}
+
+BufferPool::BufferPool(DiskManager* disk, BufferPoolOptions options)
+    : disk_(disk) {
+  assert(options.capacity > 0);
+  frames_.reserve(options.capacity);
+  for (size_t i = 0; i < options.capacity; ++i) {
+    frames_.push_back(std::make_unique<Frame>());
+    free_frames_.push_back(options.capacity - 1 - i);
+  }
+}
+
+BufferPool::~BufferPool() {
+  // Best-effort flush; errors are ignored in the destructor.
+  (void)FlushAll();
+}
+
+int BufferPool::PinCount(PageId id) const {
+  auto it = table_.find(id);
+  return it == table_.end() ? 0 : frames_[it->second]->pin_count;
+}
+
+Result<size_t> BufferPool::GetVictimFrame() {
+  if (!free_frames_.empty()) {
+    size_t idx = free_frames_.back();
+    free_frames_.pop_back();
+    return idx;
+  }
+  if (lru_.empty()) {
+    return Status::ResourceExhausted("all buffer frames are pinned");
+  }
+  size_t idx = lru_.front();
+  lru_.pop_front();
+  Frame& f = *frames_[idx];
+  f.in_lru = false;
+  if (f.dirty) {
+    PEB_RETURN_NOT_OK(disk_->Write(f.id, f.page));
+    stats_.physical_writes++;
+    f.dirty = false;
+  }
+  table_.erase(f.id);
+  f.id = kInvalidPageId;
+  return idx;
+}
+
+Result<PageGuard> BufferPool::NewPage() {
+  PEB_ASSIGN_OR_RETURN(PageId id, disk_->Allocate());
+  PEB_ASSIGN_OR_RETURN(size_t idx, GetVictimFrame());
+  Frame& f = *frames_[idx];
+  f.page.Clear();
+  f.id = id;
+  f.pin_count = 1;
+  f.dirty = true;  // Must reach disk even if never modified again.
+  table_[id] = idx;
+  return PageGuard(this, id, &f.page, &f.dirty);
+}
+
+Result<PageGuard> BufferPool::FetchPage(PageId id) {
+  stats_.logical_fetches++;
+  auto it = table_.find(id);
+  if (it != table_.end()) {
+    stats_.cache_hits++;
+    Frame& f = *frames_[it->second];
+    if (f.in_lru) {
+      lru_.erase(f.lru_pos);
+      f.in_lru = false;
+    }
+    f.pin_count++;
+    return PageGuard(this, id, &f.page, &f.dirty);
+  }
+  PEB_ASSIGN_OR_RETURN(size_t idx, GetVictimFrame());
+  Frame& f = *frames_[idx];
+  Status s = disk_->Read(id, &f.page);
+  if (!s.ok()) {
+    free_frames_.push_back(idx);
+    return s;
+  }
+  stats_.physical_reads++;
+  f.id = id;
+  f.pin_count = 1;
+  f.dirty = false;
+  table_[id] = idx;
+  return PageGuard(this, id, &f.page, &f.dirty);
+}
+
+void BufferPool::Unpin(PageId id) {
+  auto it = table_.find(id);
+  if (it == table_.end()) return;
+  Frame& f = *frames_[it->second];
+  assert(f.pin_count > 0);
+  if (--f.pin_count == 0) {
+    f.lru_pos = lru_.insert(lru_.end(), it->second);
+    f.in_lru = true;
+  }
+}
+
+Status BufferPool::DeletePage(PageId id) {
+  auto it = table_.find(id);
+  if (it != table_.end()) {
+    Frame& f = *frames_[it->second];
+    if (f.pin_count > 0) {
+      return Status::InvalidArgument("DeletePage on pinned page " +
+                                     std::to_string(id));
+    }
+    if (f.in_lru) {
+      lru_.erase(f.lru_pos);
+      f.in_lru = false;
+    }
+    f.id = kInvalidPageId;
+    f.dirty = false;
+    free_frames_.push_back(it->second);
+    table_.erase(it);
+  }
+  return disk_->Free(id);
+}
+
+Status BufferPool::FlushAll() {
+  for (auto& fp : frames_) {
+    Frame& f = *fp;
+    if (f.id != kInvalidPageId && f.dirty) {
+      PEB_RETURN_NOT_OK(disk_->Write(f.id, f.page));
+      stats_.physical_writes++;
+      f.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace peb

@@ -1,0 +1,163 @@
+// BufferPool: a pin-counted LRU page cache over a DiskManager.
+//
+// The paper's experiments report I/O cost under "a 50-page LRU buffer"
+// (Section 7.1). IoStats.physical_reads is exactly that metric: the number
+// of pages fetched from disk because they were not resident.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace peb {
+
+/// Buffer pool configuration.
+struct BufferPoolOptions {
+  /// Number of page frames (the paper's default is 50).
+  size_t capacity = 50;
+};
+
+/// Counters for disk and cache traffic.
+struct IoStats {
+  uint64_t physical_reads = 0;   ///< Pages fetched from the DiskManager.
+  uint64_t physical_writes = 0;  ///< Dirty pages written back.
+  uint64_t logical_fetches = 0;  ///< FetchPage calls.
+  uint64_t cache_hits = 0;       ///< FetchPage calls served from the pool.
+
+  /// Hit ratio in [0,1]; 0 when no fetches happened.
+  double HitRatio() const {
+    return logical_fetches == 0
+               ? 0.0
+               : static_cast<double>(cache_hits) /
+                     static_cast<double>(logical_fetches);
+  }
+};
+
+class BufferPool;
+
+/// RAII pin on a buffered page. Unpins on destruction; call MarkDirty()
+/// after mutating the page bytes.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, PageId id, Page* page, bool* dirty_flag)
+      : pool_(pool), id_(id), page_(page), dirty_flag_(dirty_flag) {}
+
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  PageGuard(PageGuard&& other) noexcept { MoveFrom(other); }
+  PageGuard& operator=(PageGuard&& other) noexcept {
+    if (this != &other) {
+      Release();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+  ~PageGuard() { Release(); }
+
+  /// True iff this guard holds a pinned page.
+  bool valid() const { return page_ != nullptr; }
+  PageId id() const { return id_; }
+
+  Page* page() { return page_; }
+  const Page* page() const { return page_; }
+
+  /// Marks the underlying frame dirty so eviction writes it back.
+  void MarkDirty() {
+    if (dirty_flag_ != nullptr) *dirty_flag_ = true;
+  }
+
+  /// Explicitly unpins early (idempotent).
+  void Release();
+
+ private:
+  void MoveFrom(PageGuard& other) {
+    pool_ = other.pool_;
+    id_ = other.id_;
+    page_ = other.page_;
+    dirty_flag_ = other.dirty_flag_;
+    other.pool_ = nullptr;
+    other.page_ = nullptr;
+    other.dirty_flag_ = nullptr;
+  }
+
+  BufferPool* pool_ = nullptr;
+  PageId id_ = kInvalidPageId;
+  Page* page_ = nullptr;
+  bool* dirty_flag_ = nullptr;
+};
+
+/// Pin-counted LRU buffer pool. Pinned pages are never evicted; an eviction
+/// of a dirty page writes it back first.
+class BufferPool {
+ public:
+  BufferPool(DiskManager* disk, BufferPoolOptions options = {});
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+  ~BufferPool();
+
+  /// Allocates a new page on disk and returns it pinned (and dirty).
+  Result<PageGuard> NewPage();
+
+  /// Fetches page `id`, reading it from disk on a miss. Returns it pinned.
+  Result<PageGuard> FetchPage(PageId id);
+
+  /// Frees `id` on disk. The page must not be pinned.
+  Status DeletePage(PageId id);
+
+  /// Writes back all dirty frames (does not evict).
+  Status FlushAll();
+
+  /// Cumulative traffic counters.
+  const IoStats& stats() const { return stats_; }
+
+  /// Zeroes the traffic counters (used between experiment phases).
+  void ResetStats() { stats_ = IoStats{}; }
+
+  /// Number of frames.
+  size_t capacity() const { return frames_.size(); }
+
+  /// Number of resident pages.
+  size_t resident() const { return table_.size(); }
+
+  /// Pin count of `id`; 0 when unpinned or not resident.
+  int PinCount(PageId id) const;
+
+  DiskManager* disk() { return disk_; }
+
+ private:
+  friend class PageGuard;
+
+  struct Frame {
+    Page page;
+    PageId id = kInvalidPageId;
+    int pin_count = 0;
+    bool dirty = false;
+    /// Position in lru_ when pin_count == 0 and resident.
+    std::list<size_t>::iterator lru_pos;
+    bool in_lru = false;
+  };
+
+  void Unpin(PageId id);
+  /// Finds a frame to (re)use: a free frame, else the LRU victim.
+  Result<size_t> GetVictimFrame();
+
+  DiskManager* disk_;
+  std::vector<std::unique_ptr<Frame>> frames_;
+  std::vector<size_t> free_frames_;
+  /// Frame indices with pin_count == 0, least-recently-used first.
+  std::list<size_t> lru_;
+  std::unordered_map<PageId, size_t> table_;
+  IoStats stats_;
+};
+
+}  // namespace peb

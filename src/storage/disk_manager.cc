@@ -1,0 +1,170 @@
+#include "storage/disk_manager.h"
+
+#include <cerrno>
+#include <cstring>
+
+namespace peb {
+
+// ---------------------------------------------------------------------------
+// InMemoryDiskManager
+// ---------------------------------------------------------------------------
+
+Result<PageId> InMemoryDiskManager::Allocate() {
+  if (!free_.empty()) {
+    PageId id = free_.back();
+    free_.pop_back();
+    freed_[id] = false;
+    pages_[id]->Clear();
+    return id;
+  }
+  PageId id = static_cast<PageId>(pages_.size());
+  auto page = std::make_unique<Page>();
+  page->Clear();
+  pages_.push_back(std::move(page));
+  freed_.push_back(false);
+  return id;
+}
+
+Status InMemoryDiskManager::CheckLive(PageId id) const {
+  if (id >= pages_.size()) {
+    return Status::OutOfRange("page id " + std::to_string(id) +
+                              " >= capacity " + std::to_string(pages_.size()));
+  }
+  if (freed_[id]) {
+    return Status::InvalidArgument("access to freed page " + std::to_string(id));
+  }
+  return Status::OK();
+}
+
+Status InMemoryDiskManager::Free(PageId id) {
+  PEB_RETURN_NOT_OK(CheckLive(id));
+  freed_[id] = true;
+  free_.push_back(id);
+  return Status::OK();
+}
+
+Status InMemoryDiskManager::Read(PageId id, Page* out) {
+  PEB_RETURN_NOT_OK(CheckLive(id));
+  *out = *pages_[id];
+  return Status::OK();
+}
+
+Status InMemoryDiskManager::Write(PageId id, const Page& page) {
+  PEB_RETURN_NOT_OK(CheckLive(id));
+  *pages_[id] = page;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// FileDiskManager
+// ---------------------------------------------------------------------------
+
+FileDiskManager::FileDiskManager(std::string path) : path_(std::move(path)) {
+  file_ = std::fopen(path_.c_str(), "w+b");
+  if (file_ == nullptr) {
+    status_ = Status::IOError("cannot open " + path_ + ": " +
+                              std::strerror(errno));
+  }
+}
+
+FileDiskManager::~FileDiskManager() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<std::unique_ptr<FileDiskManager>> FileDiskManager::OpenExisting(
+    std::string path) {
+  // Private-constructor-free approach: construct (which truncates a fresh
+  // handle only when given "w+b"), so open manually here instead.
+  auto dm = std::unique_ptr<FileDiskManager>(new FileDiskManager());
+  dm->path_ = std::move(path);
+  dm->file_ = std::fopen(dm->path_.c_str(), "r+b");
+  if (dm->file_ == nullptr) {
+    return Status::IOError("cannot open existing " + dm->path_ + ": " +
+                           std::strerror(errno));
+  }
+  if (std::fseek(dm->file_, 0, SEEK_END) != 0) {
+    return Status::IOError("fseek to end failed for " + dm->path_);
+  }
+  long size = std::ftell(dm->file_);
+  if (size < 0) {
+    return Status::IOError("ftell failed for " + dm->path_);
+  }
+  if (static_cast<size_t>(size) % kPageSize != 0) {
+    return Status::Corruption(dm->path_ + " is not page-aligned (" +
+                              std::to_string(size) + " bytes)");
+  }
+  dm->next_page_ = static_cast<PageId>(static_cast<size_t>(size) / kPageSize);
+  dm->freed_.assign(dm->next_page_, false);
+  return dm;
+}
+
+Status FileDiskManager::CheckLive(PageId id) const {
+  if (id >= next_page_) {
+    return Status::OutOfRange("page id " + std::to_string(id) +
+                              " >= capacity " + std::to_string(next_page_));
+  }
+  if (freed_[id]) {
+    return Status::InvalidArgument("access to freed page " + std::to_string(id));
+  }
+  return Status::OK();
+}
+
+Result<PageId> FileDiskManager::Allocate() {
+  PEB_RETURN_NOT_OK(status_);
+  if (!free_.empty()) {
+    PageId id = free_.back();
+    free_.pop_back();
+    freed_[id] = false;
+    Page zero;
+    zero.Clear();
+    PEB_RETURN_NOT_OK(Write(id, zero));
+    return id;
+  }
+  PageId id = next_page_++;
+  freed_.push_back(false);
+  Page zero;
+  zero.Clear();
+  Status s = Write(id, zero);
+  if (!s.ok()) {
+    next_page_--;
+    freed_.pop_back();
+    return s;
+  }
+  return id;
+}
+
+Status FileDiskManager::Free(PageId id) {
+  PEB_RETURN_NOT_OK(status_);
+  PEB_RETURN_NOT_OK(CheckLive(id));
+  freed_[id] = true;
+  free_.push_back(id);
+  return Status::OK();
+}
+
+Status FileDiskManager::Read(PageId id, Page* out) {
+  PEB_RETURN_NOT_OK(status_);
+  PEB_RETURN_NOT_OK(CheckLive(id));
+  if (std::fseek(file_, static_cast<long>(id) * kPageSize, SEEK_SET) != 0) {
+    return Status::IOError("fseek failed for page " + std::to_string(id));
+  }
+  if (std::fread(out->data(), 1, kPageSize, file_) != kPageSize) {
+    return Status::IOError("short read for page " + std::to_string(id));
+  }
+  return Status::OK();
+}
+
+Status FileDiskManager::Write(PageId id, const Page& page) {
+  PEB_RETURN_NOT_OK(status_);
+  if (id >= next_page_) {
+    return Status::OutOfRange("write past capacity");
+  }
+  if (std::fseek(file_, static_cast<long>(id) * kPageSize, SEEK_SET) != 0) {
+    return Status::IOError("fseek failed for page " + std::to_string(id));
+  }
+  if (std::fwrite(page.data(), 1, kPageSize, file_) != kPageSize) {
+    return Status::IOError("short write for page " + std::to_string(id));
+  }
+  return Status::OK();
+}
+
+}  // namespace peb

@@ -1,0 +1,46 @@
+// Fixed-size disk pages. The paper's evaluation uses 4 KiB pages.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "common/types.h"
+
+namespace peb {
+
+/// Size of a disk page in bytes (Section 7.1: "The disk page size is set at
+/// 4K bytes").
+inline constexpr size_t kPageSize = 4096;
+
+/// Raw page payload. Typed page layouts (B+-tree nodes) are views over this.
+struct alignas(8) Page {
+  std::array<std::byte, kPageSize> bytes;
+
+  /// Zeroes the page.
+  void Clear() { bytes.fill(std::byte{0}); }
+
+  std::byte* data() { return bytes.data(); }
+  const std::byte* data() const { return bytes.data(); }
+
+  /// Reads a trivially-copyable T at byte offset `off`.
+  template <typename T>
+  T ReadAt(size_t off) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T out;
+    std::memcpy(&out, bytes.data() + off, sizeof(T));
+    return out;
+  }
+
+  /// Writes a trivially-copyable T at byte offset `off`.
+  template <typename T>
+  void WriteAt(size_t off, const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::memcpy(bytes.data() + off, &v, sizeof(T));
+  }
+};
+
+static_assert(sizeof(Page) == kPageSize);
+
+}  // namespace peb

@@ -1,0 +1,412 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "btree/btree.h"
+#include "btree/btree_traits.h"
+#include "common/rng.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace peb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Structural tests with tiny fanout (4 entries per node) to force deep
+// trees, splits, borrows, and merges quickly.
+// ---------------------------------------------------------------------------
+
+class TinyBTreeTest : public ::testing::Test {
+ protected:
+  TinyBTreeTest()
+      : pool_(&disk_, BufferPoolOptions{128}), tree_(&pool_) {}
+
+  InMemoryDiskManager disk_;
+  BufferPool pool_;
+  BTree<TinyFanoutTraits> tree_;
+};
+
+TEST_F(TinyBTreeTest, EmptyTree) {
+  EXPECT_TRUE(tree_.empty());
+  EXPECT_TRUE(tree_.Lookup(1).status().IsNotFound());
+  EXPECT_TRUE(tree_.Delete(1).IsNotFound());
+  auto it = tree_.SeekFirst();
+  ASSERT_TRUE(it.ok());
+  EXPECT_FALSE(it->Valid());
+  EXPECT_TRUE(tree_.Validate().ok());
+}
+
+TEST_F(TinyBTreeTest, SingleInsertLookup) {
+  ASSERT_TRUE(tree_.Insert(5, 50).ok());
+  auto v = tree_.Lookup(5);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 50u);
+  EXPECT_EQ(tree_.stats().num_entries, 1u);
+  EXPECT_EQ(tree_.stats().height, 1u);
+  EXPECT_TRUE(tree_.Validate().ok());
+}
+
+TEST_F(TinyBTreeTest, DuplicateInsertRejected) {
+  ASSERT_TRUE(tree_.Insert(5, 50).ok());
+  EXPECT_TRUE(tree_.Insert(5, 51).IsAlreadyExists());
+  auto v = tree_.Lookup(5);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 50u);  // Original value kept.
+}
+
+TEST_F(TinyBTreeTest, SequentialInsertGrowsHeight) {
+  for (uint64_t k = 0; k < 100; ++k) {
+    ASSERT_TRUE(tree_.Insert(k, k * 10).ok());
+    ASSERT_TRUE(tree_.Validate().ok()) << "after insert " << k;
+  }
+  EXPECT_EQ(tree_.stats().num_entries, 100u);
+  EXPECT_GE(tree_.stats().height, 3u);
+  for (uint64_t k = 0; k < 100; ++k) {
+    auto v = tree_.Lookup(k);
+    ASSERT_TRUE(v.ok()) << k;
+    EXPECT_EQ(*v, k * 10);
+  }
+}
+
+TEST_F(TinyBTreeTest, ReverseInsertAlsoBalanced) {
+  for (uint64_t k = 100; k > 0; --k) {
+    ASSERT_TRUE(tree_.Insert(k, k).ok());
+  }
+  ASSERT_TRUE(tree_.Validate().ok());
+  EXPECT_EQ(tree_.stats().num_entries, 100u);
+}
+
+TEST_F(TinyBTreeTest, DeleteToEmptyAndReuse) {
+  for (uint64_t k = 0; k < 50; ++k) ASSERT_TRUE(tree_.Insert(k, k).ok());
+  for (uint64_t k = 0; k < 50; ++k) {
+    ASSERT_TRUE(tree_.Delete(k).ok()) << k;
+    ASSERT_TRUE(tree_.Validate().ok()) << "after delete " << k;
+  }
+  EXPECT_TRUE(tree_.empty());
+  EXPECT_EQ(tree_.stats().height, 0u);
+  // Tree is usable again after complete emptying.
+  ASSERT_TRUE(tree_.Insert(7, 70).ok());
+  auto v = tree_.Lookup(7);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 70u);
+}
+
+TEST_F(TinyBTreeTest, DeleteInReverseOrder) {
+  for (uint64_t k = 0; k < 60; ++k) ASSERT_TRUE(tree_.Insert(k, k).ok());
+  for (uint64_t k = 60; k > 0; --k) {
+    ASSERT_TRUE(tree_.Delete(k - 1).ok());
+    ASSERT_TRUE(tree_.Validate().ok());
+  }
+  EXPECT_TRUE(tree_.empty());
+}
+
+TEST_F(TinyBTreeTest, DeleteMissingKeyLeavesTreeIntact) {
+  for (uint64_t k = 0; k < 20; k += 2) ASSERT_TRUE(tree_.Insert(k, k).ok());
+  EXPECT_TRUE(tree_.Delete(3).IsNotFound());
+  EXPECT_TRUE(tree_.Delete(21).IsNotFound());
+  EXPECT_EQ(tree_.stats().num_entries, 10u);
+  EXPECT_TRUE(tree_.Validate().ok());
+}
+
+TEST_F(TinyBTreeTest, IteratorWalksSortedOrder) {
+  std::vector<uint64_t> keys = {42, 7, 99, 3, 56, 12, 77, 31, 8, 64};
+  for (uint64_t k : keys) ASSERT_TRUE(tree_.Insert(k, k + 1).ok());
+  std::sort(keys.begin(), keys.end());
+
+  auto it = tree_.SeekFirst();
+  ASSERT_TRUE(it.ok());
+  std::vector<uint64_t> seen;
+  while (it->Valid()) {
+    seen.push_back(it->key());
+    EXPECT_EQ(it->value(), it->key() + 1);
+    ASSERT_TRUE(it->Next().ok());
+  }
+  EXPECT_EQ(seen, keys);
+}
+
+TEST_F(TinyBTreeTest, SeekGEFindsBoundaries) {
+  for (uint64_t k = 10; k <= 100; k += 10) {
+    ASSERT_TRUE(tree_.Insert(k, k).ok());
+  }
+  struct Case {
+    uint64_t seek;
+    uint64_t expect;
+  };
+  for (Case c : std::vector<Case>{{5, 10}, {10, 10}, {11, 20}, {95, 100},
+                                  {100, 100}}) {
+    auto it = tree_.SeekGE(c.seek);
+    ASSERT_TRUE(it.ok());
+    ASSERT_TRUE(it->Valid()) << "seek " << c.seek;
+    EXPECT_EQ(it->key(), c.expect) << "seek " << c.seek;
+  }
+  auto past = tree_.SeekGE(101);
+  ASSERT_TRUE(past.ok());
+  EXPECT_FALSE(past->Valid());
+}
+
+TEST_F(TinyBTreeTest, RangeScanAcrossLeaves) {
+  for (uint64_t k = 0; k < 200; ++k) ASSERT_TRUE(tree_.Insert(k, k).ok());
+  auto it = tree_.SeekGE(50);
+  ASSERT_TRUE(it.ok());
+  uint64_t expect = 50;
+  while (it->Valid() && it->key() <= 149) {
+    EXPECT_EQ(it->key(), expect);
+    expect++;
+    ASSERT_TRUE(it->Next().ok());
+  }
+  EXPECT_EQ(expect, 150u);
+  EXPECT_GT(it->leaves_visited(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized differential test against std::map (the core property suite).
+// ---------------------------------------------------------------------------
+
+struct FuzzParams {
+  uint64_t seed;
+  int ops;
+  uint64_t key_space;
+  double insert_bias;
+};
+
+class BTreeFuzzTest : public ::testing::TestWithParam<FuzzParams> {};
+
+TEST_P(BTreeFuzzTest, MatchesStdMapUnderRandomOps) {
+  const FuzzParams p = GetParam();
+  InMemoryDiskManager disk;
+  BufferPool pool(&disk, BufferPoolOptions{256});
+  BTree<TinyFanoutTraits> tree(&pool);
+  std::map<uint64_t, uint64_t> model;
+  Rng rng(p.seed);
+
+  for (int op = 0; op < p.ops; ++op) {
+    uint64_t key = rng.NextBelow(p.key_space);
+    if (rng.NextDouble() < p.insert_bias) {
+      uint64_t value = rng.Next64();
+      Status s = tree.Insert(key, value);
+      if (model.contains(key)) {
+        EXPECT_TRUE(s.IsAlreadyExists());
+      } else {
+        ASSERT_TRUE(s.ok());
+        model[key] = value;
+      }
+    } else {
+      Status s = tree.Delete(key);
+      if (model.contains(key)) {
+        ASSERT_TRUE(s.ok());
+        model.erase(key);
+      } else {
+        EXPECT_TRUE(s.IsNotFound());
+      }
+    }
+    if (op % 64 == 0) {
+      ASSERT_TRUE(tree.Validate().ok()) << "op " << op;
+    }
+  }
+  ASSERT_TRUE(tree.Validate().ok());
+  ASSERT_EQ(tree.stats().num_entries, model.size());
+
+  // Full-order comparison via iterator.
+  auto it = tree.SeekFirst();
+  ASSERT_TRUE(it.ok());
+  for (const auto& [k, v] : model) {
+    ASSERT_TRUE(it->Valid());
+    EXPECT_EQ(it->key(), k);
+    EXPECT_EQ(it->value(), v);
+    ASSERT_TRUE(it->Next().ok());
+  }
+  EXPECT_FALSE(it->Valid());
+
+  // Point lookups for hits and misses.
+  for (int i = 0; i < 200; ++i) {
+    uint64_t key = rng.NextBelow(p.key_space);
+    auto v = tree.Lookup(key);
+    if (model.contains(key)) {
+      ASSERT_TRUE(v.ok());
+      EXPECT_EQ(*v, model[key]);
+    } else {
+      EXPECT_TRUE(v.status().IsNotFound());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomWorkloads, BTreeFuzzTest,
+    ::testing::Values(FuzzParams{1, 2000, 500, 0.7},    // Growing.
+                      FuzzParams{2, 2000, 100, 0.5},    // Heavy collisions.
+                      FuzzParams{3, 3000, 5000, 0.6},   // Sparse keys.
+                      FuzzParams{4, 3000, 300, 0.3},    // Shrinking.
+                      FuzzParams{5, 5000, 1000, 0.5},   // Long mixed.
+                      FuzzParams{6, 1500, 16, 0.5}));   // Tiny key space.
+
+// ---------------------------------------------------------------------------
+// Full-page fanout smoke test (the production ObjectTreeTraits geometry).
+// ---------------------------------------------------------------------------
+
+TEST(ObjectBTree, CompositeKeyOrderAndCapacity) {
+  // 12-byte key + 28-byte value in a 4 KiB page.
+  EXPECT_GE(ObjectBTree::kLeafCapacity, 70u);
+  EXPECT_GE(ObjectBTree::kInternalCapacity, 250u);
+
+  InMemoryDiskManager disk;
+  BufferPool pool(&disk, BufferPoolOptions{64});
+  ObjectBTree tree(&pool);
+
+  // Same primary, different uid: both coexist and order by uid.
+  ObjectRecord rec;
+  rec.x = 1.5;
+  ASSERT_TRUE(tree.Insert({42, 7}, rec).ok());
+  rec.x = 2.5;
+  ASSERT_TRUE(tree.Insert({42, 3}, rec).ok());
+  rec.x = 3.5;
+  ASSERT_TRUE(tree.Insert({41, 9}, rec).ok());
+
+  auto it = tree.SeekFirst();
+  ASSERT_TRUE(it.ok());
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->key().primary, 41u);
+  ASSERT_TRUE(it->Next().ok());
+  EXPECT_EQ(it->key().primary, 42u);
+  EXPECT_EQ(it->key().uid, 3u);
+  ASSERT_TRUE(it->Next().ok());
+  EXPECT_EQ(it->key().uid, 7u);
+  EXPECT_DOUBLE_EQ(it->value().x, 1.5);
+}
+
+TEST(ObjectBTree, TenThousandEntriesValidate) {
+  InMemoryDiskManager disk;
+  BufferPool pool(&disk, BufferPoolOptions{64});
+  ObjectBTree tree(&pool);
+  Rng rng(77);
+  ObjectRecord rec;
+  for (int i = 0; i < 10000; ++i) {
+    CompositeKey key{rng.Next64() >> 20, static_cast<UserId>(i)};
+    rec.tu = i;
+    ASSERT_TRUE(tree.Insert(key, rec).ok());
+  }
+  EXPECT_EQ(tree.stats().num_entries, 10000u);
+  ASSERT_TRUE(tree.Validate().ok());
+  // Height should be small with ~100-entry leaves.
+  EXPECT_LE(tree.stats().height, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Bulk load
+// ---------------------------------------------------------------------------
+
+class BulkLoadTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BulkLoadTest, MatchesIncrementalBuild) {
+  size_t n = GetParam();
+  std::vector<std::pair<uint64_t, uint64_t>> entries;
+  for (size_t i = 0; i < n; ++i) entries.push_back({i * 3 + 1, i});
+
+  InMemoryDiskManager disk_a;
+  BufferPool pool_a(&disk_a, BufferPoolOptions{256});
+  BTree<TinyFanoutTraits> bulk(&pool_a);
+  ASSERT_TRUE(bulk.BulkLoad(entries).ok());
+  ASSERT_TRUE(bulk.Validate().ok()) << "n=" << n;
+  EXPECT_EQ(bulk.stats().num_entries, n);
+
+  InMemoryDiskManager disk_b;
+  BufferPool pool_b(&disk_b, BufferPoolOptions{256});
+  BTree<TinyFanoutTraits> incremental(&pool_b);
+  for (const auto& [k, v] : entries) {
+    ASSERT_TRUE(incremental.Insert(k, v).ok());
+  }
+
+  auto ita = bulk.SeekFirst();
+  auto itb = incremental.SeekFirst();
+  ASSERT_TRUE(ita.ok());
+  ASSERT_TRUE(itb.ok());
+  while (itb->Valid()) {
+    ASSERT_TRUE(ita->Valid());
+    EXPECT_EQ(ita->key(), itb->key());
+    EXPECT_EQ(ita->value(), itb->value());
+    ASSERT_TRUE(ita->Next().ok());
+    ASSERT_TRUE(itb->Next().ok());
+  }
+  EXPECT_FALSE(ita->Valid());
+  // Bulk-loaded trees pack leaves: never more leaves than incremental.
+  EXPECT_LE(bulk.stats().num_leaves, incremental.stats().num_leaves);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BulkLoadTest,
+                         ::testing::Values(0u, 1u, 3u, 4u, 5u, 8u, 9u, 16u,
+                                           17u, 100u, 1000u, 4096u));
+
+TEST(BulkLoad, SupportsMutationAfterwards) {
+  InMemoryDiskManager disk;
+  BufferPool pool(&disk, BufferPoolOptions{256});
+  BTree<TinyFanoutTraits> tree(&pool);
+  std::vector<std::pair<uint64_t, uint64_t>> entries;
+  for (uint64_t i = 0; i < 500; ++i) entries.push_back({i * 2, i});
+  ASSERT_TRUE(tree.BulkLoad(entries).ok());
+
+  // Odd keys insert into the packed tree; every second even key deletes.
+  for (uint64_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE(tree.Insert(i * 2 + 1, i).ok());
+  }
+  for (uint64_t i = 0; i < 500; i += 2) {
+    ASSERT_TRUE(tree.Delete(i * 2).ok());
+  }
+  ASSERT_TRUE(tree.Validate().ok());
+  EXPECT_EQ(tree.stats().num_entries, 750u);
+}
+
+TEST(BulkLoad, RejectsBadInput) {
+  InMemoryDiskManager disk;
+  BufferPool pool(&disk, BufferPoolOptions{64});
+  BTree<TinyFanoutTraits> tree(&pool);
+  // Not sorted.
+  EXPECT_TRUE(tree.BulkLoad({{5, 0}, {3, 0}}).IsInvalidArgument());
+  // Duplicate keys.
+  EXPECT_TRUE(tree.BulkLoad({{3, 0}, {3, 1}}).IsInvalidArgument());
+  // Non-empty tree.
+  ASSERT_TRUE(tree.Insert(1, 1).ok());
+  EXPECT_TRUE(tree.BulkLoad({{2, 0}}).IsInvalidArgument());
+}
+
+TEST(BulkLoad, FullPageFanout) {
+  InMemoryDiskManager disk;
+  BufferPool pool(&disk, BufferPoolOptions{64});
+  ObjectBTree tree(&pool);
+  std::vector<std::pair<CompositeKey, ObjectRecord>> entries;
+  for (uint32_t i = 0; i < 50000; ++i) {
+    entries.push_back({{static_cast<uint64_t>(i) * 7, i}, ObjectRecord{}});
+  }
+  ASSERT_TRUE(tree.BulkLoad(entries).ok());
+  ASSERT_TRUE(tree.Validate().ok());
+  EXPECT_EQ(tree.stats().num_entries, 50000u);
+  // Packed: ~total/leaf_capacity leaves.
+  EXPECT_LE(tree.stats().num_leaves,
+            50000 / ObjectBTree::kLeafCapacity + 2);
+}
+
+TEST(ObjectBTree, RecordRoundtripPreservesAllFields) {
+  InMemoryDiskManager disk;
+  BufferPool pool(&disk, BufferPoolOptions{16});
+  ObjectBTree tree(&pool);
+  ObjectRecord rec;
+  rec.x = 123.25;
+  rec.y = -7.5;
+  rec.vx = 0.125;
+  rec.vy = -2.75;
+  rec.tu = 9876.5432;
+  rec.pntp = 0xCAFE;
+  ASSERT_TRUE(tree.Insert({1, 2}, rec).ok());
+  auto v = tree.Lookup({1, 2});
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->x, rec.x);
+  EXPECT_EQ(v->y, rec.y);
+  EXPECT_EQ(v->vx, rec.vx);
+  EXPECT_EQ(v->vy, rec.vy);
+  EXPECT_EQ(v->tu, rec.tu);
+  EXPECT_EQ(v->pntp, rec.pntp);
+}
+
+}  // namespace
+}  // namespace peb

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "costmodel/cost_model.h"
+
+namespace peb {
+namespace {
+
+TEST(CostC1, Theta1GivesMinimumCost) {
+  CostModelInputs in;
+  in.policies_per_user = 50;
+  in.num_leaves = 600;
+  in.grouping_factor = 1.0;
+  // Np - Np^1 = 0: only the single mandatory leaf remains.
+  EXPECT_DOUBLE_EQ(CostC1(in), 1.0);
+}
+
+TEST(CostC1, Theta0GivesWorstCase) {
+  CostModelInputs in;
+  in.policies_per_user = 50;
+  in.num_leaves = 600;
+  in.grouping_factor = 0.0;
+  // Np - Np^0 = Np - 1 -> upper bound: every related user on its own leaf.
+  EXPECT_DOUBLE_EQ(CostC1(in), 50.0);
+}
+
+TEST(CostC1, MonotoneDecreasingInTheta) {
+  CostModelInputs in;
+  in.policies_per_user = 50;
+  in.num_leaves = 600;
+  double prev = 1e18;
+  for (double theta = 0.0; theta <= 1.0; theta += 0.1) {
+    in.grouping_factor = theta;
+    double c = CostC1(in);
+    EXPECT_LE(c, prev);
+    prev = c;
+  }
+}
+
+TEST(CostC1, LeafCountCapsTheBound) {
+  CostModelInputs in;
+  in.policies_per_user = 5000;
+  in.num_leaves = 100;  // Np > Nl: cost bounded by leaves, not policies.
+  in.grouping_factor = 0.0;
+  EXPECT_DOUBLE_EQ(CostC1(in), 1.0 + (100.0 - 1.0));
+}
+
+TEST(CostModel, EstimateMatchesClosedForm) {
+  CostModel m(10.0, 0.3);  // The paper's uniform-data constants.
+  CostModelInputs in;
+  in.num_users = 60000;
+  in.policies_per_user = 50;
+  in.grouping_factor = 0.7;
+  in.num_leaves = 900;
+  in.space_side = 1000;
+  double density = 60000.0 / 1e6;
+  double term = 50.0 - std::pow(50.0, 0.7);
+  EXPECT_NEAR(m.EstimateIo(in), 1.0 + (10.0 * density + 0.3) * term, 1e-9);
+}
+
+TEST(CostModel, CalibrationRecoversParameters) {
+  // Fabricate measurements from a known model, then recover it.
+  CostModel truth(7.5, 0.42);
+  CostSample s1, s2;
+  s1.inputs.num_users = 20000;
+  s1.inputs.policies_per_user = 30;
+  s1.inputs.grouping_factor = 0.6;
+  s1.inputs.num_leaves = 300;
+  s1.measured_io = truth.EstimateIo(s1.inputs);
+  s2.inputs = s1.inputs;
+  s2.inputs.num_users = 80000;
+  s2.inputs.num_leaves = 1200;
+  s2.measured_io = truth.EstimateIo(s2.inputs);
+
+  auto fitted = CostModel::Calibrate(s1, s2);
+  ASSERT_TRUE(fitted.ok());
+  EXPECT_NEAR(fitted->a1(), 7.5, 1e-9);
+  EXPECT_NEAR(fitted->a2(), 0.42, 1e-9);
+}
+
+TEST(CostModel, CalibrationRejectsDegenerateSamples) {
+  CostSample s1, s2;
+  s1.inputs.num_users = 60000;
+  s1.measured_io = 10;
+  s2.inputs.num_users = 60000;  // Same density: singular system.
+  s2.measured_io = 12;
+  EXPECT_FALSE(CostModel::Calibrate(s1, s2).ok());
+
+  CostSample g1 = s1;
+  g1.inputs.grouping_factor = 1.0;  // Zero grouping term.
+  g1.inputs.policies_per_user = 50;
+  CostSample g2 = s2;
+  g2.inputs.num_users = 80000;
+  EXPECT_FALSE(CostModel::Calibrate(g1, g2).ok());
+}
+
+TEST(CostModel, CostGrowsWithDensityAndPolicies) {
+  CostModel m(10.0, 0.3);
+  CostModelInputs in;
+  in.policies_per_user = 50;
+  in.grouping_factor = 0.7;
+  in.num_leaves = 900;
+  in.num_users = 10000;
+  double lo = m.EstimateIo(in);
+  in.num_users = 100000;
+  double hi = m.EstimateIo(in);
+  EXPECT_GT(hi, lo);
+
+  in.policies_per_user = 10;
+  double fewer = m.EstimateIo(in);
+  in.policies_per_user = 100;
+  double more = m.EstimateIo(in);
+  EXPECT_GT(more, fewer);
+}
+
+}  // namespace
+}  // namespace peb

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "eval/runner.h"
+#include "eval/table_printer.h"
+#include "eval/workload.h"
+#include "test_util.h"
+
+namespace peb {
+namespace eval {
+namespace {
+
+WorkloadParams SmallParams(uint64_t seed = 1) {
+  WorkloadParams p;
+  p.num_users = 800;
+  p.policies_per_user = 10;
+  p.grouping_factor = 0.7;
+  p.seed = seed;
+  return p;
+}
+
+TEST(Workload, Table1DefaultsMatchThePaper) {
+  WorkloadParams p;
+  EXPECT_EQ(p.num_users, 60000u);
+  EXPECT_EQ(p.policies_per_user, 50u);
+  EXPECT_DOUBLE_EQ(p.grouping_factor, 0.7);
+  EXPECT_DOUBLE_EQ(p.space_side, 1000.0);
+  EXPECT_DOUBLE_EQ(p.max_speed, 3.0);
+  EXPECT_EQ(p.buffer_pages, 50u);
+  EXPECT_EQ(p.distribution, Distribution::kUniform);
+  QuerySetOptions q;
+  EXPECT_DOUBLE_EQ(q.window_side, 200.0);
+  EXPECT_EQ(q.k, 5u);
+  EXPECT_EQ(q.count, 200u);
+}
+
+TEST(Workload, BuildLoadsBothIndexes) {
+  Workload w = Workload::Build(SmallParams());
+  EXPECT_EQ(w.peb().size(), 800u);
+  EXPECT_EQ(w.spatial().size(), 800u);
+  EXPECT_EQ(w.dataset().objects.size(), 800u);
+  EXPECT_GT(w.preprocessing_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(w.now(), 120.0);
+  EXPECT_EQ(w.store().num_policies(), 800u * 10u);
+}
+
+TEST(Workload, BothIndexesAgreeOnPrqAndPknn) {
+  Workload w = Workload::Build(SmallParams(3));
+  QuerySetOptions q;
+  q.count = 40;
+  q.window_side = 250;
+  auto prq = MakePrqQueries(w, q);
+  EXPECT_EQ(CrossCheckPrq(w, prq), 40u);
+  auto knn = MakePknnQueries(w, q);
+  EXPECT_EQ(CrossCheckPknn(w, knn), 40u);
+}
+
+TEST(Workload, IndexesMatchBruteForceAfterBuild) {
+  Workload w = Workload::Build(SmallParams(5));
+  QuerySetOptions q;
+  q.count = 20;
+  for (const PrqQuery& query : MakePrqQueries(w, q)) {
+    auto got = w.peb().RangeQuery(query.issuer, query.range, query.tq);
+    ASSERT_TRUE(got.ok());
+    auto want = testing::BruteForcePrq(w.dataset(), w.store(), w.roles(),
+                                       query.issuer, query.range, query.tq);
+    EXPECT_EQ(*got, want);
+  }
+}
+
+TEST(Workload, UpdatesKeepIndexesConsistent) {
+  Workload w = Workload::Build(SmallParams(7));
+  ASSERT_TRUE(w.ApplyUpdates(400).ok());
+  EXPECT_EQ(w.peb().size(), 800u);
+  EXPECT_EQ(w.spatial().size(), 800u);
+  EXPECT_GT(w.now(), 120.0);
+  QuerySetOptions q;
+  q.count = 20;
+  auto prq = MakePrqQueries(w, q);
+  EXPECT_EQ(CrossCheckPrq(w, prq), 20u);
+  // And against brute force over the updated snapshot.
+  for (const PrqQuery& query : prq) {
+    auto got = w.peb().RangeQuery(query.issuer, query.range, query.tq);
+    ASSERT_TRUE(got.ok());
+    auto want = testing::BruteForcePrq(w.dataset(), w.store(), w.roles(),
+                                       query.issuer, query.range, query.tq);
+    EXPECT_EQ(*got, want);
+  }
+}
+
+TEST(Workload, NetworkDistributionBuildsAndAgrees) {
+  WorkloadParams p = SmallParams(9);
+  p.distribution = Distribution::kNetwork;
+  p.num_hubs = 25;
+  Workload w = Workload::Build(p);
+  EXPECT_EQ(w.peb().size(), 800u);
+  QuerySetOptions q;
+  q.count = 25;
+  auto prq = MakePrqQueries(w, q);
+  EXPECT_EQ(CrossCheckPrq(w, prq), 25u);
+  auto knn = MakePknnQueries(w, q);
+  EXPECT_EQ(CrossCheckPknn(w, knn), 25u);
+}
+
+TEST(Runner, BatchesProduceSaneAverages) {
+  // Large enough that the tree exceeds the 50-page buffer, so queries must
+  // do physical I/O (at 800 users everything fits in RAM and I/O is zero).
+  WorkloadParams params = SmallParams(11);
+  params.num_users = 8000;
+  params.policies_per_user = 15;
+  Workload w = Workload::Build(params);
+  QuerySetOptions q;
+  q.count = 30;
+  auto queries = MakePrqQueries(w, q);
+  RunResult peb = RunPrqBatch(w.peb(), queries);
+  RunResult spatial = RunPrqBatch(w.spatial(), queries);
+  EXPECT_GE(peb.avg_io, 0.0);
+  EXPECT_GT(spatial.avg_io, 0.0);
+  EXPECT_GT(spatial.avg_candidates, 0.0);
+  EXPECT_GE(peb.avg_probes, 1.0);
+  // The headline claim, at small scale: the PEB-tree inspects far fewer
+  // candidate entries than the spatial-filtering baseline.
+  EXPECT_LT(peb.avg_candidates, spatial.avg_candidates);
+}
+
+TEST(Runner, QueriesAreDeterministicPerSeed) {
+  Workload w = Workload::Build(SmallParams(13));
+  QuerySetOptions q;
+  q.count = 10;
+  q.seed = 5;
+  auto a = MakePrqQueries(w, q);
+  auto b = MakePrqQueries(w, q);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].issuer, b[i].issuer);
+    EXPECT_EQ(a[i].range, b[i].range);
+  }
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"N", "PEB", "Spatial"});
+  t.AddRow({"10K", "3.25", "41.50"});
+  t.AddRow({"100K", "4.00", "410.12"});
+  std::ostringstream os;
+  t.Print(os);
+  std::string s = os.str();
+  EXPECT_NE(s.find("N     PEB   Spatial"), std::string::npos);
+  EXPECT_NE(s.find("100K"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+}
+
+TEST(TablePrinterTest, FmtFormatsPrecision) {
+  EXPECT_EQ(Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Fmt(3.0, 0), "3");
+  EXPECT_EQ(Fmt(1234.5, 1), "1234.5");
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace peb

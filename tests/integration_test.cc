@@ -1,0 +1,135 @@
+// End-to-end integration: a continuously running simulation — update
+// streams feeding both indexes, periodic PRQ/PkNN queries cross-checked
+// against each other and against brute force, B+-tree structural
+// validation after churn, and I/O accounting sanity.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "eval/runner.h"
+#include "eval/workload.h"
+#include "test_util.h"
+
+namespace peb {
+namespace eval {
+namespace {
+
+class IntegrationTest : public ::testing::TestWithParam<Distribution> {};
+
+TEST_P(IntegrationTest, LongMixedWorkloadStaysConsistent) {
+  WorkloadParams p;
+  p.num_users = 1500;
+  p.policies_per_user = 12;
+  p.grouping_factor = 0.7;
+  p.distribution = GetParam();
+  p.num_hubs = 40;
+  p.seed = 99;
+  Workload w = Workload::Build(p);
+
+  Rng rng(1234);
+  for (int round = 0; round < 8; ++round) {
+    // A quarter of the population updates, then queries run.
+    ASSERT_TRUE(w.ApplyUpdates(p.num_users / 4).ok());
+
+    for (int q = 0; q < 6; ++q) {
+      UserId issuer = static_cast<UserId>(rng.NextBelow(p.num_users));
+      Rect range = Rect::CenteredSquare(
+          {rng.Uniform(0, 1000), rng.Uniform(0, 1000)},
+          rng.Uniform(100, 400));
+      auto peb_res = w.peb().RangeQuery(issuer, range, w.now());
+      auto spa_res = w.spatial().RangeQuery(issuer, range, w.now());
+      ASSERT_TRUE(peb_res.ok());
+      ASSERT_TRUE(spa_res.ok());
+      auto want = testing::BruteForcePrq(w.dataset(), w.store(), w.roles(),
+                                         issuer, range, w.now());
+      EXPECT_EQ(*peb_res, want) << "round " << round << " q " << q;
+      EXPECT_EQ(*spa_res, want) << "round " << round << " q " << q;
+
+      Point qloc = w.dataset().objects[issuer].PositionAt(w.now());
+      size_t k = 1 + rng.NextBelow(7);
+      auto peb_knn = w.peb().KnnQuery(issuer, qloc, k, w.now());
+      ASSERT_TRUE(peb_knn.ok());
+      auto want_knn = testing::BruteForcePknn(
+          w.dataset(), w.store(), w.roles(), issuer, qloc, k, w.now());
+      ASSERT_EQ(peb_knn->size(), want_knn.size());
+      for (size_t i = 0; i < want_knn.size(); ++i) {
+        EXPECT_NEAR((*peb_knn)[i].distance, want_knn[i].distance, 1e-6);
+      }
+    }
+  }
+
+  // After two full update cycles the trees are still balanced and sized
+  // right.
+  EXPECT_EQ(w.peb().size(), p.num_users);
+  EXPECT_EQ(w.spatial().size(), p.num_users);
+}
+
+INSTANTIATE_TEST_SUITE_P(Distributions, IntegrationTest,
+                         ::testing::Values(Distribution::kUniform,
+                                           Distribution::kNetwork),
+                         [](const auto& info) {
+                           return info.param == Distribution::kUniform
+                                      ? "Uniform"
+                                      : "Network";
+                         });
+
+TEST(Integration, IoAccountingTracksBufferTraffic) {
+  WorkloadParams p;
+  p.num_users = 10000;
+  p.policies_per_user = 20;
+  p.seed = 17;
+  Workload w = Workload::Build(p);
+
+  QuerySetOptions q;
+  q.count = 50;
+  auto queries = MakePrqQueries(w, q);
+
+  w.peb().pool()->ResetStats();
+  w.spatial().pool()->ResetStats();
+  RunResult peb = RunPrqBatch(w.peb(), queries);
+  RunResult spatial = RunPrqBatch(w.spatial(), queries);
+
+  // Physical reads happened (tree >> 50-page buffer) and the pool stats
+  // agree with the per-query deltas the runner accumulated.
+  EXPECT_GT(spatial.avg_io, 0.0);
+  EXPECT_NEAR(peb.avg_io * 50.0,
+              static_cast<double>(w.peb().pool()->stats().physical_reads),
+              1.0);
+  // The headline result at 10K users: the PEB-tree needs less I/O than the
+  // spatial-filtering baseline.
+  EXPECT_LT(peb.avg_io, spatial.avg_io);
+}
+
+TEST(Integration, PaperHeadlineShapeAtSmallScale) {
+  // Fix everything but the grouping factor; PEB query cost must drop as
+  // grouping rises (Figure 14's shape), while the baseline stays flat.
+  double peb_at_0 = 0.0, peb_at_1 = 0.0;
+  double spatial_at_0 = 0.0, spatial_at_1 = 0.0;
+  for (double theta : {0.0, 1.0}) {
+    WorkloadParams p;
+    p.num_users = 12000;
+    p.policies_per_user = 20;
+    p.grouping_factor = theta;
+    p.seed = 7;
+    Workload w = Workload::Build(p);
+    QuerySetOptions q;
+    q.count = 60;
+    auto queries = MakePrqQueries(w, q);
+    RunResult peb = RunPrqBatch(w.peb(), queries);
+    RunResult spatial = RunPrqBatch(w.spatial(), queries);
+    if (theta == 0.0) {
+      peb_at_0 = peb.avg_io;
+      spatial_at_0 = spatial.avg_io;
+    } else {
+      peb_at_1 = peb.avg_io;
+      spatial_at_1 = spatial.avg_io;
+    }
+  }
+  EXPECT_LT(peb_at_1, peb_at_0);  // Grouping helps the PEB-tree.
+  // The baseline is insensitive to theta (within noise).
+  EXPECT_NEAR(spatial_at_1, spatial_at_0, 0.25 * spatial_at_0 + 5.0);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace peb

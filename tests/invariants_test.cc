@@ -1,0 +1,250 @@
+// Configuration-independence properties: query answers are a function of
+// the data and policies only — never of tuning knobs. The same workload is
+// indexed under sweeps of grid resolution, buffer size, SV quantization,
+// interval caps, and encoding strategy, and every configuration must
+// return byte-identical answers. Plus semantic invariants of the
+// privacy-aware query definitions themselves.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "motion/uniform_generator.h"
+#include "peb/peb_tree.h"
+#include "policy/policy_generator.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "test_util.h"
+
+namespace peb {
+namespace {
+
+struct Config {
+  uint32_t grid_bits;
+  size_t buffer_pages;
+  double sv_scale;
+  uint32_t sv_bits;
+  size_t max_intervals;
+  SequenceStrategy strategy;
+};
+
+class ConfigSweepTest : public ::testing::TestWithParam<Config> {};
+
+TEST_P(ConfigSweepTest, AnswersIndependentOfTuningKnobs) {
+  const Config cfg = GetParam();
+  const size_t users = 400;
+
+  UniformGeneratorOptions gen;
+  gen.num_objects = users;
+  gen.stagger_window = 120.0;
+  gen.seed = 31;
+  Dataset ds = GenerateUniformDataset(gen);
+  PolicyGeneratorOptions pg;
+  pg.num_users = users;
+  pg.policies_per_user = 10;
+  pg.grouping_factor = 0.6;
+  pg.seed = 32;
+  GeneratedPolicies gp = GeneratePolicies(pg);
+  CompatibilityOptions compat;
+  SvQuantizer quant(cfg.sv_scale, cfg.sv_bits);
+  auto enc = PolicyEncoding::Build(gp.store, users, compat, {}, quant,
+                                   cfg.strategy);
+
+  InMemoryDiskManager disk;
+  BufferPool pool(&disk, BufferPoolOptions{cfg.buffer_pages});
+  PebTreeOptions opt;
+  opt.index.grid_bits = cfg.grid_bits;
+  opt.index.zrange.max_intervals = cfg.max_intervals;
+  opt.sv_bits = cfg.sv_bits;
+  PebTree tree(&pool, opt, &gp.store, &gp.roles, &enc);
+  for (const auto& o : ds.objects) ASSERT_TRUE(tree.Insert(o).ok());
+
+  Rng rng(33);
+  Timestamp tq = 120.0;
+  for (int q = 0; q < 15; ++q) {
+    UserId issuer = static_cast<UserId>(rng.NextBelow(users));
+    Rect range = Rect::CenteredSquare(
+        {rng.Uniform(0, 1000), rng.Uniform(0, 1000)}, rng.Uniform(80, 500));
+    auto got = tree.RangeQuery(issuer, range, tq);
+    ASSERT_TRUE(got.ok());
+    // The oracle ignores every knob: identical answers required.
+    auto want = testing::BruteForcePrq(ds, gp.store, gp.roles, issuer, range,
+                                       tq);
+    ASSERT_EQ(*got, want) << "q=" << q;
+
+    // Semantic invariants of Definition 2:
+    for (UserId uid : *got) {
+      EXPECT_NE(uid, issuer);
+      // Every answer is in the issuer's friend list.
+      const auto& friends = enc.FriendsOf(issuer);
+      bool is_friend = false;
+      for (const auto& f : friends) is_friend |= (f.uid == uid);
+      EXPECT_TRUE(is_friend) << uid;
+    }
+
+    Point qloc = ds.objects[issuer].PositionAt(tq);
+    auto knn = tree.KnnQuery(issuer, qloc, 4, tq);
+    ASSERT_TRUE(knn.ok());
+    auto want_knn =
+        testing::BruteForcePknn(ds, gp.store, gp.roles, issuer, qloc, 4, tq);
+    ASSERT_EQ(knn->size(), want_knn.size());
+    for (size_t i = 0; i < knn->size(); ++i) {
+      EXPECT_NEAR((*knn)[i].distance, want_knn[i].distance, 1e-6);
+      if (i > 0) {
+        // Definition 3: ascending distance.
+        EXPECT_GE((*knn)[i].distance, (*knn)[i - 1].distance);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Knobs, ConfigSweepTest,
+    ::testing::Values(
+        // The default configuration.
+        Config{10, 50, 64.0, 26, 32, SequenceStrategy::kGroupOrder},
+        // Coarse and fine grids.
+        Config{6, 50, 64.0, 26, 32, SequenceStrategy::kGroupOrder},
+        Config{12, 50, 64.0, 26, 32, SequenceStrategy::kGroupOrder},
+        // Tiny and huge buffers.
+        Config{10, 4, 64.0, 26, 32, SequenceStrategy::kGroupOrder},
+        Config{10, 4096, 64.0, 26, 32, SequenceStrategy::kGroupOrder},
+        // Coarse and fine SV quantization.
+        Config{10, 50, 1.0, 12, 32, SequenceStrategy::kGroupOrder},
+        Config{10, 50, 1024.0, 26, 32, SequenceStrategy::kGroupOrder},
+        // Exact (uncapped) and heavily capped window decomposition.
+        Config{10, 50, 64.0, 26, 0, SequenceStrategy::kGroupOrder},
+        Config{10, 50, 64.0, 26, 2, SequenceStrategy::kGroupOrder},
+        // BFS encoding strategy.
+        Config{10, 50, 64.0, 26, 32, SequenceStrategy::kBfsTraversal}));
+
+TEST(QueryInvariants, PrqMonotoneInRange) {
+  // A larger window can only gain answers, never lose them.
+  const size_t users = 300;
+  UniformGeneratorOptions gen;
+  gen.num_objects = users;
+  gen.stagger_window = 120.0;
+  gen.seed = 41;
+  Dataset ds = GenerateUniformDataset(gen);
+  PolicyGeneratorOptions pg;
+  pg.num_users = users;
+  pg.policies_per_user = 12;
+  pg.seed = 42;
+  GeneratedPolicies gp = GeneratePolicies(pg);
+  CompatibilityOptions compat;
+  SvQuantizer quant(64.0, 26);
+  auto enc = PolicyEncoding::Build(gp.store, users, compat, {}, quant);
+  InMemoryDiskManager disk;
+  BufferPool pool(&disk, BufferPoolOptions{64});
+  PebTreeOptions opt;
+  opt.index.grid_bits = 8;
+  PebTree tree(&pool, opt, &gp.store, &gp.roles, &enc);
+  for (const auto& o : ds.objects) ASSERT_TRUE(tree.Insert(o).ok());
+
+  Rng rng(43);
+  for (int q = 0; q < 10; ++q) {
+    UserId issuer = static_cast<UserId>(rng.NextBelow(users));
+    Point c{rng.Uniform(0, 1000), rng.Uniform(0, 1000)};
+    std::vector<UserId> prev;
+    for (double side : {100.0, 250.0, 500.0, 1000.0, 2000.0}) {
+      auto got = tree.RangeQuery(issuer, Rect::CenteredSquare(c, side),
+                                 120.0);
+      ASSERT_TRUE(got.ok());
+      // prev ⊆ got.
+      for (UserId u : prev) {
+        EXPECT_TRUE(std::find(got->begin(), got->end(), u) != got->end())
+            << "side " << side;
+      }
+      prev = *got;
+    }
+  }
+}
+
+TEST(QueryInvariants, KnnPrefixStability) {
+  // The k-NN result is a prefix of the (k+1)-NN result.
+  const size_t users = 300;
+  UniformGeneratorOptions gen;
+  gen.num_objects = users;
+  gen.stagger_window = 120.0;
+  gen.seed = 51;
+  Dataset ds = GenerateUniformDataset(gen);
+  PolicyGeneratorOptions pg;
+  pg.num_users = users;
+  pg.policies_per_user = 15;
+  pg.seed = 52;
+  GeneratedPolicies gp = GeneratePolicies(pg);
+  CompatibilityOptions compat;
+  SvQuantizer quant(64.0, 26);
+  auto enc = PolicyEncoding::Build(gp.store, users, compat, {}, quant);
+  InMemoryDiskManager disk;
+  BufferPool pool(&disk, BufferPoolOptions{64});
+  PebTreeOptions opt;
+  opt.index.grid_bits = 8;
+  PebTree tree(&pool, opt, &gp.store, &gp.roles, &enc);
+  for (const auto& o : ds.objects) ASSERT_TRUE(tree.Insert(o).ok());
+
+  Rng rng(53);
+  for (int q = 0; q < 10; ++q) {
+    UserId issuer = static_cast<UserId>(rng.NextBelow(users));
+    Point qloc = ds.objects[issuer].PositionAt(120.0);
+    std::vector<Neighbor> prev;
+    for (size_t k = 1; k <= 6; ++k) {
+      auto got = tree.KnnQuery(issuer, qloc, k, 120.0);
+      ASSERT_TRUE(got.ok());
+      ASSERT_GE(got->size(), prev.size());
+      for (size_t i = 0; i < prev.size(); ++i) {
+        EXPECT_NEAR((*got)[i].distance, prev[i].distance, 1e-9) << "k=" << k;
+      }
+      prev = *got;
+    }
+  }
+}
+
+TEST(QueryInvariants, ResultsUnaffectedByUnrelatedChurn) {
+  // Updating users outside the issuer's friend list never changes the
+  // issuer's answer (at a fixed query time).
+  const size_t users = 200;
+  UniformGeneratorOptions gen;
+  gen.num_objects = users;
+  gen.stagger_window = 100.0;
+  gen.seed = 61;
+  Dataset ds = GenerateUniformDataset(gen);
+  PolicyGeneratorOptions pg;
+  pg.num_users = users;
+  pg.policies_per_user = 6;
+  pg.seed = 62;
+  GeneratedPolicies gp = GeneratePolicies(pg);
+  CompatibilityOptions compat;
+  SvQuantizer quant(64.0, 26);
+  auto enc = PolicyEncoding::Build(gp.store, users, compat, {}, quant);
+  InMemoryDiskManager disk;
+  BufferPool pool(&disk, BufferPoolOptions{64});
+  PebTreeOptions opt;
+  opt.index.grid_bits = 8;
+  PebTree tree(&pool, opt, &gp.store, &gp.roles, &enc);
+  for (const auto& o : ds.objects) ASSERT_TRUE(tree.Insert(o).ok());
+
+  const UserId issuer = 5;
+  std::unordered_set<UserId> friend_set;
+  for (const auto& f : enc.FriendsOf(issuer)) friend_set.insert(f.uid);
+
+  Rect range = Rect::CenteredSquare({500, 500}, 600);
+  Timestamp tq = 120.0;
+  auto before = tree.RangeQuery(issuer, range, tq);
+  ASSERT_TRUE(before.ok());
+
+  // Churn every non-friend: move them all to a corner.
+  Rng rng(63);
+  for (UserId u = 0; u < users; ++u) {
+    if (u == issuer || friend_set.contains(u)) continue;
+    MovingObject moved{u, {rng.Uniform(0, 50), rng.Uniform(0, 50)}, {0, 0},
+                       110.0};
+    ASSERT_TRUE(tree.Update(moved).ok());
+  }
+  auto after = tree.RangeQuery(issuer, range, tq);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*before, *after);
+}
+
+}  // namespace
+}  // namespace peb

@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "motion/moving_object.h"
+#include "motion/network_generator.h"
+#include "motion/uniform_generator.h"
+#include "motion/update_stream.h"
+
+namespace peb {
+namespace {
+
+TEST(MovingObject, LinearExtrapolationBothDirections) {
+  MovingObject o;
+  o.pos = {100, 200};
+  o.vel = {2, -1};
+  o.tu = 50;
+  EXPECT_EQ(o.PositionAt(50), (Point{100, 200}));
+  EXPECT_EQ(o.PositionAt(60), (Point{120, 190}));
+  EXPECT_EQ(o.PositionAt(40), (Point{80, 210}));  // Backwards in time.
+}
+
+// ---------------------------------------------------------------------------
+// Uniform generator
+// ---------------------------------------------------------------------------
+
+TEST(UniformGenerator, RespectsBoundsAndCount) {
+  UniformGeneratorOptions opt;
+  opt.num_objects = 5000;
+  opt.space_side = 1000.0;
+  opt.max_speed = 3.0;
+  opt.seed = 11;
+  Dataset ds = GenerateUniformDataset(opt);
+  ASSERT_EQ(ds.objects.size(), 5000u);
+  for (const MovingObject& o : ds.objects) {
+    EXPECT_GE(o.pos.x, 0.0);
+    EXPECT_LT(o.pos.x, 1000.0);
+    EXPECT_GE(o.pos.y, 0.0);
+    EXPECT_LT(o.pos.y, 1000.0);
+    EXPECT_LE(o.vel.Norm(), 3.0 + 1e-9);
+    EXPECT_EQ(o.tu, 0.0);
+  }
+  // Ids are dense 0..n-1.
+  EXPECT_EQ(ds.objects.front().id, 0u);
+  EXPECT_EQ(ds.objects.back().id, 4999u);
+}
+
+TEST(UniformGenerator, DeterministicPerSeed) {
+  UniformGeneratorOptions opt;
+  opt.num_objects = 100;
+  opt.seed = 5;
+  Dataset a = GenerateUniformDataset(opt);
+  Dataset b = GenerateUniformDataset(opt);
+  opt.seed = 6;
+  Dataset c = GenerateUniformDataset(opt);
+  EXPECT_EQ(a.objects[50].pos, b.objects[50].pos);
+  EXPECT_NE(a.objects[50].pos, c.objects[50].pos);
+}
+
+TEST(UniformGenerator, StaggeredUpdateTimes) {
+  UniformGeneratorOptions opt;
+  opt.num_objects = 2000;
+  opt.stagger_window = 120.0;
+  opt.seed = 8;
+  Dataset ds = GenerateUniformDataset(opt);
+  double lo = 1e9, hi = -1e9;
+  for (const MovingObject& o : ds.objects) {
+    lo = std::min(lo, o.tu);
+    hi = std::max(hi, o.tu);
+  }
+  EXPECT_GE(lo, 0.0);
+  EXPECT_LT(hi, 120.0);
+  EXPECT_GT(hi - lo, 60.0);  // Actually spread out.
+}
+
+TEST(UniformGenerator, SpeedsCoverTheRange) {
+  UniformGeneratorOptions opt;
+  opt.num_objects = 5000;
+  opt.max_speed = 3.0;
+  opt.seed = 13;
+  Dataset ds = GenerateUniformDataset(opt);
+  int slow = 0, fast = 0;
+  for (const MovingObject& o : ds.objects) {
+    double s = o.vel.Norm();
+    if (s < 1.0) slow++;
+    if (s > 2.0) fast++;
+  }
+  EXPECT_GT(slow, 500);
+  EXPECT_GT(fast, 500);
+}
+
+// ---------------------------------------------------------------------------
+// Road network / network workload
+// ---------------------------------------------------------------------------
+
+TEST(RoadNetwork, GeneratedNetworkIsConnected) {
+  for (size_t hubs : {2u, 5u, 25u, 100u, 500u}) {
+    RoadNetwork net = RoadNetwork::Generate(hubs, 1000.0, 17);
+    EXPECT_EQ(net.num_hubs(), hubs);
+    EXPECT_TRUE(net.IsConnected()) << hubs << " hubs";
+  }
+}
+
+TEST(RoadNetwork, HubsInsideSpaceAndSymmetricAdjacency) {
+  RoadNetwork net = RoadNetwork::Generate(50, 1000.0, 23);
+  for (size_t i = 0; i < net.num_hubs(); ++i) {
+    EXPECT_GE(net.hub(i).x, 0.0);
+    EXPECT_LT(net.hub(i).x, 1000.0);
+    EXPECT_FALSE(net.neighbors(i).empty());
+    for (size_t j : net.neighbors(i)) {
+      ASSERT_NE(i, j);
+      const auto& back = net.neighbors(j);
+      EXPECT_NE(std::find(back.begin(), back.end(), i), back.end());
+    }
+  }
+}
+
+TEST(NetworkWorkload, ObjectsStartOnEdgesWithGroupSpeeds) {
+  NetworkWorkloadOptions opt;
+  opt.num_objects = 2000;
+  opt.num_hubs = 50;
+  opt.seed = 3;
+  NetworkWorkload w(opt);
+  const Dataset& ds = w.initial_dataset();
+  ASSERT_EQ(ds.objects.size(), 2000u);
+  EXPECT_DOUBLE_EQ(ds.max_speed, 3.0);
+
+  std::set<double> speeds;
+  for (const MovingObject& o : ds.objects) {
+    EXPECT_GE(o.pos.x, -1e-9);
+    EXPECT_LE(o.pos.x, 1000.0 + 1e-9);
+    double s = o.vel.Norm();
+    EXPECT_LE(s, 3.0 + 1e-9);
+    speeds.insert(std::round(s * 1000) / 1000);
+  }
+  // Speeds come from {0.75, 1.5, 3} x {1, ramp factor 0.5}:
+  // {0.375, 0.75, 1.5, 3} (0.75 appears as both cruise and ramp).
+  for (double s : speeds) {
+    bool known = std::abs(s - 0.375) < 1e-6 || std::abs(s - 0.75) < 1e-6 ||
+                 std::abs(s - 1.5) < 1e-6 || std::abs(s - 3.0) < 1e-6;
+    EXPECT_TRUE(known) << "unexpected speed " << s;
+  }
+  EXPECT_GE(speeds.size(), 3u);
+}
+
+TEST(NetworkWorkload, UpdatesAdvanceAlongRoutes) {
+  NetworkWorkloadOptions opt;
+  opt.num_objects = 20;
+  opt.num_hubs = 10;
+  opt.seed = 9;
+  NetworkWorkload w(opt);
+  for (UserId id = 0; id < 20; ++id) {
+    Timestamp prev = 0.0;
+    for (int step = 0; step < 20; ++step) {
+      Timestamp next = w.NextUpdateTime(id);
+      EXPECT_GT(next, prev - 1e-9);
+      UpdateEvent ev = w.NextUpdate(id);
+      EXPECT_NEAR(ev.t, next, 1e-9);
+      EXPECT_EQ(ev.state.id, id);
+      EXPECT_EQ(ev.state.tu, ev.t);
+      // Position stays within the space (objects move hub-to-hub).
+      EXPECT_GE(ev.state.pos.x, -1e-6);
+      EXPECT_LE(ev.state.pos.x, 1000.0 + 1e-6);
+      prev = next;
+    }
+  }
+}
+
+TEST(NetworkWorkload, FewHubsMeansMoreSkew) {
+  // Spatial skew: with few hubs, objects concentrate near few locations.
+  // We measure the fraction of objects in the densest 16x16 grid cell.
+  auto max_cell_fraction = [](size_t hubs) {
+    NetworkWorkloadOptions opt;
+    opt.num_objects = 4000;
+    opt.num_hubs = hubs;
+    opt.seed = 31;
+    NetworkWorkload w(opt);
+    std::vector<int> cells(16 * 16, 0);
+    for (const MovingObject& o : w.initial_dataset().objects) {
+      int cx = std::min(15, static_cast<int>(o.pos.x / 62.5));
+      int cy = std::min(15, static_cast<int>(o.pos.y / 62.5));
+      cells[cy * 16 + cx]++;
+    }
+    return *std::max_element(cells.begin(), cells.end()) / 4000.0;
+  };
+  EXPECT_GT(max_cell_fraction(5), max_cell_fraction(500));
+}
+
+// ---------------------------------------------------------------------------
+// Update streams
+// ---------------------------------------------------------------------------
+
+TEST(ReflectIntoSpace, FoldsPositionsAndFlipsVelocity) {
+  Point p{-10, 500};
+  Point v{-1, 1};
+  ReflectIntoSpace(1000.0, &p, &v);
+  EXPECT_DOUBLE_EQ(p.x, 10.0);
+  EXPECT_DOUBLE_EQ(v.x, 1.0);  // Flipped.
+  EXPECT_DOUBLE_EQ(p.y, 500.0);
+  EXPECT_DOUBLE_EQ(v.y, 1.0);  // Unchanged.
+
+  Point q{1250, 2010};
+  Point u{2, 3};
+  ReflectIntoSpace(1000.0, &q, &u);
+  EXPECT_DOUBLE_EQ(q.x, 750.0);
+  EXPECT_DOUBLE_EQ(u.x, -2.0);
+  EXPECT_DOUBLE_EQ(q.y, 10.0);   // 2010 mod 2000 = 10, no mirror.
+  EXPECT_DOUBLE_EQ(u.y, 3.0);
+}
+
+TEST(UniformUpdateStream, EventsAreTimeOrderedAndInBounds) {
+  UniformGeneratorOptions gen;
+  gen.num_objects = 200;
+  gen.seed = 21;
+  Dataset ds = GenerateUniformDataset(gen);
+  UniformUpdateStreamOptions opt;
+  opt.max_update_interval = 120.0;
+  opt.seed = 22;
+  UniformUpdateStream stream(ds, opt);
+  Timestamp prev = -1.0;
+  for (int i = 0; i < 2000; ++i) {
+    UpdateEvent ev = stream.Next();
+    EXPECT_GE(ev.t, prev);
+    prev = ev.t;
+    EXPECT_GE(ev.state.pos.x, 0.0);
+    EXPECT_LE(ev.state.pos.x, 1000.0);
+    EXPECT_GE(ev.state.pos.y, 0.0);
+    EXPECT_LE(ev.state.pos.y, 1000.0);
+    EXPECT_EQ(ev.state.tu, ev.t);
+    EXPECT_LE(ev.state.vel.Norm(), 3.0 + 1e-9);
+  }
+}
+
+TEST(UniformUpdateStream, EveryObjectUpdatesWithinMaxInterval) {
+  UniformGeneratorOptions gen;
+  gen.num_objects = 100;
+  gen.seed = 33;
+  Dataset ds = GenerateUniformDataset(gen);
+  UniformUpdateStreamOptions opt;
+  opt.max_update_interval = 120.0;
+  opt.seed = 34;
+  UniformUpdateStream stream(ds, opt);
+  std::vector<Timestamp> last(100, 0.0);
+  for (int i = 0; i < 3000; ++i) {
+    UpdateEvent ev = stream.Next();
+    EXPECT_LE(ev.t - last[ev.state.id], 120.0 + 1e-9)
+        << "object " << ev.state.id << " violated the update contract";
+    last[ev.state.id] = ev.t;
+  }
+}
+
+TEST(NetworkUpdateStream, RespectsMaxUpdateInterval) {
+  NetworkWorkloadOptions gen;
+  gen.num_objects = 100;
+  gen.num_hubs = 20;
+  gen.seed = 41;
+  NetworkWorkload w(gen);
+  NetworkUpdateStream stream(&w, 120.0);
+  std::vector<Timestamp> last(100, 0.0);
+  Timestamp prev = -1.0;
+  for (int i = 0; i < 3000; ++i) {
+    UpdateEvent ev = stream.Next();
+    EXPECT_GE(ev.t, prev - 1e-6);
+    prev = std::max(prev, ev.t);
+    EXPECT_LE(ev.t - last[ev.state.id], 120.0 + 1e-6);
+    last[ev.state.id] = ev.t;
+  }
+}
+
+}  // namespace
+}  // namespace peb

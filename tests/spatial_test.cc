@@ -1,0 +1,398 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "spatial/geometry.h"
+#include "spatial/hilbert.h"
+#include "spatial/zcurve.h"
+#include "spatial/zrange.h"
+
+namespace peb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Geometry
+// ---------------------------------------------------------------------------
+
+TEST(Geometry, PointArithmeticAndDistance) {
+  Point a{3, 4};
+  EXPECT_DOUBLE_EQ(a.Norm(), 5.0);
+  EXPECT_DOUBLE_EQ((a - Point{0, 0}).Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.DistanceTo({3, 4}), 0.0);
+  Point sum = a + Point{1, -1};
+  EXPECT_EQ(sum, (Point{4, 3}));
+  EXPECT_EQ(a * 2.0, (Point{6, 8}));
+}
+
+TEST(Geometry, RectContainsAndArea) {
+  Rect r{{0, 0}, {10, 5}};
+  EXPECT_DOUBLE_EQ(r.Area(), 50.0);
+  EXPECT_TRUE(r.Contains({0, 0}));     // Borders inclusive.
+  EXPECT_TRUE(r.Contains({10, 5}));
+  EXPECT_FALSE(r.Contains({10.001, 5}));
+  EXPECT_FALSE(r.Contains({-0.001, 2}));
+  EXPECT_EQ(r.Center(), (Point{5, 2.5}));
+}
+
+TEST(Geometry, EmptyRectBehaves) {
+  Rect e{{5, 5}, {4, 6}};
+  EXPECT_TRUE(e.Empty());
+  EXPECT_DOUBLE_EQ(e.Area(), 0.0);
+  EXPECT_FALSE(e.Intersects(Rect::Space(10)));
+  EXPECT_DOUBLE_EQ(Rect::Space(10).OverlapArea(e), 0.0);
+}
+
+TEST(Geometry, IntersectionAndOverlap) {
+  Rect a{{0, 0}, {10, 10}};
+  Rect b{{5, 5}, {15, 15}};
+  EXPECT_TRUE(a.Intersects(b));
+  Rect i = a.Intersection(b);
+  EXPECT_EQ(i, (Rect{{5, 5}, {10, 10}}));
+  EXPECT_DOUBLE_EQ(a.OverlapArea(b), 25.0);
+  // Touching rectangles intersect with zero area.
+  Rect c{{10, 0}, {20, 10}};
+  EXPECT_TRUE(a.Intersects(c));
+  EXPECT_DOUBLE_EQ(a.OverlapArea(c), 0.0);
+  // Disjoint.
+  Rect d{{11, 11}, {12, 12}};
+  EXPECT_FALSE(a.Intersects(d));
+}
+
+TEST(Geometry, ExpandAndClamp) {
+  Rect r{{4, 4}, {6, 6}};
+  Rect e = r.Expanded(2);
+  EXPECT_EQ(e, (Rect{{2, 2}, {8, 8}}));
+  Rect d = r.ExpandedDirectional(1, 2, 3, 4);
+  EXPECT_EQ(d, (Rect{{3, 1}, {8, 10}}));
+  Rect clamped = e.ClampedTo(Rect::Space(5));
+  EXPECT_EQ(clamped, (Rect{{2, 2}, {5, 5}}));
+}
+
+TEST(Geometry, CenteredSquareAndInscribed) {
+  Rect s = Rect::CenteredSquare({10, 10}, 4);
+  EXPECT_EQ(s, (Rect{{8, 8}, {12, 12}}));
+  EXPECT_DOUBLE_EQ(s.InscribedRadius(), 2.0);
+}
+
+TEST(Geometry, MinDistanceToPoint) {
+  Rect r{{0, 0}, {10, 10}};
+  EXPECT_DOUBLE_EQ(r.MinDistanceTo({5, 5}), 0.0);   // Inside.
+  EXPECT_DOUBLE_EQ(r.MinDistanceTo({13, 5}), 3.0);  // Right of.
+  EXPECT_DOUBLE_EQ(r.MinDistanceTo({13, 14}), 5.0); // Corner (3-4-5).
+}
+
+// ---------------------------------------------------------------------------
+// Z-curve
+// ---------------------------------------------------------------------------
+
+TEST(ZCurve, KnownSmallValues) {
+  // 2x2 grid: Z order is (0,0)=0, (1,0)=1, (0,1)=2, (1,1)=3.
+  EXPECT_EQ(ZEncode(0, 0, 1), 0u);
+  EXPECT_EQ(ZEncode(1, 0, 1), 1u);
+  EXPECT_EQ(ZEncode(0, 1, 1), 2u);
+  EXPECT_EQ(ZEncode(1, 1, 1), 3u);
+}
+
+class CurveRoundtripTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(CurveRoundtripTest, ZEncodeDecodeRoundtrip) {
+  uint32_t bits = GetParam();
+  Rng rng(bits);
+  uint32_t mask = (1u << bits) - 1;
+  for (int i = 0; i < 2000; ++i) {
+    uint32_t x = static_cast<uint32_t>(rng.Next64()) & mask;
+    uint32_t y = static_cast<uint32_t>(rng.Next64()) & mask;
+    uint64_t z = ZEncode(x, y, bits);
+    EXPECT_LT(z, 1ull << (2 * bits));
+    uint32_t dx, dy;
+    ZDecode(z, bits, &dx, &dy);
+    EXPECT_EQ(dx, x);
+    EXPECT_EQ(dy, y);
+  }
+}
+
+TEST_P(CurveRoundtripTest, HilbertEncodeDecodeRoundtrip) {
+  uint32_t bits = GetParam();
+  Rng rng(bits * 31);
+  uint32_t mask = (1u << bits) - 1;
+  for (int i = 0; i < 2000; ++i) {
+    uint32_t x = static_cast<uint32_t>(rng.Next64()) & mask;
+    uint32_t y = static_cast<uint32_t>(rng.Next64()) & mask;
+    uint64_t d = HilbertEncode(x, y, bits);
+    EXPECT_LT(d, 1ull << (2 * bits));
+    uint32_t dx, dy;
+    HilbertDecode(d, bits, &dx, &dy);
+    EXPECT_EQ(dx, x);
+    EXPECT_EQ(dy, y);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BitWidths, CurveRoundtripTest,
+                         ::testing::Values(1u, 2u, 4u, 8u, 10u, 16u, 21u));
+
+TEST(ZCurve, BijectiveOnSmallGrid) {
+  const uint32_t bits = 4;
+  std::set<uint64_t> seen;
+  for (uint32_t x = 0; x < 16; ++x) {
+    for (uint32_t y = 0; y < 16; ++y) {
+      seen.insert(ZEncode(x, y, bits));
+    }
+  }
+  EXPECT_EQ(seen.size(), 256u);
+  EXPECT_EQ(*seen.rbegin(), 255u);
+}
+
+TEST(Hilbert, ConsecutiveValuesAreGridNeighbors) {
+  // The defining property of the Hilbert curve (Z-order lacks it).
+  const uint32_t bits = 5;
+  uint32_t px, py;
+  HilbertDecode(0, bits, &px, &py);
+  for (uint64_t d = 1; d < (1ull << (2 * bits)); ++d) {
+    uint32_t x, y;
+    HilbertDecode(d, bits, &x, &y);
+    uint32_t manhattan = (x > px ? x - px : px - x) +
+                         (y > py ? y - py : py - y);
+    ASSERT_EQ(manhattan, 1u) << "jump at d=" << d;
+    px = x;
+    py = y;
+  }
+}
+
+TEST(GridMapper, CellMappingAndClamping) {
+  GridMapper grid(1000.0, 3);  // 8 cells of 125 each.
+  EXPECT_EQ(grid.cells_per_side(), 8u);
+  EXPECT_DOUBLE_EQ(grid.cell_side(), 125.0);
+  EXPECT_EQ(grid.CellOf(0.0), 0u);
+  EXPECT_EQ(grid.CellOf(124.999), 0u);
+  EXPECT_EQ(grid.CellOf(125.0), 1u);
+  EXPECT_EQ(grid.CellOf(999.999), 7u);
+  // Out-of-domain clamps to border cells.
+  EXPECT_EQ(grid.CellOf(-5.0), 0u);
+  EXPECT_EQ(grid.CellOf(1000.0), 7u);
+  EXPECT_EQ(grid.CellOf(4242.0), 7u);
+}
+
+TEST(GridMapper, ZValueMatchesManualEncode) {
+  GridMapper grid(1000.0, 10);
+  Point p{333.0, 777.0};
+  EXPECT_EQ(grid.ZValueOf(p),
+            ZEncode(grid.CellOf(p.x), grid.CellOf(p.y), 10));
+}
+
+// ---------------------------------------------------------------------------
+// Window decomposition: the central property is exact coverage.
+// ---------------------------------------------------------------------------
+
+/// Checks that `intervals` cover exactly the Z values of cells inside the
+/// rectangle, are sorted, non-overlapping, and non-adjacent.
+void CheckExactCoverage(uint32_t bits, uint32_t cx_lo, uint32_t cy_lo,
+                        uint32_t cx_hi, uint32_t cy_hi,
+                        const std::vector<CurveInterval>& intervals) {
+  for (size_t i = 0; i < intervals.size(); ++i) {
+    ASSERT_LE(intervals[i].lo, intervals[i].hi);
+    if (i > 0) {
+      ASSERT_GT(intervals[i].lo, intervals[i - 1].hi + 1)
+          << "intervals must be sorted and non-adjacent";
+    }
+  }
+  auto covered = [&](uint64_t z) {
+    for (const auto& iv : intervals) {
+      if (z >= iv.lo && z <= iv.hi) return true;
+    }
+    return false;
+  };
+  for (uint64_t z = 0; z < (1ull << (2 * bits)); ++z) {
+    uint32_t x, y;
+    ZDecode(z, bits, &x, &y);
+    bool inside = x >= cx_lo && x <= cx_hi && y >= cy_lo && y <= cy_hi;
+    ASSERT_EQ(covered(z), inside) << "z=" << z << " (" << x << "," << y << ")";
+  }
+}
+
+TEST(ZRange, FullGridIsOneInterval) {
+  auto ivs = ZIntervalsForCellRange(0, 0, 7, 7, 3);
+  ASSERT_EQ(ivs.size(), 1u);
+  EXPECT_EQ(ivs[0], (CurveInterval{0, 63}));
+}
+
+TEST(ZRange, SingleCell) {
+  auto ivs = ZIntervalsForCellRange(3, 5, 3, 5, 3);
+  ASSERT_EQ(ivs.size(), 1u);
+  uint64_t z = ZEncode(3, 5, 3);
+  EXPECT_EQ(ivs[0], (CurveInterval{z, z}));
+}
+
+TEST(ZRange, EmptyRangeYieldsNothing) {
+  EXPECT_TRUE(ZIntervalsForCellRange(5, 5, 4, 5, 3).empty());
+  EXPECT_TRUE(ZIntervalsForCellRange(5, 5, 5, 4, 3).empty());
+}
+
+class ZRangeCoverageTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ZRangeCoverageTest, RandomRectsCoverExactly) {
+  const uint32_t bits = 5;  // 32x32 grid: exhaustive check is cheap.
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 25; ++trial) {
+    uint32_t x1 = static_cast<uint32_t>(rng.NextBelow(32));
+    uint32_t x2 = static_cast<uint32_t>(rng.NextBelow(32));
+    uint32_t y1 = static_cast<uint32_t>(rng.NextBelow(32));
+    uint32_t y2 = static_cast<uint32_t>(rng.NextBelow(32));
+    if (x1 > x2) std::swap(x1, x2);
+    if (y1 > y2) std::swap(y1, y2);
+    auto ivs = ZIntervalsForCellRange(x1, y1, x2, y2, bits);
+    CheckExactCoverage(bits, x1, y1, x2, y2, ivs);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ZRangeCoverageTest,
+                         ::testing::Values(101u, 202u, 303u, 404u));
+
+TEST(ZRange, CapMergesButNeverDropsCells) {
+  const uint32_t bits = 5;
+  auto exact = ZIntervalsForCellRange(3, 2, 20, 17, bits);
+  ASSERT_GT(exact.size(), 4u);
+  ZRangeOptions opts;
+  opts.max_intervals = 4;
+  auto capped = ZIntervalsForCellRange(3, 2, 20, 17, bits, opts);
+  EXPECT_LE(capped.size(), 4u);
+  // Every exact interval must be inside some capped interval (superset).
+  for (const auto& e : exact) {
+    bool contained = false;
+    for (const auto& c : capped) {
+      if (e.lo >= c.lo && e.hi <= c.hi) {
+        contained = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(contained);
+  }
+}
+
+TEST(ZRange, WindowClampedToSpace) {
+  GridMapper grid(1000.0, 5);
+  // Window hanging off the space: decomposes the clamped part only.
+  auto ivs = ZIntervalsForWindow(grid, {{-500, -500}, {100, 100}});
+  EXPECT_FALSE(ivs.empty());
+  // Fully outside: nothing.
+  EXPECT_TRUE(ZIntervalsForWindow(grid, {{2000, 2000}, {3000, 3000}}).empty());
+  // Degenerate (point) window maps to its single cell.
+  auto pt = ZIntervalsForWindow(grid, {{500, 500}, {500, 500}});
+  ASSERT_EQ(pt.size(), 1u);
+  EXPECT_EQ(pt[0].lo, pt[0].hi);
+}
+
+// ---------------------------------------------------------------------------
+// Interval subtraction
+// ---------------------------------------------------------------------------
+
+TEST(IntervalSubtract, DisjointKeepsAll) {
+  std::vector<CurveInterval> a{{0, 5}, {10, 15}};
+  std::vector<CurveInterval> b{{6, 9}, {16, 20}};
+  EXPECT_EQ(SubtractIntervals(a, b), a);
+}
+
+TEST(IntervalSubtract, FullCoverRemovesAll) {
+  std::vector<CurveInterval> a{{5, 10}};
+  std::vector<CurveInterval> b{{0, 20}};
+  EXPECT_TRUE(SubtractIntervals(a, b).empty());
+}
+
+TEST(IntervalSubtract, PartialCuts) {
+  std::vector<CurveInterval> a{{0, 10}};
+  std::vector<CurveInterval> b{{3, 5}};
+  std::vector<CurveInterval> expect{{0, 2}, {6, 10}};
+  EXPECT_EQ(SubtractIntervals(a, b), expect);
+}
+
+TEST(IntervalSubtract, MultipleCutsAcrossIntervals) {
+  std::vector<CurveInterval> a{{0, 10}, {20, 30}};
+  std::vector<CurveInterval> b{{0, 1}, {5, 22}, {29, 40}};
+  std::vector<CurveInterval> expect{{2, 4}, {23, 28}};
+  EXPECT_EQ(SubtractIntervals(a, b), expect);
+}
+
+TEST(IntervalUnion, MergesOverlapsAndAdjacency) {
+  std::vector<CurveInterval> a{{0, 5}, {10, 15}};
+  std::vector<CurveInterval> b{{6, 9}, {20, 30}};
+  // [0,5] and [6,9] are adjacent: coalesce; [10,15] adjacent to [9]...
+  std::vector<CurveInterval> expect{{0, 15}, {20, 30}};
+  EXPECT_EQ(UnionIntervals(a, b), expect);
+  EXPECT_EQ(UnionIntervals(b, a), expect);  // Commutative.
+  EXPECT_EQ(UnionIntervals(a, {}), a);
+  EXPECT_EQ(UnionIntervals({}, b), b);
+}
+
+TEST(IntervalUnion, RandomizedAgainstSetModel) {
+  Rng rng(777);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto make_sorted = [&](size_t n) {
+      std::vector<CurveInterval> ivs;
+      uint64_t cursor = 0;
+      for (size_t i = 0; i < n; ++i) {
+        uint64_t lo = cursor + rng.NextBelow(6);
+        uint64_t hi = lo + rng.NextBelow(8);
+        ivs.push_back({lo, hi});
+        cursor = hi + 2 + rng.NextBelow(4);
+      }
+      return ivs;
+    };
+    auto a = make_sorted(6);
+    auto b = make_sorted(6);
+    auto got = UnionIntervals(a, b);
+    std::set<uint64_t> want;
+    for (auto& iv : a)
+      for (uint64_t v = iv.lo; v <= iv.hi; ++v) want.insert(v);
+    for (auto& iv : b)
+      for (uint64_t v = iv.lo; v <= iv.hi; ++v) want.insert(v);
+    std::set<uint64_t> have;
+    for (size_t i = 0; i < got.size(); ++i) {
+      ASSERT_LE(got[i].lo, got[i].hi);
+      if (i > 0) {
+        ASSERT_GT(got[i].lo, got[i - 1].hi + 1);  // Coalesced.
+      }
+      for (uint64_t v = got[i].lo; v <= got[i].hi; ++v) have.insert(v);
+    }
+    EXPECT_EQ(have, want);
+  }
+}
+
+TEST(IntervalSubtract, RandomizedAgainstSetModel) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto make_sorted = [&](size_t n, uint64_t limit) {
+      std::set<uint64_t> points;
+      std::vector<CurveInterval> ivs;
+      uint64_t cursor = 0;
+      for (size_t i = 0; i < n && cursor < limit; ++i) {
+        uint64_t lo = cursor + rng.NextBelow(6);
+        uint64_t hi = lo + rng.NextBelow(8);
+        ivs.push_back({lo, hi});
+        cursor = hi + 2 + rng.NextBelow(4);
+      }
+      return ivs;
+    };
+    auto a = make_sorted(6, 200);
+    auto b = make_sorted(6, 200);
+    auto got = SubtractIntervals(a, b);
+
+    std::set<uint64_t> sa, sb;
+    for (auto& iv : a)
+      for (uint64_t v = iv.lo; v <= iv.hi; ++v) sa.insert(v);
+    for (auto& iv : b)
+      for (uint64_t v = iv.lo; v <= iv.hi; ++v) sb.insert(v);
+    std::set<uint64_t> want;
+    for (uint64_t v : sa)
+      if (!sb.contains(v)) want.insert(v);
+    std::set<uint64_t> have;
+    for (auto& iv : got) {
+      ASSERT_LE(iv.lo, iv.hi);
+      for (uint64_t v = iv.lo; v <= iv.hi; ++v) have.insert(v);
+    }
+    EXPECT_EQ(have, want);
+  }
+}
+
+}  // namespace
+}  // namespace peb

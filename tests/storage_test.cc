@@ -1,0 +1,300 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace peb {
+namespace {
+
+Page MakePage(uint64_t stamp) {
+  Page p;
+  p.Clear();
+  p.WriteAt<uint64_t>(0, stamp);
+  p.WriteAt<uint64_t>(kPageSize - 8, ~stamp);
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// DiskManager: parameterized over both implementations.
+// ---------------------------------------------------------------------------
+
+enum class DiskKind { kMemory, kFile };
+
+class DiskManagerTest : public ::testing::TestWithParam<DiskKind> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == DiskKind::kMemory) {
+      disk_ = std::make_unique<InMemoryDiskManager>();
+    } else {
+      path_ = ::testing::TempDir() + "/peb_disk_test.db";
+      auto fd = std::make_unique<FileDiskManager>(path_);
+      ASSERT_TRUE(fd->status().ok()) << fd->status();
+      disk_ = std::move(fd);
+    }
+  }
+
+  void TearDown() override {
+    disk_.reset();
+    if (!path_.empty()) std::remove(path_.c_str());
+  }
+
+  std::unique_ptr<DiskManager> disk_;
+  std::string path_;
+};
+
+TEST_P(DiskManagerTest, AllocateReadWriteRoundtrip) {
+  auto r = disk_->Allocate();
+  ASSERT_TRUE(r.ok());
+  PageId id = *r;
+  Page w = MakePage(0xDEADBEEF);
+  ASSERT_TRUE(disk_->Write(id, w).ok());
+  Page out;
+  ASSERT_TRUE(disk_->Read(id, &out).ok());
+  EXPECT_EQ(out.ReadAt<uint64_t>(0), 0xDEADBEEFull);
+  EXPECT_EQ(out.ReadAt<uint64_t>(kPageSize - 8), ~0xDEADBEEFull);
+}
+
+TEST_P(DiskManagerTest, FreshPagesAreZeroed) {
+  auto r = disk_->Allocate();
+  ASSERT_TRUE(r.ok());
+  Page out;
+  ASSERT_TRUE(disk_->Read(*r, &out).ok());
+  EXPECT_EQ(out.ReadAt<uint64_t>(0), 0u);
+  EXPECT_EQ(out.ReadAt<uint64_t>(kPageSize - 8), 0u);
+}
+
+TEST_P(DiskManagerTest, ManyPagesKeepDistinctContent) {
+  std::vector<PageId> ids;
+  for (uint64_t i = 0; i < 64; ++i) {
+    auto r = disk_->Allocate();
+    ASSERT_TRUE(r.ok());
+    ids.push_back(*r);
+    ASSERT_TRUE(disk_->Write(*r, MakePage(i)).ok());
+  }
+  for (uint64_t i = 0; i < 64; ++i) {
+    Page out;
+    ASSERT_TRUE(disk_->Read(ids[i], &out).ok());
+    EXPECT_EQ(out.ReadAt<uint64_t>(0), i);
+  }
+  EXPECT_EQ(disk_->live_pages(), 64u);
+}
+
+TEST_P(DiskManagerTest, FreeRejectsDoubleFreeAndReuse) {
+  auto r = disk_->Allocate();
+  ASSERT_TRUE(r.ok());
+  PageId id = *r;
+  ASSERT_TRUE(disk_->Free(id).ok());
+  EXPECT_FALSE(disk_->Free(id).ok());
+  Page out;
+  EXPECT_FALSE(disk_->Read(id, &out).ok());
+  // The freed slot is recycled by the next allocation, zeroed.
+  auto r2 = disk_->Allocate();
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(*r2, id);
+  ASSERT_TRUE(disk_->Read(id, &out).ok());
+  EXPECT_EQ(out.ReadAt<uint64_t>(0), 0u);
+}
+
+TEST_P(DiskManagerTest, ReadPastCapacityFails) {
+  Page out;
+  EXPECT_TRUE(disk_->Read(999, &out).IsOutOfRange());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDisks, DiskManagerTest,
+                         ::testing::Values(DiskKind::kMemory, DiskKind::kFile),
+                         [](const auto& info) {
+                           return info.param == DiskKind::kMemory ? "Memory"
+                                                                  : "File";
+                         });
+
+// ---------------------------------------------------------------------------
+// BufferPool
+// ---------------------------------------------------------------------------
+
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  void MakePool(size_t capacity) {
+    pool_ = std::make_unique<BufferPool>(&disk_, BufferPoolOptions{capacity});
+  }
+
+  /// Allocates `n` pages directly on disk, stamped with their index.
+  std::vector<PageId> Preallocate(size_t n) {
+    std::vector<PageId> ids;
+    for (size_t i = 0; i < n; ++i) {
+      auto r = disk_.Allocate();
+      EXPECT_TRUE(r.ok());
+      Page p = MakePage(i);
+      EXPECT_TRUE(disk_.Write(*r, p).ok());
+      ids.push_back(*r);
+    }
+    return ids;
+  }
+
+  InMemoryDiskManager disk_;
+  std::unique_ptr<BufferPool> pool_;
+};
+
+TEST_F(BufferPoolTest, FetchMissThenHit) {
+  MakePool(4);
+  auto ids = Preallocate(1);
+  {
+    auto g = pool_->FetchPage(ids[0]);
+    ASSERT_TRUE(g.ok());
+    EXPECT_EQ(g->page()->ReadAt<uint64_t>(0), 0u);
+  }
+  EXPECT_EQ(pool_->stats().physical_reads, 1u);
+  {
+    auto g = pool_->FetchPage(ids[0]);
+    ASSERT_TRUE(g.ok());
+  }
+  EXPECT_EQ(pool_->stats().physical_reads, 1u);  // Second fetch was a hit.
+  EXPECT_EQ(pool_->stats().cache_hits, 1u);
+  EXPECT_EQ(pool_->stats().logical_fetches, 2u);
+  EXPECT_NEAR(pool_->stats().HitRatio(), 0.5, 1e-9);
+}
+
+TEST_F(BufferPoolTest, LruEvictsLeastRecentlyUsed) {
+  MakePool(2);
+  auto ids = Preallocate(3);
+  { auto g = pool_->FetchPage(ids[0]); ASSERT_TRUE(g.ok()); }
+  { auto g = pool_->FetchPage(ids[1]); ASSERT_TRUE(g.ok()); }
+  // Touch page 0 so page 1 becomes the LRU victim.
+  { auto g = pool_->FetchPage(ids[0]); ASSERT_TRUE(g.ok()); }
+  { auto g = pool_->FetchPage(ids[2]); ASSERT_TRUE(g.ok()); }  // Evicts 1.
+  EXPECT_EQ(pool_->stats().physical_reads, 3u);
+  { auto g = pool_->FetchPage(ids[0]); ASSERT_TRUE(g.ok()); }  // Still hit.
+  EXPECT_EQ(pool_->stats().physical_reads, 3u);
+  { auto g = pool_->FetchPage(ids[1]); ASSERT_TRUE(g.ok()); }  // Miss again.
+  EXPECT_EQ(pool_->stats().physical_reads, 4u);
+}
+
+TEST_F(BufferPoolTest, DirtyPageWrittenBackOnEviction) {
+  MakePool(1);
+  auto ids = Preallocate(2);
+  {
+    auto g = pool_->FetchPage(ids[0]);
+    ASSERT_TRUE(g.ok());
+    g->page()->WriteAt<uint64_t>(0, 777);
+    g->MarkDirty();
+  }
+  { auto g = pool_->FetchPage(ids[1]); ASSERT_TRUE(g.ok()); }  // Evicts 0.
+  EXPECT_EQ(pool_->stats().physical_writes, 1u);
+  Page raw;
+  ASSERT_TRUE(disk_.Read(ids[0], &raw).ok());
+  EXPECT_EQ(raw.ReadAt<uint64_t>(0), 777u);
+}
+
+TEST_F(BufferPoolTest, CleanPageNotWrittenBack) {
+  MakePool(1);
+  auto ids = Preallocate(2);
+  { auto g = pool_->FetchPage(ids[0]); ASSERT_TRUE(g.ok()); }
+  { auto g = pool_->FetchPage(ids[1]); ASSERT_TRUE(g.ok()); }
+  EXPECT_EQ(pool_->stats().physical_writes, 0u);
+}
+
+TEST_F(BufferPoolTest, PinnedPagesAreNotEvicted) {
+  MakePool(2);
+  auto ids = Preallocate(3);
+  auto g0 = pool_->FetchPage(ids[0]);
+  ASSERT_TRUE(g0.ok());
+  auto g1 = pool_->FetchPage(ids[1]);
+  ASSERT_TRUE(g1.ok());
+  // Pool full of pinned pages: a third fetch must fail.
+  auto g2 = pool_->FetchPage(ids[2]);
+  EXPECT_TRUE(g2.status().IsResourceExhausted());
+  // Releasing one pin unblocks the fetch.
+  g1->Release();
+  auto g2b = pool_->FetchPage(ids[2]);
+  EXPECT_TRUE(g2b.ok());
+}
+
+TEST_F(BufferPoolTest, PinCountTracksGuards) {
+  MakePool(4);
+  auto ids = Preallocate(1);
+  EXPECT_EQ(pool_->PinCount(ids[0]), 0);
+  {
+    auto g1 = pool_->FetchPage(ids[0]);
+    ASSERT_TRUE(g1.ok());
+    EXPECT_EQ(pool_->PinCount(ids[0]), 1);
+    {
+      auto g2 = pool_->FetchPage(ids[0]);
+      ASSERT_TRUE(g2.ok());
+      EXPECT_EQ(pool_->PinCount(ids[0]), 2);
+    }
+    EXPECT_EQ(pool_->PinCount(ids[0]), 1);
+  }
+  EXPECT_EQ(pool_->PinCount(ids[0]), 0);
+}
+
+TEST_F(BufferPoolTest, MoveTransfersPin) {
+  MakePool(4);
+  auto ids = Preallocate(1);
+  auto g = pool_->FetchPage(ids[0]);
+  ASSERT_TRUE(g.ok());
+  PageGuard moved = std::move(*g);
+  EXPECT_TRUE(moved.valid());
+  EXPECT_FALSE(g->valid());
+  EXPECT_EQ(pool_->PinCount(ids[0]), 1);
+  moved.Release();
+  EXPECT_EQ(pool_->PinCount(ids[0]), 0);
+}
+
+TEST_F(BufferPoolTest, NewPageIsPinnedZeroedAndDirty) {
+  MakePool(2);
+  auto g = pool_->NewPage();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->page()->ReadAt<uint64_t>(0), 0u);
+  EXPECT_EQ(pool_->PinCount(g->id()), 1);
+  PageId id = g->id();
+  g->page()->WriteAt<uint64_t>(0, 42);
+  g->Release();
+  ASSERT_TRUE(pool_->FlushAll().ok());
+  Page raw;
+  ASSERT_TRUE(disk_.Read(id, &raw).ok());
+  EXPECT_EQ(raw.ReadAt<uint64_t>(0), 42u);
+}
+
+TEST_F(BufferPoolTest, DeletePageEvictsAndFrees) {
+  MakePool(2);
+  auto g = pool_->NewPage();
+  ASSERT_TRUE(g.ok());
+  PageId id = g->id();
+  EXPECT_FALSE(pool_->DeletePage(id).ok());  // Still pinned.
+  g->Release();
+  EXPECT_TRUE(pool_->DeletePage(id).ok());
+  EXPECT_FALSE(pool_->FetchPage(id).ok());  // Freed on disk.
+  EXPECT_EQ(pool_->resident(), 0u);
+}
+
+TEST_F(BufferPoolTest, ResetStatsZeroesCounters) {
+  MakePool(2);
+  auto ids = Preallocate(1);
+  { auto g = pool_->FetchPage(ids[0]); ASSERT_TRUE(g.ok()); }
+  pool_->ResetStats();
+  EXPECT_EQ(pool_->stats().physical_reads, 0u);
+  EXPECT_EQ(pool_->stats().logical_fetches, 0u);
+}
+
+TEST_F(BufferPoolTest, ScanLargerThanPoolThrashes) {
+  // Sequential scan over 3x the pool size: every fetch is a miss both
+  // passes (classic LRU sequential-flooding behavior).
+  MakePool(10);
+  auto ids = Preallocate(30);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (PageId id : ids) {
+      auto g = pool_->FetchPage(id);
+      ASSERT_TRUE(g.ok());
+    }
+  }
+  EXPECT_EQ(pool_->stats().physical_reads, 60u);
+  EXPECT_EQ(pool_->stats().cache_hits, 0u);
+}
+
+}  // namespace
+}  // namespace peb

@@ -1,0 +1,69 @@
+// Shared helpers for the test suite: brute-force reference implementations
+// of the privacy-aware queries and small workload builders.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "bxtree/privacy_index.h"
+#include "motion/moving_object.h"
+#include "policy/policy_store.h"
+#include "policy/role_registry.h"
+#include "spatial/geometry.h"
+
+namespace peb {
+namespace testing {
+
+/// Reference PRQ (Definition 2): linear scan over the dataset.
+inline std::vector<UserId> BruteForcePrq(const Dataset& dataset,
+                                         const PolicyStore& store,
+                                         const RoleRegistry& roles,
+                                         UserId issuer, const Rect& range,
+                                         Timestamp tq,
+                                         double time_domain = kDefaultTimeDomain) {
+  std::vector<UserId> out;
+  for (const MovingObject& o : dataset.objects) {
+    if (o.id == issuer) continue;
+    Point pos = o.PositionAt(tq);
+    if (range.Contains(pos) &&
+        store.Allows(o.id, issuer, pos, tq, roles, time_domain)) {
+      out.push_back(o.id);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Reference PkNN (Definition 3): linear scan + sort by distance.
+inline std::vector<Neighbor> BruteForcePknn(
+    const Dataset& dataset, const PolicyStore& store,
+    const RoleRegistry& roles, UserId issuer, const Point& qloc, size_t k,
+    Timestamp tq, double time_domain = kDefaultTimeDomain) {
+  std::vector<Neighbor> all;
+  for (const MovingObject& o : dataset.objects) {
+    if (o.id == issuer) continue;
+    Point pos = o.PositionAt(tq);
+    if (store.Allows(o.id, issuer, pos, tq, roles, time_domain)) {
+      all.push_back({o.id, pos.DistanceTo(qloc)});
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const Neighbor& a, const Neighbor& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.uid < b.uid;
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+/// An all-permitting policy: whole space, whole day.
+inline Lpp OpenPolicy(RoleId role, double space_side = 1000.0,
+                      double time_domain = kDefaultTimeDomain) {
+  Lpp p;
+  p.role = role;
+  p.locr = Rect::Space(space_side);
+  p.tint = TimeOfDayInterval::AllDay(time_domain);
+  return p;
+}
+
+}  // namespace testing
+}  // namespace peb

@@ -1,0 +1,251 @@
+// peb_shell — an interactive shell over a synthetic PEB-tree deployment.
+//
+// Generate a world, then poke at it: run privacy-aware queries as any
+// user, stream updates, inspect friend lists and index statistics. Reads
+// commands from stdin (scriptable via pipes).
+//
+//   $ ./build/tools/peb_shell
+//   peb> gen 20000 30 0.7
+//   peb> friends 42
+//   peb> prq 42 300 300 700 700
+//   peb> knn 42 500 500 5
+//   peb> update 5000
+//   peb> stats
+//   peb> quit
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "eval/runner.h"
+#include "eval/workload.h"
+
+using namespace peb;
+using namespace peb::eval;
+
+namespace {
+
+void PrintHelp() {
+  std::printf(
+      "commands:\n"
+      "  gen <users> <policies_per_user> <theta> [network <hubs>]\n"
+      "      generate a synthetic world and build both indexes\n"
+      "  prq <issuer> <x1> <y1> <x2> <y2>   privacy-aware range query\n"
+      "  knn <issuer> <x> <y> <k>           privacy-aware k nearest\n"
+      "  friends <uid>    who may ever answer uid's queries\n"
+      "  where <uid>      current position of a user\n"
+      "  update <n>       stream n updates into both indexes\n"
+      "  stats            index shapes and I/O counters\n"
+      "  compare <n>      run n random PRQs on both indexes, report I/O\n"
+      "  help | quit\n");
+}
+
+struct Shell {
+  std::unique_ptr<Workload> world;
+
+  bool EnsureWorld() {
+    if (world == nullptr) {
+      std::printf("no world yet — run: gen <users> <policies> <theta>\n");
+      return false;
+    }
+    return true;
+  }
+
+  void Gen(std::istringstream& in) {
+    WorkloadParams p;
+    std::string dist;
+    if (!(in >> p.num_users >> p.policies_per_user >> p.grouping_factor)) {
+      std::printf("usage: gen <users> <policies> <theta> [network <hubs>]\n");
+      return;
+    }
+    if (in >> dist && dist == "network") {
+      p.distribution = Distribution::kNetwork;
+      if (!(in >> p.num_hubs)) p.num_hubs = 100;
+    }
+    std::printf("building %zu users, %zu policies each, theta=%.2f...\n",
+                p.num_users, p.policies_per_user, p.grouping_factor);
+    world = std::make_unique<Workload>(Workload::Build(p));
+    std::printf("done: encoding %.2fs, now=%.1f\n",
+                world->preprocessing_seconds(), world->now());
+  }
+
+  void Prq(std::istringstream& in) {
+    if (!EnsureWorld()) return;
+    UserId issuer;
+    double x1, y1, x2, y2;
+    if (!(in >> issuer >> x1 >> y1 >> x2 >> y2)) {
+      std::printf("usage: prq <issuer> <x1> <y1> <x2> <y2>\n");
+      return;
+    }
+    uint64_t before = world->peb().pool()->stats().physical_reads;
+    auto res = world->peb().RangeQuery(issuer, {{x1, y1}, {x2, y2}},
+                                       world->now());
+    if (!res.ok()) {
+      std::printf("error: %s\n", res.status().ToString().c_str());
+      return;
+    }
+    uint64_t io = world->peb().pool()->stats().physical_reads - before;
+    std::printf("%zu visible user(s) [%llu I/O]:", res->size(),
+                static_cast<unsigned long long>(io));
+    size_t shown = 0;
+    for (UserId u : *res) {
+      if (shown++ == 20) {
+        std::printf(" ...");
+        break;
+      }
+      std::printf(" u%u", u);
+    }
+    std::printf("\n");
+  }
+
+  void Knn(std::istringstream& in) {
+    if (!EnsureWorld()) return;
+    UserId issuer;
+    double x, y;
+    size_t k;
+    if (!(in >> issuer >> x >> y >> k)) {
+      std::printf("usage: knn <issuer> <x> <y> <k>\n");
+      return;
+    }
+    auto res = world->peb().KnnQuery(issuer, {x, y}, k, world->now());
+    if (!res.ok()) {
+      std::printf("error: %s\n", res.status().ToString().c_str());
+      return;
+    }
+    for (const Neighbor& n : *res) {
+      std::printf("  u%-8u d=%.2f\n", n.uid, n.distance);
+    }
+    if (res->empty()) std::printf("  (no qualifying user)\n");
+  }
+
+  void Friends(std::istringstream& in) {
+    if (!EnsureWorld()) return;
+    UserId uid;
+    if (!(in >> uid) || uid >= world->params().num_users) {
+      std::printf("usage: friends <uid>\n");
+      return;
+    }
+    const auto& friends = world->encoding().FriendsOf(uid);
+    std::printf("%zu user(s) have policies toward u%u:", friends.size(), uid);
+    size_t shown = 0;
+    for (const FriendEntry& f : friends) {
+      if (shown++ == 20) {
+        std::printf(" ...");
+        break;
+      }
+      std::printf(" u%u(sv=%.1f)", f.uid, f.sv);
+    }
+    std::printf("\n");
+  }
+
+  void Where(std::istringstream& in) {
+    if (!EnsureWorld()) return;
+    UserId uid;
+    if (!(in >> uid)) {
+      std::printf("usage: where <uid>\n");
+      return;
+    }
+    auto obj = world->peb().GetObject(uid);
+    if (!obj.ok()) {
+      std::printf("u%u is not indexed\n", uid);
+      return;
+    }
+    Point pos = obj->PositionAt(world->now());
+    std::printf("u%u at (%.1f, %.1f), velocity (%.2f, %.2f), sv=%.2f\n", uid,
+                pos.x, pos.y, obj->vel.x, obj->vel.y,
+                world->encoding().sv(uid));
+  }
+
+  void Update(std::istringstream& in) {
+    if (!EnsureWorld()) return;
+    size_t n = 0;
+    if (!(in >> n)) {
+      std::printf("usage: update <n>\n");
+      return;
+    }
+    Status s = world->ApplyUpdates(n);
+    if (!s.ok()) {
+      std::printf("error: %s\n", s.ToString().c_str());
+      return;
+    }
+    std::printf("applied %zu updates; now=%.1f\n", n, world->now());
+  }
+
+  void Stats() {
+    if (!EnsureWorld()) return;
+    const auto& peb_stats = world->peb().tree_stats();
+    const auto& io = world->peb().pool()->stats();
+    std::printf("PEB-tree : %zu entries, %zu leaves, %zu internals, height "
+                "%zu\n", peb_stats.num_entries, peb_stats.num_leaves,
+                peb_stats.num_internals, peb_stats.height);
+    std::printf("  pool   : %llu reads, %llu writes, %.1f%% hit ratio\n",
+                static_cast<unsigned long long>(io.physical_reads),
+                static_cast<unsigned long long>(io.physical_writes),
+                100.0 * io.HitRatio());
+    const auto& spa = world->spatial().tree().tree_stats();
+    std::printf("Bx-tree  : %zu entries, %zu leaves, %zu internals, height "
+                "%zu\n", spa.num_entries, spa.num_leaves, spa.num_internals,
+                spa.height);
+  }
+
+  void Compare(std::istringstream& in) {
+    if (!EnsureWorld()) return;
+    size_t n = 0;
+    if (!(in >> n) || n == 0) {
+      std::printf("usage: compare <n>\n");
+      return;
+    }
+    QuerySetOptions q;
+    q.count = n;
+    q.seed = 1234;
+    auto queries = MakePrqQueries(*world, q);
+    world->peb().pool()->ResetStats();
+    RunResult peb = RunPrqBatch(world->peb(), queries);
+    world->spatial().pool()->ResetStats();
+    RunResult spatial = RunPrqBatch(world->spatial(), queries);
+    std::printf("PRQ over %zu queries: PEB %.2f I/O/query vs spatial %.2f "
+                "I/O/query (%.1fx)\n", n, peb.avg_io, spatial.avg_io,
+                peb.avg_io > 0 ? spatial.avg_io / peb.avg_io : 0.0);
+  }
+};
+
+}  // namespace
+
+int main() {
+  Shell shell;
+  std::printf("peb_shell — type 'help' for commands\n");
+  std::string line;
+  while (true) {
+    std::printf("peb> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    std::istringstream in(line);
+    std::string cmd;
+    if (!(in >> cmd)) continue;
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "help") {
+      PrintHelp();
+    } else if (cmd == "gen") {
+      shell.Gen(in);
+    } else if (cmd == "prq") {
+      shell.Prq(in);
+    } else if (cmd == "knn") {
+      shell.Knn(in);
+    } else if (cmd == "friends") {
+      shell.Friends(in);
+    } else if (cmd == "where") {
+      shell.Where(in);
+    } else if (cmd == "update") {
+      shell.Update(in);
+    } else if (cmd == "stats") {
+      shell.Stats();
+    } else if (cmd == "compare") {
+      shell.Compare(in);
+    } else {
+      std::printf("unknown command '%s' — try 'help'\n", cmd.c_str());
+    }
+  }
+  return 0;
+}
