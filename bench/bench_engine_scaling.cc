@@ -1,0 +1,80 @@
+// Engine scaling sweep: shard count x thread count over the Table-1
+// default uniform workload. For every cell the same PRQ/PkNN batches run
+// against a ShardedPebEngine; the table reports wall-clock per batch,
+// aggregate I/O per query (sum of per-shard buffer-pool reads, so the
+// numbers stay comparable to the paper's single-tree figures), and the
+// query-throughput speedup versus the single PEB-tree baseline.
+//
+//   PEB_BENCH_SCALE=10 ./bench_engine_scaling   # quick smoke run
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "engine/sharded_engine.h"
+
+using namespace peb;
+using namespace peb::eval;
+
+int main() {
+  unsigned cores = std::thread::hardware_concurrency();
+  std::cout << "hardware threads: " << cores << "\n";
+  if (cores < 4) {
+    std::cout << "note: shard fan-out is wall-clock parallel only across "
+                 "physical cores;\non this machine the table measures the "
+                 "engine's total work, not its parallel speedup.\n";
+  }
+  WorkloadParams p;  // Table 1 defaults.
+  p.num_users = Scaled(60000, 1000);
+  std::cout << "building workload (" << p.num_users << " users)...\n";
+  Workload w = Workload::Build(p);
+
+  QuerySetOptions q;
+  q.count = Scaled(200, 20);
+  auto prq = MakePrqQueries(w, q);
+  auto knn = MakePknnQueries(w, q);
+
+  // Single PEB-tree baseline.
+  w.peb().ResetIo();
+  RunResult ref_prq = RunPrqBatch(w.peb(), prq);
+  RunResult ref_knn = RunPknnBatch(w.peb(), knn);
+  double ref_ms = ref_prq.wall_ms + ref_knn.wall_ms;
+
+  PrintBanner(std::cout,
+              "Sharded engine scaling (uniform, Table 1 defaults, " +
+                  std::to_string(q.count) + " queries/batch)");
+  std::cout << "single PEB-tree: PRQ " << Fmt(ref_prq.wall_ms) << " ms / "
+            << Fmt(ref_prq.avg_io) << " I/O, PkNN " << Fmt(ref_knn.wall_ms)
+            << " ms / " << Fmt(ref_knn.avg_io) << " I/O\n\n";
+
+  TablePrinter table({"shards", "threads", "frames", "PRQ ms", "PRQ I/O",
+                      "PkNN ms", "PkNN I/O", "speedup"});
+  double cell_4x4_speedup = 0.0;
+  for (size_t shards : {1, 2, 4, 8}) {
+    for (size_t threads : {1, 2, 4, 8}) {
+      auto engine = MakeEngine(w, shards, threads);
+      engine->ResetIo();
+      RunResult eprq = RunPrqBatch(*engine, prq);
+      RunResult eknn = RunPknnBatch(*engine, knn);
+      double cell_ms = eprq.wall_ms + eknn.wall_ms;
+      double speedup = cell_ms > 0.0 ? ref_ms / cell_ms : 0.0;
+      if (shards == 4 && threads == 4) cell_4x4_speedup = speedup;
+      // "frames" is the real aggregate buffer size; a value above the
+      // baseline's buffer_pages means the per-shard floor inflated the
+      // cache and I/O is not directly comparable to the single tree.
+      size_t frames = engine->buffer_frames_total();
+      std::string frames_cell = std::to_string(frames) +
+                                (frames > p.buffer_pages ? "!" : "");
+      table.AddRow({std::to_string(shards), std::to_string(threads),
+                    frames_cell, Fmt(eprq.wall_ms), Fmt(eprq.avg_io),
+                    Fmt(eknn.wall_ms), Fmt(eknn.avg_io),
+                    Fmt(speedup) + "x"});
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\n(frames marked '!' exceed the baseline's "
+            << p.buffer_pages << "-page budget via the per-shard floor)\n";
+  std::cout << "4 shards / 4 threads: " << Fmt(cell_4x4_speedup)
+            << "x query-throughput vs the single PEB-tree\n";
+  return 0;
+}

@@ -62,6 +62,7 @@ class BxTree {
   const MovingIndexOptions& options() const { return options_; }
   const BTreeStats& tree_stats() const { return tree_.stats(); }
   BufferPool* pool() { return pool_; }
+  const BufferPool* pool() const { return pool_; }
   const QueryCounters& last_query() const { return counters_; }
 
   /// Current stored state of a user (for tests / the object table role).

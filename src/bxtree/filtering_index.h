@@ -34,6 +34,8 @@ class FilteringIndex final : public PrivacyAwareIndex {
   Status Delete(UserId id) override { return tree_.Delete(id); }
   size_t size() const override { return tree_.size(); }
   BufferPool* pool() override { return tree_.pool(); }
+  IoStats aggregate_io() const override { return tree_.pool()->stats(); }
+  void ResetIo() override { tree_.pool()->ResetStats(); }
   const QueryCounters& last_query() const override {
     return tree_.last_query();
   }

@@ -61,8 +61,19 @@ class PrivacyAwareIndex {
                                                  const Point& qloc, size_t k,
                                                  Timestamp tq) = 0;
 
-  /// The buffer pool serving this index (for I/O accounting).
+  /// The buffer pool serving this index (for I/O accounting). Indexes
+  /// spanning several pools (e.g. a sharded engine) return a representative
+  /// pool; use aggregate_io() for totals.
   virtual BufferPool* pool() = 0;
+
+  /// Cumulative I/O totals across every buffer pool serving this index.
+  /// For single-pool indexes this is pool()->stats(); a sharded engine sums
+  /// its per-shard pools so benchmark numbers stay comparable to the
+  /// paper's single-tree figures.
+  virtual IoStats aggregate_io() const = 0;
+
+  /// Zeroes the traffic counters of every pool serving this index.
+  virtual void ResetIo() = 0;
 
   /// Counters of the most recent query.
   virtual const QueryCounters& last_query() const = 0;

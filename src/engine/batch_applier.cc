@@ -1,0 +1,30 @@
+#include "engine/batch_applier.h"
+
+#include <vector>
+
+namespace peb {
+namespace engine {
+
+Status BatchUpdateApplier::Apply(size_t count) {
+  // A zero batch size would never drain anything; treat it as 1.
+  const size_t batch_size =
+      options_.batch_size == 0 ? 1 : options_.batch_size;
+  std::vector<UpdateEvent> batch;
+  while (count > 0) {
+    size_t n = count < batch_size ? count : batch_size;
+    batch.clear();
+    batch.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      batch.push_back(stream_->Next());
+    }
+    PEB_RETURN_NOT_OK(engine_->ApplyBatch(batch));
+    events_applied_ += n;
+    batches_applied_++;
+    last_event_time_ = batch.back().t;
+    count -= n;
+  }
+  return Status::OK();
+}
+
+}  // namespace engine
+}  // namespace peb

@@ -1,0 +1,67 @@
+#include "engine/shard_router.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace peb {
+namespace engine {
+
+namespace {
+
+/// splitmix64 finalizer: cheap, well-mixed bits even for sequential ids.
+uint64_t MixUserId(UserId uid) {
+  uint64_t z = static_cast<uint64_t>(uid) + 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+size_t HashUserRouter::ShardOf(UserId uid) const {
+  return static_cast<size_t>(MixUserId(uid) % num_shards_);
+}
+
+SvRangeRouter::SvRangeRouter(size_t num_shards,
+                             const PolicyEncoding* encoding)
+    : ShardRouter(num_shards), encoding_(encoding) {
+  assert(encoding_ != nullptr && "SvRangeRouter requires a policy encoding");
+  std::vector<uint32_t> qsv(encoding_->num_users());
+  for (size_t u = 0; u < qsv.size(); ++u) {
+    qsv[u] = encoding_->quantized_sv(static_cast<UserId>(u));
+  }
+  std::sort(qsv.begin(), qsv.end());
+  upper_.reserve(num_shards_ > 0 ? num_shards_ - 1 : 0);
+  for (size_t s = 1; s < num_shards_; ++s) {
+    if (qsv.empty()) {
+      upper_.push_back(0);
+      continue;
+    }
+    size_t cut = s * qsv.size() / num_shards_;
+    if (cut >= qsv.size()) cut = qsv.size() - 1;
+    upper_.push_back(qsv[cut]);
+  }
+}
+
+size_t SvRangeRouter::ShardOf(UserId uid) const {
+  uint32_t q = encoding_->quantized_sv(uid);
+  // First shard whose inclusive upper bound admits q; the last shard is
+  // unbounded above.
+  auto it = std::lower_bound(upper_.begin(), upper_.end(), q);
+  return static_cast<size_t>(it - upper_.begin());
+}
+
+std::unique_ptr<ShardRouter> MakeRouter(RouterPolicy policy,
+                                        size_t num_shards,
+                                        const PolicyEncoding* encoding) {
+  switch (policy) {
+    case RouterPolicy::kHashUser:
+      return std::make_unique<HashUserRouter>(num_shards);
+    case RouterPolicy::kSvRange:
+      return std::make_unique<SvRangeRouter>(num_shards, encoding);
+  }
+  return nullptr;
+}
+
+}  // namespace engine
+}  // namespace peb

@@ -1,0 +1,394 @@
+#include "engine/sharded_engine.h"
+
+#include <algorithm>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <utility>
+
+namespace peb {
+namespace engine {
+
+namespace {
+
+/// K-way merge by (distance, uid) of per-shard candidate lists — each
+/// already ascending by distance — into the engine's running verified
+/// list (kept ascending by distance).
+void KWayMergeByDistance(std::vector<const std::vector<Neighbor>*> lists,
+                         std::vector<Neighbor>* into) {
+  struct Head {
+    size_t list;
+    size_t pos;
+  };
+  auto head_less = [&lists](const Head& a, const Head& b) {
+    const Neighbor& na = (*lists[a.list])[a.pos];
+    const Neighbor& nb = (*lists[b.list])[b.pos];
+    if (na.distance != nb.distance) return na.distance > nb.distance;
+    return na.uid > nb.uid;  // Min-heap: invert.
+  };
+  std::priority_queue<Head, std::vector<Head>, decltype(head_less)> heap(
+      head_less);
+  size_t total = 0;
+  for (size_t l = 0; l < lists.size(); ++l) {
+    total += lists[l]->size();
+    if (!lists[l]->empty()) heap.push({l, 0});
+  }
+  if (total == 0) return;
+  std::vector<Neighbor> merged;
+  merged.reserve(total);
+  while (!heap.empty()) {
+    Head h = heap.top();
+    heap.pop();
+    merged.push_back((*lists[h.list])[h.pos]);
+    if (h.pos + 1 < lists[h.list]->size()) heap.push({h.list, h.pos + 1});
+  }
+  size_t mid = into->size();
+  into->insert(into->end(), merged.begin(), merged.end());
+  std::inplace_merge(into->begin(), into->begin() + mid, into->end(),
+                     [](const Neighbor& a, const Neighbor& b) {
+                       return a.distance < b.distance;
+                     });
+}
+
+/// Shared shape of LoadDataset and ApplyBatch: items already grouped by
+/// home shard are applied in order on one worker task per shard, stopping
+/// a shard's task at its first error.
+template <typename ShardPtr, typename Item, typename Apply>
+Status RouteAndApply(std::vector<ShardPtr>& shards, ThreadPool& threads,
+                     const std::vector<std::vector<const Item*>>& groups,
+                     const Apply& apply) {
+  std::vector<Status> statuses(shards.size());
+  std::vector<std::function<void()>> tasks;
+  for (size_t s = 0; s < shards.size(); ++s) {
+    if (groups[s].empty()) continue;
+    tasks.push_back([&, s] {
+      auto& shard = *shards[s];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      for (const Item* item : groups[s]) {
+        Status st = apply(*shard.tree, *item);
+        if (!st.ok()) {
+          statuses[s] = std::move(st);
+          return;
+        }
+      }
+    });
+  }
+  threads.RunAll(std::move(tasks));
+  for (Status& st : statuses) {
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+ShardedPebEngine::ShardedPebEngine(const EngineOptions& options,
+                                   const PolicyStore* store,
+                                   const RoleRegistry* roles,
+                                   const PolicyEncoding* encoding)
+    : options_(options),
+      encoding_(encoding),
+      router_(MakeRouter(options.router,
+                         options.num_shards == 0 ? 1 : options.num_shards,
+                         encoding)),
+      threads_(options.num_threads) {
+  size_t n = router_->num_shards();
+  size_t pages = options_.buffer_pages / n;
+  if (pages < options_.min_pages_per_shard) {
+    pages = options_.min_pages_per_shard;
+  }
+  shards_.reserve(n);
+  for (size_t s = 0; s < n; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->disk = std::make_unique<InMemoryDiskManager>();
+    shard->pool = std::make_unique<BufferPool>(shard->disk.get(),
+                                               BufferPoolOptions{pages});
+    shard->tree = std::make_unique<PebTree>(shard->pool.get(), options_.tree,
+                                            store, roles, encoding);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Update path
+// ---------------------------------------------------------------------------
+
+Status ShardedPebEngine::Insert(const MovingObject& object) {
+  std::unique_lock<std::shared_mutex> state_lock(state_mu_);
+  Shard& s = *shards_[router_->ShardOf(object.id)];
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.tree->Insert(object);
+}
+
+Status ShardedPebEngine::Update(const MovingObject& object) {
+  std::unique_lock<std::shared_mutex> state_lock(state_mu_);
+  Shard& s = *shards_[router_->ShardOf(object.id)];
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.tree->Update(object);
+}
+
+Status ShardedPebEngine::Delete(UserId id) {
+  std::unique_lock<std::shared_mutex> state_lock(state_mu_);
+  Shard& s = *shards_[router_->ShardOf(id)];
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.tree->Delete(id);
+}
+
+Status ShardedPebEngine::LoadDataset(const Dataset& dataset) {
+  std::unique_lock<std::shared_mutex> state_lock(state_mu_);
+  std::vector<std::vector<const MovingObject*>> groups(shards_.size());
+  for (const MovingObject& o : dataset.objects) {
+    groups[router_->ShardOf(o.id)].push_back(&o);
+  }
+  return RouteAndApply(shards_, threads_, groups,
+                       [](PebTree& tree, const MovingObject& o) {
+                         return tree.Insert(o);
+                       });
+}
+
+Status ShardedPebEngine::ApplyBatch(const std::vector<UpdateEvent>& events) {
+  std::unique_lock<std::shared_mutex> state_lock(state_mu_);
+  std::vector<std::vector<const UpdateEvent*>> groups(shards_.size());
+  for (const UpdateEvent& ev : events) {
+    groups[router_->ShardOf(ev.state.id)].push_back(&ev);
+  }
+  return RouteAndApply(shards_, threads_, groups,
+                       [](PebTree& tree, const UpdateEvent& ev) {
+                         return tree.Update(ev.state);
+                       });
+}
+
+// ---------------------------------------------------------------------------
+// Read path
+// ---------------------------------------------------------------------------
+
+size_t ShardedPebEngine::SizeLocked() const {
+  size_t total = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    total += s->tree->size();
+  }
+  return total;
+}
+
+size_t ShardedPebEngine::size() const {
+  std::shared_lock<std::shared_mutex> state_lock(state_mu_);
+  return SizeLocked();
+}
+
+BufferPool* ShardedPebEngine::pool() { return shards_[0]->pool.get(); }
+
+size_t ShardedPebEngine::buffer_frames_total() const {
+  size_t total = 0;
+  for (const auto& s : shards_) total += s->pool->capacity();
+  return total;
+}
+
+IoStats ShardedPebEngine::aggregate_io() const {
+  std::shared_lock<std::shared_mutex> state_lock(state_mu_);
+  IoStats total;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    const IoStats& st = s->pool->stats();
+    total.physical_reads += st.physical_reads;
+    total.physical_writes += st.physical_writes;
+    total.logical_fetches += st.logical_fetches;
+    total.cache_hits += st.cache_hits;
+  }
+  return total;
+}
+
+void ShardedPebEngine::ResetIo() {
+  std::shared_lock<std::shared_mutex> state_lock(state_mu_);
+  for (auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    s->pool->ResetStats();
+  }
+}
+
+std::vector<std::vector<FriendEntry>> ShardedPebEngine::PartitionFriends(
+    UserId issuer) const {
+  std::vector<std::vector<FriendEntry>> per_shard(shards_.size());
+  for (const FriendEntry& f : encoding_->FriendsOf(issuer)) {
+    per_shard[router_->ShardOf(f.uid)].push_back(f);
+  }
+  return per_shard;
+}
+
+void ShardedPebEngine::MergeCounters(const QueryCounters& shard_counters,
+                                     QueryCounters* into) {
+  into->candidates_examined += shard_counters.candidates_examined;
+  into->results += shard_counters.results;
+  into->range_probes += shard_counters.range_probes;
+  into->rounds = std::max(into->rounds, shard_counters.rounds);
+}
+
+void ShardedPebEngine::PublishCounters(const QueryCounters& counters) {
+  std::lock_guard<std::mutex> lock(counters_mu_);
+  counters_ = counters;
+}
+
+Result<std::vector<UserId>> ShardedPebEngine::RangeQuery(UserId issuer,
+                                                         const Rect& range,
+                                                         Timestamp tq) {
+  QueryCounters query_counters;
+  if (issuer >= encoding_->num_users()) {
+    return Status::InvalidArgument("issuer outside the policy encoding");
+  }
+  // Queries hold the engine state lock shared: parallel with each other,
+  // atomic with respect to update batches.
+  std::shared_lock<std::shared_mutex> state_lock(state_mu_);
+  std::vector<std::vector<FriendEntry>> per_shard = PartitionFriends(issuer);
+  SharedScanCache cache;  // One window decomposition for all shards.
+
+  struct Slot {
+    Status status;
+    std::vector<UserId> ids;
+    QueryCounters counters;
+  };
+  std::vector<Slot> slots(shards_.size());
+  std::vector<std::function<void()>> tasks;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (per_shard[s].empty()) continue;
+    tasks.push_back([this, s, issuer, &range, tq, &per_shard, &slots,
+                     &cache] {
+      Shard& shard = *shards_[s];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto r = shard.tree->RangeQueryAmong(issuer, range, tq, per_shard[s],
+                                           &cache);
+      if (r.ok()) {
+        slots[s].ids = std::move(*r);
+        slots[s].counters = shard.tree->last_query();
+      } else {
+        slots[s].status = r.status();
+      }
+    });
+  }
+  threads_.RunAll(std::move(tasks));
+
+  std::vector<UserId> merged;
+  for (Slot& slot : slots) {
+    PEB_RETURN_NOT_OK(slot.status);
+    MergeCounters(slot.counters, &query_counters);
+    merged.insert(merged.end(), slot.ids.begin(), slot.ids.end());
+  }
+  // Shards host disjoint user sets, so this is a disjoint union; the
+  // interface promises ascending user id.
+  std::sort(merged.begin(), merged.end());
+  query_counters.results = merged.size();
+  PublishCounters(query_counters);
+  return merged;
+}
+
+Result<std::vector<Neighbor>> ShardedPebEngine::KnnQuery(UserId issuer,
+                                                         const Point& qloc,
+                                                         size_t k,
+                                                         Timestamp tq) {
+  QueryCounters query_counters;
+  if (issuer >= encoding_->num_users()) {
+    return Status::InvalidArgument("issuer outside the policy encoding");
+  }
+  std::vector<Neighbor> verified;
+  if (k == 0) {
+    PublishCounters(query_counters);
+    return verified;
+  }
+  std::shared_lock<std::shared_mutex> state_lock(state_mu_);
+  std::vector<std::vector<FriendEntry>> per_shard = PartitionFriends(issuer);
+
+  // The engine drives the Figure-9 enlargement: every shard enlarges with
+  // the same per-round step (derived from the global population), scanning
+  // only its own friend rows; after each anti-diagonal the per-shard
+  // candidates are k-way merged and the search stops as soon as k verified
+  // candidates exist globally — so total scan work stays close to the
+  // single tree's instead of growing with the shard count.
+  double rq = EstimateKnnDistanceFor(SizeLocked(), k,
+                                     options_.tree.index.space_side) /
+              static_cast<double>(k);
+  SharedScanCache cache;  // One ring decomposition per round for all shards.
+
+  struct Slot {
+    std::optional<PebTree::KnnScan> scan;
+    Status status;
+    std::vector<Neighbor> fresh;
+  };
+  std::vector<Slot> slots(shards_.size());
+  size_t max_diagonals = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (per_shard[s].empty()) continue;
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    slots[s].scan.emplace(
+        shard.tree->NewKnnScan(issuer, qloc, tq, rq, per_shard[s], &cache));
+    max_diagonals = std::max(max_diagonals, slots[s].scan->max_diagonals());
+  }
+
+  bool need_vertical = false;
+  for (size_t d = 0; d < max_diagonals && !need_vertical; ++d) {
+    std::vector<std::function<void()>> tasks;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      Slot& slot = slots[s];
+      if (!slot.scan.has_value() || slot.scan->AllFound()) continue;
+      if (d >= slot.scan->max_diagonals()) continue;
+      tasks.push_back([this, s, d, &slots] {
+        Slot& sl = slots[s];
+        Shard& shard = *shards_[s];
+        std::lock_guard<std::mutex> lock(shard.mu);
+        sl.status = sl.scan->ScanDiagonal(d, &sl.fresh);
+      });
+    }
+    if (tasks.empty()) break;  // Every shard located all its friends.
+    threads_.RunAll(std::move(tasks));
+
+    std::vector<const std::vector<Neighbor>*> fresh_lists;
+    for (Slot& slot : slots) {
+      if (!slot.scan.has_value()) continue;
+      PEB_RETURN_NOT_OK(slot.status);
+      fresh_lists.push_back(&slot.fresh);
+    }
+    KWayMergeByDistance(std::move(fresh_lists), &verified);
+    for (Slot& slot : slots) slot.fresh.clear();
+    if (verified.size() >= k) need_vertical = true;
+  }
+
+  // Section 5.4's final step, fanned out: every shard with unlocated
+  // friends scans the square bounded by the global k-th distance, ruling
+  // out closer unexamined candidates. After this the merged list is exact.
+  if (need_vertical) {
+    double dk = verified[k - 1].distance;
+    std::vector<std::function<void()>> tasks;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      Slot& slot = slots[s];
+      if (!slot.scan.has_value() || slot.scan->AllFound()) continue;
+      tasks.push_back([this, s, dk, &slots] {
+        Slot& sl = slots[s];
+        Shard& shard = *shards_[s];
+        std::lock_guard<std::mutex> lock(shard.mu);
+        sl.status = sl.scan->VerticalScan(dk, &sl.fresh);
+      });
+    }
+    threads_.RunAll(std::move(tasks));
+    std::vector<const std::vector<Neighbor>*> fresh_lists;
+    for (Slot& slot : slots) {
+      if (!slot.scan.has_value()) continue;
+      PEB_RETURN_NOT_OK(slot.status);
+      fresh_lists.push_back(&slot.fresh);
+    }
+    KWayMergeByDistance(std::move(fresh_lists), &verified);
+  }
+
+  // The shard counters accumulated from NewKnnScan through the last scan.
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (!slots[s].scan.has_value()) continue;
+    std::lock_guard<std::mutex> lock(shards_[s]->mu);
+    MergeCounters(shards_[s]->tree->last_query(), &query_counters);
+  }
+
+  if (verified.size() > k) verified.resize(k);
+  query_counters.results = verified.size();
+  PublishCounters(query_counters);
+  return verified;
+}
+
+}  // namespace engine
+}  // namespace peb

@@ -1,0 +1,155 @@
+// ShardedPebEngine: a parallel query engine over N independent PEB-tree
+// shards.
+//
+// Motivated by MOIST's partitioned moving-object indexing and by velocity
+// partitioning for Bx-style trees: one logical index is split into N
+// physical PEB-trees, each with its own disk manager and LRU buffer pool.
+// A pluggable ShardRouter assigns every user to exactly one shard; inserts,
+// deletes, and updates are routed there. Queries exploit the PEB-tree's
+// query structure (per-friend SV x Z-interval scans): the issuer's friend
+// list is partitioned by home shard and each shard answers only for the
+// friends it hosts, on a fixed ThreadPool, so the total key-range probe
+// count matches the single-tree index while wall-clock drops with
+// parallelism. Per-shard candidate lists are merged into one result
+// (k-way merge by distance for PkNN).
+//
+// Results are shard-count invariant: a user qualifies for a PRQ/PkNN answer
+// in exactly one shard (their home shard), so the merged result equals the
+// single PEB-tree's answer for any shard count and router policy
+// (tests/engine_test.cc asserts this for 1, 2, 4, and 7 shards).
+//
+// Thread-safety: a per-shard mutex serializes all access to a shard's tree
+// and pool (neither is thread-safe); parallelism comes from having N
+// shards. Queries use the PebTree const read path (RangeQueryAmong /
+// KnnScan), so concurrent work on distinct shards never races. On top of
+// that, an engine-level reader-writer lock keeps every query's view
+// atomic: queries hold it shared, mutations (Insert/Update/Delete/
+// LoadDataset/ApplyBatch) hold it exclusive — so a query fanned out over
+// several lock acquisitions can never observe half an update batch, while
+// concurrent queries still proceed in parallel.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <vector>
+
+#include "bxtree/privacy_index.h"
+#include "engine/shard_router.h"
+#include "engine/thread_pool.h"
+#include "peb/peb_tree.h"
+#include "storage/disk_manager.h"
+
+namespace peb {
+namespace engine {
+
+/// Engine configuration.
+struct EngineOptions {
+  size_t num_shards = 4;
+  /// Worker threads for shard fan-out; 0 runs every shard task inline on
+  /// the calling thread (deterministic single-threaded mode).
+  size_t num_threads = 4;
+  RouterPolicy router = RouterPolicy::kHashUser;
+  /// Aggregate buffer frames, split evenly across shards (the paper's
+  /// 50-page budget by default, so aggregate I/O stays comparable to the
+  /// single-tree experiments). Each shard gets at least min_pages_per_shard
+  /// — at high shard counts that floor can raise the actual aggregate
+  /// above buffer_pages; buffer_frames_total() reports the real total so
+  /// benches can surface the inflation instead of hiding it.
+  size_t buffer_pages = 50;
+  size_t min_pages_per_shard = 8;
+  /// Per-shard PEB-tree configuration (shared by all shards).
+  PebTreeOptions tree;
+};
+
+class ShardedPebEngine final : public PrivacyAwareIndex {
+ public:
+  /// Policies, roles, and the encoding must outlive the engine (the same
+  /// contract as PebTree).
+  ShardedPebEngine(const EngineOptions& options, const PolicyStore* store,
+                   const RoleRegistry* roles, const PolicyEncoding* encoding);
+
+  // --- PrivacyAwareIndex ----------------------------------------------------
+  Status Insert(const MovingObject& object) override;
+  Status Update(const MovingObject& object) override;
+  Status Delete(UserId id) override;
+  size_t size() const override;
+  /// A representative pool (shard 0); use aggregate_io() for totals.
+  BufferPool* pool() override;
+  IoStats aggregate_io() const override;
+  void ResetIo() override;
+  /// Work counters of the most recent query. Meaningful only when queries
+  /// do not overlap — the same observer contract as the single-tree
+  /// indexes; overlapping queries still return correct results but
+  /// interleave their counter updates.
+  const QueryCounters& last_query() const override { return counters_; }
+
+  Result<std::vector<UserId>> RangeQuery(UserId issuer, const Rect& range,
+                                         Timestamp tq) override;
+  Result<std::vector<Neighbor>> KnnQuery(UserId issuer, const Point& qloc,
+                                         size_t k, Timestamp tq) override;
+
+  // --- bulk operations ------------------------------------------------------
+  /// Routes and inserts every object, loading shards in parallel.
+  Status LoadDataset(const Dataset& dataset);
+
+  /// Applies a time-ordered update batch: events are grouped by home shard
+  /// (preserving order within each group) and every shard's group is
+  /// applied on a worker thread. Per-user ordering is preserved because a
+  /// user maps to exactly one shard; cross-shard ordering within the batch
+  /// is relaxed.
+  Status ApplyBatch(const std::vector<UpdateEvent>& events);
+
+  // --- introspection --------------------------------------------------------
+  const EngineOptions& options() const { return options_; }
+  const ShardRouter& router() const { return *router_; }
+  size_t num_shards() const { return shards_.size(); }
+  /// Actual buffer frames summed over shards (>= options().buffer_pages
+  /// when the per-shard floor kicked in).
+  size_t buffer_frames_total() const;
+  ThreadPool& threads() { return threads_; }
+  /// Shard i's tree (read-only; for stats and tests).
+  const PebTree& shard_tree(size_t i) const { return *shards_[i]->tree; }
+  /// Number of users currently hosted by shard i.
+  size_t shard_size(size_t i) const { return shards_[i]->tree->size(); }
+
+ private:
+  struct Shard {
+    std::unique_ptr<InMemoryDiskManager> disk;
+    std::unique_ptr<BufferPool> pool;
+    std::unique_ptr<PebTree> tree;
+    /// Serializes all access to tree + pool.
+    mutable std::mutex mu;
+  };
+
+  /// Splits the issuer's friend list by home shard. Per-shard lists keep
+  /// the encoding's ascending (qsv, uid) order, as BuildRows requires.
+  std::vector<std::vector<FriendEntry>> PartitionFriends(UserId issuer) const;
+
+  /// size() for callers already holding state_mu_.
+  size_t SizeLocked() const;
+
+  /// Adds a finished shard query's counters into a query-local total.
+  static void MergeCounters(const QueryCounters& shard_counters,
+                            QueryCounters* into);
+
+  /// Publishes a finished query's counters as last_query().
+  void PublishCounters(const QueryCounters& counters);
+
+  EngineOptions options_;
+  const PolicyEncoding* encoding_;
+  std::unique_ptr<ShardRouter> router_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  ThreadPool threads_;
+  /// Engine-level snapshot isolation: queries shared, mutations exclusive.
+  /// Always acquired before any shard mutex; worker tasks take only shard
+  /// mutexes (the dispatching thread holds this lock for them).
+  mutable std::shared_mutex state_mu_;
+  /// Guards writes to counters_ so overlapping queries (which hold
+  /// state_mu_ only shared) never tear the struct.
+  std::mutex counters_mu_;
+  QueryCounters counters_;
+};
+
+}  // namespace engine
+}  // namespace peb

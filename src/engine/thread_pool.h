@@ -1,0 +1,120 @@
+// A small fixed-size worker pool for the sharded query engine.
+//
+// Shard fan-out needs exactly one primitive: "run these N closures, wait
+// for all of them". Tasks are plain std::function<void()>; errors propagate
+// by capture (the library is exception-free, matching the Status idiom).
+// A pool constructed with zero workers runs every task inline on the
+// submitting thread, which keeps single-threaded configurations
+// deterministic and easy to debug.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace peb {
+namespace engine {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means "inline mode" (no workers).
+  explicit ThreadPool(size_t num_threads) {
+    workers_.reserve(num_threads);
+    for (size_t i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& w : workers_) w.join();
+  }
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task. Runs it inline when the pool has no workers.
+  void Submit(std::function<void()> task) {
+    if (workers_.empty()) {
+      task();
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(std::move(task));
+    }
+    wake_.notify_one();
+  }
+
+  /// Runs every task and returns once all have completed. The calling
+  /// thread blocks (or, with no workers, executes the tasks itself).
+  void RunAll(std::vector<std::function<void()>> tasks) {
+    if (tasks.empty()) return;
+    if (workers_.empty()) {
+      for (auto& t : tasks) t();
+      return;
+    }
+    Latch latch(tasks.size());
+    for (auto& t : tasks) {
+      Submit([&latch, task = std::move(t)] {
+        task();
+        latch.CountDown();
+      });
+    }
+    latch.Wait();
+  }
+
+ private:
+  /// Minimal count-down latch (std::latch is C++20 but <latch> is spotty
+  /// on older toolchains; this is the whole of what we need).
+  class Latch {
+   public:
+    explicit Latch(size_t count) : remaining_(count) {}
+    void CountDown() {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--remaining_ == 0) done_.notify_all();
+    }
+    void Wait() {
+      std::unique_lock<std::mutex> lock(mu_);
+      done_.wait(lock, [this] { return remaining_ == 0; });
+    }
+
+   private:
+    std::mutex mu_;
+    std::condition_variable done_;
+    size_t remaining_;
+  };
+
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping_ and drained.
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace engine
+}  // namespace peb

@@ -59,10 +59,10 @@ RunResult RunPrqBatch(PrivacyAwareIndex& index,
   if (queries.empty()) return r;
   auto t0 = std::chrono::steady_clock::now();
   for (const PrqQuery& q : queries) {
-    uint64_t before = index.pool()->stats().physical_reads;
+    uint64_t before = index.aggregate_io().physical_reads;
     auto res = index.RangeQuery(q.issuer, q.range, q.tq);
     if (!res.ok()) Die("PRQ failed: " + res.status().ToString());
-    uint64_t after = index.pool()->stats().physical_reads;
+    uint64_t after = index.aggregate_io().physical_reads;
     r.avg_io += static_cast<double>(after - before);
     r.avg_candidates +=
         static_cast<double>(index.last_query().candidates_examined);
@@ -85,10 +85,10 @@ RunResult RunPknnBatch(PrivacyAwareIndex& index,
   if (queries.empty()) return r;
   auto t0 = std::chrono::steady_clock::now();
   for (const PknnQuery& q : queries) {
-    uint64_t before = index.pool()->stats().physical_reads;
+    uint64_t before = index.aggregate_io().physical_reads;
     auto res = index.KnnQuery(q.issuer, q.qloc, q.k, q.tq);
     if (!res.ok()) Die("PkNN failed: " + res.status().ToString());
-    uint64_t after = index.pool()->stats().physical_reads;
+    uint64_t after = index.aggregate_io().physical_reads;
     r.avg_io += static_cast<double>(after - before);
     r.avg_candidates +=
         static_cast<double>(index.last_query().candidates_examined);

@@ -21,7 +21,38 @@ void CheckOk(const Status& s, const char* what) {
   }
 }
 
+/// Stream options shared by Workload::Build and CloneUniformUpdateStream —
+/// one derivation, so the clone's event sequence provably matches.
+UniformUpdateStreamOptions UniformStreamOptionsFor(
+    const WorkloadParams& params) {
+  UniformUpdateStreamOptions us;
+  us.max_update_interval = params.delta_t_mu;
+  us.seed = params.seed + 0xABCD;
+  return us;
+}
+
 }  // namespace
+
+MovingIndexOptions IndexOptionsFor(const WorkloadParams& params) {
+  MovingIndexOptions idx;
+  idx.space_side = params.space_side;
+  idx.grid_bits = params.grid_bits;
+  idx.partitions.delta_t_mu = params.delta_t_mu;
+  idx.partitions.n = params.partitions_n;
+  idx.max_speed = params.max_speed;
+  idx.zrange.max_intervals = params.max_z_intervals;
+  return idx;
+}
+
+PebTreeOptions PebOptionsFor(const WorkloadParams& params) {
+  PebTreeOptions opts;
+  opts.index = IndexOptionsFor(params);
+  opts.sv_bits = params.sv_bits;
+  opts.prq_strategy = params.prq_strategy;
+  opts.knn_order = params.knn_order;
+  opts.time_domain = params.time_domain;
+  return opts;
+}
 
 Workload Workload::Build(const WorkloadParams& params) {
   Workload w;
@@ -72,25 +103,14 @@ Workload Workload::Build(const WorkloadParams& params) {
       std::chrono::duration<double>(t1 - t0).count();
 
   // --- indexes -------------------------------------------------------------
-  MovingIndexOptions idx;
-  idx.space_side = params.space_side;
-  idx.grid_bits = params.grid_bits;
-  idx.partitions.delta_t_mu = params.delta_t_mu;
-  idx.partitions.n = params.partitions_n;
-  idx.max_speed = params.max_speed;
-  idx.zrange.max_intervals = params.max_z_intervals;
+  MovingIndexOptions idx = IndexOptionsFor(params);
 
   BufferPoolOptions pool_opts;
   pool_opts.capacity = params.buffer_pages;
 
   w.peb_disk_ = std::make_unique<InMemoryDiskManager>();
   w.peb_pool_ = std::make_unique<BufferPool>(w.peb_disk_.get(), pool_opts);
-  PebTreeOptions peb_opts;
-  peb_opts.index = idx;
-  peb_opts.sv_bits = params.sv_bits;
-  peb_opts.prq_strategy = params.prq_strategy;
-  peb_opts.knn_order = params.knn_order;
-  peb_opts.time_domain = params.time_domain;
+  PebTreeOptions peb_opts = PebOptionsFor(params);
   w.peb_ = std::make_unique<PebTree>(w.peb_pool_.get(), peb_opts,
                                      w.store_.get(), w.roles_.get(),
                                      w.encoding_.get());
@@ -111,10 +131,8 @@ Workload Workload::Build(const WorkloadParams& params) {
 
   // --- update stream -------------------------------------------------------
   if (params.distribution == Distribution::kUniform) {
-    UniformUpdateStreamOptions us;
-    us.max_update_interval = params.delta_t_mu;
-    us.seed = params.seed + 0xABCD;
-    w.updates_ = std::make_unique<UniformUpdateStream>(w.dataset_, us);
+    w.updates_ = std::make_unique<UniformUpdateStream>(
+        w.dataset_, UniformStreamOptionsFor(params));
   } else {
     w.updates_ = std::make_unique<NetworkUpdateStream>(w.network_.get(),
                                                        params.delta_t_mu);
@@ -140,6 +158,30 @@ Status Workload::ApplyUpdates(size_t count) {
     PEB_RETURN_NOT_OK(ApplyNextUpdate().status());
   }
   return Status::OK();
+}
+
+std::unique_ptr<engine::ShardedPebEngine> MakeEngine(
+    const Workload& workload, size_t num_shards, size_t num_threads,
+    engine::RouterPolicy policy) {
+  const WorkloadParams& params = workload.params();
+  engine::EngineOptions opts;
+  opts.num_shards = num_shards;
+  opts.num_threads = num_threads;
+  opts.router = policy;
+  opts.buffer_pages = params.buffer_pages;
+  opts.tree = PebOptionsFor(params);
+  auto engine = std::make_unique<engine::ShardedPebEngine>(
+      opts, &workload.store(), &workload.roles(), &workload.encoding());
+  CheckOk(engine->LoadDataset(workload.dataset()), "engine load");
+  return engine;
+}
+
+std::unique_ptr<UpdateStream> CloneUniformUpdateStream(
+    const Workload& workload) {
+  const WorkloadParams& params = workload.params();
+  if (params.distribution != Distribution::kUniform) return nullptr;
+  return std::make_unique<UniformUpdateStream>(
+      workload.dataset(), UniformStreamOptionsFor(params));
 }
 
 }  // namespace eval

@@ -10,6 +10,7 @@
 #include "bxtree/filtering_index.h"
 #include "bxtree/privacy_index.h"
 #include "common/status.h"
+#include "engine/sharded_engine.h"
 #include "motion/moving_object.h"
 #include "motion/network_generator.h"
 #include "motion/update_stream.h"
@@ -47,6 +48,15 @@ struct WorkloadParams {
   SequenceStrategy sequence_strategy = SequenceStrategy::kGroupOrder;
   uint64_t seed = 1;
 };
+
+/// The MovingIndexOptions implied by Table-1 params (shared by every index
+/// a workload hosts, including engine shards).
+MovingIndexOptions IndexOptionsFor(const WorkloadParams& params);
+
+/// The PEB-tree configuration implied by Table-1 params. Workload::Build
+/// and MakeEngine both use this, so the single tree and every engine shard
+/// index identically.
+PebTreeOptions PebOptionsFor(const WorkloadParams& params);
 
 /// A built experiment: data + policies + encoding + both indexes, loaded.
 class Workload {
@@ -100,6 +110,24 @@ class Workload {
 
   std::unique_ptr<UpdateStream> updates_;
 };
+
+/// Builds a ShardedPebEngine over `workload`'s policies/encoding with the
+/// same per-shard tree configuration as its single PEB-tree, and loads the
+/// workload's current dataset into it. The engine's aggregate buffer budget
+/// is the workload's buffer_pages split across shards (subject to the
+/// engine's per-shard floor — check buffer_frames_total() for the actual
+/// aggregate at high shard counts).
+std::unique_ptr<engine::ShardedPebEngine> MakeEngine(
+    const Workload& workload, size_t num_shards, size_t num_threads,
+    engine::RouterPolicy policy = engine::RouterPolicy::kHashUser);
+
+/// A deterministic clone of the workload's update stream (same dataset
+/// snapshot, same seed), for feeding a BatchUpdateApplier the exact event
+/// sequence Workload::ApplyUpdates will consume. Uniform distribution only
+/// (returns nullptr otherwise), and the clone matches only when taken
+/// before any ApplyUpdates call on the workload.
+std::unique_ptr<UpdateStream> CloneUniformUpdateStream(
+    const Workload& workload);
 
 }  // namespace eval
 }  // namespace peb

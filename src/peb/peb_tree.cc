@@ -123,10 +123,10 @@ Status PebTree::AttachExisting(const PebTreeManifest& manifest) {
   return Status::OK();
 }
 
-std::vector<PebTree::SvRow> PebTree::BuildRows(UserId issuer) const {
+std::vector<PebTree::SvRow> PebTree::BuildRows(
+    const std::vector<FriendEntry>& friends) {
   std::vector<SvRow> rows;
-  const auto& friends = encoding_->FriendsOf(issuer);  // Ascending (qsv, uid).
-  for (const FriendEntry& f : friends) {
+  for (const FriendEntry& f : friends) {  // Ascending (qsv, uid).
     if (rows.empty() || rows.back().qsv != f.qsv) {
       rows.push_back({f.qsv, {}});
     }
@@ -147,7 +147,7 @@ Status PebTree::ScanSvInterval(uint32_t partition, uint32_t qsv, uint64_t zlo,
                                const std::unordered_set<UserId>* wanted,
                                std::unordered_set<UserId>* found,
                                std::vector<SpatialCandidate>* out,
-                               Timestamp tq) {
+                               Timestamp tq) const {
   if (zlo > zhi) return Status::OK();
   CompositeKey start = CompositeKey::Min(layout_.MakeKey(partition, qsv, zlo));
   uint64_t end_primary = layout_.MakeKey(partition, qsv, zhi);
@@ -182,20 +182,29 @@ Status PebTree::ScanSvInterval(uint32_t partition, uint32_t qsv, uint64_t zlo,
 Result<std::vector<UserId>> PebTree::RangeQuery(UserId issuer,
                                                 const Rect& range,
                                                 Timestamp tq) {
+  if (issuer >= encoding_->num_users()) {
+    return Status::InvalidArgument("issuer outside the policy encoding");
+  }
+  return RangeQueryAmong(issuer, range, tq, encoding_->FriendsOf(issuer));
+}
+
+Result<std::vector<UserId>> PebTree::RangeQueryAmong(
+    UserId issuer, const Rect& range, Timestamp tq,
+    const std::vector<FriendEntry>& friends, SharedScanCache* shared) const {
   counters_ = QueryCounters{};
+  std::vector<SvRow> rows = BuildRows(friends);
   switch (options_.prq_strategy) {
     case PrqStrategy::kPerFriendIntervals:
-      return RangeQueryPerFriend(issuer, range, tq);
+      return RangeQueryPerFriend(issuer, range, tq, rows, shared);
     case PrqStrategy::kSpanScan:
-      return RangeQuerySpan(issuer, range, tq);
+      return RangeQuerySpan(issuer, range, tq, rows, shared);
   }
   return Status::Internal("unknown PRQ strategy");
 }
 
-Result<std::vector<UserId>> PebTree::RangeQueryPerFriend(UserId issuer,
-                                                         const Rect& range,
-                                                         Timestamp tq) {
-  std::vector<SvRow> rows = BuildRows(issuer);
+Result<std::vector<UserId>> PebTree::RangeQueryPerFriend(
+    UserId issuer, const Rect& range, Timestamp tq,
+    const std::vector<SvRow>& rows, SharedScanCache* shared) const {
   std::vector<UserId> results;
   if (rows.empty()) return results;
 
@@ -206,8 +215,12 @@ Result<std::vector<UserId>> PebTree::RangeQueryPerFriend(UserId issuer,
     Timestamp tlab = options_.index.partitions.LabelTimestamp(label);
     uint32_t partition = options_.index.partitions.PartitionOf(label);
     double d = options_.index.max_speed * std::abs(tq - tlab);
-    auto intervals =
-        ZIntervalsForWindow(grid_, range.Expanded(d), options_.index.zrange);
+    auto compute = [&]() {
+      return ZIntervalsForWindow(grid_, range.Expanded(d),
+                                 options_.index.zrange);
+    };
+    std::vector<CurveInterval> intervals =
+        shared == nullptr ? compute() : shared->PrqIntervals(label, compute);
     if (intervals.empty()) continue;
 
     for (const SvRow& row : rows) {
@@ -247,10 +260,9 @@ Result<std::vector<UserId>> PebTree::RangeQueryPerFriend(UserId issuer,
   return results;
 }
 
-Result<std::vector<UserId>> PebTree::RangeQuerySpan(UserId issuer,
-                                                    const Rect& range,
-                                                    Timestamp tq) {
-  std::vector<SvRow> rows = BuildRows(issuer);
+Result<std::vector<UserId>> PebTree::RangeQuerySpan(
+    UserId issuer, const Rect& range, Timestamp tq,
+    const std::vector<SvRow>& rows, SharedScanCache* shared) const {
   std::vector<UserId> results;
   if (rows.empty()) return results;
 
@@ -267,8 +279,12 @@ Result<std::vector<UserId>> PebTree::RangeQuerySpan(UserId issuer,
     Timestamp tlab = options_.index.partitions.LabelTimestamp(label);
     uint32_t partition = options_.index.partitions.PartitionOf(label);
     double d = options_.index.max_speed * std::abs(tq - tlab);
-    auto intervals =
-        ZIntervalsForWindow(grid_, range.Expanded(d), options_.index.zrange);
+    auto compute = [&]() {
+      return ZIntervalsForWindow(grid_, range.Expanded(d),
+                                 options_.index.zrange);
+    };
+    std::vector<CurveInterval> intervals =
+        shared == nullptr ? compute() : shared->PrqIntervals(label, compute);
 
     for (const CurveInterval& iv : intervals) {
       // Figure 7 literally: StartPnt = TID ⊕ SVmin ⊕ ZVstart,
@@ -313,207 +329,244 @@ Result<std::vector<UserId>> PebTree::RangeQuerySpan(UserId issuer,
 // PkNN
 // ---------------------------------------------------------------------------
 
-double PebTree::EstimateKnnDistance(size_t k) const {
-  size_t n = std::max<size_t>(size(), 1);
+double EstimateKnnDistanceFor(size_t n, size_t k, double space_side) {
+  if (n == 0) n = 1;
   double ratio = std::min(1.0, static_cast<double>(k) / static_cast<double>(n));
   double inner = 1.0 - std::sqrt(ratio);
   double dk = 2.0 / std::sqrt(std::numbers::pi) *
               (1.0 - std::sqrt(std::max(0.0, inner)));
-  return std::max(dk * options_.index.space_side,
-                  1e-6 * options_.index.space_side);
+  return std::max(dk * space_side, 1e-6 * space_side);
+}
+
+double PebTree::EstimateKnnDistance(size_t k) const {
+  return EstimateKnnDistanceFor(size(), k, options_.index.space_side);
 }
 
 Result<std::vector<Neighbor>> PebTree::KnnQuery(UserId issuer,
                                                 const Point& qloc, size_t k,
                                                 Timestamp tq) {
+  if (issuer >= encoding_->num_users()) {
+    return Status::InvalidArgument("issuer outside the policy encoding");
+  }
+  return KnnQueryAmong(issuer, qloc, k, tq, encoding_->FriendsOf(issuer));
+}
+
+// --- KnnScan: the incremental per-tree search primitive --------------------
+
+PebTree::KnnScan::KnnScan(const PebTree* tree, UserId issuer, Point qloc,
+                          Timestamp tq, double rq,
+                          const std::vector<FriendEntry>& friends,
+                          SharedScanCache* shared)
+    : tree_(tree),
+      issuer_(issuer),
+      qloc_(qloc),
+      tq_(tq),
+      rq_(rq),
+      shared_(shared),
+      rows_(BuildRows(friends)) {
+  row_wanted_.resize(rows_.size());
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    row_wanted_[i].insert(rows_[i].uids.begin(), rows_[i].uids.end());
+    total_wanted_ += rows_[i].uids.size();
+  }
+  double space_diag = tree_->options_.index.space_side * std::numbers::sqrt2;
+  while (KnnRadiusForRound(rq_, max_rounds_ - 1) < space_diag) max_rounds_++;
+
+  // Snapshot the live labels (stable during the scan).
+  const auto& opts = tree_->options_.index;
+  for (const auto& [label, count] : tree_->label_counts_) {
+    Timestamp tlab = opts.partitions.LabelTimestamp(label);
+    labels_.push_back({label, opts.partitions.PartitionOf(label),
+                       opts.max_speed * std::abs(tq - tlab)});
+  }
+  spans_.resize(labels_.size());
+}
+
+bool PebTree::KnnScan::RowDone(size_t i) const {
+  for (UserId u : rows_[i].uids) {
+    if (!found_.contains(u)) return false;
+  }
+  return true;
+}
+
+// Per-label, per-round single Z span (Section 5.4 uses one interval per
+// round: the min/max of the round's decomposed 1-D values). Spans are
+// cumulative, so the same (label, round) value is valid for every shard of
+// a fanned-out query and is shared through the cache.
+CurveInterval PebTree::KnnScan::SpanFor(size_t li, size_t j) {
+  auto& memo = spans_[li];
+  while (memo.size() <= j) {
+    size_t round = memo.size();
+    auto compute = [&]() -> CurveInterval {
+      Rect rect =
+          Rect::CenteredSquare(qloc_, 2.0 * KnnRadiusForRound(rq_, round));
+      auto intervals =
+          ZIntervalsForWindow(tree_->grid_, rect.Expanded(labels_[li].enlarge),
+                              tree_->options_.index.zrange);
+      if (intervals.empty()) {
+        // Degenerate; cover nothing yet (outer rounds will grow).
+        return {memo.empty() ? 1 : memo.back().lo,
+                memo.empty() ? 0 : memo.back().hi};
+      }
+      uint64_t lo = intervals.front().lo;
+      uint64_t hi = intervals.back().hi;
+      if (!memo.empty()) {
+        lo = std::min(lo, memo.back().lo);
+        hi = std::max(hi, memo.back().hi);
+      }
+      return {lo, hi};
+    };
+    memo.push_back(shared_ == nullptr
+                       ? compute()
+                       : shared_->KnnSpan(labels_[li].label, round, compute));
+  }
+  return memo[j];
+}
+
+void PebTree::KnnScan::InsertVerified(std::vector<Neighbor>* verified) {
+  for (const SpatialCandidate& cand : batch_) {
+    if (tree_->Verify(issuer_, cand, tq_)) {
+      Neighbor nb{cand.uid, cand.pos.DistanceTo(qloc_)};
+      auto pos = std::lower_bound(verified->begin(), verified->end(), nb,
+                                  [](const Neighbor& a, const Neighbor& b) {
+                                    return a.distance < b.distance;
+                                  });
+      verified->insert(pos, nb);
+    }
+  }
+}
+
+Status PebTree::KnnScan::ScanCell(size_t i, size_t j,
+                                  std::vector<Neighbor>* verified) {
+  tree_->counters_.rounds = std::max(tree_->counters_.rounds, j + 1);
+  if (RowDone(i)) return Status::OK();
+  for (size_t li = 0; li < labels_.size(); ++li) {
+    CurveInterval cur = SpanFor(li, j);
+    if (cur.lo > cur.hi) continue;
+    batch_.clear();
+    const uint32_t partition = labels_[li].partition;
+    const uint32_t qsv = rows_[i].qsv;
+    if (j == 0) {
+      PEB_RETURN_NOT_OK(tree_->ScanSvInterval(partition, qsv, cur.lo, cur.hi,
+                                              &row_wanted_[i], &found_,
+                                              &batch_, tq_));
+    } else {
+      // Scan only the ring new to round j.
+      CurveInterval prev = SpanFor(li, j - 1);
+      if (prev.lo > prev.hi) {
+        PEB_RETURN_NOT_OK(tree_->ScanSvInterval(partition, qsv, cur.lo,
+                                                cur.hi, &row_wanted_[i],
+                                                &found_, &batch_, tq_));
+      } else {
+        if (cur.lo < prev.lo) {
+          PEB_RETURN_NOT_OK(tree_->ScanSvInterval(partition, qsv, cur.lo,
+                                                  prev.lo - 1, &row_wanted_[i],
+                                                  &found_, &batch_, tq_));
+        }
+        if (cur.hi > prev.hi) {
+          PEB_RETURN_NOT_OK(tree_->ScanSvInterval(partition, qsv, prev.hi + 1,
+                                                  cur.hi, &row_wanted_[i],
+                                                  &found_, &batch_, tq_));
+        }
+      }
+    }
+    InsertVerified(verified);
+  }
+  return Status::OK();
+}
+
+Status PebTree::KnnScan::ScanDiagonal(size_t d,
+                                      std::vector<Neighbor>* verified) {
+  if (rows_.empty()) return Status::OK();
+  size_t i_hi = std::min(d, rows_.size() - 1);
+  for (size_t i = 0; i <= i_hi; ++i) {
+    size_t j = d - i;
+    if (j >= max_rounds_) continue;
+    PEB_RETURN_NOT_OK(ScanCell(i, j, verified));
+  }
+  return Status::OK();
+}
+
+Status PebTree::KnnScan::VerticalScan(double dk,
+                                      std::vector<Neighbor>* verified) {
+  Rect rect = Rect::CenteredSquare(qloc_, 2.0 * dk);
+  for (size_t li = 0; li < labels_.size(); ++li) {
+    auto compute = [&]() -> CurveInterval {
+      auto intervals =
+          ZIntervalsForWindow(tree_->grid_, rect.Expanded(labels_[li].enlarge),
+                              tree_->options_.index.zrange);
+      if (intervals.empty()) return {1, 0};
+      return {intervals.front().lo, intervals.back().hi};
+    };
+    CurveInterval span =
+        shared_ == nullptr ? compute()
+                           : shared_->VerticalSpan(labels_[li].label, compute);
+    if (span.lo > span.hi) continue;
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      if (RowDone(i)) continue;
+      batch_.clear();
+      PEB_RETURN_NOT_OK(tree_->ScanSvInterval(labels_[li].partition,
+                                              rows_[i].qsv, span.lo, span.hi,
+                                              &row_wanted_[i], &found_,
+                                              &batch_, tq_));
+      InsertVerified(verified);
+    }
+  }
+  return Status::OK();
+}
+
+PebTree::KnnScan PebTree::NewKnnScan(UserId issuer, const Point& qloc,
+                                     Timestamp tq, double rq,
+                                     const std::vector<FriendEntry>& friends,
+                                     SharedScanCache* shared) const {
+  counters_ = QueryCounters{};
+  return KnnScan(this, issuer, qloc, tq, rq, friends, shared);
+}
+
+// --- single-tree PkNN: drive the scan cell by cell -------------------------
+
+Result<std::vector<Neighbor>> PebTree::KnnQueryAmong(
+    UserId issuer, const Point& qloc, size_t k, Timestamp tq,
+    const std::vector<FriendEntry>& friends) const {
   counters_ = QueryCounters{};
   std::vector<Neighbor> verified;
   if (k == 0) return verified;
-  std::vector<SvRow> rows = BuildRows(issuer);
-  if (rows.empty()) return verified;
-  size_t m = rows.size();
+  double rq = EstimateKnnDistance(k) / static_cast<double>(k);
+  KnnScan scan(this, issuer, qloc, tq, rq, friends, nullptr);
+  size_t m = scan.num_rows();
+  if (m == 0) return verified;
+  size_t max_rounds = scan.max_rounds();
 
-  size_t total_friends = 0;
-  std::vector<std::unordered_set<UserId>> row_wanted(m);
-  for (size_t i = 0; i < m; ++i) {
-    row_wanted[i].insert(rows[i].uids.begin(), rows[i].uids.end());
-    total_friends += rows[i].uids.size();
-  }
-
-  double dk_estimate = EstimateKnnDistance(k);
-  double rq = dk_estimate / static_cast<double>(k);
-  double space_diag = options_.index.space_side * std::numbers::sqrt2;
-  size_t max_rounds = 1;
-  while (KnnRadiusForRound(rq, max_rounds - 1) < space_diag) max_rounds++;
-
-  // Snapshot the live labels (stable during the query).
-  struct LabelInfo {
-    int64_t label;
-    uint32_t partition;
-    double enlarge;
-  };
-  std::vector<LabelInfo> labels;
-  for (const auto& [label, count] : label_counts_) {
-    Timestamp tlab = options_.index.partitions.LabelTimestamp(label);
-    labels.push_back({label, options_.index.partitions.PartitionOf(label),
-                      options_.index.max_speed * std::abs(tq - tlab)});
-  }
-
-  // Per-label, per-round single Z span (Section 5.4 uses one interval per
-  // round: the min/max of the round's decomposed 1-D values).
-  std::vector<std::vector<CurveInterval>> spans(labels.size());
-  auto span_for = [&](size_t li, size_t j) -> CurveInterval {
-    auto& memo = spans[li];
-    while (memo.size() <= j) {
-      size_t round = memo.size();
-      Rect rect =
-          Rect::CenteredSquare(qloc, 2.0 * KnnRadiusForRound(rq, round));
-      auto intervals = ZIntervalsForWindow(
-          grid_, rect.Expanded(labels[li].enlarge), options_.index.zrange);
-      if (intervals.empty()) {
-        // Degenerate; cover nothing yet (outer rounds will grow).
-        memo.push_back(
-            {memo.empty() ? 1 : memo.back().lo, memo.empty() ? 0 : memo.back().hi});
-      } else {
-        uint64_t lo = intervals.front().lo;
-        uint64_t hi = intervals.back().hi;
-        if (!memo.empty()) {
-          lo = std::min(lo, memo.back().lo);
-          hi = std::max(hi, memo.back().hi);
-        }
-        memo.push_back({lo, hi});
-      }
+  // After every cell: with k candidates in hand, run the final vertical
+  // scan (Section 5.4) and stop; also stop when every friend is located.
+  bool done = false;
+  auto after_cell = [&]() -> Result<bool> {
+    if (verified.size() >= k) {
+      PEB_RETURN_NOT_OK(scan.VerticalScan(verified[k - 1].distance,
+                                          &verified));
+      return true;
     }
-    return memo[j];
-  };
-
-  std::unordered_set<UserId> found;
-  std::vector<SpatialCandidate> batch;
-
-  // Processes matrix cell (row i, round j): scans the ring new to round j
-  // for the row's sequence value, in every partition.
-  auto process_cell = [&](size_t i, size_t j) -> Status {
-    bool all_found = true;
-    for (UserId u : rows[i].uids) {
-      if (!found.contains(u)) {
-        all_found = false;
-        break;
-      }
-    }
-    if (all_found) return Status::OK();
-    for (size_t li = 0; li < labels.size(); ++li) {
-      CurveInterval cur = span_for(li, j);
-      if (cur.lo > cur.hi) continue;
-      batch.clear();
-      if (j == 0) {
-        PEB_RETURN_NOT_OK(ScanSvInterval(labels[li].partition, rows[i].qsv,
-                                         cur.lo, cur.hi, &row_wanted[i],
-                                         &found, &batch, tq));
-      } else {
-        CurveInterval prev = span_for(li, j - 1);
-        if (prev.lo > prev.hi) {
-          PEB_RETURN_NOT_OK(ScanSvInterval(labels[li].partition, rows[i].qsv,
-                                           cur.lo, cur.hi, &row_wanted[i],
-                                           &found, &batch, tq));
-        } else {
-          if (cur.lo < prev.lo) {
-            PEB_RETURN_NOT_OK(ScanSvInterval(labels[li].partition,
-                                             rows[i].qsv, cur.lo, prev.lo - 1,
-                                             &row_wanted[i], &found, &batch,
-                                             tq));
-          }
-          if (cur.hi > prev.hi) {
-            PEB_RETURN_NOT_OK(ScanSvInterval(labels[li].partition,
-                                             rows[i].qsv, prev.hi + 1, cur.hi,
-                                             &row_wanted[i], &found, &batch,
-                                             tq));
-          }
-        }
-      }
-      for (const SpatialCandidate& cand : batch) {
-        if (Verify(issuer, cand, tq)) {
-          Neighbor nb{cand.uid, cand.pos.DistanceTo(qloc)};
-          auto pos = std::lower_bound(
-              verified.begin(), verified.end(), nb,
-              [](const Neighbor& a, const Neighbor& b) {
-                return a.distance < b.distance;
-              });
-          verified.insert(pos, nb);
-        }
-      }
-    }
-    return Status::OK();
-  };
-
-  // Final step (Section 5.4): with k candidates in hand, scan the square of
-  // side 2 * d(q, kth candidate) for every friend not yet located, to rule
-  // out closer unexamined users.
-  auto vertical_scan = [&]() -> Status {
-    double dk = verified[k - 1].distance;
-    Rect rect = Rect::CenteredSquare(qloc, 2.0 * dk);
-    for (size_t li = 0; li < labels.size(); ++li) {
-      auto intervals = ZIntervalsForWindow(
-          grid_, rect.Expanded(labels[li].enlarge), options_.index.zrange);
-      if (intervals.empty()) continue;
-      uint64_t lo = intervals.front().lo;
-      uint64_t hi = intervals.back().hi;
-      for (size_t i = 0; i < m; ++i) {
-        bool all_found = true;
-        for (UserId u : rows[i].uids) {
-          if (!found.contains(u)) {
-            all_found = false;
-            break;
-          }
-        }
-        if (all_found) continue;
-        batch.clear();
-        PEB_RETURN_NOT_OK(ScanSvInterval(labels[li].partition, rows[i].qsv,
-                                         lo, hi, &row_wanted[i], &found,
-                                         &batch, tq));
-        for (const SpatialCandidate& cand : batch) {
-          if (Verify(issuer, cand, tq)) {
-            Neighbor nb{cand.uid, cand.pos.DistanceTo(qloc)};
-            auto pos = std::lower_bound(
-                verified.begin(), verified.end(), nb,
-                [](const Neighbor& a, const Neighbor& b) {
-                  return a.distance < b.distance;
-                });
-            verified.insert(pos, nb);
-          }
-        }
-      }
-    }
-    return Status::OK();
+    if (scan.AllFound()) return true;
+    return false;
   };
 
   // Triangular (anti-diagonal) traversal of the (m x max_rounds) matrix,
   // or spatial-first column-major for the ablation variant.
-  bool done = false;
-  auto after_cell = [&](size_t j) -> Result<bool> {
-    counters_.rounds = std::max(counters_.rounds, j + 1);
-    if (verified.size() >= k) {
-      PEB_RETURN_NOT_OK(vertical_scan());
-      return true;
-    }
-    if (found.size() >= total_friends) return true;
-    return false;
-  };
-
   if (options_.knn_order == KnnOrder::kTriangular) {
     for (size_t d = 0; d < m + max_rounds - 1 && !done; ++d) {
       size_t i_hi = std::min(d, m - 1);
       for (size_t i = 0; i <= i_hi && !done; ++i) {
         size_t j = d - i;
         if (j >= max_rounds) continue;
-        PEB_RETURN_NOT_OK(process_cell(i, j));
-        PEB_ASSIGN_OR_RETURN(done, after_cell(j));
+        PEB_RETURN_NOT_OK(scan.ScanCell(i, j, &verified));
+        PEB_ASSIGN_OR_RETURN(done, after_cell());
       }
     }
   } else {
     for (size_t j = 0; j < max_rounds && !done; ++j) {
       for (size_t i = 0; i < m && !done; ++i) {
-        PEB_RETURN_NOT_OK(process_cell(i, j));
-        PEB_ASSIGN_OR_RETURN(done, after_cell(j));
+        PEB_RETURN_NOT_OK(scan.ScanCell(i, j, &verified));
+        PEB_ASSIGN_OR_RETURN(done, after_cell());
       }
     }
   }

@@ -18,6 +18,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -63,6 +66,72 @@ struct PebTreeOptions {
   double time_domain = kDefaultTimeDomain;
 };
 
+/// The Dk estimate of Section 5.4 for a population of `n` users, scaled to
+/// the space side (the initial PkNN radius is Dk/k).
+double EstimateKnnDistanceFor(size_t n, size_t k, double space_side);
+
+/// Per-query decomposition cache shared by the shards of one fanned-out
+/// query: window/ring Z-decompositions depend only on the query and the
+/// time-partition label — not on which shard scans them — so whichever
+/// shard needs one first computes it and the rest reuse it. Thread-safe;
+/// create one per logical query.
+///
+/// compute() runs OUTSIDE the lock: the callbacks are deterministic pure
+/// functions of the query, so when two shards race on the same key the
+/// loser's duplicate work is wasted but harmless, and the decomposition —
+/// the hot CPU cost the cache exists to deduplicate — never serializes the
+/// other shards' lookups behind it.
+class SharedScanCache {
+ public:
+  using ComputeIntervals = std::function<std::vector<CurveInterval>()>;
+  using ComputeSpan = std::function<CurveInterval()>;
+
+  /// PRQ: the enlarged window's Z intervals for a label.
+  std::vector<CurveInterval> PrqIntervals(int64_t label,
+                                          const ComputeIntervals& compute) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = prq_.find(label);
+      if (it != prq_.end()) return it->second;
+    }
+    std::vector<CurveInterval> value = compute();
+    std::lock_guard<std::mutex> lock(mu_);
+    return prq_.try_emplace(label, std::move(value)).first->second;
+  }
+
+  /// PkNN: the cumulative ring span for (label, round).
+  CurveInterval KnnSpan(int64_t label, size_t round,
+                        const ComputeSpan& compute) {
+    auto key = std::make_pair(label, round);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = knn_.find(key);
+      if (it != knn_.end()) return it->second;
+    }
+    CurveInterval value = compute();
+    std::lock_guard<std::mutex> lock(mu_);
+    return knn_.try_emplace(key, value).first->second;
+  }
+
+  /// PkNN: the final vertical-scan span for a label.
+  CurveInterval VerticalSpan(int64_t label, const ComputeSpan& compute) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = vertical_.find(label);
+      if (it != vertical_.end()) return it->second;
+    }
+    CurveInterval value = compute();
+    std::lock_guard<std::mutex> lock(mu_);
+    return vertical_.try_emplace(label, value).first->second;
+  }
+
+ private:
+  std::mutex mu_;
+  std::unordered_map<int64_t, std::vector<CurveInterval>> prq_;
+  std::map<std::pair<int64_t, size_t>, CurveInterval> knn_;
+  std::unordered_map<int64_t, CurveInterval> vertical_;
+};
+
 /// Everything about a persisted PEB-tree that is not stored in its pages:
 /// the root page id and shape statistics. Together with the backing file
 /// (FileDiskManager) and the policy encoding, this is sufficient to reopen
@@ -76,6 +145,13 @@ struct PebTreeManifest {
 /// tree; the encoding must have been built with a quantizer whose bit width
 /// fits options.sv_bits.
 class PebTree final : public PrivacyAwareIndex {
+ private:
+  /// Friends of the issuer grouped by quantized SV (ascending).
+  struct SvRow {
+    uint32_t qsv = 0;
+    std::vector<UserId> uids;
+  };
+
  public:
   PebTree(BufferPool* pool, const PebTreeOptions& options,
           const PolicyStore* store, const RoleRegistry* roles,
@@ -86,12 +162,105 @@ class PebTree final : public PrivacyAwareIndex {
   Status Delete(UserId id) override;
   size_t size() const override { return objects_.size(); }
   BufferPool* pool() override { return pool_; }
+  IoStats aggregate_io() const override { return pool_->stats(); }
+  void ResetIo() override { pool_->ResetStats(); }
   const QueryCounters& last_query() const override { return counters_; }
 
   Result<std::vector<UserId>> RangeQuery(UserId issuer, const Rect& range,
                                          Timestamp tq) override;
   Result<std::vector<Neighbor>> KnnQuery(UserId issuer, const Point& qloc,
                                          size_t k, Timestamp tq) override;
+
+  /// PRQ restricted to an explicit candidate list (a subset of the issuer's
+  /// friends, ascending by (qsv, uid)). This is the const read path the
+  /// sharded engine fans out across shards: each shard is asked only about
+  /// the friends it hosts. Only the (mutable) per-query counters and the
+  /// buffer pool's LRU state change, so distinct trees may be queried from
+  /// distinct threads concurrently. `shared`, when given, deduplicates the
+  /// window decomposition across the shards of one fanned-out query.
+  Result<std::vector<UserId>> RangeQueryAmong(
+      UserId issuer, const Rect& range, Timestamp tq,
+      const std::vector<FriendEntry>& friends,
+      SharedScanCache* shared = nullptr) const;
+
+  /// PkNN restricted to an explicit candidate list; see RangeQueryAmong.
+  Result<std::vector<Neighbor>> KnnQueryAmong(
+      UserId issuer, const Point& qloc, size_t k, Timestamp tq,
+      const std::vector<FriendEntry>& friends) const;
+
+  /// Incremental PkNN scan state over this tree — the engine's per-shard
+  /// primitive. The engine drives the Figure-9 search matrix round by
+  /// round across every shard (so enlargement stops as soon as k verified
+  /// candidates exist globally), while each shard scans only the cells of
+  /// its own friend rows. KnnQueryAmong is built on the same object, so
+  /// the single-tree and fanned-out searches share one implementation.
+  class KnnScan {
+   public:
+    size_t num_rows() const { return rows_.size(); }
+    size_t max_rounds() const { return max_rounds_; }
+    /// Anti-diagonals in this shard's (rows x rounds) matrix.
+    size_t max_diagonals() const {
+      return rows_.empty() ? 0 : rows_.size() + max_rounds_ - 1;
+    }
+    /// True once every wanted user of row i has been located.
+    bool RowDone(size_t i) const;
+    /// True once every wanted user has been located.
+    bool AllFound() const { return found_.size() >= total_wanted_; }
+
+    /// Scans matrix cell (row i, round j): the ring new to round j for the
+    /// row's sequence value, in every live partition. Policy-verified
+    /// candidates are inserted into *verified, kept ascending by distance.
+    Status ScanCell(size_t i, size_t j, std::vector<Neighbor>* verified);
+
+    /// Scans every cell of anti-diagonal d (cells (i, d-i)).
+    Status ScanDiagonal(size_t d, std::vector<Neighbor>* verified);
+
+    /// Section 5.4's final step: scans the square of half-side dk around
+    /// the query point for every row with unfound users, ruling out closer
+    /// unexamined candidates. After this the verified list is exact.
+    Status VerticalScan(double dk, std::vector<Neighbor>* verified);
+
+   private:
+    friend class PebTree;
+
+    struct LabelInfo {
+      int64_t label;
+      uint32_t partition;
+      double enlarge;
+    };
+
+    KnnScan(const PebTree* tree, UserId issuer, Point qloc, Timestamp tq,
+            double rq, const std::vector<FriendEntry>& friends,
+            SharedScanCache* shared);
+
+    /// Cumulative ring span for (label li, round j), memoized per label and
+    /// deduplicated across shards via the shared cache.
+    CurveInterval SpanFor(size_t li, size_t j);
+    void InsertVerified(std::vector<Neighbor>* verified);
+
+    const PebTree* tree_;
+    UserId issuer_;
+    Point qloc_;
+    Timestamp tq_;
+    double rq_;
+    SharedScanCache* shared_;
+    std::vector<SvRow> rows_;
+    std::vector<std::unordered_set<UserId>> row_wanted_;
+    size_t total_wanted_ = 0;
+    size_t max_rounds_ = 1;
+    std::vector<LabelInfo> labels_;
+    std::vector<std::vector<CurveInterval>> spans_;
+    std::unordered_set<UserId> found_;
+    std::vector<SpatialCandidate> batch_;
+  };
+
+  /// Starts an incremental PkNN scan. `rq` is the per-round enlargement
+  /// step (Dk/k); the engine derives it from the global population so all
+  /// shards enlarge identically. Resets this tree's per-query counters;
+  /// they accumulate until the scan's last call.
+  KnnScan NewKnnScan(UserId issuer, const Point& qloc, Timestamp tq,
+                     double rq, const std::vector<FriendEntry>& friends,
+                     SharedScanCache* shared = nullptr) const;
 
   const PebTreeOptions& options() const { return options_; }
   const BTreeStats& tree_stats() const { return tree_.stats(); }
@@ -124,13 +293,8 @@ class PebTree final : public PrivacyAwareIndex {
     uint64_t key = 0;
   };
 
-  /// Friends of the issuer grouped by quantized SV (ascending).
-  struct SvRow {
-    uint32_t qsv = 0;
-    std::vector<UserId> uids;
-  };
-
-  std::vector<SvRow> BuildRows(UserId issuer) const;
+  /// Groups a friend list (ascending by (qsv, uid)) into per-SV rows.
+  static std::vector<SvRow> BuildRows(const std::vector<FriendEntry>& friends);
 
   /// Scans PEB keys [MakeKey(p, qsv, zlo), MakeKey(p, qsv, zhi)]. For every
   /// entry whose uid is in `wanted`, marks it found and appends its state.
@@ -138,16 +302,17 @@ class PebTree final : public PrivacyAwareIndex {
                         uint64_t zhi,
                         const std::unordered_set<UserId>* wanted,
                         std::unordered_set<UserId>* found,
-                        std::vector<SpatialCandidate>* out, Timestamp tq);
+                        std::vector<SpatialCandidate>* out, Timestamp tq) const;
 
   /// Verification: Definition 2's policy conditions.
   bool Verify(UserId issuer, const SpatialCandidate& cand, Timestamp tq) const;
 
-  Result<std::vector<UserId>> RangeQueryPerFriend(UserId issuer,
-                                                  const Rect& range,
-                                                  Timestamp tq);
-  Result<std::vector<UserId>> RangeQuerySpan(UserId issuer, const Rect& range,
-                                             Timestamp tq);
+  Result<std::vector<UserId>> RangeQueryPerFriend(
+      UserId issuer, const Rect& range, Timestamp tq,
+      const std::vector<SvRow>& rows, SharedScanCache* shared) const;
+  Result<std::vector<UserId>> RangeQuerySpan(
+      UserId issuer, const Rect& range, Timestamp tq,
+      const std::vector<SvRow>& rows, SharedScanCache* shared) const;
 
   BufferPool* pool_;
   PebTreeOptions options_;
@@ -160,7 +325,9 @@ class PebTree final : public PrivacyAwareIndex {
 
   std::unordered_map<UserId, StoredObject> objects_;
   std::unordered_map<int64_t, size_t> label_counts_;
-  QueryCounters counters_;
+  /// Per-query work counters. Mutable so the query methods form a const
+  /// read path (queries are logically read-only).
+  mutable QueryCounters counters_;
 };
 
 }  // namespace peb

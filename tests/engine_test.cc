@@ -1,0 +1,277 @@
+// ShardedPebEngine tests: the engine must be an observationally equivalent
+// drop-in for the single PEB-tree — PRQ and PkNN answers identical for any
+// shard count, router policy, and thread count, with and without batched
+// updates interleaved between query batches.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "engine/batch_applier.h"
+#include "engine/shard_router.h"
+#include "engine/sharded_engine.h"
+#include "engine/thread_pool.h"
+#include "eval/runner.h"
+#include "eval/workload.h"
+
+namespace peb {
+namespace {
+
+using engine::BatchApplierOptions;
+using engine::BatchUpdateApplier;
+using engine::RouterPolicy;
+using engine::ShardedPebEngine;
+using engine::ThreadPool;
+using eval::MakeEngine;
+using eval::MakePknnQueries;
+using eval::MakePrqQueries;
+using eval::QuerySetOptions;
+using eval::Workload;
+using eval::WorkloadParams;
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPool, RunAllCompletesEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> sum{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 1; i <= 100; ++i) {
+    tasks.push_back([&sum, i] { sum += i; });
+  }
+  pool.RunAll(std::move(tasks));
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPool, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 0u);
+  int calls = 0;
+  pool.Submit([&calls] { calls++; });
+  pool.RunAll({[&calls] { calls++; }, [&calls] { calls++; }});
+  EXPECT_EQ(calls, 3);
+}
+
+// ---------------------------------------------------------------------------
+// Routers
+// ---------------------------------------------------------------------------
+
+class EngineWorldTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    WorkloadParams p;
+    p.num_users = 800;
+    p.policies_per_user = 10;
+    p.buffer_pages = 50;
+    p.grid_bits = 8;
+    p.seed = 7;
+    world_ = new Workload(Workload::Build(p));
+  }
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+  }
+
+  static Workload& world() { return *world_; }
+
+  static Workload* world_;
+};
+
+Workload* EngineWorldTest::world_ = nullptr;
+
+TEST_F(EngineWorldTest, RoutersAreStableAndInRange) {
+  for (RouterPolicy policy : {RouterPolicy::kHashUser, RouterPolicy::kSvRange}) {
+    auto router = engine::MakeRouter(policy, 7, &world().encoding());
+    ASSERT_NE(router, nullptr);
+    std::vector<size_t> population(7, 0);
+    for (UserId u = 0; u < world().params().num_users; ++u) {
+      size_t s = router->ShardOf(u);
+      ASSERT_LT(s, 7u);
+      EXPECT_EQ(s, router->ShardOf(u));  // Stable.
+      population[s]++;
+    }
+    // No shard grossly overloaded (quantized SVs collide, so sv-range cuts
+    // are only approximately even).
+    for (size_t s = 0; s < 7; ++s) {
+      EXPECT_LT(population[s], world().params().num_users / 2)
+          << "policy " << static_cast<int>(policy) << " shard " << s;
+    }
+  }
+}
+
+TEST_F(EngineWorldTest, SvRangeRouterKeepsEqualSvsTogether) {
+  engine::SvRangeRouter router(4, &world().encoding());
+  const auto& enc = world().encoding();
+  for (UserId a = 0; a < world().params().num_users; ++a) {
+    for (UserId b = a + 1; b < world().params().num_users && b < a + 20; ++b) {
+      if (enc.quantized_sv(a) == enc.quantized_sv(b)) {
+        EXPECT_EQ(router.ShardOf(a), router.ShardOf(b));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Result equivalence vs the single PEB-tree
+// ---------------------------------------------------------------------------
+
+/// Sorts a kNN answer by (distance, uid): distances are continuous, so this
+/// only normalizes the order of exact ties, which the merge may permute.
+std::vector<Neighbor> Normalized(std::vector<Neighbor> v) {
+  std::sort(v.begin(), v.end(), [](const Neighbor& a, const Neighbor& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.uid < b.uid;
+  });
+  return v;
+}
+
+void ExpectSameAnswers(Workload& w, ShardedPebEngine& engine,
+                       const std::vector<eval::PrqQuery>& prq,
+                       const std::vector<eval::PknnQuery>& knn,
+                       const char* context) {
+  for (size_t i = 0; i < prq.size(); ++i) {
+    auto want = w.peb().RangeQuery(prq[i].issuer, prq[i].range, prq[i].tq);
+    auto got = engine.RangeQuery(prq[i].issuer, prq[i].range, prq[i].tq);
+    ASSERT_TRUE(want.ok() && got.ok()) << context << " PRQ " << i;
+    EXPECT_EQ(*got, *want) << context << " PRQ " << i;
+  }
+  for (size_t i = 0; i < knn.size(); ++i) {
+    auto want =
+        w.peb().KnnQuery(knn[i].issuer, knn[i].qloc, knn[i].k, knn[i].tq);
+    auto got =
+        engine.KnnQuery(knn[i].issuer, knn[i].qloc, knn[i].k, knn[i].tq);
+    ASSERT_TRUE(want.ok() && got.ok()) << context << " PkNN " << i;
+    std::vector<Neighbor> wantn = Normalized(*want);
+    std::vector<Neighbor> gotn = Normalized(*got);
+    ASSERT_EQ(gotn.size(), wantn.size()) << context << " PkNN " << i;
+    for (size_t r = 0; r < wantn.size(); ++r) {
+      EXPECT_EQ(gotn[r].uid, wantn[r].uid)
+          << context << " PkNN " << i << " rank " << r;
+      EXPECT_DOUBLE_EQ(gotn[r].distance, wantn[r].distance)
+          << context << " PkNN " << i << " rank " << r;
+    }
+  }
+}
+
+struct EquivalenceParams {
+  size_t shards;
+  size_t threads;
+  RouterPolicy policy;
+};
+
+class EngineEquivalenceTest
+    : public ::testing::TestWithParam<EquivalenceParams> {};
+
+TEST_P(EngineEquivalenceTest, MatchesSingleTree) {
+  const auto p = GetParam();
+  WorkloadParams wp;
+  wp.num_users = 800;
+  wp.policies_per_user = 10;
+  wp.buffer_pages = 50;
+  wp.grid_bits = 8;
+  wp.seed = 11;
+  Workload w = Workload::Build(wp);
+  auto engine = MakeEngine(w, p.shards, p.threads, p.policy);
+  ASSERT_EQ(engine->num_shards(), p.shards);
+  ASSERT_EQ(engine->size(), w.peb().size());
+
+  QuerySetOptions q;
+  q.count = 30;
+  q.window_side = 250.0;
+  q.seed = 501;
+  ExpectSameAnswers(w, *engine, MakePrqQueries(w, q), MakePknnQueries(w, q),
+                    "static");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShardCounts, EngineEquivalenceTest,
+    ::testing::Values(
+        EquivalenceParams{1, 0, RouterPolicy::kHashUser},
+        EquivalenceParams{2, 2, RouterPolicy::kHashUser},
+        EquivalenceParams{4, 4, RouterPolicy::kHashUser},
+        EquivalenceParams{7, 3, RouterPolicy::kHashUser},
+        EquivalenceParams{2, 2, RouterPolicy::kSvRange},
+        EquivalenceParams{4, 4, RouterPolicy::kSvRange},
+        EquivalenceParams{7, 3, RouterPolicy::kSvRange}));
+
+// ---------------------------------------------------------------------------
+// Equivalence with batched updates interleaved between query batches
+// ---------------------------------------------------------------------------
+
+class EngineUpdateTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(EngineUpdateTest, MatchesSingleTreeAcrossUpdateBatches) {
+  const size_t shards = GetParam();
+  WorkloadParams wp;
+  wp.num_users = 600;
+  wp.policies_per_user = 10;
+  wp.buffer_pages = 50;
+  wp.grid_bits = 8;
+  wp.seed = 23;
+  Workload w = Workload::Build(wp);
+
+  // Identical event sequences: the applier drains a deterministic clone of
+  // the stream Workload::ApplyUpdates consumes.
+  std::unique_ptr<UpdateStream> stream = eval::CloneUniformUpdateStream(w);
+  ASSERT_NE(stream, nullptr);
+  auto engine = MakeEngine(w, shards, 4);
+  BatchApplierOptions bo;
+  bo.batch_size = 64;
+  BatchUpdateApplier applier(engine.get(), stream.get(), bo);
+
+  QuerySetOptions q;
+  q.count = 15;
+  q.window_side = 250.0;
+  const size_t kUpdatesPerPhase = 150;  // 25% of the users per phase.
+  for (int phase = 0; phase < 3; ++phase) {
+    q.seed = 900 + static_cast<uint64_t>(phase);
+    ExpectSameAnswers(w, *engine, MakePrqQueries(w, q), MakePknnQueries(w, q),
+                      "phase");
+    ASSERT_TRUE(w.ApplyUpdates(kUpdatesPerPhase).ok());
+    ASSERT_TRUE(applier.Apply(kUpdatesPerPhase).ok());
+    ASSERT_EQ(engine->size(), w.peb().size());
+  }
+  EXPECT_EQ(applier.events_applied(), 3 * kUpdatesPerPhase);
+  EXPECT_GT(applier.batches_applied(), 0u);
+  EXPECT_GT(applier.last_event_time(), 0.0);
+  // Final check after the last batch.
+  q.seed = 999;
+  ExpectSameAnswers(w, *engine, MakePrqQueries(w, q), MakePknnQueries(w, q),
+                    "final");
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, EngineUpdateTest,
+                         ::testing::Values(1, 2, 4, 7));
+
+// ---------------------------------------------------------------------------
+// I/O accounting
+// ---------------------------------------------------------------------------
+
+TEST_F(EngineWorldTest, AggregateIoSumsAcrossShards) {
+  auto engine = MakeEngine(world(), 4, 2);
+  engine->ResetIo();
+  IoStats zero = engine->aggregate_io();
+  EXPECT_EQ(zero.physical_reads, 0u);
+  EXPECT_EQ(zero.logical_fetches, 0u);
+
+  QuerySetOptions q;
+  q.count = 10;
+  q.seed = 77;
+  auto queries = MakePrqQueries(world(), q);
+  for (const auto& query : queries) {
+    ASSERT_TRUE(engine->RangeQuery(query.issuer, query.range, query.tq).ok());
+  }
+  IoStats after = engine->aggregate_io();
+  EXPECT_GT(after.logical_fetches, 0u);
+  uint64_t summed = 0;
+  for (size_t s = 0; s < engine->num_shards(); ++s) {
+    summed += engine->shard_tree(s).aggregate_io().logical_fetches;
+  }
+  EXPECT_EQ(after.logical_fetches, summed);
+}
+
+}  // namespace
+}  // namespace peb

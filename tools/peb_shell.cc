@@ -4,13 +4,16 @@
 // user, stream updates, inspect friend lists and index statistics. Reads
 // commands from stdin (scriptable via pipes).
 //
-//   $ ./build/tools/peb_shell
+//   $ ./build/peb_shell
 //   peb> gen 20000 30 0.7
 //   peb> friends 42
 //   peb> prq 42 300 300 700 700
 //   peb> knn 42 500 500 5
 //   peb> update 5000
 //   peb> stats
+//   peb> shards 4        # build a 4-shard engine; queries now use it
+//   peb> threads 8       # rebuild the engine with 8 worker threads
+//   peb> engine off      # back to the single PEB-tree
 //   peb> quit
 #include <cstdio>
 #include <iostream>
@@ -19,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/sharded_engine.h"
 #include "eval/runner.h"
 #include "eval/workload.h"
 
@@ -39,11 +43,18 @@ void PrintHelp() {
       "  update <n>       stream n updates into both indexes\n"
       "  stats            index shapes and I/O counters\n"
       "  compare <n>      run n random PRQs on both indexes, report I/O\n"
+      "  shards <n>       build an n-shard engine; prq/knn run against it\n"
+      "  threads <n>      rebuild the engine with n worker threads\n"
+      "  engine on|off    toggle whether queries use the sharded engine\n"
       "  help | quit\n");
 }
 
 struct Shell {
   std::unique_ptr<Workload> world;
+  std::unique_ptr<engine::ShardedPebEngine> eng;
+  size_t engine_shards = 4;
+  size_t engine_threads = 4;
+  bool use_engine = false;
 
   bool EnsureWorld() {
     if (world == nullptr) {
@@ -51,6 +62,67 @@ struct Shell {
       return false;
     }
     return true;
+  }
+
+  /// The index queries run against: the engine when enabled, else the
+  /// single PEB-tree.
+  PrivacyAwareIndex& QueryIndex() {
+    if (use_engine && eng != nullptr) return *eng;
+    return world->peb();
+  }
+
+  void RebuildEngine(bool enable) {
+    std::printf("building engine: %zu shard(s), %zu thread(s)...\n",
+                engine_shards, engine_threads);
+    eng = MakeEngine(*world, engine_shards, engine_threads);
+    use_engine = enable;
+    std::printf("engine ready (%zu users)%s\n", eng->size(),
+                enable ? "; prq/knn now use it"
+                       : " (disabled — 'engine on' to use it)");
+  }
+
+  void Shards(std::istringstream& in) {
+    if (!EnsureWorld()) return;
+    size_t n = 0;
+    if (!(in >> n) || n == 0) {
+      std::printf("usage: shards <n>\n");
+      return;
+    }
+    engine_shards = n;
+    RebuildEngine(/*enable=*/true);
+  }
+
+  void Threads(std::istringstream& in) {
+    if (!EnsureWorld()) return;
+    size_t n = 0;
+    if (!(in >> n)) {
+      std::printf("usage: threads <n>  (0 = run shard tasks inline)\n");
+      return;
+    }
+    engine_threads = n;
+    // Respect an explicit earlier `engine off`: only a fresh engine (or
+    // one already serving queries) is enabled.
+    RebuildEngine(/*enable=*/eng == nullptr || use_engine);
+  }
+
+  void Engine(std::istringstream& in) {
+    if (!EnsureWorld()) return;
+    std::string mode;
+    if (!(in >> mode) || (mode != "on" && mode != "off")) {
+      std::printf("usage: engine on|off\n");
+      return;
+    }
+    if (mode == "off") {
+      use_engine = false;
+      std::printf("queries use the single PEB-tree\n");
+      return;
+    }
+    if (eng == nullptr) {
+      RebuildEngine(/*enable=*/true);
+    } else {
+      use_engine = true;
+      std::printf("queries use the %zu-shard engine\n", eng->num_shards());
+    }
   }
 
   void Gen(std::istringstream& in) {
@@ -67,6 +139,8 @@ struct Shell {
     std::printf("building %zu users, %zu policies each, theta=%.2f...\n",
                 p.num_users, p.policies_per_user, p.grouping_factor);
     world = std::make_unique<Workload>(Workload::Build(p));
+    eng.reset();  // The old engine indexed the old world.
+    use_engine = false;
     std::printf("done: encoding %.2fs, now=%.1f\n",
                 world->preprocessing_seconds(), world->now());
   }
@@ -79,14 +153,14 @@ struct Shell {
       std::printf("usage: prq <issuer> <x1> <y1> <x2> <y2>\n");
       return;
     }
-    uint64_t before = world->peb().pool()->stats().physical_reads;
-    auto res = world->peb().RangeQuery(issuer, {{x1, y1}, {x2, y2}},
-                                       world->now());
+    PrivacyAwareIndex& index = QueryIndex();
+    uint64_t before = index.aggregate_io().physical_reads;
+    auto res = index.RangeQuery(issuer, {{x1, y1}, {x2, y2}}, world->now());
     if (!res.ok()) {
       std::printf("error: %s\n", res.status().ToString().c_str());
       return;
     }
-    uint64_t io = world->peb().pool()->stats().physical_reads - before;
+    uint64_t io = index.aggregate_io().physical_reads - before;
     std::printf("%zu visible user(s) [%llu I/O]:", res->size(),
                 static_cast<unsigned long long>(io));
     size_t shown = 0;
@@ -109,7 +183,7 @@ struct Shell {
       std::printf("usage: knn <issuer> <x> <y> <k>\n");
       return;
     }
-    auto res = world->peb().KnnQuery(issuer, {x, y}, k, world->now());
+    auto res = QueryIndex().KnnQuery(issuer, {x, y}, k, world->now());
     if (!res.ok()) {
       std::printf("error: %s\n", res.status().ToString().c_str());
       return;
@@ -165,10 +239,19 @@ struct Shell {
       std::printf("usage: update <n>\n");
       return;
     }
-    Status s = world->ApplyUpdates(n);
-    if (!s.ok()) {
-      std::printf("error: %s\n", s.ToString().c_str());
-      return;
+    for (size_t i = 0; i < n; ++i) {
+      auto ev = world->ApplyNextUpdate();
+      if (!ev.ok()) {
+        std::printf("error: %s\n", ev.status().ToString().c_str());
+        return;
+      }
+      if (eng != nullptr) {
+        Status s = eng->Update(ev->state);
+        if (!s.ok()) {
+          std::printf("engine error: %s\n", s.ToString().c_str());
+          return;
+        }
+      }
     }
     std::printf("applied %zu updates; now=%.1f\n", n, world->now());
   }
@@ -188,6 +271,21 @@ struct Shell {
     std::printf("Bx-tree  : %zu entries, %zu leaves, %zu internals, height "
                 "%zu\n", spa.num_entries, spa.num_leaves, spa.num_internals,
                 spa.height);
+    if (eng != nullptr) {
+      const auto& eio = eng->aggregate_io();
+      std::printf("engine   : %zu shard(s) x %zu thread(s), %s routing, "
+                  "%s\n", eng->num_shards(),
+                  eng->threads().num_threads(),
+                  std::string(eng->router().name()).c_str(),
+                  use_engine ? "serving queries" : "idle");
+      for (size_t s = 0; s < eng->num_shards(); ++s) {
+        std::printf("  shard %zu: %zu users, height %zu\n", s,
+                    eng->shard_size(s), eng->shard_tree(s).tree_stats().height);
+      }
+      std::printf("  pools  : %llu reads total, %.1f%% hit ratio\n",
+                  static_cast<unsigned long long>(eio.physical_reads),
+                  100.0 * eio.HitRatio());
+    }
   }
 
   void Compare(std::istringstream& in) {
@@ -243,6 +341,12 @@ int main() {
       shell.Stats();
     } else if (cmd == "compare") {
       shell.Compare(in);
+    } else if (cmd == "shards") {
+      shell.Shards(in);
+    } else if (cmd == "threads") {
+      shell.Threads(in);
+    } else if (cmd == "engine") {
+      shell.Engine(in);
     } else {
       std::printf("unknown command '%s' — try 'help'\n", cmd.c_str());
     }
