@@ -6,12 +6,17 @@
 // Environment knobs:
 //   PEB_BENCH_SCALE  — divides user counts and query counts (default 1 =
 //                      full paper scale; e.g. 10 for a quick smoke run).
+//
+// CLI knobs:
+//   --json <path>    — additionally emit the run as a machine-readable
+//                      BENCH_*.json document (see bench_json.h).
 #pragma once
 
 #include <cstdlib>
 #include <iostream>
 #include <string>
 
+#include "bench_json.h"
 #include "eval/runner.h"
 #include "eval/table_printer.h"
 #include "eval/workload.h"
@@ -62,6 +67,40 @@ inline void AddIoRow(TablePrinter& t, const std::string& x, double peb,
                      double spatial) {
   double ratio = peb > 0.0 ? spatial / peb : 0.0;
   t.AddRow({x, Fmt(peb, 2), Fmt(spatial, 2), Fmt(ratio, 1) + "x"});
+}
+
+// --- JSON serialization of the common measurement types --------------------
+
+inline Json ToJson(const RunResult& r) {
+  return Json::Object()
+      .Set("avg_io", r.avg_io)
+      .Set("avg_candidates", r.avg_candidates)
+      .Set("avg_results", r.avg_results)
+      .Set("avg_probes", r.avg_probes)
+      .Set("wall_ms", r.wall_ms);
+}
+
+inline Json ToJson(const IoStats& s) {
+  return Json::Object()
+      .Set("physical_reads", s.physical_reads)
+      .Set("physical_writes", s.physical_writes)
+      .Set("logical_fetches", s.logical_fetches)
+      .Set("cache_hits", s.cache_hits)
+      .Set("prefetch_reads", s.prefetch_reads)
+      .Set("hit_ratio", s.HitRatio());
+}
+
+inline Json ToJson(const WorkloadParams& p) {
+  return Json::Object()
+      .Set("num_users", static_cast<uint64_t>(p.num_users))
+      .Set("policies_per_user", static_cast<uint64_t>(p.policies_per_user))
+      .Set("grouping_factor", p.grouping_factor)
+      .Set("space_side", p.space_side)
+      .Set("max_speed", p.max_speed)
+      .Set("buffer_pages", static_cast<uint64_t>(p.buffer_pages))
+      .Set("grid_bits", static_cast<uint64_t>(p.grid_bits))
+      .Set("max_z_intervals", static_cast<uint64_t>(p.max_z_intervals))
+      .Set("seed", p.seed);
 }
 
 }  // namespace eval

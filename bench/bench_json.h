@@ -1,0 +1,164 @@
+// Minimal JSON emitter for the BENCH_*.json perf-trajectory files.
+//
+// Each bench binary accepts `--json <path>` and, when given, writes one
+// machine-readable document: workload parameters, wall-clock, aggregate
+// I/O, and cache-hit rates. The files are committed (scaled-down runs) and
+// uploaded as CI artifacts, so regressions in the storage/scan hot path
+// show up as diffs instead of anecdotes.
+//
+// The value model is the usual tagged tree (null/bool/number/string/
+// array/object); objects preserve insertion order so diffs stay stable.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace peb {
+namespace eval {
+
+class Json {
+ public:
+  Json() : kind_(Kind::kNull) {}
+  Json(bool b) : kind_(Kind::kBool), bool_(b) {}
+  Json(double v) : kind_(Kind::kNumber), num_(v) {}
+  Json(int v) : kind_(Kind::kNumber), num_(v) {}
+  Json(unsigned v) : kind_(Kind::kNumber), num_(v) {}
+  Json(int64_t v) : kind_(Kind::kNumber), num_(static_cast<double>(v)) {}
+  Json(uint64_t v) : kind_(Kind::kNumber), num_(static_cast<double>(v)) {}
+  Json(const char* s) : kind_(Kind::kString), str_(s) {}
+  Json(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}
+
+  static Json Object() {
+    Json j;
+    j.kind_ = Kind::kObject;
+    return j;
+  }
+  static Json Array() {
+    Json j;
+    j.kind_ = Kind::kArray;
+    return j;
+  }
+
+  /// Object field (insertion-ordered). Returns *this for chaining.
+  Json& Set(const std::string& key, Json value) {
+    fields_.emplace_back(key, std::move(value));
+    return *this;
+  }
+
+  /// Array element. Returns *this for chaining.
+  Json& Push(Json value) {
+    items_.push_back(std::move(value));
+    return *this;
+  }
+
+  void Dump(std::ostream& os, int indent = 0) const {
+    switch (kind_) {
+      case Kind::kNull:
+        os << "null";
+        break;
+      case Kind::kBool:
+        os << (bool_ ? "true" : "false");
+        break;
+      case Kind::kNumber: {
+        // Integers print without a fraction; everything else round-trips.
+        if (num_ == static_cast<double>(static_cast<int64_t>(num_))) {
+          os << static_cast<int64_t>(num_);
+        } else {
+          std::ostringstream tmp;
+          tmp.precision(10);
+          tmp << num_;
+          os << tmp.str();
+        }
+        break;
+      }
+      case Kind::kString:
+        os << '"';
+        for (char c : str_) {
+          switch (c) {
+            case '"': os << "\\\""; break;
+            case '\\': os << "\\\\"; break;
+            case '\n': os << "\\n"; break;
+            case '\t': os << "\\t"; break;
+            default: os << c;
+          }
+        }
+        os << '"';
+        break;
+      case Kind::kArray: {
+        if (items_.empty()) {
+          os << "[]";
+          break;
+        }
+        os << "[\n";
+        for (size_t i = 0; i < items_.size(); ++i) {
+          Pad(os, indent + 2);
+          items_[i].Dump(os, indent + 2);
+          os << (i + 1 < items_.size() ? ",\n" : "\n");
+        }
+        Pad(os, indent);
+        os << ']';
+        break;
+      }
+      case Kind::kObject: {
+        if (fields_.empty()) {
+          os << "{}";
+          break;
+        }
+        os << "{\n";
+        for (size_t i = 0; i < fields_.size(); ++i) {
+          Pad(os, indent + 2);
+          os << '"' << fields_[i].first << "\": ";
+          fields_[i].second.Dump(os, indent + 2);
+          os << (i + 1 < fields_.size() ? ",\n" : "\n");
+        }
+        Pad(os, indent);
+        os << '}';
+        break;
+      }
+    }
+  }
+
+  /// Writes the document to `path` (with a trailing newline). Returns
+  /// false (and reports to stderr) on failure.
+  bool WriteTo(const std::string& path) const {
+    std::ofstream f(path);
+    if (!f) {
+      std::cerr << "bench: cannot write " << path << "\n";
+      return false;
+    }
+    Dump(f);
+    f << "\n";
+    return f.good();
+  }
+
+ private:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  static void Pad(std::ostream& os, int n) {
+    for (int i = 0; i < n; ++i) os << ' ';
+  }
+
+  Kind kind_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> fields_;
+};
+
+/// Extracts the value of a `--json <path>` argument ("" when absent).
+inline std::string JsonPathFromArgs(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") return argv[i + 1];
+  }
+  return "";
+}
+
+}  // namespace eval
+}  // namespace peb

@@ -1,10 +1,20 @@
 // Micro-benchmarks (google-benchmark): per-operation costs of the building
 // blocks — space-filling curves, PEB key generation, B+-tree operations,
 // buffer pool hits, policy compatibility, and end-to-end index updates.
+//
+// After the google-benchmark suite, an A/B "range-scan cell" always runs:
+// the same window-query batch against a Bx-tree with the legacy
+// per-interval root-descent scan (the pre-leaf-cursor behavior: fast path
+// off, no interval coalescing) and with the LeafCursor fast path + default
+// coalescing. `--json <path>` records both sides in BENCH_micro.json so
+// the fetch-count reduction is part of the perf trajectory.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <memory>
+#include <vector>
 
+#include "bench_common.h"
 #include "btree/btree.h"
 #include "btree/btree_traits.h"
 #include "bxtree/bxtree.h"
@@ -164,6 +174,142 @@ void BM_BxTreeUpdate(benchmark::State& state) {
 BENCHMARK(BM_BxTreeUpdate);
 
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// A/B range-scan cell: legacy per-interval descents vs LeafCursor fast path
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct ScanCellResult {
+  IoStats io;
+  double wall_ms = 0.0;
+  uint64_t probes = 0;
+  uint64_t descents = 0;
+  uint64_t leaf_hops = 0;
+  uint64_t candidates = 0;
+};
+
+ScanCellResult RunRangeScanCell(bool fast_path, uint64_t coalesce_gap,
+                                size_t num_objects, size_t num_queries) {
+  UniformGeneratorOptions gen;
+  gen.num_objects = num_objects;
+  gen.stagger_window = 120.0;
+  gen.seed = 42;
+  Dataset ds = GenerateUniformDataset(gen);
+
+  InMemoryDiskManager disk;
+  BufferPool pool(&disk, BufferPoolOptions{50});  // Paper's buffer budget.
+  MovingIndexOptions opt;
+  opt.leaf_cursor_fast_path = fast_path;
+  opt.zrange.coalesce_gap = coalesce_gap;
+  BxTree tree(&pool, opt);
+  for (const auto& o : ds.objects) (void)tree.Insert(o);
+
+  ScanCellResult r;
+  Rng rng(9);
+  Timestamp tq = 120.0;
+  pool.ResetStats();
+  auto t0 = std::chrono::steady_clock::now();
+  for (size_t q = 0; q < num_queries; ++q) {
+    Point center{rng.Uniform(0.0, 1000.0), rng.Uniform(0.0, 1000.0)};
+    Rect window = Rect::CenteredSquare(center, 200.0)
+                      .ClampedTo(Rect::Space(1000.0));
+    auto res = tree.RangeQuery(window, tq);
+    if (!res.ok()) continue;
+    r.probes += tree.last_query().range_probes;
+    r.descents += tree.last_query().seek_descents;
+    r.leaf_hops += tree.last_query().leaf_hops;
+    r.candidates += tree.last_query().candidates_examined;
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  r.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  r.io = pool.stats();
+  return r;
+}
+
+eval::Json ToJson(const ScanCellResult& r) {
+  return eval::Json::Object()
+      .Set("io", eval::ToJson(r.io))
+      .Set("wall_ms", r.wall_ms)
+      .Set("range_probes", r.probes)
+      .Set("seek_descents", r.descents)
+      .Set("leaf_hops", r.leaf_hops)
+      .Set("candidates_examined", r.candidates);
+}
+
+}  // namespace
+
+void RunAndReportScanCell(const std::string& json_path) {
+  size_t num_objects = eval::Scaled(60000, 5000);
+  size_t num_queries = eval::Scaled(200, 20);
+  // "legacy" is the pre-PR baseline: one root descent per Z interval, no
+  // interval coalescing. "fastpath" is the current default configuration.
+  ScanCellResult legacy = RunRangeScanCell(false, 0, num_objects,
+                                           num_queries);
+  ScanCellResult fast = RunRangeScanCell(true, 3, num_objects, num_queries);
+
+  auto ratio = [](double a, double b) { return b > 0.0 ? a / b : 0.0; };
+  double fetch_ratio =
+      ratio(static_cast<double>(legacy.io.logical_fetches),
+            static_cast<double>(fast.io.logical_fetches));
+  double read_ratio = ratio(static_cast<double>(legacy.io.physical_reads),
+                            static_cast<double>(fast.io.physical_reads));
+  double speedup = ratio(legacy.wall_ms, fast.wall_ms);
+
+  std::cout << "\n--- range-scan cell (Bx window batch, " << num_objects
+            << " objects, " << num_queries << " queries) ---\n"
+            << "legacy   : " << legacy.io.logical_fetches << " fetches, "
+            << legacy.io.physical_reads << " reads, " << legacy.probes
+            << " probes, " << eval::Fmt(legacy.wall_ms) << " ms\n"
+            << "fastpath : " << fast.io.logical_fetches << " fetches, "
+            << fast.io.physical_reads << " reads, " << fast.probes
+            << " probes (" << fast.descents << " descents + "
+            << fast.leaf_hops << " hops), " << eval::Fmt(fast.wall_ms)
+            << " ms\n"
+            << "fetch ratio " << eval::Fmt(fetch_ratio) << "x, read ratio "
+            << eval::Fmt(read_ratio) << "x, speedup "
+            << eval::Fmt(speedup) << "x\n";
+
+  if (!json_path.empty()) {
+    eval::Json doc =
+        eval::Json::Object()
+            .Set("bench", "micro")
+            .Set("scale", eval::BenchScale())
+            .Set("range_scan_cell",
+                 eval::Json::Object()
+                     .Set("num_objects", static_cast<uint64_t>(num_objects))
+                     .Set("num_queries", static_cast<uint64_t>(num_queries))
+                     .Set("window_side", 200.0)
+                     .Set("buffer_pages", 50)
+                     .Set("legacy", ToJson(legacy))
+                     .Set("fastpath", ToJson(fast))
+                     .Set("fetch_ratio", fetch_ratio)
+                     .Set("read_ratio", read_ratio)
+                     .Set("speedup", speedup));
+    if (doc.WriteTo(json_path)) {
+      std::cout << "wrote " << json_path << "\n";
+    }
+  }
+}
+
 }  // namespace peb
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip --json <path> before google-benchmark sees the arguments.
+  std::string json_path;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int bargc = static_cast<int>(args.size());
+  benchmark::Initialize(&bargc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bargc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  peb::RunAndReportScanCell(json_path);
+  return 0;
+}

@@ -170,6 +170,91 @@ class BTree {
     size_t leaves_visited_ = 0;
   };
 
+  /// A reusable positioned cursor over leaf entries — the fast path for
+  /// multi-interval range scans. Unlike Iterator (one root descent per
+  /// seek), a LeafCursor keeps its current leaf pinned between seeks: when
+  /// the next target key is forward-reachable it walks the sibling chain
+  /// (at most kMaxChainHops page fetches) instead of re-descending. The
+  /// moving-object query algorithms probe Z intervals in ascending key
+  /// order, so nearly every probe after the first resolves in the current
+  /// or an adjacent leaf.
+  ///
+  /// The tree must not be mutated while a cursor holds a position; Reset()
+  /// (or destroy) the cursor before mutating.
+  class LeafCursor {
+   public:
+    /// Leaf-chain hops one seek may spend before giving up and
+    /// re-descending. Hops only ever touch leaves already resident in the
+    /// buffer pool (cache hits — a cold sibling falls back to a root
+    /// descent immediately, so the fast path never reads a page from disk
+    /// that a descent would have skipped). The budget merely bounds the
+    /// logical-fetch count per seek when a long resident run is ahead.
+    static constexpr size_t kMaxChainHops = 4;
+
+    LeafCursor() = default;
+
+    bool Valid() const { return guard_.valid() && slot_ < count_; }
+
+    Key key() const {
+      assert(Valid());
+      return Traits::DecodeKey(LeafSlotPtr(*guard_.page(), slot_));
+    }
+    Value value() const {
+      assert(Valid());
+      return Traits::DecodeValue(LeafSlotPtr(*guard_.page(), slot_) +
+                                 Traits::kKeySize);
+    }
+
+    /// Advances to the next entry, following the leaf chain.
+    Status Next() {
+      assert(Valid());
+      if (++slot_ < count_) return Status::OK();
+      PageId next = LeafNext(*guard_.page());
+      guard_.Release();
+      slot_ = count_ = 0;
+      if (next == kInvalidPageId) return Status::OK();  // Now invalid.
+      PEB_ASSIGN_OR_RETURN(guard_, tree_->pool_->FetchPage(next));
+      count_ = NodeCount(*guard_.page());
+      if (prefetch_) tree_->pool_->Prefetch(LeafNext(*guard_.page()));
+      return Status::OK();
+    }
+
+    /// Repositions at the first entry with key >= `key` (invalid when no
+    /// such entry exists), reusing the current position when possible.
+    Status SeekGE(const Key& key);
+
+    /// Drops the pinned position (also required before tree mutations).
+    void Reset() {
+      guard_.Release();
+      slot_ = count_ = 0;
+    }
+
+    /// Stage the next sibling leaf into the buffer pool on every leaf
+    /// crossing. Off by default: prefetch reads perturb the physical-read
+    /// counts the figure benches compare against the paper.
+    void set_prefetch(bool on) { prefetch_ = on; }
+
+    /// Root descents performed by SeekGE calls so far.
+    size_t descents() const { return descents_; }
+    /// Sibling-link page fetches spent by SeekGE calls so far.
+    size_t chain_hops() const { return chain_hops_; }
+
+   private:
+    friend class BTree;
+    explicit LeafCursor(const BTree* tree) : tree_(tree) {}
+
+    const BTree* tree_ = nullptr;
+    PageGuard guard_;
+    uint16_t slot_ = 0;
+    uint16_t count_ = 0;
+    bool prefetch_ = false;
+    size_t descents_ = 0;
+    size_t chain_hops_ = 0;
+  };
+
+  /// An unpositioned cursor bound to this tree.
+  LeafCursor NewCursor() const { return LeafCursor(this); }
+
   /// Positions an iterator at the first entry with key >= `key`. The
   /// iterator is invalid when no such entry exists.
   Result<Iterator> SeekGE(const Key& key) const;
@@ -372,6 +457,68 @@ Result<typename BTree<Traits>::Iterator> BTree<Traits>::SeekFirst() const {
       return it;
     }
     pid = ChildAt(p, 0);
+  }
+}
+
+template <typename Traits>
+Status BTree<Traits>::LeafCursor::SeekGE(const Key& key) {
+  const BTree& tree = *tree_;
+  // Fast path: the cursor sits on a leaf and the target is not behind it —
+  // walk the sibling chain instead of descending from the root.
+  if (guard_.valid()) {
+    const Page* p = guard_.page();
+    uint16_t cnt = NodeCount(*p);
+    if (cnt > 0 && Traits::Compare(key, LeafKey(*p, 0)) >= 0) {
+      for (size_t hops = 0;; ++hops) {
+        if (cnt > 0 && Traits::Compare(LeafKey(*p, cnt - 1), key) >= 0) {
+          slot_ = static_cast<uint16_t>(LeafLowerBound(*p, key));
+          count_ = cnt;
+          return Status::OK();
+        }
+        PageId next = LeafNext(*p);
+        if (next == kInvalidPageId) {
+          // Past the last entry of the tree: cursor becomes invalid.
+          Reset();
+          return Status::OK();
+        }
+        if (hops == kMaxChainHops) break;  // Too far ahead: re-descend.
+        PageGuard g = tree.pool_->FetchIfResident(next);
+        if (!g.valid()) break;  // Cold sibling: a descent is cheaper.
+        guard_ = std::move(g);
+        chain_hops_++;
+        p = guard_.page();
+        cnt = NodeCount(*p);
+      }
+    }
+    guard_.Release();
+  }
+
+  // Slow path: root descent (same walk as BTree::SeekGE).
+  descents_++;
+  slot_ = count_ = 0;
+  if (tree.root_ == kInvalidPageId) return Status::OK();
+  PageId pid = tree.root_;
+  for (;;) {
+    PEB_ASSIGN_OR_RETURN(PageGuard g, tree.pool_->FetchPage(pid));
+    const Page& p = *g.page();
+    if (IsLeaf(p)) {
+      size_t slot = LeafLowerBound(p, key);
+      guard_ = std::move(g);
+      count_ = NodeCount(*guard_.page());
+      slot_ = static_cast<uint16_t>(slot);
+      if (slot >= count_) {
+        // The key is past this leaf's last entry: move to the next leaf.
+        PageId next = LeafNext(*guard_.page());
+        Reset();
+        if (next != kInvalidPageId) {
+          PEB_ASSIGN_OR_RETURN(guard_, tree.pool_->FetchPage(next));
+          chain_hops_++;
+          count_ = NodeCount(*guard_.page());
+        }
+      }
+      return Status::OK();
+    }
+    pid = ChildAt(p, InternalChildIndex(p, key));
   }
 }
 

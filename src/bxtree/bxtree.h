@@ -38,7 +38,19 @@ struct MovingIndexOptions {
   /// dominate every indexed object's |vx|, |vy|.
   double max_speed = 3.0;
   /// Optional cap on Z intervals per window (0 = exact decomposition).
-  ZRangeOptions zrange;
+  /// Indexes default to a small coalescing gap: merging near-adjacent Z
+  /// intervals scans a few extra cells (discarded by query refinement, so
+  /// answers are unchanged) but saves one key-range probe per merge.
+  ZRangeOptions zrange{.max_intervals = 0, .coalesce_gap = 3};
+  /// Scan intervals with a persistent LeafCursor (one descent plus
+  /// sibling-link hops per batch of sorted probes) instead of one root
+  /// descent per interval. The legacy path is kept for the
+  /// result-equivalence tests and A/B benches.
+  bool leaf_cursor_fast_path = true;
+  /// Let scans hint the buffer pool to stage the next sibling leaf. Off by
+  /// default: prefetch reads perturb the physical-read counts the figure
+  /// benches compare against the paper.
+  bool prefetch_next_leaf = false;
 };
 
 /// A candidate produced by the spatial search (pre-verification state).
@@ -98,9 +110,11 @@ class BxTree {
 
   /// Scans one 1-D interval of one partition, collecting entries whose
   /// extrapolated position at `tq` is inside `refine` (when non-null).
-  Status ScanInterval(uint32_t partition, uint64_t zlo, uint64_t zhi,
-                      Timestamp tq, const Rect* refine,
-                      std::vector<SpatialCandidate>* out);
+  /// `cursor` carries the scan position across the sorted probes of one
+  /// query (ignored on the legacy per-interval-descent path).
+  Status ScanInterval(ObjectBTree::LeafCursor* cursor, uint32_t partition,
+                      uint64_t zlo, uint64_t zhi, Timestamp tq,
+                      const Rect* refine, std::vector<SpatialCandidate>* out);
 
   BufferPool* pool_;
   MovingIndexOptions options_;

@@ -29,6 +29,8 @@ struct QueryCounters {
   size_t results = 0;              ///< Entries surviving verification.
   size_t range_probes = 0;         ///< 1-D key intervals searched.
   size_t rounds = 0;               ///< kNN enlargement rounds.
+  size_t seek_descents = 0;        ///< Root descents spent positioning.
+  size_t leaf_hops = 0;            ///< Sibling-link hops spent positioning.
 };
 
 /// A moving-object index answering privacy-aware queries.

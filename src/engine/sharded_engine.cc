@@ -91,20 +91,15 @@ ShardedPebEngine::ShardedPebEngine(const EngineOptions& options,
       router_(MakeRouter(options.router,
                          options.num_shards == 0 ? 1 : options.num_shards,
                          encoding)),
+      pool_(&disk_,
+            BufferPoolOptions{options.buffer_pages, options.pool_shards}),
       threads_(options.num_threads) {
   size_t n = router_->num_shards();
-  size_t pages = options_.buffer_pages / n;
-  if (pages < options_.min_pages_per_shard) {
-    pages = options_.min_pages_per_shard;
-  }
   shards_.reserve(n);
   for (size_t s = 0; s < n; ++s) {
     auto shard = std::make_unique<Shard>();
-    shard->disk = std::make_unique<InMemoryDiskManager>();
-    shard->pool = std::make_unique<BufferPool>(shard->disk.get(),
-                                               BufferPoolOptions{pages});
-    shard->tree = std::make_unique<PebTree>(shard->pool.get(), options_.tree,
-                                            store, roles, encoding);
+    shard->tree = std::make_unique<PebTree>(&pool_, options_.tree, store,
+                                            roles, encoding);
     shards_.push_back(std::move(shard));
   }
 }
@@ -176,35 +171,15 @@ size_t ShardedPebEngine::size() const {
   return SizeLocked();
 }
 
-BufferPool* ShardedPebEngine::pool() { return shards_[0]->pool.get(); }
+BufferPool* ShardedPebEngine::pool() { return &pool_; }
 
 size_t ShardedPebEngine::buffer_frames_total() const {
-  size_t total = 0;
-  for (const auto& s : shards_) total += s->pool->capacity();
-  return total;
+  return pool_.capacity();
 }
 
-IoStats ShardedPebEngine::aggregate_io() const {
-  std::shared_lock<std::shared_mutex> state_lock(state_mu_);
-  IoStats total;
-  for (const auto& s : shards_) {
-    std::lock_guard<std::mutex> lock(s->mu);
-    const IoStats& st = s->pool->stats();
-    total.physical_reads += st.physical_reads;
-    total.physical_writes += st.physical_writes;
-    total.logical_fetches += st.logical_fetches;
-    total.cache_hits += st.cache_hits;
-  }
-  return total;
-}
+IoStats ShardedPebEngine::aggregate_io() const { return pool_.stats(); }
 
-void ShardedPebEngine::ResetIo() {
-  std::shared_lock<std::shared_mutex> state_lock(state_mu_);
-  for (auto& s : shards_) {
-    std::lock_guard<std::mutex> lock(s->mu);
-    s->pool->ResetStats();
-  }
-}
+void ShardedPebEngine::ResetIo() { pool_.ResetStats(); }
 
 std::vector<std::vector<FriendEntry>> ShardedPebEngine::PartitionFriends(
     UserId issuer) const {
@@ -221,6 +196,8 @@ void ShardedPebEngine::MergeCounters(const QueryCounters& shard_counters,
   into->results += shard_counters.results;
   into->range_probes += shard_counters.range_probes;
   into->rounds = std::max(into->rounds, shard_counters.rounds);
+  into->seek_descents += shard_counters.seek_descents;
+  into->leaf_hops += shard_counters.leaf_hops;
 }
 
 void ShardedPebEngine::PublishCounters(const QueryCounters& counters) {

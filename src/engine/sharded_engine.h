@@ -3,7 +3,12 @@
 //
 // Motivated by MOIST's partitioned moving-object indexing and by velocity
 // partitioning for Bx-style trees: one logical index is split into N
-// physical PEB-trees, each with its own disk manager and LRU buffer pool.
+// physical PEB-trees sharing one disk manager and one sharded clock buffer
+// pool — the pool's per-shard latches (storage/buffer_pool.h) make
+// concurrent page access from the worker threads contention-free, and the
+// aggregate frame budget is exactly the configured buffer_pages (no
+// per-shard floor inflation, so I/O stays directly comparable to the
+// paper's single-tree figures).
 // A pluggable ShardRouter assigns every user to exactly one shard; inserts,
 // deletes, and updates are routed there. Queries exploit the PEB-tree's
 // query structure (per-friend SV x Z-interval scans): the issuer's friend
@@ -19,9 +24,11 @@
 // (tests/engine_test.cc asserts this for 1, 2, 4, and 7 shards).
 //
 // Thread-safety: a per-shard mutex serializes all access to a shard's tree
-// and pool (neither is thread-safe); parallelism comes from having N
-// shards. Queries use the PebTree const read path (RangeQueryAmong /
-// KnnScan), so concurrent work on distinct shards never races. On top of
+// structure and query counters (the tree is not thread-safe); the shared
+// buffer pool is thread-safe and needs no external serialization, so the
+// storage layer never blocks shard parallelism. Queries use the PebTree
+// const read path (RangeQueryAmong / KnnScan), so concurrent work on
+// distinct shards never races. On top of
 // that, an engine-level reader-writer lock keeps every query's view
 // atomic: queries hold it shared, mutations (Insert/Update/Delete/
 // LoadDataset/ApplyBatch) hold it exclusive — so a query fanned out over
@@ -50,14 +57,14 @@ struct EngineOptions {
   /// the calling thread (deterministic single-threaded mode).
   size_t num_threads = 4;
   RouterPolicy router = RouterPolicy::kHashUser;
-  /// Aggregate buffer frames, split evenly across shards (the paper's
+  /// Aggregate buffer frames of the single shared pool (the paper's
   /// 50-page budget by default, so aggregate I/O stays comparable to the
-  /// single-tree experiments). Each shard gets at least min_pages_per_shard
-  /// — at high shard counts that floor can raise the actual aggregate
-  /// above buffer_pages; buffer_frames_total() reports the real total so
-  /// benches can surface the inflation instead of hiding it.
+  /// single-tree experiments — exactly, since there is no per-shard
+  /// split).
   size_t buffer_pages = 50;
-  size_t min_pages_per_shard = 8;
+  /// Latch shards of the shared buffer pool (clamped to buffer_pages).
+  /// More latch shards = less metadata contention between worker threads.
+  size_t pool_shards = 4;
   /// Per-shard PEB-tree configuration (shared by all shards).
   PebTreeOptions tree;
 };
@@ -74,7 +81,7 @@ class ShardedPebEngine final : public PrivacyAwareIndex {
   Status Update(const MovingObject& object) override;
   Status Delete(UserId id) override;
   size_t size() const override;
-  /// A representative pool (shard 0); use aggregate_io() for totals.
+  /// The shared pool serving every shard tree.
   BufferPool* pool() override;
   IoStats aggregate_io() const override;
   void ResetIo() override;
@@ -104,8 +111,7 @@ class ShardedPebEngine final : public PrivacyAwareIndex {
   const EngineOptions& options() const { return options_; }
   const ShardRouter& router() const { return *router_; }
   size_t num_shards() const { return shards_.size(); }
-  /// Actual buffer frames summed over shards (>= options().buffer_pages
-  /// when the per-shard floor kicked in).
+  /// Frames of the shared pool (always exactly options().buffer_pages).
   size_t buffer_frames_total() const;
   ThreadPool& threads() { return threads_; }
   /// Shard i's tree (read-only; for stats and tests).
@@ -115,10 +121,10 @@ class ShardedPebEngine final : public PrivacyAwareIndex {
 
  private:
   struct Shard {
-    std::unique_ptr<InMemoryDiskManager> disk;
-    std::unique_ptr<BufferPool> pool;
     std::unique_ptr<PebTree> tree;
-    /// Serializes all access to tree + pool.
+    /// Serializes all access to the tree's structure and query counters.
+    /// Page access goes through the shared thread-safe pool and needs no
+    /// per-shard serialization.
     mutable std::mutex mu;
   };
 
@@ -139,6 +145,9 @@ class ShardedPebEngine final : public PrivacyAwareIndex {
   EngineOptions options_;
   const PolicyEncoding* encoding_;
   std::unique_ptr<ShardRouter> router_;
+  /// One disk + one sharded clock pool shared by every shard tree.
+  InMemoryDiskManager disk_;
+  BufferPool pool_;
   std::vector<std::unique_ptr<Shard>> shards_;
   ThreadPool threads_;
   /// Engine-level snapshot isolation: queries shared, mutations exclusive.

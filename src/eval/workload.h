@@ -113,10 +113,9 @@ class Workload {
 
 /// Builds a ShardedPebEngine over `workload`'s policies/encoding with the
 /// same per-shard tree configuration as its single PEB-tree, and loads the
-/// workload's current dataset into it. The engine's aggregate buffer budget
-/// is the workload's buffer_pages split across shards (subject to the
-/// engine's per-shard floor — check buffer_frames_total() for the actual
-/// aggregate at high shard counts).
+/// workload's current dataset into it. Every shard tree lives on one
+/// shared sharded-clock pool whose budget is exactly the workload's
+/// buffer_pages, so engine I/O is directly comparable to the single tree.
 std::unique_ptr<engine::ShardedPebEngine> MakeEngine(
     const Workload& workload, size_t num_shards, size_t num_threads,
     engine::RouterPolicy policy = engine::RouterPolicy::kHashUser);

@@ -126,6 +126,7 @@ Status PebTree::AttachExisting(const PebTreeManifest& manifest) {
 std::vector<PebTree::SvRow> PebTree::BuildRows(
     const std::vector<FriendEntry>& friends) {
   std::vector<SvRow> rows;
+  rows.reserve(friends.size());
   for (const FriendEntry& f : friends) {  // Ascending (qsv, uid).
     if (rows.empty() || rows.back().qsv != f.qsv) {
       rows.push_back({f.qsv, {}});
@@ -142,22 +143,21 @@ bool PebTree::Verify(UserId issuer, const SpatialCandidate& cand,
                         options_.time_domain);
 }
 
-Status PebTree::ScanSvInterval(uint32_t partition, uint32_t qsv, uint64_t zlo,
-                               uint64_t zhi,
-                               const std::unordered_set<UserId>* wanted,
-                               std::unordered_set<UserId>* found,
-                               std::vector<SpatialCandidate>* out,
-                               Timestamp tq) const {
-  if (zlo > zhi) return Status::OK();
-  CompositeKey start = CompositeKey::Min(layout_.MakeKey(partition, qsv, zlo));
-  uint64_t end_primary = layout_.MakeKey(partition, qsv, zhi);
-  counters_.range_probes++;
+namespace {
 
-  PEB_ASSIGN_OR_RETURN(auto it, tree_.SeekGE(start));
+/// Consumes entries from an iterator-like positioned at the scan start
+/// until the key leaves [.., end_primary]. Shared by the LeafCursor fast
+/// path and the legacy per-interval-descent path.
+template <typename It>
+Status ConsumePebEntries(It& it, uint64_t end_primary,
+                         const std::unordered_set<UserId>* wanted,
+                         std::unordered_set<UserId>* found,
+                         std::vector<SpatialCandidate>* out, Timestamp tq,
+                         QueryCounters* counters) {
   while (it.Valid()) {
     CompositeKey key = it.key();
     if (key.primary > end_primary) break;
-    counters_.candidates_examined++;
+    counters->candidates_examined++;
     UserId uid = key.uid;
     if ((wanted == nullptr || wanted->contains(uid)) &&
         !found->contains(uid)) {
@@ -173,6 +173,44 @@ Status PebTree::ScanSvInterval(uint32_t partition, uint32_t qsv, uint64_t zlo,
     PEB_RETURN_NOT_OK(it.Next());
   }
   return Status::OK();
+}
+
+}  // namespace
+
+Status PebTree::ScanKeyRange(ObjectBTree::LeafCursor* cursor,
+                             CompositeKey start, uint64_t end_primary,
+                             const std::unordered_set<UserId>* wanted,
+                             std::unordered_set<UserId>* found,
+                             std::vector<SpatialCandidate>* out,
+                             Timestamp tq) const {
+  counters_.range_probes++;
+  if (options_.index.leaf_cursor_fast_path && cursor != nullptr) {
+    size_t d0 = cursor->descents();
+    size_t h0 = cursor->chain_hops();
+    PEB_RETURN_NOT_OK(cursor->SeekGE(start));
+    counters_.seek_descents += cursor->descents() - d0;
+    counters_.leaf_hops += cursor->chain_hops() - h0;
+    return ConsumePebEntries(*cursor, end_primary, wanted, found, out, tq,
+                             &counters_);
+  }
+  counters_.seek_descents++;
+  PEB_ASSIGN_OR_RETURN(auto it, tree_.SeekGE(start));
+  return ConsumePebEntries(it, end_primary, wanted, found, out, tq,
+                           &counters_);
+}
+
+Status PebTree::ScanSvInterval(ObjectBTree::LeafCursor* cursor,
+                               uint32_t partition, uint32_t qsv, uint64_t zlo,
+                               uint64_t zhi,
+                               const std::unordered_set<UserId>* wanted,
+                               std::unordered_set<UserId>* found,
+                               std::vector<SpatialCandidate>* out,
+                               Timestamp tq) const {
+  if (zlo > zhi) return Status::OK();
+  return ScanKeyRange(cursor,
+                      CompositeKey::Min(layout_.MakeKey(partition, qsv, zlo)),
+                      layout_.MakeKey(partition, qsv, zhi), wanted, found,
+                      out, tq);
 }
 
 // ---------------------------------------------------------------------------
@@ -210,6 +248,16 @@ Result<std::vector<UserId>> PebTree::RangeQueryPerFriend(
 
   std::unordered_set<UserId> found;
   std::vector<SpatialCandidate> candidates;
+  candidates.reserve(rows.size());
+
+  // Per-row wanted sets, built once instead of per (label, row) pair.
+  std::vector<std::unordered_set<UserId>> row_wanted(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    row_wanted[i].insert(rows[i].uids.begin(), rows[i].uids.end());
+  }
+
+  ObjectBTree::LeafCursor cursor = tree_.NewCursor();
+  cursor.set_prefetch(options_.index.prefetch_next_leaf);
 
   for (const auto& [label, count] : label_counts_) {
     Timestamp tlab = options_.index.partitions.LabelTimestamp(label);
@@ -223,8 +271,10 @@ Result<std::vector<UserId>> PebTree::RangeQueryPerFriend(
         shared == nullptr ? compute() : shared->PrqIntervals(label, compute);
     if (intervals.empty()) continue;
 
-    for (const SvRow& row : rows) {
-      std::unordered_set<UserId> wanted(row.uids.begin(), row.uids.end());
+    // Rows ascend by qsv and intervals by Z, and qsv sits above zv in the
+    // PEB key, so every probe within one label moves the cursor forward.
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const SvRow& row = rows[i];
       // Skip rule: a user has one location; once each of the row's users
       // has been found (in any partition), its remaining ranges are dead.
       bool all_found = true;
@@ -236,8 +286,9 @@ Result<std::vector<UserId>> PebTree::RangeQueryPerFriend(
       }
       if (all_found) continue;
       for (const CurveInterval& iv : intervals) {
-        PEB_RETURN_NOT_OK(ScanSvInterval(partition, row.qsv, iv.lo, iv.hi,
-                                         &wanted, &found, &candidates, tq));
+        PEB_RETURN_NOT_OK(ScanSvInterval(&cursor, partition, row.qsv, iv.lo,
+                                         iv.hi, &row_wanted[i], &found,
+                                         &candidates, tq));
         bool row_done = true;
         for (UserId u : row.uids) {
           if (!found.contains(u)) {
@@ -274,6 +325,10 @@ Result<std::vector<UserId>> PebTree::RangeQuerySpan(
   }
   std::unordered_set<UserId> found;
   std::vector<SpatialCandidate> candidates;
+  candidates.reserve(rows.size());
+
+  ObjectBTree::LeafCursor cursor = tree_.NewCursor();
+  cursor.set_prefetch(options_.index.prefetch_next_leaf);
 
   for (const auto& [label, count] : label_counts_) {
     Timestamp tlab = options_.index.partitions.LabelTimestamp(label);
@@ -290,28 +345,13 @@ Result<std::vector<UserId>> PebTree::RangeQuerySpan(
       // Figure 7 literally: StartPnt = TID ⊕ SVmin ⊕ ZVstart,
       // EndPnt = TID ⊕ SVmax ⊕ ZVend — a single scan spanning every
       // sequence value between the issuer's smallest and largest friend.
-      CompositeKey start =
-          CompositeKey::Min(layout_.MakeKey(partition, sv_min, iv.lo));
-      uint64_t end_primary = layout_.MakeKey(partition, sv_max, iv.hi);
-      counters_.range_probes++;
-      PEB_ASSIGN_OR_RETURN(auto it, tree_.SeekGE(start));
-      while (it.Valid()) {
-        CompositeKey key = it.key();
-        if (key.primary > end_primary) break;
-        counters_.candidates_examined++;
-        UserId uid = key.uid;
-        if (wanted.contains(uid) && !found.contains(uid)) {
-          found.insert(uid);
-          ObjectRecord rec = it.value();
-          MovingObject obj;
-          obj.id = uid;
-          obj.pos = {rec.x, rec.y};
-          obj.vel = {rec.vx, rec.vy};
-          obj.tu = rec.tu;
-          candidates.push_back({uid, obj.PositionAt(tq), obj});
-        }
-        PEB_RETURN_NOT_OK(it.Next());
-      }
+      // Note the spans of consecutive intervals interleave in key space
+      // (each covers every SV between min and max), so the cursor mostly
+      // re-descends here; the fast path still saves the within-span walk.
+      PEB_RETURN_NOT_OK(ScanKeyRange(
+          &cursor, CompositeKey::Min(layout_.MakeKey(partition, sv_min, iv.lo)),
+          layout_.MakeKey(partition, sv_max, iv.hi), &wanted, &found,
+          &candidates, tq));
     }
   }
 
@@ -371,6 +411,9 @@ PebTree::KnnScan::KnnScan(const PebTree* tree, UserId issuer, Point qloc,
   }
   double space_diag = tree_->options_.index.space_side * std::numbers::sqrt2;
   while (KnnRadiusForRound(rq_, max_rounds_ - 1) < space_diag) max_rounds_++;
+
+  cursor_ = tree_->tree_.NewCursor();
+  cursor_.set_prefetch(tree_->options_.index.prefetch_next_leaf);
 
   // Snapshot the live labels (stable during the scan).
   const auto& opts = tree_->options_.index;
@@ -447,26 +490,29 @@ Status PebTree::KnnScan::ScanCell(size_t i, size_t j,
     const uint32_t partition = labels_[li].partition;
     const uint32_t qsv = rows_[i].qsv;
     if (j == 0) {
-      PEB_RETURN_NOT_OK(tree_->ScanSvInterval(partition, qsv, cur.lo, cur.hi,
-                                              &row_wanted_[i], &found_,
-                                              &batch_, tq_));
+      PEB_RETURN_NOT_OK(tree_->ScanSvInterval(&cursor_, partition, qsv,
+                                              cur.lo, cur.hi, &row_wanted_[i],
+                                              &found_, &batch_, tq_));
     } else {
       // Scan only the ring new to round j.
       CurveInterval prev = SpanFor(li, j - 1);
       if (prev.lo > prev.hi) {
-        PEB_RETURN_NOT_OK(tree_->ScanSvInterval(partition, qsv, cur.lo,
-                                                cur.hi, &row_wanted_[i],
-                                                &found_, &batch_, tq_));
+        PEB_RETURN_NOT_OK(tree_->ScanSvInterval(&cursor_, partition, qsv,
+                                                cur.lo, cur.hi,
+                                                &row_wanted_[i], &found_,
+                                                &batch_, tq_));
       } else {
         if (cur.lo < prev.lo) {
-          PEB_RETURN_NOT_OK(tree_->ScanSvInterval(partition, qsv, cur.lo,
-                                                  prev.lo - 1, &row_wanted_[i],
-                                                  &found_, &batch_, tq_));
+          PEB_RETURN_NOT_OK(tree_->ScanSvInterval(&cursor_, partition, qsv,
+                                                  cur.lo, prev.lo - 1,
+                                                  &row_wanted_[i], &found_,
+                                                  &batch_, tq_));
         }
         if (cur.hi > prev.hi) {
-          PEB_RETURN_NOT_OK(tree_->ScanSvInterval(partition, qsv, prev.hi + 1,
-                                                  cur.hi, &row_wanted_[i],
-                                                  &found_, &batch_, tq_));
+          PEB_RETURN_NOT_OK(tree_->ScanSvInterval(&cursor_, partition, qsv,
+                                                  prev.hi + 1, cur.hi,
+                                                  &row_wanted_[i], &found_,
+                                                  &batch_, tq_));
         }
       }
     }
@@ -505,7 +551,7 @@ Status PebTree::KnnScan::VerticalScan(double dk,
     for (size_t i = 0; i < rows_.size(); ++i) {
       if (RowDone(i)) continue;
       batch_.clear();
-      PEB_RETURN_NOT_OK(tree_->ScanSvInterval(labels_[li].partition,
+      PEB_RETURN_NOT_OK(tree_->ScanSvInterval(&cursor_, labels_[li].partition,
                                               rows_[i].qsv, span.lo, span.hi,
                                               &row_wanted_[i], &found_,
                                               &batch_, tq_));

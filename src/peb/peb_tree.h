@@ -252,6 +252,8 @@ class PebTree final : public PrivacyAwareIndex {
     std::vector<std::vector<CurveInterval>> spans_;
     std::unordered_set<UserId> found_;
     std::vector<SpatialCandidate> batch_;
+    /// Persistent scan position, reused across cells and rounds.
+    ObjectBTree::LeafCursor cursor_;
   };
 
   /// Starts an incremental PkNN scan. `rq` is the per-round enlargement
@@ -296,10 +298,21 @@ class PebTree final : public PrivacyAwareIndex {
   /// Groups a friend list (ascending by (qsv, uid)) into per-SV rows.
   static std::vector<SvRow> BuildRows(const std::vector<FriendEntry>& friends);
 
-  /// Scans PEB keys [MakeKey(p, qsv, zlo), MakeKey(p, qsv, zhi)]. For every
-  /// entry whose uid is in `wanted`, marks it found and appends its state.
-  Status ScanSvInterval(uint32_t partition, uint32_t qsv, uint64_t zlo,
-                        uint64_t zhi,
+  /// Scans composite keys [start, end_primary]. For every entry whose uid
+  /// is in `wanted`, marks it found and appends its state. `cursor`
+  /// carries the position across the sorted probes of one query; the
+  /// legacy per-interval-descent path (leaf_cursor_fast_path off) ignores
+  /// it and re-descends from the root.
+  Status ScanKeyRange(ObjectBTree::LeafCursor* cursor, CompositeKey start,
+                      uint64_t end_primary,
+                      const std::unordered_set<UserId>* wanted,
+                      std::unordered_set<UserId>* found,
+                      std::vector<SpatialCandidate>* out, Timestamp tq) const;
+
+  /// ScanKeyRange over the PEB keys [MakeKey(p, qsv, zlo),
+  /// MakeKey(p, qsv, zhi)] of one (partition, sequence value) pair.
+  Status ScanSvInterval(ObjectBTree::LeafCursor* cursor, uint32_t partition,
+                        uint32_t qsv, uint64_t zlo, uint64_t zhi,
                         const std::unordered_set<UserId>* wanted,
                         std::unordered_set<UserId>* found,
                         std::vector<SpatialCandidate>* out, Timestamp tq) const;

@@ -72,6 +72,25 @@ void CapIntervalCount(std::vector<CurveInterval>* intervals,
   }
 }
 
+void CoalesceIntervals(std::vector<CurveInterval>* intervals,
+                       uint64_t max_gap) {
+  if (intervals->size() < 2) return;
+  size_t w = 0;  // Last written interval.
+  for (size_t i = 1; i < intervals->size(); ++i) {
+    const CurveInterval& cur = (*intervals)[i];
+    CurveInterval& prev = (*intervals)[w];
+    // Gap between [.., prev.hi] and [cur.lo, ..] is cur.lo - prev.hi - 1;
+    // compare without overflow (the lists are sorted and non-overlapping,
+    // so cur.lo > prev.hi >= 0 except at the very top of the domain).
+    if (cur.lo <= prev.hi || cur.lo - prev.hi - 1 <= max_gap) {
+      prev.hi = std::max(prev.hi, cur.hi);
+    } else {
+      (*intervals)[++w] = cur;
+    }
+  }
+  intervals->resize(w + 1);
+}
+
 std::vector<CurveInterval> ZIntervalsForCellRange(
     uint32_t cx_lo, uint32_t cy_lo, uint32_t cx_hi, uint32_t cy_hi,
     uint32_t bits, const ZRangeOptions& options) {
@@ -79,6 +98,7 @@ std::vector<CurveInterval> ZIntervalsForCellRange(
   if (cx_lo > cx_hi || cy_lo > cy_hi) return out;
   CellRange query{cx_lo, cy_lo, cx_hi, cy_hi};
   Decompose(bits, 0, 0, 0, query, &out);
+  CoalesceIntervals(&out, options.coalesce_gap);
   CapIntervalCount(&out, options.max_intervals);
   return out;
 }

@@ -31,6 +31,11 @@ struct ZRangeOptions {
   /// Maximum number of intervals returned; 0 means unlimited. When capped,
   /// the intervals with the smallest gaps between them are merged first.
   size_t max_intervals = 0;
+  /// Coalesce intervals separated by at most this many uncovered Z values
+  /// into one. Trades a few extra scanned cells (filtered out by the query
+  /// refinement step, so results are unchanged) for fewer key-range probes
+  /// and fewer cursor restarts; also shrinks cached decompositions.
+  uint64_t coalesce_gap = 0;
 };
 
 /// Returns the sorted, non-overlapping, non-adjacent Z-value intervals
@@ -50,6 +55,12 @@ std::vector<CurveInterval> ZIntervalsForWindow(
 /// the smallest gaps first. No-op if already within the budget.
 void CapIntervalCount(std::vector<CurveInterval>* intervals,
                       size_t max_intervals);
+
+/// Coalesces a sorted, non-overlapping interval list in place: any two
+/// neighbors separated by a gap of at most `max_gap` uncovered values
+/// (adjacent intervals have gap 0) are merged into one covering interval.
+void CoalesceIntervals(std::vector<CurveInterval>* intervals,
+                       uint64_t max_gap);
 
 /// Set difference a \ b for sorted, non-overlapping interval lists. Used by
 /// the kNN algorithms, which search only the ring R'_qi − R'_q(i−1) in each

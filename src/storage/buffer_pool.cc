@@ -1,25 +1,52 @@
 #include "storage/buffer_pool.h"
 
 #include <cassert>
+#include <thread>
 
 namespace peb {
 
+namespace {
+
+/// Victim-search retries when every frame of one latch shard is
+/// momentarily pinned by concurrent readers. Transient pins clear within
+/// a few scheduler yields; a genuinely exhausted shard (every frame held
+/// by live guards) still fails fast enough for callers.
+constexpr int kPinWaitRetries = 64;
+
+}  // namespace
+
 void PageGuard::Release() {
-  if (pool_ != nullptr && page_ != nullptr) {
-    pool_->Unpin(id_);
+  if (pool_ != nullptr && frame_ != nullptr) {
+    pool_->Unpin(frame_);
   }
   pool_ = nullptr;
-  page_ = nullptr;
-  dirty_flag_ = nullptr;
+  frame_ = nullptr;
 }
 
 BufferPool::BufferPool(DiskManager* disk, BufferPoolOptions options)
     : disk_(disk) {
   assert(options.capacity > 0);
+  size_t num_shards = options.shards == 0 ? 1 : options.shards;
+  if (num_shards > options.capacity) num_shards = options.capacity;
+
   frames_.reserve(options.capacity);
   for (size_t i = 0; i < options.capacity; ++i) {
-    frames_.push_back(std::make_unique<Frame>());
-    free_frames_.push_back(options.capacity - 1 - i);
+    frames_.push_back(std::make_unique<BufferFrame>());
+  }
+  shards_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  // Deal frames round-robin so every shard owns capacity/S +- 1 frames.
+  for (size_t i = 0; i < options.capacity; ++i) {
+    shards_[i % num_shards]->frames.push_back(frames_[i].get());
+  }
+  for (auto& shard : shards_) {
+    // Free-list popped from the back: lowest frame index is used first,
+    // matching the previous pool's fill order.
+    for (size_t i = shard->frames.size(); i > 0; --i) {
+      shard->free_list.push_back(i - 1);
+    }
   }
 }
 
@@ -28,115 +55,236 @@ BufferPool::~BufferPool() {
   (void)FlushAll();
 }
 
-int BufferPool::PinCount(PageId id) const {
-  auto it = table_.find(id);
-  return it == table_.end() ? 0 : frames_[it->second]->pin_count;
+void BufferPool::Unpin(BufferFrame* frame) {
+  int prev = frame->pin_count.fetch_sub(1, std::memory_order_release);
+  assert(prev > 0);
+  (void)prev;
 }
 
-Result<size_t> BufferPool::GetVictimFrame() {
-  if (!free_frames_.empty()) {
-    size_t idx = free_frames_.back();
-    free_frames_.pop_back();
+int BufferPool::PinCount(PageId id) const {
+  const Shard& shard = ShardOf(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.table.find(id);
+  return it == shard.table.end()
+             ? 0
+             : shard.frames[it->second]->pin_count.load(
+                   std::memory_order_acquire);
+}
+
+Result<size_t> BufferPool::GetVictimFrame(Shard& shard) {
+  if (!shard.free_list.empty()) {
+    size_t idx = shard.free_list.back();
+    shard.free_list.pop_back();
     return idx;
   }
-  if (lru_.empty()) {
-    return Status::ResourceExhausted("all buffer frames are pinned");
+  size_t n = shard.frames.size();
+  // Two full sweeps: the first clears reference bits, the second must find
+  // an unpinned frame unless every frame is pinned.
+  for (size_t step = 0; step < 2 * n; ++step) {
+    size_t idx = shard.clock_hand;
+    shard.clock_hand = (shard.clock_hand + 1) % n;
+    BufferFrame& f = *shard.frames[idx];
+    if (f.pin_count.load(std::memory_order_acquire) != 0) continue;
+    if (f.referenced.exchange(false, std::memory_order_relaxed)) continue;
+    // Victim found. Pins only grow under this shard's latch, which we
+    // hold, so the frame cannot be re-pinned while we evict it.
+    if (f.dirty.load(std::memory_order_relaxed)) {
+      {
+        std::lock_guard<std::mutex> disk_lock(disk_mu_);
+        PEB_RETURN_NOT_OK(disk_->Write(f.id, f.page));
+      }
+      shard.stats.physical_writes++;
+      f.dirty.store(false, std::memory_order_relaxed);
+    }
+    shard.table.erase(f.id);
+    f.id = kInvalidPageId;
+    return idx;
   }
-  size_t idx = lru_.front();
-  lru_.pop_front();
-  Frame& f = *frames_[idx];
-  f.in_lru = false;
-  if (f.dirty) {
-    PEB_RETURN_NOT_OK(disk_->Write(f.id, f.page));
-    stats_.physical_writes++;
-    f.dirty = false;
+  return Status::ResourceExhausted("all buffer frames are pinned");
+}
+
+Result<BufferFrame*> BufferPool::LoadPage(Shard& shard, PageId id, bool pin,
+                                          bool prefetch) {
+  PEB_ASSIGN_OR_RETURN(size_t idx, GetVictimFrame(shard));
+  BufferFrame& f = *shard.frames[idx];
+  Status s;
+  {
+    std::lock_guard<std::mutex> disk_lock(disk_mu_);
+    s = disk_->Read(id, &f.page);
   }
-  table_.erase(f.id);
-  f.id = kInvalidPageId;
-  return idx;
+  if (!s.ok()) {
+    shard.free_list.push_back(idx);
+    return s;
+  }
+  shard.stats.physical_reads++;
+  if (prefetch) shard.stats.prefetch_reads++;
+  f.id = id;
+  f.pin_count.store(pin ? 1 : 0, std::memory_order_relaxed);
+  f.dirty.store(false, std::memory_order_relaxed);
+  f.referenced.store(true, std::memory_order_relaxed);
+  shard.table[id] = idx;
+  return &f;
 }
 
 Result<PageGuard> BufferPool::NewPage() {
-  PEB_ASSIGN_OR_RETURN(PageId id, disk_->Allocate());
-  PEB_ASSIGN_OR_RETURN(size_t idx, GetVictimFrame());
-  Frame& f = *frames_[idx];
-  f.page.Clear();
-  f.id = id;
-  f.pin_count = 1;
-  f.dirty = true;  // Must reach disk even if never modified again.
-  table_[id] = idx;
-  return PageGuard(this, id, &f.page, &f.dirty);
+  PageId id;
+  {
+    std::lock_guard<std::mutex> disk_lock(disk_mu_);
+    PEB_ASSIGN_OR_RETURN(id, disk_->Allocate());
+  }
+  Shard& shard = ShardOf(id);
+  for (int attempt = 0;; ++attempt) {
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      Result<size_t> victim = GetVictimFrame(shard);
+      if (victim.ok()) {
+        BufferFrame& f = *shard.frames[*victim];
+        f.page.Clear();
+        f.id = id;
+        f.pin_count.store(1, std::memory_order_relaxed);
+        f.dirty.store(true, std::memory_order_relaxed);  // Must reach disk
+                                                         // even if never
+                                                         // modified again.
+        f.referenced.store(true, std::memory_order_relaxed);
+        shard.table[id] = *victim;
+        return PageGuard(this, &f);
+      }
+      if (!victim.status().IsResourceExhausted() ||
+          attempt >= kPinWaitRetries) {
+        return victim.status();
+      }
+    }
+    std::this_thread::yield();  // Concurrent pins drain shortly.
+  }
 }
 
 Result<PageGuard> BufferPool::FetchPage(PageId id) {
-  stats_.logical_fetches++;
-  auto it = table_.find(id);
-  if (it != table_.end()) {
-    stats_.cache_hits++;
-    Frame& f = *frames_[it->second];
-    if (f.in_lru) {
-      lru_.erase(f.lru_pos);
-      f.in_lru = false;
+  Shard& shard = ShardOf(id);
+  for (int attempt = 0;; ++attempt) {
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      // Re-check residency every attempt: another thread may have loaded
+      // the page while we waited for a pinned shard to drain.
+      auto it = shard.table.find(id);
+      if (it != shard.table.end()) {
+        shard.stats.logical_fetches++;
+        shard.stats.cache_hits++;
+        BufferFrame& f = *shard.frames[it->second];
+        f.pin_count.fetch_add(1, std::memory_order_acquire);
+        f.referenced.store(true, std::memory_order_relaxed);
+        return PageGuard(this, &f);
+      }
+      Result<BufferFrame*> f =
+          LoadPage(shard, id, /*pin=*/true, /*prefetch=*/false);
+      if (f.ok()) {
+        shard.stats.logical_fetches++;
+        return PageGuard(this, *f);
+      }
+      if (!f.status().IsResourceExhausted() || attempt >= kPinWaitRetries) {
+        return f.status();  // Failed fetches served nothing: not counted.
+      }
     }
-    f.pin_count++;
-    return PageGuard(this, id, &f.page, &f.dirty);
+    std::this_thread::yield();  // Concurrent pins drain shortly.
   }
-  PEB_ASSIGN_OR_RETURN(size_t idx, GetVictimFrame());
-  Frame& f = *frames_[idx];
-  Status s = disk_->Read(id, &f.page);
-  if (!s.ok()) {
-    free_frames_.push_back(idx);
-    return s;
-  }
-  stats_.physical_reads++;
-  f.id = id;
-  f.pin_count = 1;
-  f.dirty = false;
-  table_[id] = idx;
-  return PageGuard(this, id, &f.page, &f.dirty);
 }
 
-void BufferPool::Unpin(PageId id) {
-  auto it = table_.find(id);
-  if (it == table_.end()) return;
-  Frame& f = *frames_[it->second];
-  assert(f.pin_count > 0);
-  if (--f.pin_count == 0) {
-    f.lru_pos = lru_.insert(lru_.end(), it->second);
-    f.in_lru = true;
+PageGuard BufferPool::FetchIfResident(PageId id) {
+  Shard& shard = ShardOf(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.table.find(id);
+  if (it == shard.table.end()) return PageGuard{};
+  shard.stats.logical_fetches++;
+  shard.stats.cache_hits++;
+  BufferFrame& f = *shard.frames[it->second];
+  f.pin_count.fetch_add(1, std::memory_order_acquire);
+  f.referenced.store(true, std::memory_order_relaxed);
+  return PageGuard(this, &f);
+}
+
+void BufferPool::Prefetch(PageId id) {
+  if (id == kInvalidPageId) return;
+  Shard& shard = ShardOf(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.table.find(id);
+  if (it != shard.table.end()) {
+    shard.frames[it->second]->referenced.store(true,
+                                               std::memory_order_relaxed);
+    return;
   }
+  (void)LoadPage(shard, id, /*pin=*/false, /*prefetch=*/true);
 }
 
 Status BufferPool::DeletePage(PageId id) {
-  auto it = table_.find(id);
-  if (it != table_.end()) {
-    Frame& f = *frames_[it->second];
-    if (f.pin_count > 0) {
-      return Status::InvalidArgument("DeletePage on pinned page " +
-                                     std::to_string(id));
+  Shard& shard = ShardOf(id);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.table.find(id);
+    if (it != shard.table.end()) {
+      BufferFrame& f = *shard.frames[it->second];
+      if (f.pin_count.load(std::memory_order_acquire) > 0) {
+        return Status::InvalidArgument("DeletePage on pinned page " +
+                                       std::to_string(id));
+      }
+      f.id = kInvalidPageId;
+      f.dirty.store(false, std::memory_order_relaxed);
+      f.referenced.store(false, std::memory_order_relaxed);
+      shard.free_list.push_back(it->second);
+      shard.table.erase(it);
     }
-    if (f.in_lru) {
-      lru_.erase(f.lru_pos);
-      f.in_lru = false;
-    }
-    f.id = kInvalidPageId;
-    f.dirty = false;
-    free_frames_.push_back(it->second);
-    table_.erase(it);
   }
+  std::lock_guard<std::mutex> disk_lock(disk_mu_);
   return disk_->Free(id);
 }
 
 Status BufferPool::FlushAll() {
-  for (auto& fp : frames_) {
-    Frame& f = *fp;
-    if (f.id != kInvalidPageId && f.dirty) {
-      PEB_RETURN_NOT_OK(disk_->Write(f.id, f.page));
-      stats_.physical_writes++;
-      f.dirty = false;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (BufferFrame* f : shard->frames) {
+      // Skip pinned frames: their holders may be mid-write on the page
+      // bytes. Pins only grow under this latch, so an unpinned frame
+      // stays quiescent while we write it.
+      if (f->pin_count.load(std::memory_order_acquire) != 0) continue;
+      if (f->id != kInvalidPageId &&
+          f->dirty.load(std::memory_order_relaxed)) {
+        {
+          std::lock_guard<std::mutex> disk_lock(disk_mu_);
+          PEB_RETURN_NOT_OK(disk_->Write(f->id, f->page));
+        }
+        shard->stats.physical_writes++;
+        f->dirty.store(false, std::memory_order_relaxed);
+      }
     }
   }
   return Status::OK();
+}
+
+IoStats BufferPool::stats() const {
+  IoStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total.physical_reads += shard->stats.physical_reads;
+    total.physical_writes += shard->stats.physical_writes;
+    total.logical_fetches += shard->stats.logical_fetches;
+    total.cache_hits += shard->stats.cache_hits;
+    total.prefetch_reads += shard->stats.prefetch_reads;
+  }
+  return total;
+}
+
+void BufferPool::ResetStats() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->stats = IoStats{};
+  }
+}
+
+size_t BufferPool::resident() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->table.size();
+  }
+  return total;
 }
 
 }  // namespace peb

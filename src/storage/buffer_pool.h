@@ -1,13 +1,35 @@
-// BufferPool: a pin-counted LRU page cache over a DiskManager.
+// BufferPool: a sharded, clock-sweep page cache over a DiskManager.
 //
 // The paper's experiments report I/O cost under "a 50-page LRU buffer"
 // (Section 7.1). IoStats.physical_reads is exactly that metric: the number
-// of pages fetched from disk because they were not resident.
+// of pages fetched from disk because they were not resident. The clock
+// sweep is the classic second-chance approximation of LRU, so the counts
+// stay directly comparable to the paper's figures while the pool becomes
+// safe for concurrent access:
+//
+//  * Frames are statically partitioned into S shards by page id. Each shard
+//    has its own latch, hash table, free list, clock hand, and IoStats
+//    slice, so fetches on different shards never contend.
+//  * Pin counts and dirty/reference bits are atomics on the frame. Unpin
+//    (the hottest call: once per PageGuard) takes no latch at all.
+//  * An eviction of a dirty page writes it back first. Pinned pages are
+//    never evicted.
+//  * Prefetch(id) is an optional hint (used by the B+-tree leaf cursor for
+//    the next sibling leaf): it stages a page into the pool without
+//    pinning. Reads it performs are counted separately in
+//    IoStats.prefetch_reads (and in physical_reads, since they are disk
+//    reads), so figure benches that do not opt in are unaffected.
+//
+// DiskManager implementations are not thread-safe; the pool serializes all
+// disk calls behind one internal mutex (page I/O is a memcpy for the
+// in-memory manager, so this is never the bottleneck — the contention the
+// sharding removes is on the mapping table and replacement state).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -23,14 +45,22 @@ namespace peb {
 struct BufferPoolOptions {
   /// Number of page frames (the paper's default is 50).
   size_t capacity = 50;
+  /// Latch shards. 1 (the default) keeps the single sequential replacement
+  /// domain of the paper's simulation; concurrent callers (the sharded
+  /// engine, torture tests) raise it. Clamped so every shard owns at least
+  /// one frame.
+  size_t shards = 1;
 };
 
 /// Counters for disk and cache traffic.
 struct IoStats {
   uint64_t physical_reads = 0;   ///< Pages fetched from the DiskManager.
   uint64_t physical_writes = 0;  ///< Dirty pages written back.
-  uint64_t logical_fetches = 0;  ///< FetchPage calls.
-  uint64_t cache_hits = 0;       ///< FetchPage calls served from the pool.
+  /// Pages served: FetchPage calls plus FetchIfResident hits (a resident
+  /// miss serves nothing and is not counted).
+  uint64_t logical_fetches = 0;
+  uint64_t cache_hits = 0;       ///< Served from the pool without disk I/O.
+  uint64_t prefetch_reads = 0;   ///< physical_reads issued by Prefetch().
 
   /// Hit ratio in [0,1]; 0 when no fetches happened.
   double HitRatio() const {
@@ -41,6 +71,18 @@ struct IoStats {
   }
 };
 
+/// One page frame. Metadata the replacement policy and guards touch
+/// concurrently is atomic; everything else is guarded by the owning
+/// shard's latch.
+struct BufferFrame {
+  Page page;
+  PageId id = kInvalidPageId;
+  std::atomic<int> pin_count{0};
+  std::atomic<bool> dirty{false};
+  /// Clock reference bit (second chance).
+  std::atomic<bool> referenced{false};
+};
+
 class BufferPool;
 
 /// RAII pin on a buffered page. Unpins on destruction; call MarkDirty()
@@ -48,8 +90,8 @@ class BufferPool;
 class PageGuard {
  public:
   PageGuard() = default;
-  PageGuard(BufferPool* pool, PageId id, Page* page, bool* dirty_flag)
-      : pool_(pool), id_(id), page_(page), dirty_flag_(dirty_flag) {}
+  PageGuard(BufferPool* pool, BufferFrame* frame)
+      : pool_(pool), id_(frame->id), frame_(frame) {}
 
   PageGuard(const PageGuard&) = delete;
   PageGuard& operator=(const PageGuard&) = delete;
@@ -64,15 +106,17 @@ class PageGuard {
   ~PageGuard() { Release(); }
 
   /// True iff this guard holds a pinned page.
-  bool valid() const { return page_ != nullptr; }
+  bool valid() const { return frame_ != nullptr; }
   PageId id() const { return id_; }
 
-  Page* page() { return page_; }
-  const Page* page() const { return page_; }
+  Page* page() { return &frame_->page; }
+  const Page* page() const { return &frame_->page; }
 
   /// Marks the underlying frame dirty so eviction writes it back.
   void MarkDirty() {
-    if (dirty_flag_ != nullptr) *dirty_flag_ = true;
+    if (frame_ != nullptr) {
+      frame_->dirty.store(true, std::memory_order_relaxed);
+    }
   }
 
   /// Explicitly unpins early (idempotent).
@@ -82,21 +126,19 @@ class PageGuard {
   void MoveFrom(PageGuard& other) {
     pool_ = other.pool_;
     id_ = other.id_;
-    page_ = other.page_;
-    dirty_flag_ = other.dirty_flag_;
+    frame_ = other.frame_;
     other.pool_ = nullptr;
-    other.page_ = nullptr;
-    other.dirty_flag_ = nullptr;
+    other.frame_ = nullptr;
   }
 
   BufferPool* pool_ = nullptr;
   PageId id_ = kInvalidPageId;
-  Page* page_ = nullptr;
-  bool* dirty_flag_ = nullptr;
+  BufferFrame* frame_ = nullptr;
 };
 
-/// Pin-counted LRU buffer pool. Pinned pages are never evicted; an eviction
-/// of a dirty page writes it back first.
+/// Sharded, pin-counted clock buffer pool. Pinned pages are never evicted;
+/// an eviction of a dirty page writes it back first. Safe for concurrent
+/// use from multiple threads.
 class BufferPool {
  public:
   BufferPool(DiskManager* disk, BufferPoolOptions options = {});
@@ -111,23 +153,42 @@ class BufferPool {
   /// Fetches page `id`, reading it from disk on a miss. Returns it pinned.
   Result<PageGuard> FetchPage(PageId id);
 
+  /// Fetches `id` only when it is already resident; returns an empty guard
+  /// on a miss without touching the disk. A successful call is accounted
+  /// as a logical fetch + cache hit; a miss is not accounted at all (no
+  /// page was served — the caller's fallback fetch will be). The leaf
+  /// cursor uses this to walk sibling chains only while doing so is free.
+  PageGuard FetchIfResident(PageId id);
+
+  /// Hints that `id` will be fetched soon: stages it into the pool without
+  /// pinning. Failure to stage (all frames pinned, read error) is silently
+  /// ignored — a hint must never fail a query.
+  void Prefetch(PageId id);
+
   /// Frees `id` on disk. The page must not be pinned.
   Status DeletePage(PageId id);
 
-  /// Writes back all dirty frames (does not evict).
+  /// Writes back all dirty unpinned frames (does not evict). Frames
+  /// pinned at the time of the call are skipped — their holders may still
+  /// be mutating the page bytes, which only the pin protects — and are
+  /// written back on eviction or a later flush. Call with all guards
+  /// released (e.g. before persisting a manifest) to flush everything.
   Status FlushAll();
 
-  /// Cumulative traffic counters.
-  const IoStats& stats() const { return stats_; }
+  /// Cumulative traffic counters, aggregated over shards.
+  IoStats stats() const;
 
   /// Zeroes the traffic counters (used between experiment phases).
-  void ResetStats() { stats_ = IoStats{}; }
+  void ResetStats();
 
   /// Number of frames.
   size_t capacity() const { return frames_.size(); }
 
+  /// Number of latch shards.
+  size_t num_shards() const { return shards_.size(); }
+
   /// Number of resident pages.
-  size_t resident() const { return table_.size(); }
+  size_t resident() const;
 
   /// Pin count of `id`; 0 when unpinned or not resident.
   int PinCount(PageId id) const;
@@ -137,27 +198,41 @@ class BufferPool {
  private:
   friend class PageGuard;
 
-  struct Frame {
-    Page page;
-    PageId id = kInvalidPageId;
-    int pin_count = 0;
-    bool dirty = false;
-    /// Position in lru_ when pin_count == 0 and resident.
-    std::list<size_t>::iterator lru_pos;
-    bool in_lru = false;
+  /// Per-shard replacement state. Frames are permanently owned by one
+  /// shard; `frames` indexes into the pool-level frame store.
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<BufferFrame*> frames;
+    std::vector<size_t> free_list;  ///< Indices into `frames`.
+    std::unordered_map<PageId, size_t> table;
+    size_t clock_hand = 0;
+    IoStats stats;
   };
 
-  void Unpin(PageId id);
-  /// Finds a frame to (re)use: a free frame, else the LRU victim.
-  Result<size_t> GetVictimFrame();
+  Shard& ShardOf(PageId id) {
+    return *shards_[static_cast<size_t>(id) % shards_.size()];
+  }
+  const Shard& ShardOf(PageId id) const {
+    return *shards_[static_cast<size_t>(id) % shards_.size()];
+  }
+
+  void Unpin(BufferFrame* frame);
+
+  /// Finds a frame to (re)use within `shard` (latch held): a free frame,
+  /// else a clock-sweep victim (written back when dirty). The returned
+  /// frame is detached from the table.
+  Result<size_t> GetVictimFrame(Shard& shard);
+
+  /// Installs `id` into `shard` (latch held) reading it from disk; returns
+  /// the frame, pinned iff `pin`.
+  Result<BufferFrame*> LoadPage(Shard& shard, PageId id, bool pin,
+                                bool prefetch);
 
   DiskManager* disk_;
-  std::vector<std::unique_ptr<Frame>> frames_;
-  std::vector<size_t> free_frames_;
-  /// Frame indices with pin_count == 0, least-recently-used first.
-  std::list<size_t> lru_;
-  std::unordered_map<PageId, size_t> table_;
-  IoStats stats_;
+  /// Serializes DiskManager access (implementations are not thread-safe).
+  std::mutex disk_mu_;
+  std::vector<std::unique_ptr<BufferFrame>> frames_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace peb

@@ -250,8 +250,11 @@ INSTANTIATE_TEST_SUITE_P(ShardCounts, EngineUpdateTest,
 // I/O accounting
 // ---------------------------------------------------------------------------
 
-TEST_F(EngineWorldTest, AggregateIoSumsAcrossShards) {
+TEST_F(EngineWorldTest, AggregateIoIsTheSharedPool) {
   auto engine = MakeEngine(world(), 4, 2);
+  // Every shard tree lives on one shared pool whose frame budget is
+  // exactly the configured buffer_pages — no per-shard inflation.
+  EXPECT_EQ(engine->buffer_frames_total(), world().params().buffer_pages);
   engine->ResetIo();
   IoStats zero = engine->aggregate_io();
   EXPECT_EQ(zero.physical_reads, 0u);
@@ -266,11 +269,107 @@ TEST_F(EngineWorldTest, AggregateIoSumsAcrossShards) {
   }
   IoStats after = engine->aggregate_io();
   EXPECT_GT(after.logical_fetches, 0u);
-  uint64_t summed = 0;
+  // aggregate_io() IS the shared pool's traffic: each shard tree reports
+  // the same totals (they share the pool), and the representative pool()
+  // agrees.
   for (size_t s = 0; s < engine->num_shards(); ++s) {
-    summed += engine->shard_tree(s).aggregate_io().logical_fetches;
+    EXPECT_EQ(engine->shard_tree(s).aggregate_io().logical_fetches,
+              after.logical_fetches);
   }
-  EXPECT_EQ(after.logical_fetches, summed);
+  EXPECT_EQ(engine->pool()->stats().logical_fetches, after.logical_fetches);
+}
+
+// ---------------------------------------------------------------------------
+// LeafCursor fast path result equivalence
+// ---------------------------------------------------------------------------
+
+// A single PEB-tree on its own pool, configurable down to the legacy
+// per-interval root-descent scan path (kept behind
+// MovingIndexOptions::leaf_cursor_fast_path exactly for this test).
+struct SingleTree {
+  explicit SingleTree(Workload& w, bool fast_path, uint64_t coalesce_gap) {
+    PebTreeOptions opts = eval::PebOptionsFor(w.params());
+    opts.index.leaf_cursor_fast_path = fast_path;
+    opts.index.zrange.coalesce_gap = coalesce_gap;
+    pool = std::make_unique<BufferPool>(
+        &disk, BufferPoolOptions{w.params().buffer_pages});
+    tree = std::make_unique<PebTree>(pool.get(), opts, &w.store(), &w.roles(),
+                                     &w.encoding());
+    for (const MovingObject& o : w.dataset().objects) {
+      EXPECT_TRUE(tree->Insert(o).ok());
+    }
+  }
+
+  InMemoryDiskManager disk;
+  std::unique_ptr<BufferPool> pool;
+  std::unique_ptr<PebTree> tree;
+};
+
+TEST_F(EngineWorldTest, FastPathAnswersAreBitIdenticalToLegacyDescents) {
+  SingleTree legacy(world(), /*fast_path=*/false, /*coalesce_gap=*/0);
+  SingleTree fast(world(), /*fast_path=*/true, /*coalesce_gap=*/3);
+
+  QuerySetOptions q;
+  q.count = 40;
+  q.seed = 1234;
+  auto prq = MakePrqQueries(world(), q);
+  auto knn = MakePknnQueries(world(), q);
+
+  for (const auto& query : prq) {
+    auto a = legacy.tree->RangeQuery(query.issuer, query.range, query.tq);
+    auto b = fast.tree->RangeQuery(query.issuer, query.range, query.tq);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(*a, *b);
+  }
+  for (const auto& query : knn) {
+    auto a = legacy.tree->KnnQuery(query.issuer, query.qloc, query.k,
+                                   query.tq);
+    auto b = fast.tree->KnnQuery(query.issuer, query.qloc, query.k, query.tq);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_EQ(a->size(), b->size());
+    for (size_t i = 0; i < a->size(); ++i) {
+      EXPECT_EQ((*a)[i].uid, (*b)[i].uid);
+      // Bit-identical: the fast path scans the same entries in the same
+      // order, so even floating-point distances must match exactly.
+      EXPECT_EQ((*a)[i].distance, (*b)[i].distance);
+    }
+  }
+  // The fast path actually engaged: descents far below one per probe.
+  const QueryCounters& c = fast.tree->last_query();
+  EXPECT_GT(c.range_probes, 0u);
+  EXPECT_LT(c.seek_descents, c.range_probes);
+}
+
+TEST_F(EngineWorldTest, EngineFastPathMatchesLegacySingleTree) {
+  SingleTree legacy(world(), /*fast_path=*/false, /*coalesce_gap=*/0);
+  auto engine = MakeEngine(world(), 4, 4);
+
+  QuerySetOptions q;
+  q.count = 30;
+  q.seed = 4321;
+  auto prq = MakePrqQueries(world(), q);
+  for (const auto& query : prq) {
+    auto a = legacy.tree->RangeQuery(query.issuer, query.range, query.tq);
+    auto b = engine->RangeQuery(query.issuer, query.range, query.tq);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(*a, *b);
+  }
+  auto knn = MakePknnQueries(world(), q);
+  for (const auto& query : knn) {
+    auto a = legacy.tree->KnnQuery(query.issuer, query.qloc, query.k,
+                                   query.tq);
+    auto b = engine->KnnQuery(query.issuer, query.qloc, query.k, query.tq);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_EQ(a->size(), b->size());
+    for (size_t i = 0; i < a->size(); ++i) {
+      EXPECT_EQ((*a)[i].uid, (*b)[i].uid);
+      EXPECT_EQ((*a)[i].distance, (*b)[i].distance);
+    }
+  }
 }
 
 }  // namespace

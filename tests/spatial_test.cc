@@ -270,6 +270,40 @@ TEST(ZRange, CapMergesButNeverDropsCells) {
   }
 }
 
+TEST(ZRange, CoalesceMergesSmallGapsOnly) {
+  std::vector<CurveInterval> ivs = {{0, 4}, {6, 8}, {9, 12}, {20, 25},
+                                    {27, 30}, {100, 110}};
+  CoalesceIntervals(&ivs, 1);
+  // Gaps of 1 (4..6), 0 (8..9), 1 (25..27) close; the 69-wide gap stays.
+  std::vector<CurveInterval> want = {{0, 12}, {20, 30}, {100, 110}};
+  EXPECT_EQ(ivs, want);
+  CoalesceIntervals(&ivs, 0);  // No adjacent intervals left: no-op.
+  EXPECT_EQ(ivs, want);
+}
+
+TEST(ZRange, CoalescedDecompositionIsASupersetOfTheExactOne) {
+  const uint32_t bits = 5;
+  auto exact = ZIntervalsForCellRange(3, 2, 20, 17, bits);
+  ZRangeOptions opts;
+  opts.coalesce_gap = 3;
+  auto coalesced = ZIntervalsForCellRange(3, 2, 20, 17, bits, opts);
+  EXPECT_LT(coalesced.size(), exact.size());
+  for (const auto& e : exact) {
+    bool contained = false;
+    for (const auto& c : coalesced) {
+      if (e.lo >= c.lo && e.hi <= c.hi) {
+        contained = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(contained) << "[" << e.lo << "," << e.hi << "]";
+  }
+  // Sorted, non-overlapping, non-adjacent-after-gap output.
+  for (size_t i = 1; i < coalesced.size(); ++i) {
+    EXPECT_GT(coalesced[i].lo, coalesced[i - 1].hi + opts.coalesce_gap);
+  }
+}
+
 TEST(ZRange, WindowClampedToSpace) {
   GridMapper grid(1000.0, 5);
   // Window hanging off the space: decomposes the clamped part only.
