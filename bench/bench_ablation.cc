@@ -34,8 +34,7 @@ int main() {
         p.seed = 1;
         Workload w = Workload::Build(p);
         auto queries = MakePrqQueries(w, q);
-        w.peb().pool()->ResetStats();
-        RunResult r = RunPrqBatch(w.peb(), queries);
+        RunResult r = RunPrqBatch(w.peb_service(), queries);
         if (strategy == peb::PrqStrategy::kPerFriendIntervals) {
           per = r;
         } else {
@@ -65,8 +64,7 @@ int main() {
         QuerySetOptions kq = q;
         kq.k = k;
         auto queries = MakePknnQueries(w, kq);
-        w.peb().pool()->ResetStats();
-        RunResult r = RunPknnBatch(w.peb(), queries);
+        RunResult r = RunPknnBatch(w.peb_service(), queries);
         if (order == peb::KnnOrder::kTriangular) {
           tri = r;
         } else {

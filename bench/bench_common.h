@@ -44,17 +44,17 @@ struct ComparisonPoint {
   RunResult peb_knn, spatial_knn;
 };
 
-/// Runs the standard PRQ + PkNN batches on a built workload.
+/// Runs the standard PRQ + PkNN batches on a built workload. All queries
+/// go through the workload's MovingObjectService front-ends; per-query
+/// I/O comes from each QueryResponse's own delta.
 inline ComparisonPoint MeasureBoth(Workload& w, const QuerySetOptions& q) {
   ComparisonPoint out;
   auto prq = MakePrqQueries(w, q);
   auto knn = MakePknnQueries(w, q);
-  w.peb().pool()->ResetStats();
-  out.peb_prq = RunPrqBatch(w.peb(), prq);
-  out.peb_knn = RunPknnBatch(w.peb(), knn);
-  w.spatial().pool()->ResetStats();
-  out.spatial_prq = RunPrqBatch(w.spatial(), prq);
-  out.spatial_knn = RunPknnBatch(w.spatial(), knn);
+  out.peb_prq = RunPrqBatch(w.peb_service(), prq);
+  out.peb_knn = RunPknnBatch(w.peb_service(), knn);
+  out.spatial_prq = RunPrqBatch(w.spatial_service(), prq);
+  out.spatial_knn = RunPknnBatch(w.spatial_service(), knn);
   return out;
 }
 

@@ -1,24 +1,130 @@
 // Engine scaling sweep: shard count x thread count over the Table-1
-// default uniform workload. For every cell the same PRQ/PkNN batches run
-// against a ShardedPebEngine; the table reports wall-clock per batch,
-// aggregate I/O per query (sum of per-shard buffer-pool reads, so the
-// numbers stay comparable to the paper's single-tree figures), and the
+// default uniform workload, driven exclusively through the
+// MovingObjectService request/response API. For every cell the same
+// PRQ/PkNN batches run against a service fronting a ShardedPebEngine; the
+// table reports wall-clock per batch, per-query I/O (from each
+// QueryResponse's own delta — sums of per-shard reads, so the numbers stay
+// comparable to the paper's single-tree figures), and the
 // query-throughput speedup versus the single PEB-tree baseline.
+//
+// A second, closed-loop multi-client mode measures the service under
+// concurrent submission: C client threads each issue mixed PRQ/PkNN
+// requests back to back against a 4-shard engine service, and the run
+// reports throughput plus p50/p95/p99 latency per client count.
 //
 //   PEB_BENCH_SCALE=10 ./bench_engine_scaling                       # smoke
 //   ./bench_engine_scaling --json BENCH_engine_scaling.json         # + JSON
+//   ./bench_engine_scaling --service-json BENCH_service.json  # closed loop
+#include <algorithm>
+#include <chrono>
 #include <iostream>
 #include <thread>
 #include <vector>
 
 #include "bench_common.h"
 #include "engine/sharded_engine.h"
+#include "service/service.h"
 
 using namespace peb;
 using namespace peb::eval;
+using peb::service::MovingObjectService;
+using peb::service::QueryRequest;
+using peb::service::QueryResponse;
+
+namespace {
+
+/// Builds a service over `index` with the workload's policy world.
+MovingObjectService MakeService(Workload& w, PrivacyAwareIndex* index,
+                                size_t workers = 0) {
+  service::ServiceOptions opts;
+  opts.num_workers = workers;
+  opts.time_domain = w.params().time_domain;
+  return MovingObjectService(index, &w.store(), &w.roles(), &w.encoding(),
+                             opts);
+}
+
+struct ClosedLoopPoint {
+  size_t clients = 0;
+  size_t ops = 0;
+  double wall_ms = 0.0;
+  double throughput_qps = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+double Percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  size_t idx = static_cast<size_t>(p * static_cast<double>(sorted.size()));
+  if (idx >= sorted.size()) idx = sorted.size() - 1;
+  return sorted[idx];
+}
+
+/// Closed loop: each of `clients` threads executes its share of the mixed
+/// request list back to back (a new request is issued the moment the
+/// previous response returns — the classic closed-loop client model).
+ClosedLoopPoint RunClosedLoop(MovingObjectService& svc,
+                              const std::vector<QueryRequest>& mixed,
+                              size_t clients) {
+  ClosedLoopPoint point;
+  point.clients = clients;
+  point.ops = mixed.size();
+  std::vector<std::vector<double>> latencies(clients);
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      auto& lat = latencies[c];
+      for (size_t i = c; i < mixed.size(); i += clients) {
+        auto q0 = std::chrono::steady_clock::now();
+        QueryResponse resp = svc.Execute(mixed[i]);
+        auto q1 = std::chrono::steady_clock::now();
+        if (!resp.ok()) {
+          std::cerr << "closed-loop query failed: "
+                    << resp.status.ToString() << "\n";
+          std::abort();
+        }
+        lat.push_back(
+            std::chrono::duration<double, std::milli>(q1 - q0).count());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  auto t1 = std::chrono::steady_clock::now();
+  point.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  std::vector<double> all;
+  for (auto& lat : latencies) {
+    all.insert(all.end(), lat.begin(), lat.end());
+  }
+  std::sort(all.begin(), all.end());
+  point.p50_ms = Percentile(all, 0.50);
+  point.p95_ms = Percentile(all, 0.95);
+  point.p99_ms = Percentile(all, 0.99);
+  point.throughput_qps = point.wall_ms > 0.0
+                             ? 1000.0 * static_cast<double>(all.size()) /
+                                   point.wall_ms
+                             : 0.0;
+  return point;
+}
+
+Json ToJson(const ClosedLoopPoint& p) {
+  return Json::Object()
+      .Set("clients", static_cast<uint64_t>(p.clients))
+      .Set("ops", static_cast<uint64_t>(p.ops))
+      .Set("wall_ms", p.wall_ms)
+      .Set("throughput_qps", p.throughput_qps)
+      .Set("p50_ms", p.p50_ms)
+      .Set("p95_ms", p.p95_ms)
+      .Set("p99_ms", p.p99_ms);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::string json_path = JsonPathFromArgs(argc, argv);
+  std::string service_json_path =
+      FlagPathFromArgs(argc, argv, "--service-json");
   unsigned cores = std::thread::hardware_concurrency();
   std::cout << "hardware threads: " << cores << "\n";
   if (cores < 4) {
@@ -36,10 +142,9 @@ int main(int argc, char** argv) {
   auto prq = MakePrqQueries(w, q);
   auto knn = MakePknnQueries(w, q);
 
-  // Single PEB-tree baseline.
-  w.peb().ResetIo();
-  RunResult ref_prq = RunPrqBatch(w.peb(), prq);
-  RunResult ref_knn = RunPknnBatch(w.peb(), knn);
+  // Single PEB-tree baseline, through the workload's service.
+  RunResult ref_prq = RunPrqBatch(w.peb_service(), prq);
+  RunResult ref_knn = RunPknnBatch(w.peb_service(), knn);
   double ref_ms = ref_prq.wall_ms + ref_knn.wall_ms;
 
   PrintBanner(std::cout,
@@ -57,9 +162,10 @@ int main(int argc, char** argv) {
     for (size_t threads : {1, 2, 4, 8}) {
       auto engine = MakeEngine(w, shards, threads);
       engine->ResetIo();
-      RunResult eprq = RunPrqBatch(*engine, prq);
-      RunResult eknn = RunPknnBatch(*engine, knn);
-      IoStats io = engine->aggregate_io();
+      MovingObjectService svc = MakeService(w, engine.get());
+      RunResult eprq = RunPrqBatch(svc, prq);
+      RunResult eknn = RunPknnBatch(svc, knn);
+      IoStats io = svc.aggregate_io();
       double cell_ms = eprq.wall_ms + eknn.wall_ms;
       double speedup = cell_ms > 0.0 ? ref_ms / cell_ms : 0.0;
       if (shards == 4 && threads == 4) cell_4x4_speedup = speedup;
@@ -98,6 +204,60 @@ int main(int argc, char** argv) {
                    .Set("cells", std::move(cells));
     if (doc.WriteTo(json_path)) {
       std::cout << "wrote " << json_path << "\n";
+    }
+  }
+
+  // --- closed-loop multi-client service mode -------------------------------
+  {
+    // One 4-shard engine service serves every client count; the mixed
+    // request list interleaves PRQ and PkNN.
+    auto engine = MakeEngine(w, 4, 4);
+    MovingObjectService svc = MakeService(w, engine.get());
+    std::vector<QueryRequest> mixed;
+    mixed.reserve(prq.size() + knn.size());
+    for (size_t i = 0; i < prq.size() || i < knn.size(); ++i) {
+      if (i < prq.size()) {
+        mixed.push_back(
+            QueryRequest::Prq(prq[i].issuer, prq[i].range, prq[i].tq));
+      }
+      if (i < knn.size()) {
+        mixed.push_back(QueryRequest::Pknn(knn[i].issuer, knn[i].qloc,
+                                           knn[i].k, knn[i].tq));
+      }
+    }
+
+    PrintBanner(std::cout,
+                "Closed-loop service clients (4-shard engine, mixed "
+                "PRQ/PkNN)");
+    TablePrinter clients_table(
+        {"clients", "ops", "wall ms", "qps", "p50 ms", "p95 ms", "p99 ms"});
+    Json points = Json::Array();
+    for (size_t clients : {1, 2, 4, 8}) {
+      ClosedLoopPoint point = RunClosedLoop(svc, mixed, clients);
+      clients_table.AddRow(
+          {std::to_string(point.clients), std::to_string(point.ops),
+           Fmt(point.wall_ms), Fmt(point.throughput_qps, 1),
+           Fmt(point.p50_ms, 3), Fmt(point.p95_ms, 3),
+           Fmt(point.p99_ms, 3)});
+      points.Push(ToJson(point));
+    }
+    clients_table.Print(std::cout);
+
+    if (!service_json_path.empty()) {
+      Json doc =
+          Json::Object()
+              .Set("bench", "service_closed_loop")
+              .Set("scale", BenchScale())
+              .Set("hardware_threads", static_cast<uint64_t>(cores))
+              .Set("params", ToJson(p))
+              .Set("engine", Json::Object()
+                                 .Set("shards", static_cast<uint64_t>(4))
+                                 .Set("threads", static_cast<uint64_t>(4)))
+              .Set("requests", static_cast<uint64_t>(mixed.size()))
+              .Set("points", std::move(points));
+      if (doc.WriteTo(service_json_path)) {
+        std::cout << "wrote " << service_json_path << "\n";
+      }
     }
   }
   return 0;

@@ -19,10 +19,8 @@ int main() {
     q.count = Scaled(200, 20);
     q.window_side = side;
     auto queries = MakePrqQueries(w, q);
-    w.peb().pool()->ResetStats();
-    RunResult peb = RunPrqBatch(w.peb(), queries);
-    w.spatial().pool()->ResetStats();
-    RunResult spatial = RunPrqBatch(w.spatial(), queries);
+    RunResult peb = RunPrqBatch(w.peb_service(), queries);
+    RunResult spatial = RunPrqBatch(w.spatial_service(), queries);
     AddIoRow(prq, Fmt(side, 0), peb.avg_io, spatial.avg_io);
   }
   PrintBanner(std::cout, "Figure 15(a): PRQ I/O vs query window size");
@@ -34,10 +32,8 @@ int main() {
     q.count = Scaled(200, 20);
     q.k = k;
     auto queries = MakePknnQueries(w, q);
-    w.peb().pool()->ResetStats();
-    RunResult peb = RunPknnBatch(w.peb(), queries);
-    w.spatial().pool()->ResetStats();
-    RunResult spatial = RunPknnBatch(w.spatial(), queries);
+    RunResult peb = RunPknnBatch(w.peb_service(), queries);
+    RunResult spatial = RunPknnBatch(w.spatial_service(), queries);
     AddIoRow(knn, std::to_string(k), peb.avg_io, spatial.avg_io);
   }
   PrintBanner(std::cout, "Figure 15(b): PkNN I/O vs k");

@@ -23,8 +23,7 @@ CostSample MeasurePoint(size_t users, size_t policies, double theta,
   QuerySetOptions q;
   q.count = queries;
   auto batch = MakePrqQueries(w, q);
-  w.peb().pool()->ResetStats();
-  RunResult r = RunPrqBatch(w.peb(), batch);
+  RunResult r = RunPrqBatch(w.peb_service(), batch);
 
   CostSample s;
   s.inputs.num_users = static_cast<double>(users);

@@ -153,11 +153,17 @@ class Json {
 };
 
 /// Extracts the value of a `--json <path>` argument ("" when absent).
-inline std::string JsonPathFromArgs(int argc, char** argv) {
+/// Value of an arbitrary `--flag <path>` pair ("" when absent).
+inline std::string FlagPathFromArgs(int argc, char** argv,
+                                    const std::string& flag) {
   for (int i = 1; i + 1 < argc; ++i) {
-    if (std::string(argv[i]) == "--json") return argv[i + 1];
+    if (std::string(argv[i]) == flag) return argv[i + 1];
   }
   return "";
+}
+
+inline std::string JsonPathFromArgs(int argc, char** argv) {
+  return FlagPathFromArgs(argc, argv, "--json");
 }
 
 }  // namespace eval

@@ -41,10 +41,9 @@ int main(int argc, char** argv) {
     qopts.seed = 100 + static_cast<uint64_t>(epoch);
     auto queries = MakePrqQueries(city, qopts);
 
-    city.peb().pool()->ResetStats();
-    RunResult peb = RunPrqBatch(city.peb(), queries);
-    city.spatial().pool()->ResetStats();
-    RunResult spatial = RunPrqBatch(city.spatial(), queries);
+    // Per-query I/O comes from each QueryResponse — no pool-stat resets.
+    RunResult peb = RunPrqBatch(city.peb_service(), queries);
+    RunResult spatial = RunPrqBatch(city.spatial_service(), queries);
 
     std::printf(
         "t=%8.1f  %2zu queries: PEB %6.1f I/O (%4.0f candidates) | "

@@ -15,10 +15,15 @@
 
 #include "peb/peb_tree.h"
 #include "policy/sequence_value.h"
+#include "service/query_request.h"
+#include "service/service.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
 
 using namespace peb;
+using peb::service::MovingObjectService;
+using peb::service::QueryRequest;
+using peb::service::QueryResponse;
 
 namespace {
 
@@ -100,6 +105,10 @@ int main() {
   s = tree.Insert({5, {500, 490}, {0, 0}, 0});  // Frank.
   if (!s.ok()) return 1;
 
+  // Queries go through the request/response service facade (the tree is
+  // the backing index; policies/roles/encoding enable standing queries).
+  MovingObjectService office(&tree, &store, &roles, &encoding);
+
   Rect office_block = Rect::CenteredSquare({500, 500}, 100.0);
   // Note: query times must stay within one max update interval of the
   // inserts for the linear motion model; everyone is static here, so we
@@ -112,13 +121,14 @@ int main() {
       if (!obj.ok()) return 1;
       MovingObject refreshed = *obj;
       refreshed.tu = tq;
-      if (!tree.Update(refreshed).ok()) return 1;
+      if (!office.ApplyUpdate(refreshed, tq).ok()) return 1;
     }
-    auto res = tree.RangeQuery(/*issuer=*/0, office_block, tq);
+    QueryResponse res =
+        office.Execute(QueryRequest::Prq(/*issuer=*/0, office_block, tq));
     if (!res.ok()) return 1;
     std::printf("  %s ->", Clock(tq).c_str());
-    if (res->empty()) std::printf(" nobody");
-    for (UserId u : *res) std::printf(" %s", kNames[u]);
+    if (res.ids.empty()) std::printf(" nobody");
+    for (UserId u : res.ids) std::printf(" %s", kNames[u]);
     std::printf("\n");
   }
   std::printf(

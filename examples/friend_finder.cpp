@@ -13,9 +13,13 @@
 #include "bxtree/filtering_index.h"
 #include "eval/runner.h"
 #include "eval/workload.h"
+#include "service/query_request.h"
+#include "service/service.h"
 
 using namespace peb;
 using namespace peb::eval;
+using peb::service::QueryRequest;
+using peb::service::QueryResponse;
 
 int main(int argc, char** argv) {
   size_t num_users = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20000;
@@ -41,28 +45,26 @@ int main(int argc, char** argv) {
     Timestamp now = city.now();
     Point where = city.dataset().objects[u1].PositionAt(now);
 
-    city.peb().pool()->ResetStats();
-    auto nearest = city.peb().KnnQuery(u1, where, 1, now);
+    // The same request value runs against both services; each response
+    // carries its own exact I/O delta — no pool-stat resets needed.
+    QueryRequest request = QueryRequest::Pknn(u1, where, 1, now);
+    QueryResponse nearest = city.peb_service().Execute(request);
     if (!nearest.ok()) return 1;
-    uint64_t peb_io = city.peb().pool()->stats().physical_reads;
-
-    city.spatial().pool()->ResetStats();
-    auto baseline = city.spatial().KnnQuery(u1, where, 1, now);
+    QueryResponse baseline = city.spatial_service().Execute(request);
     if (!baseline.ok()) return 1;
-    uint64_t spatial_io = city.spatial().pool()->stats().physical_reads;
 
     std::printf("t=%7.1f  u%u at (%6.1f,%6.1f): ", now, u1, where.x, where.y);
-    if (nearest->empty()) {
+    if (nearest.neighbors.empty()) {
       std::printf("no friend visible right now");
     } else {
       std::printf("nearest visible friend u%-6u at distance %6.1f",
-                  (*nearest)[0].uid, (*nearest)[0].distance);
+                  nearest.neighbors[0].uid, nearest.neighbors[0].distance);
     }
     std::printf("  [PEB %4llu I/O vs spatial %5llu I/O]\n",
-                static_cast<unsigned long long>(peb_io),
-                static_cast<unsigned long long>(spatial_io));
-    if (!nearest->empty() && !baseline->empty() &&
-        (*nearest)[0].uid != (*baseline)[0].uid) {
+                static_cast<unsigned long long>(nearest.io.physical_reads),
+                static_cast<unsigned long long>(baseline.io.physical_reads));
+    if (!nearest.neighbors.empty() && !baseline.neighbors.empty() &&
+        nearest.neighbors[0].uid != baseline.neighbors[0].uid) {
       std::printf("  !! answer mismatch between index and baseline\n");
       return 1;
     }

@@ -3,8 +3,10 @@
 //   1. Define users' location-privacy policies (LPPs) and roles.
 //   2. Build the policy encoding (sequence values + friend lists).
 //   3. Create a PEB-tree over a buffer pool and insert moving users.
-//   4. Issue a privacy-aware range query (PRQ) and a privacy-aware
-//      k-nearest-neighbor query (PkNN).
+//   4. Front it with a MovingObjectService and issue a privacy-aware
+//      range query (PRQ) and a privacy-aware k-nearest-neighbor query
+//      (PkNN) as QueryRequests — each QueryResponse carries the answer
+//      plus its own work counters and I/O delta.
 //
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
@@ -13,10 +15,15 @@
 #include "policy/policy_store.h"
 #include "policy/role_registry.h"
 #include "policy/sequence_value.h"
+#include "service/query_request.h"
+#include "service/service.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
 
 using namespace peb;
+using peb::service::MovingObjectService;
+using peb::service::QueryRequest;
+using peb::service::QueryResponse;
 
 int main() {
   // --- 1. Policies ----------------------------------------------------------
@@ -68,28 +75,36 @@ int main() {
   s = tree.Insert({2, {480, 530}, {0.0, -1.0}, 0.0});  // Carol, heading south.
   if (!s.ok()) { std::printf("insert: %s\n", s.ToString().c_str()); return 1; }
 
-  // --- 4. Queries ---------------------------------------------------------------
+  // --- 4. Queries through the service facade ---------------------------------
   // Alice asks at 9:00 (t=540... but within delta_t_mu of the updates; use
   // t=60 which maps to 01:00 — Carol's window starts at 08:00, so make the
   // query at a time inside her window by re-updating her first).
+  MovingObjectService svc(&tree, &store, &roles, &encoding);
+
   Timestamp tq = 60.0;  // 01:00 — outside Carol's working hours.
   Rect window = Rect::CenteredSquare({500, 500}, 200.0);
 
-  auto prq = tree.RangeQuery(/*issuer=*/0, window, tq);
+  QueryResponse prq = svc.Execute(QueryRequest::Prq(/*issuer=*/0, window, tq));
   if (!prq.ok()) return 1;
   std::printf("\nPRQ at t=%.0f (01:00): %zu visible user(s):", tq,
-              prq->size());
-  for (UserId u : *prq) std::printf(" u%u", u);
+              prq.ids.size());
+  for (UserId u : prq.ids) std::printf(" u%u", u);
   std::printf("   (Carol hidden: outside her time window)\n");
 
-  auto knn = tree.KnnQuery(/*issuer=*/0, {500, 500}, /*k=*/2, tq);
+  QueryResponse knn =
+      svc.Execute(QueryRequest::Pknn(/*issuer=*/0, {500, 500}, /*k=*/2, tq));
   if (!knn.ok()) return 1;
   std::printf("PkNN k=2: ");
-  for (const Neighbor& n : *knn) {
+  for (const Neighbor& n : knn.neighbors) {
     std::printf("u%u at distance %.1f; ", n.uid, n.distance);
   }
-  std::printf("\n\nI/O so far: %llu physical page reads, %.0f%% buffer hits\n",
-              static_cast<unsigned long long>(pool.stats().physical_reads),
-              100.0 * pool.stats().HitRatio());
+  std::printf(
+      "\n\nper-response observability (by value, no shared counters):\n"
+      "  PRQ : %zu candidates, %llu physical reads\n"
+      "  PkNN: %zu rounds, %llu physical reads\n",
+      prq.counters.candidates_examined,
+      static_cast<unsigned long long>(prq.io.physical_reads),
+      knn.counters.rounds,
+      static_cast<unsigned long long>(knn.io.physical_reads));
   return 0;
 }

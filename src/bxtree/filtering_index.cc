@@ -7,6 +7,8 @@ namespace peb {
 Result<std::vector<UserId>> FilteringIndex::RangeQuery(UserId issuer,
                                                        const Rect& range,
                                                        Timestamp tq) {
+  PEB_RETURN_NOT_OK(ValidateQueryRect(range));
+  PEB_RETURN_NOT_OK(ValidateIssuer(issuer));
   PEB_ASSIGN_OR_RETURN(auto candidates, tree_.RangeQuery(range, tq));
   std::vector<UserId> out;
   for (const SpatialCandidate& cand : candidates) {
@@ -40,6 +42,8 @@ Result<std::vector<Neighbor>> FilteringIndex::KnnQuery(UserId issuer,
                                                        const Point& qloc,
                                                        size_t k,
                                                        Timestamp tq) {
+  PEB_RETURN_NOT_OK(ValidateQueryK(k));
+  PEB_RETURN_NOT_OK(ValidateIssuer(issuer));
   AcceptCtx ctx{this, issuer, tq, store_, roles_, time_domain_};
   return tree_.KnnQuery(qloc, k, tq, &PolicyAccept, &ctx);
 }

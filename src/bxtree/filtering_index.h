@@ -33,6 +33,9 @@ class FilteringIndex final : public PrivacyAwareIndex {
   }
   Status Delete(UserId id) override { return tree_.Delete(id); }
   size_t size() const override { return tree_.size(); }
+  Result<MovingObject> GetObject(UserId id) const override {
+    return tree_.GetObject(id);
+  }
   BufferPool* pool() override { return tree_.pool(); }
   IoStats aggregate_io() const override { return tree_.pool()->stats(); }
   void ResetIo() override { tree_.pool()->ResetStats(); }
@@ -54,6 +57,15 @@ class FilteringIndex final : public PrivacyAwareIndex {
   BxTree& tree() { return tree_; }
 
  private:
+  /// Uniform validation: the filtering approach has no policy encoding, so
+  /// its issuer universe is the set of currently indexed users (in the
+  /// experiment harness every encoding-covered user is indexed, so the
+  /// three indexes agree).
+  Status ValidateIssuer(UserId issuer) const {
+    if (!tree_.GetObject(issuer).ok()) return UnknownIssuerError(issuer);
+    return Status::OK();
+  }
+
   bool Qualifies(UserId issuer, const SpatialCandidate& cand,
                  Timestamp tq) const {
     return cand.uid != issuer &&

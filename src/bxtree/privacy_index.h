@@ -33,6 +33,45 @@ struct QueryCounters {
   size_t leaf_hops = 0;            ///< Sibling-link hops spent positioning.
 };
 
+/// Per-query observability carried out of a query by value: the query's
+/// work counters plus its own buffer-pool traffic delta. This replaces the
+/// old last_query()/ResetIo() observer pattern, which is meaningless when
+/// queries overlap — ...WithStats entry points fill one of these per call,
+/// and the service layer forwards it inside every QueryResponse.
+struct QueryStats {
+  QueryCounters counters;
+  IoStats io;
+};
+
+// --- uniform request validation --------------------------------------------
+// Every PrivacyAwareIndex rejects malformed requests with the SAME status
+// codes (tests/service_test.cc holds all implementations to this):
+//   * empty/inverted query rectangle -> InvalidArgument
+//   * k == 0                         -> InvalidArgument
+//   * unknown issuer                 -> NotFound
+
+/// Empty or inverted (lo > hi on either axis) rectangles are invalid.
+inline Status ValidateQueryRect(const Rect& range) {
+  if (range.Empty()) {
+    return Status::InvalidArgument("empty or inverted query rectangle");
+  }
+  return Status::OK();
+}
+
+/// k == 0 asks for nothing; uniformly rejected rather than answered.
+inline Status ValidateQueryK(size_t k) {
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  return Status::OK();
+}
+
+/// The uniform unknown-issuer error. PEB-based indexes resolve the issuer
+/// against the policy encoding; the filtering baseline (which has no
+/// encoding) against its set of indexed users.
+inline Status UnknownIssuerError(UserId issuer) {
+  return Status::NotFound("issuer " + std::to_string(issuer) +
+                          " is not known to this index");
+}
+
 /// A moving-object index answering privacy-aware queries.
 class PrivacyAwareIndex {
  public:
@@ -50,6 +89,16 @@ class PrivacyAwareIndex {
   /// Number of indexed users.
   virtual size_t size() const = 0;
 
+  /// Current stored state of user `id`; NotFound when not indexed. Standing
+  /// structures (e.g. ContinuousQueryMonitor) re-evaluate memberships
+  /// through this, which is what lets them run over any index.
+  virtual Result<MovingObject> GetObject(UserId id) const = 0;
+
+  /// True when PRQ/PkNN may be issued from several threads at once (the
+  /// sharded engine). Single-tree indexes return false and callers (the
+  /// service layer) must serialize queries externally.
+  virtual bool SupportsConcurrentQueries() const { return false; }
+
   /// PRQ (Definition 2): users inside `range` at time `tq` whose policies
   /// allow `issuer` to see them. The result is sorted by user id.
   virtual Result<std::vector<UserId>> RangeQuery(UserId issuer,
@@ -63,6 +112,35 @@ class PrivacyAwareIndex {
                                                  const Point& qloc, size_t k,
                                                  Timestamp tq) = 0;
 
+  /// PRQ with per-query observability carried out by value. When `stats`
+  /// is non-null it receives this query's own counters and buffer-pool
+  /// traffic delta. The base implementation wraps RangeQuery and is exact
+  /// only while calls do not overlap; thread-safe indexes (the sharded
+  /// engine) override it to stay exact under concurrent submission.
+  virtual Result<std::vector<UserId>> RangeQueryWithStats(UserId issuer,
+                                                          const Rect& range,
+                                                          Timestamp tq,
+                                                          QueryStats* stats) {
+    BufferPool::ThreadIoScope io_scope(stats == nullptr ? nullptr
+                                                        : &stats->io);
+    Result<std::vector<UserId>> result = RangeQuery(issuer, range, tq);
+    if (stats != nullptr) stats->counters = last_query();
+    return result;
+  }
+
+  /// PkNN with per-query observability; see RangeQueryWithStats.
+  virtual Result<std::vector<Neighbor>> KnnQueryWithStats(UserId issuer,
+                                                          const Point& qloc,
+                                                          size_t k,
+                                                          Timestamp tq,
+                                                          QueryStats* stats) {
+    BufferPool::ThreadIoScope io_scope(stats == nullptr ? nullptr
+                                                        : &stats->io);
+    Result<std::vector<Neighbor>> result = KnnQuery(issuer, qloc, k, tq);
+    if (stats != nullptr) stats->counters = last_query();
+    return result;
+  }
+
   /// The buffer pool serving this index (for I/O accounting). Indexes
   /// spanning several pools (e.g. a sharded engine) return a representative
   /// pool; use aggregate_io() for totals.
@@ -75,9 +153,13 @@ class PrivacyAwareIndex {
   virtual IoStats aggregate_io() const = 0;
 
   /// Zeroes the traffic counters of every pool serving this index.
+  /// DEPRECATED for per-query accounting: prefer the IoStats delta carried
+  /// in QueryStats/QueryResponse, which stays exact when queries overlap.
   virtual void ResetIo() = 0;
 
-  /// Counters of the most recent query.
+  /// Counters of the most recent query. DEPRECATED: meaningful only while
+  /// queries do not overlap — prefer ...WithStats / the service layer's
+  /// QueryResponse, which carry counters by value.
   virtual const QueryCounters& last_query() const = 0;
 };
 

@@ -21,6 +21,7 @@ Status BatchUpdateApplier::Apply(size_t count) {
     events_applied_ += n;
     batches_applied_++;
     last_event_time_ = batch.back().t;
+    if (options_.on_batch) options_.on_batch(batch);
     count -= n;
   }
   return Status::OK();

@@ -12,6 +12,8 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
+#include <vector>
 
 #include "common/status.h"
 #include "engine/sharded_engine.h"
@@ -23,6 +25,13 @@ namespace engine {
 struct BatchApplierOptions {
   /// Events drained per ApplyBatch() call.
   size_t batch_size = 1024;
+  /// Called after each batch is successfully applied to the engine, with
+  /// the batch's events in their original (global time) order. The service
+  /// layer hooks this to feed engine-wide continuous-query monitors: the
+  /// callback order is the stream order regardless of shard count, so
+  /// standing queries see identical event streams on 1- and N-shard
+  /// engines.
+  std::function<void(const std::vector<UpdateEvent>&)> on_batch;
 };
 
 class BatchUpdateApplier {

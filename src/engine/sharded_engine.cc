@@ -200,18 +200,13 @@ void ShardedPebEngine::MergeCounters(const QueryCounters& shard_counters,
   into->leaf_hops += shard_counters.leaf_hops;
 }
 
-void ShardedPebEngine::PublishCounters(const QueryCounters& counters) {
-  std::lock_guard<std::mutex> lock(counters_mu_);
-  counters_ = counters;
-}
-
-Result<std::vector<UserId>> ShardedPebEngine::RangeQuery(UserId issuer,
-                                                         const Rect& range,
-                                                         Timestamp tq) {
-  QueryCounters query_counters;
+Result<std::vector<UserId>> ShardedPebEngine::RangeQueryWithStats(
+    UserId issuer, const Rect& range, Timestamp tq, QueryStats* stats) {
+  PEB_RETURN_NOT_OK(ValidateQueryRect(range));
   if (issuer >= encoding_->num_users()) {
-    return Status::InvalidArgument("issuer outside the policy encoding");
+    return UnknownIssuerError(issuer);
   }
+  const bool collect = stats != nullptr;
   // Queries hold the engine state lock shared: parallel with each other,
   // atomic with respect to update batches.
   std::shared_lock<std::shared_mutex> state_lock(state_mu_);
@@ -222,13 +217,17 @@ Result<std::vector<UserId>> ShardedPebEngine::RangeQuery(UserId issuer,
     Status status;
     std::vector<UserId> ids;
     QueryCounters counters;
+    IoStats io;
   };
   std::vector<Slot> slots(shards_.size());
   std::vector<std::function<void()>> tasks;
   for (size_t s = 0; s < shards_.size(); ++s) {
     if (per_shard[s].empty()) continue;
-    tasks.push_back([this, s, issuer, &range, tq, &per_shard, &slots,
-                     &cache] {
+    tasks.push_back([this, s, issuer, collect, &range, tq, &per_shard,
+                     &slots, &cache] {
+      // Attribute this task's pool traffic to its own slot: exact
+      // per-query I/O even while other queries run on the same pool.
+      BufferPool::ThreadIoScope io_scope(collect ? &slots[s].io : nullptr);
       Shard& shard = *shards_[s];
       std::lock_guard<std::mutex> lock(shard.mu);
       auto r = shard.tree->RangeQueryAmong(issuer, range, tq, per_shard[s],
@@ -246,30 +245,38 @@ Result<std::vector<UserId>> ShardedPebEngine::RangeQuery(UserId issuer,
   std::vector<UserId> merged;
   for (Slot& slot : slots) {
     PEB_RETURN_NOT_OK(slot.status);
-    MergeCounters(slot.counters, &query_counters);
+    if (collect) {
+      MergeCounters(slot.counters, &stats->counters);
+      stats->io += slot.io;
+    }
     merged.insert(merged.end(), slot.ids.begin(), slot.ids.end());
   }
   // Shards host disjoint user sets, so this is a disjoint union; the
   // interface promises ascending user id.
   std::sort(merged.begin(), merged.end());
-  query_counters.results = merged.size();
-  PublishCounters(query_counters);
+  if (collect) stats->counters.results = merged.size();
   return merged;
 }
 
-Result<std::vector<Neighbor>> ShardedPebEngine::KnnQuery(UserId issuer,
-                                                         const Point& qloc,
-                                                         size_t k,
+Result<std::vector<UserId>> ShardedPebEngine::RangeQuery(UserId issuer,
+                                                         const Rect& range,
                                                          Timestamp tq) {
-  QueryCounters query_counters;
+  QueryStats stats;
+  auto result = RangeQueryWithStats(issuer, range, tq, &stats);
+  // Deprecated observer shim; see last_query().
+  counters_ = stats.counters;
+  return result;
+}
+
+Result<std::vector<Neighbor>> ShardedPebEngine::KnnQueryWithStats(
+    UserId issuer, const Point& qloc, size_t k, Timestamp tq,
+    QueryStats* stats) {
+  PEB_RETURN_NOT_OK(ValidateQueryK(k));
   if (issuer >= encoding_->num_users()) {
-    return Status::InvalidArgument("issuer outside the policy encoding");
+    return UnknownIssuerError(issuer);
   }
+  const bool collect = stats != nullptr;
   std::vector<Neighbor> verified;
-  if (k == 0) {
-    PublishCounters(query_counters);
-    return verified;
-  }
   std::shared_lock<std::shared_mutex> state_lock(state_mu_);
   std::vector<std::vector<FriendEntry>> per_shard = PartitionFriends(issuer);
 
@@ -288,11 +295,13 @@ Result<std::vector<Neighbor>> ShardedPebEngine::KnnQuery(UserId issuer,
     std::optional<PebTree::KnnScan> scan;
     Status status;
     std::vector<Neighbor> fresh;
+    IoStats io;
   };
   std::vector<Slot> slots(shards_.size());
   size_t max_diagonals = 0;
   for (size_t s = 0; s < shards_.size(); ++s) {
     if (per_shard[s].empty()) continue;
+    BufferPool::ThreadIoScope io_scope(collect ? &slots[s].io : nullptr);
     Shard& shard = *shards_[s];
     std::lock_guard<std::mutex> lock(shard.mu);
     slots[s].scan.emplace(
@@ -307,8 +316,9 @@ Result<std::vector<Neighbor>> ShardedPebEngine::KnnQuery(UserId issuer,
       Slot& slot = slots[s];
       if (!slot.scan.has_value() || slot.scan->AllFound()) continue;
       if (d >= slot.scan->max_diagonals()) continue;
-      tasks.push_back([this, s, d, &slots] {
+      tasks.push_back([this, s, d, collect, &slots] {
         Slot& sl = slots[s];
+        BufferPool::ThreadIoScope io_scope(collect ? &sl.io : nullptr);
         Shard& shard = *shards_[s];
         std::lock_guard<std::mutex> lock(shard.mu);
         sl.status = sl.scan->ScanDiagonal(d, &sl.fresh);
@@ -337,8 +347,9 @@ Result<std::vector<Neighbor>> ShardedPebEngine::KnnQuery(UserId issuer,
     for (size_t s = 0; s < shards_.size(); ++s) {
       Slot& slot = slots[s];
       if (!slot.scan.has_value() || slot.scan->AllFound()) continue;
-      tasks.push_back([this, s, dk, &slots] {
+      tasks.push_back([this, s, dk, collect, &slots] {
         Slot& sl = slots[s];
+        BufferPool::ThreadIoScope io_scope(collect ? &sl.io : nullptr);
         Shard& shard = *shards_[s];
         std::lock_guard<std::mutex> lock(shard.mu);
         sl.status = sl.scan->VerticalScan(dk, &sl.fresh);
@@ -354,17 +365,38 @@ Result<std::vector<Neighbor>> ShardedPebEngine::KnnQuery(UserId issuer,
     KWayMergeByDistance(std::move(fresh_lists), &verified);
   }
 
-  // The shard counters accumulated from NewKnnScan through the last scan.
-  for (size_t s = 0; s < shards_.size(); ++s) {
-    if (!slots[s].scan.has_value()) continue;
-    std::lock_guard<std::mutex> lock(shards_[s]->mu);
-    MergeCounters(shards_[s]->tree->last_query(), &query_counters);
-  }
-
   if (verified.size() > k) verified.resize(k);
-  query_counters.results = verified.size();
-  PublishCounters(query_counters);
+  if (collect) {
+    // Each scan owns its counters (never the shared tree slot) and each
+    // task attributed its pool traffic to its own slot, so the merged
+    // totals are exact even while other queries run concurrently. RunAll's
+    // completion synchronizes the reads.
+    for (Slot& slot : slots) {
+      if (!slot.scan.has_value()) continue;
+      MergeCounters(slot.scan->counters(), &stats->counters);
+      stats->io += slot.io;
+    }
+    stats->counters.results = verified.size();
+  }
   return verified;
+}
+
+Result<std::vector<Neighbor>> ShardedPebEngine::KnnQuery(UserId issuer,
+                                                         const Point& qloc,
+                                                         size_t k,
+                                                         Timestamp tq) {
+  QueryStats stats;
+  auto result = KnnQueryWithStats(issuer, qloc, k, tq, &stats);
+  // Deprecated observer shim; see last_query().
+  counters_ = stats.counters;
+  return result;
+}
+
+Result<MovingObject> ShardedPebEngine::GetObject(UserId id) const {
+  std::shared_lock<std::shared_mutex> state_lock(state_mu_);
+  const Shard& s = *shards_[router_->ShardOf(id)];
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.tree->GetObject(id);
 }
 
 }  // namespace engine

@@ -81,16 +81,40 @@ class ShardedPebEngine final : public PrivacyAwareIndex {
   Status Update(const MovingObject& object) override;
   Status Delete(UserId id) override;
   size_t size() const override;
+  Result<MovingObject> GetObject(UserId id) const override;
+  /// Queries may be issued from any number of threads concurrently; the
+  /// service layer relies on this to fan Submit() out without locking.
+  bool SupportsConcurrentQueries() const override { return true; }
   /// The shared pool serving every shard tree.
   BufferPool* pool() override;
   IoStats aggregate_io() const override;
   void ResetIo() override;
-  /// Work counters of the most recent query. Meaningful only when queries
-  /// do not overlap — the same observer contract as the single-tree
-  /// indexes; overlapping queries still return correct results but
-  /// interleave their counter updates.
+  /// DEPRECATED shim: work counters of the most recent NON-OVERLAPPING
+  /// deprecated-entry-point query (RangeQuery/KnnQuery below). Queries
+  /// issued through ...WithStats / the service layer carry their counters
+  /// by value in QueryStats/QueryResponse and never touch this slot, so
+  /// concurrent service traffic cannot tear it; interleaving the deprecated
+  /// entry points from several threads yields whichever query finished
+  /// last. Kept for one PR for old callers.
   const QueryCounters& last_query() const override { return counters_; }
 
+  /// Exact per-query observability under concurrent submission: every
+  /// shard task accumulates its own counters and attributes its buffer-pool
+  /// traffic through BufferPool::ThreadIoScope, and the merged totals are
+  /// returned by value in `stats` — no shared observer state on the hot
+  /// path (the old counters-publishing mutex is gone).
+  Result<std::vector<UserId>> RangeQueryWithStats(UserId issuer,
+                                                  const Rect& range,
+                                                  Timestamp tq,
+                                                  QueryStats* stats) override;
+  Result<std::vector<Neighbor>> KnnQueryWithStats(UserId issuer,
+                                                  const Point& qloc, size_t k,
+                                                  Timestamp tq,
+                                                  QueryStats* stats) override;
+
+  /// DEPRECATED entry points: forward to ...WithStats and publish the
+  /// counters into the last_query() shim. Not safe to interleave from
+  /// several threads (use the service layer / ...WithStats instead).
   Result<std::vector<UserId>> RangeQuery(UserId issuer, const Rect& range,
                                          Timestamp tq) override;
   Result<std::vector<Neighbor>> KnnQuery(UserId issuer, const Point& qloc,
@@ -139,9 +163,6 @@ class ShardedPebEngine final : public PrivacyAwareIndex {
   static void MergeCounters(const QueryCounters& shard_counters,
                             QueryCounters* into);
 
-  /// Publishes a finished query's counters as last_query().
-  void PublishCounters(const QueryCounters& counters);
-
   EngineOptions options_;
   const PolicyEncoding* encoding_;
   std::unique_ptr<ShardRouter> router_;
@@ -154,9 +175,10 @@ class ShardedPebEngine final : public PrivacyAwareIndex {
   /// Always acquired before any shard mutex; worker tasks take only shard
   /// mutexes (the dispatching thread holds this lock for them).
   mutable std::shared_mutex state_mu_;
-  /// Guards writes to counters_ so overlapping queries (which hold
-  /// state_mu_ only shared) never tear the struct.
-  std::mutex counters_mu_;
+  /// The deprecated last_query() shim slot. Written ONLY by the deprecated
+  /// RangeQuery/KnnQuery entry points (unsynchronized — their documented
+  /// contract is non-overlapping calls); the ...WithStats hot path carries
+  /// counters by value and never locks or touches this.
   QueryCounters counters_;
 };
 

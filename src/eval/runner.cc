@@ -53,21 +53,20 @@ std::vector<PknnQuery> MakePknnQueries(const Workload& workload,
   return out;
 }
 
-RunResult RunPrqBatch(PrivacyAwareIndex& index,
+RunResult RunPrqBatch(service::MovingObjectService& service,
                       const std::vector<PrqQuery>& queries) {
   RunResult r;
   if (queries.empty()) return r;
   auto t0 = std::chrono::steady_clock::now();
   for (const PrqQuery& q : queries) {
-    uint64_t before = index.aggregate_io().physical_reads;
-    auto res = index.RangeQuery(q.issuer, q.range, q.tq);
-    if (!res.ok()) Die("PRQ failed: " + res.status().ToString());
-    uint64_t after = index.aggregate_io().physical_reads;
-    r.avg_io += static_cast<double>(after - before);
+    service::QueryResponse resp =
+        service.Execute(service::QueryRequest::Prq(q.issuer, q.range, q.tq));
+    if (!resp.ok()) Die("PRQ failed: " + resp.status.ToString());
+    r.avg_io += static_cast<double>(resp.io.physical_reads);
     r.avg_candidates +=
-        static_cast<double>(index.last_query().candidates_examined);
-    r.avg_probes += static_cast<double>(index.last_query().range_probes);
-    r.avg_results += static_cast<double>(res->size());
+        static_cast<double>(resp.counters.candidates_examined);
+    r.avg_probes += static_cast<double>(resp.counters.range_probes);
+    r.avg_results += static_cast<double>(resp.ids.size());
   }
   auto t1 = std::chrono::steady_clock::now();
   double n = static_cast<double>(queries.size());
@@ -79,21 +78,20 @@ RunResult RunPrqBatch(PrivacyAwareIndex& index,
   return r;
 }
 
-RunResult RunPknnBatch(PrivacyAwareIndex& index,
+RunResult RunPknnBatch(service::MovingObjectService& service,
                        const std::vector<PknnQuery>& queries) {
   RunResult r;
   if (queries.empty()) return r;
   auto t0 = std::chrono::steady_clock::now();
   for (const PknnQuery& q : queries) {
-    uint64_t before = index.aggregate_io().physical_reads;
-    auto res = index.KnnQuery(q.issuer, q.qloc, q.k, q.tq);
-    if (!res.ok()) Die("PkNN failed: " + res.status().ToString());
-    uint64_t after = index.aggregate_io().physical_reads;
-    r.avg_io += static_cast<double>(after - before);
+    service::QueryResponse resp = service.Execute(
+        service::QueryRequest::Pknn(q.issuer, q.qloc, q.k, q.tq));
+    if (!resp.ok()) Die("PkNN failed: " + resp.status.ToString());
+    r.avg_io += static_cast<double>(resp.io.physical_reads);
     r.avg_candidates +=
-        static_cast<double>(index.last_query().candidates_examined);
-    r.avg_probes += static_cast<double>(index.last_query().range_probes);
-    r.avg_results += static_cast<double>(res->size());
+        static_cast<double>(resp.counters.candidates_examined);
+    r.avg_probes += static_cast<double>(resp.counters.range_probes);
+    r.avg_results += static_cast<double>(resp.neighbors.size());
   }
   auto t1 = std::chrono::steady_clock::now();
   double n = static_cast<double>(queries.size());
@@ -108,12 +106,14 @@ RunResult RunPknnBatch(PrivacyAwareIndex& index,
 size_t CrossCheckPrq(Workload& workload,
                      const std::vector<PrqQuery>& queries) {
   for (const PrqQuery& q : queries) {
-    auto a = workload.peb().RangeQuery(q.issuer, q.range, q.tq);
-    auto b = workload.spatial().RangeQuery(q.issuer, q.range, q.tq);
+    service::QueryRequest req =
+        service::QueryRequest::Prq(q.issuer, q.range, q.tq);
+    service::QueryResponse a = workload.peb_service().Execute(req);
+    service::QueryResponse b = workload.spatial_service().Execute(req);
     if (!a.ok() || !b.ok()) Die("cross-check query failed");
-    if (*a != *b) {
-      Die("PRQ mismatch: PEB returned " + std::to_string(a->size()) +
-          " users, spatial returned " + std::to_string(b->size()));
+    if (a.ids != b.ids) {
+      Die("PRQ mismatch: PEB returned " + std::to_string(a.ids.size()) +
+          " users, spatial returned " + std::to_string(b.ids.size()));
     }
   }
   return queries.size();
@@ -122,15 +122,18 @@ size_t CrossCheckPrq(Workload& workload,
 size_t CrossCheckPknn(Workload& workload,
                       const std::vector<PknnQuery>& queries) {
   for (const PknnQuery& q : queries) {
-    auto a = workload.peb().KnnQuery(q.issuer, q.qloc, q.k, q.tq);
-    auto b = workload.spatial().KnnQuery(q.issuer, q.qloc, q.k, q.tq);
+    service::QueryRequest req =
+        service::QueryRequest::Pknn(q.issuer, q.qloc, q.k, q.tq);
+    service::QueryResponse a = workload.peb_service().Execute(req);
+    service::QueryResponse b = workload.spatial_service().Execute(req);
     if (!a.ok() || !b.ok()) Die("cross-check query failed");
-    if (a->size() != b->size()) {
-      Die("PkNN size mismatch: " + std::to_string(a->size()) + " vs " +
-          std::to_string(b->size()));
+    if (a.neighbors.size() != b.neighbors.size()) {
+      Die("PkNN size mismatch: " + std::to_string(a.neighbors.size()) +
+          " vs " + std::to_string(b.neighbors.size()));
     }
-    for (size_t i = 0; i < a->size(); ++i) {
-      if (std::abs((*a)[i].distance - (*b)[i].distance) > 1e-6) {
+    for (size_t i = 0; i < a.neighbors.size(); ++i) {
+      if (std::abs(a.neighbors[i].distance - b.neighbors[i].distance) >
+          1e-6) {
         Die("PkNN distance mismatch at rank " + std::to_string(i));
       }
     }

@@ -1,8 +1,10 @@
 // Query-set generation and measurement (Section 7.1: "we measure the
 // average I/O cost of 200 queries"). I/O per query is the number of
-// physical page reads the index's buffer pool performs while answering it;
-// the 50-page LRU buffer stays warm across the query batch, as in the
-// paper's simulation.
+// physical page reads performed while answering it — read from the
+// QueryResponse's own IoStats delta (exact even under concurrency); the
+// 50-page buffer stays warm across the query batch, as in the paper's
+// simulation. All measurement drives the index through the
+// MovingObjectService request/response API.
 #pragma once
 
 #include <vector>
@@ -10,6 +12,7 @@
 #include "bxtree/privacy_index.h"
 #include "common/rng.h"
 #include "eval/workload.h"
+#include "service/service.h"
 
 namespace peb {
 namespace eval {
@@ -55,13 +58,14 @@ struct RunResult {
   double wall_ms = 0.0;         ///< Total wall time for the batch.
 };
 
-/// Runs the PRQ batch on `index`, returning averages. Aborts the process on
-/// index errors (experiments must not silently drop queries).
-RunResult RunPrqBatch(PrivacyAwareIndex& index,
+/// Runs the PRQ batch through `service`, returning averages (per-query I/O
+/// and counters come from each QueryResponse). Aborts the process on
+/// errors (experiments must not silently drop queries).
+RunResult RunPrqBatch(service::MovingObjectService& service,
                       const std::vector<PrqQuery>& queries);
 
-/// Runs the PkNN batch on `index`.
-RunResult RunPknnBatch(PrivacyAwareIndex& index,
+/// Runs the PkNN batch through `service`.
+RunResult RunPknnBatch(service::MovingObjectService& service,
                        const std::vector<PknnQuery>& queries);
 
 /// Verifies that both indexes return identical PRQ answers on the batch

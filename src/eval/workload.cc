@@ -123,6 +123,16 @@ Workload Workload::Build(const WorkloadParams& params) {
                                                 w.roles_.get(),
                                                 params.time_domain);
 
+  // Request/response services over both competitors (inline execution so
+  // measurement is deterministic; async callers build their own).
+  service::ServiceOptions svc;
+  svc.time_domain = params.time_domain;
+  w.peb_service_ = std::make_unique<service::MovingObjectService>(
+      w.peb_.get(), w.store_.get(), w.roles_.get(), w.encoding_.get(), svc);
+  w.spatial_service_ = std::make_unique<service::MovingObjectService>(
+      w.spatial_.get(), w.store_.get(), w.roles_.get(), w.encoding_.get(),
+      svc);
+
   // --- load ----------------------------------------------------------------
   for (const MovingObject& o : w.dataset_.objects) {
     CheckOk(w.peb_->Insert(o), "peb insert");

@@ -17,6 +17,7 @@
 #include "peb/peb_tree.h"
 #include "policy/policy_generator.h"
 #include "policy/sequence_value.h"
+#include "service/service.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
 
@@ -76,6 +77,14 @@ class Workload {
   PebTree& peb() { return *peb_; }
   FilteringIndex& spatial() { return *spatial_; }
 
+  /// Request/response services over the two competitors — the query
+  /// surface every bench, tool, and measurement harness drives. Built in
+  /// inline mode (no worker threads) so measurement stays deterministic.
+  service::MovingObjectService& peb_service() { return *peb_service_; }
+  service::MovingObjectService& spatial_service() {
+    return *spatial_service_;
+  }
+
   /// Wall-clock seconds spent in policy encoding (Figure 11's metric).
   double preprocessing_seconds() const { return preprocessing_seconds_; }
 
@@ -107,6 +116,9 @@ class Workload {
   std::unique_ptr<InMemoryDiskManager> spatial_disk_;
   std::unique_ptr<BufferPool> spatial_pool_;
   std::unique_ptr<FilteringIndex> spatial_;
+
+  std::unique_ptr<service::MovingObjectService> peb_service_;
+  std::unique_ptr<service::MovingObjectService> spatial_service_;
 
   std::unique_ptr<UpdateStream> updates_;
 };

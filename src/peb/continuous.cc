@@ -4,12 +4,12 @@
 
 namespace peb {
 
-ContinuousQueryMonitor::ContinuousQueryMonitor(PebTree* tree,
+ContinuousQueryMonitor::ContinuousQueryMonitor(PrivacyAwareIndex* index,
                                                const PolicyStore* store,
                                                const RoleRegistry* roles,
                                                const PolicyEncoding* encoding,
                                                double time_domain)
-    : tree_(tree),
+    : index_(index),
       store_(store),
       roles_(roles),
       encoding_(encoding),
@@ -37,17 +37,20 @@ void ContinuousQueryMonitor::SetMembership(ContinuousQueryId id,
 
 Result<ContinuousQueryId> ContinuousQueryMonitor::Register(UserId issuer,
                                                            const Rect& range,
-                                                           Timestamp now) {
+                                                           Timestamp now,
+                                                           QueryStats* stats) {
+  PEB_RETURN_NOT_OK(ValidateQueryRect(range));
   if (issuer >= encoding_->num_users()) {
-    return Status::InvalidArgument("issuer outside the policy encoding");
+    return UnknownIssuerError(issuer);
   }
   RegisteredQuery q;
   q.issuer = issuer;
   q.range = range;
 
   // Seed with a one-shot index query (no events for the initial members).
-  PEB_ASSIGN_OR_RETURN(std::vector<UserId> seed,
-                       tree_->RangeQuery(issuer, range, now));
+  PEB_ASSIGN_OR_RETURN(
+      std::vector<UserId> seed,
+      index_->RangeQueryWithStats(issuer, range, now, stats));
   q.members.insert(seed.begin(), seed.end());
 
   ContinuousQueryId id = next_id_++;
@@ -91,7 +94,7 @@ Status ContinuousQueryMonitor::OnUpdate(const MovingObject& state,
 Status ContinuousQueryMonitor::Advance(Timestamp now) {
   for (auto& [id, q] : queries_) {
     for (const FriendEntry& f : encoding_->FriendsOf(q.issuer)) {
-      auto state = tree_->GetObject(f.uid);
+      auto state = index_->GetObject(f.uid);
       if (!state.ok()) {
         // Friend not currently indexed: cannot be in any answer.
         SetMembership(id, q, f.uid, false, now);

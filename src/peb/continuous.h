@@ -25,10 +25,13 @@
 #include <unordered_set>
 #include <vector>
 
+#include "bxtree/privacy_index.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "common/types.h"
-#include "peb/peb_tree.h"
+#include "policy/policy_store.h"
+#include "policy/role_registry.h"
+#include "policy/sequence_value.h"
 
 namespace peb {
 
@@ -47,18 +50,25 @@ struct ContinuousQueryEvent {
 };
 
 /// Maintains the answer sets of continuous privacy-aware range queries on
-/// top of a PebTree. Single-threaded, like the rest of the library. The
-/// tree, store, roles, and encoding must outlive the monitor.
+/// top of ANY PrivacyAwareIndex — a single PEB-tree or the sharded engine
+/// (queries seed through RangeQueryWithStats, membership re-evaluation
+/// through GetObject, both part of the index interface). Single-threaded:
+/// callers that feed it from several threads (the service layer) serialize
+/// externally. The index, store, roles, and encoding must outlive the
+/// monitor.
 class ContinuousQueryMonitor {
  public:
-  ContinuousQueryMonitor(PebTree* tree, const PolicyStore* store,
+  ContinuousQueryMonitor(PrivacyAwareIndex* index, const PolicyStore* store,
                          const RoleRegistry* roles,
                          const PolicyEncoding* encoding,
                          double time_domain = kDefaultTimeDomain);
 
-  /// Registers a continuous PRQ and seeds its result via the index.
+  /// Registers a continuous PRQ and seeds its result via the index. When
+  /// `stats` is non-null it receives the seeding query's counters and I/O
+  /// delta (forwarded into the service layer's QueryResponse).
   Result<ContinuousQueryId> Register(UserId issuer, const Rect& range,
-                                     Timestamp now);
+                                     Timestamp now,
+                                     QueryStats* stats = nullptr);
 
   /// Removes a query. Fails with NotFound for unknown ids.
   Status Unregister(ContinuousQueryId id);
@@ -94,7 +104,7 @@ class ContinuousQueryMonitor {
   void SetMembership(ContinuousQueryId id, RegisteredQuery& q, UserId uid,
                      bool in_result, Timestamp now);
 
-  PebTree* tree_;
+  PrivacyAwareIndex* index_;
   const PolicyStore* store_;
   const RoleRegistry* roles_;
   const PolicyEncoding* encoding_;

@@ -181,22 +181,21 @@ Status PebTree::ScanKeyRange(ObjectBTree::LeafCursor* cursor,
                              CompositeKey start, uint64_t end_primary,
                              const std::unordered_set<UserId>* wanted,
                              std::unordered_set<UserId>* found,
-                             std::vector<SpatialCandidate>* out,
-                             Timestamp tq) const {
-  counters_.range_probes++;
+                             std::vector<SpatialCandidate>* out, Timestamp tq,
+                             QueryCounters* counters) const {
+  counters->range_probes++;
   if (options_.index.leaf_cursor_fast_path && cursor != nullptr) {
     size_t d0 = cursor->descents();
     size_t h0 = cursor->chain_hops();
     PEB_RETURN_NOT_OK(cursor->SeekGE(start));
-    counters_.seek_descents += cursor->descents() - d0;
-    counters_.leaf_hops += cursor->chain_hops() - h0;
+    counters->seek_descents += cursor->descents() - d0;
+    counters->leaf_hops += cursor->chain_hops() - h0;
     return ConsumePebEntries(*cursor, end_primary, wanted, found, out, tq,
-                             &counters_);
+                             counters);
   }
-  counters_.seek_descents++;
+  counters->seek_descents++;
   PEB_ASSIGN_OR_RETURN(auto it, tree_.SeekGE(start));
-  return ConsumePebEntries(it, end_primary, wanted, found, out, tq,
-                           &counters_);
+  return ConsumePebEntries(it, end_primary, wanted, found, out, tq, counters);
 }
 
 Status PebTree::ScanSvInterval(ObjectBTree::LeafCursor* cursor,
@@ -205,12 +204,12 @@ Status PebTree::ScanSvInterval(ObjectBTree::LeafCursor* cursor,
                                const std::unordered_set<UserId>* wanted,
                                std::unordered_set<UserId>* found,
                                std::vector<SpatialCandidate>* out,
-                               Timestamp tq) const {
+                               Timestamp tq, QueryCounters* counters) const {
   if (zlo > zhi) return Status::OK();
   return ScanKeyRange(cursor,
                       CompositeKey::Min(layout_.MakeKey(partition, qsv, zlo)),
                       layout_.MakeKey(partition, qsv, zhi), wanted, found,
-                      out, tq);
+                      out, tq, counters);
 }
 
 // ---------------------------------------------------------------------------
@@ -220,8 +219,9 @@ Status PebTree::ScanSvInterval(ObjectBTree::LeafCursor* cursor,
 Result<std::vector<UserId>> PebTree::RangeQuery(UserId issuer,
                                                 const Rect& range,
                                                 Timestamp tq) {
+  PEB_RETURN_NOT_OK(ValidateQueryRect(range));
   if (issuer >= encoding_->num_users()) {
-    return Status::InvalidArgument("issuer outside the policy encoding");
+    return UnknownIssuerError(issuer);
   }
   return RangeQueryAmong(issuer, range, tq, encoding_->FriendsOf(issuer));
 }
@@ -288,7 +288,7 @@ Result<std::vector<UserId>> PebTree::RangeQueryPerFriend(
       for (const CurveInterval& iv : intervals) {
         PEB_RETURN_NOT_OK(ScanSvInterval(&cursor, partition, row.qsv, iv.lo,
                                          iv.hi, &row_wanted[i], &found,
-                                         &candidates, tq));
+                                         &candidates, tq, &counters_));
         bool row_done = true;
         for (UserId u : row.uids) {
           if (!found.contains(u)) {
@@ -351,7 +351,7 @@ Result<std::vector<UserId>> PebTree::RangeQuerySpan(
       PEB_RETURN_NOT_OK(ScanKeyRange(
           &cursor, CompositeKey::Min(layout_.MakeKey(partition, sv_min, iv.lo)),
           layout_.MakeKey(partition, sv_max, iv.hi), &wanted, &found,
-          &candidates, tq));
+          &candidates, tq, &counters_));
     }
   }
 
@@ -385,8 +385,9 @@ double PebTree::EstimateKnnDistance(size_t k) const {
 Result<std::vector<Neighbor>> PebTree::KnnQuery(UserId issuer,
                                                 const Point& qloc, size_t k,
                                                 Timestamp tq) {
+  PEB_RETURN_NOT_OK(ValidateQueryK(k));
   if (issuer >= encoding_->num_users()) {
-    return Status::InvalidArgument("issuer outside the policy encoding");
+    return UnknownIssuerError(issuer);
   }
   return KnnQueryAmong(issuer, qloc, k, tq, encoding_->FriendsOf(issuer));
 }
@@ -481,7 +482,7 @@ void PebTree::KnnScan::InsertVerified(std::vector<Neighbor>* verified) {
 
 Status PebTree::KnnScan::ScanCell(size_t i, size_t j,
                                   std::vector<Neighbor>* verified) {
-  tree_->counters_.rounds = std::max(tree_->counters_.rounds, j + 1);
+  counters_.rounds = std::max(counters_.rounds, j + 1);
   if (RowDone(i)) return Status::OK();
   for (size_t li = 0; li < labels_.size(); ++li) {
     CurveInterval cur = SpanFor(li, j);
@@ -492,7 +493,8 @@ Status PebTree::KnnScan::ScanCell(size_t i, size_t j,
     if (j == 0) {
       PEB_RETURN_NOT_OK(tree_->ScanSvInterval(&cursor_, partition, qsv,
                                               cur.lo, cur.hi, &row_wanted_[i],
-                                              &found_, &batch_, tq_));
+                                              &found_, &batch_, tq_,
+                                              &counters_));
     } else {
       // Scan only the ring new to round j.
       CurveInterval prev = SpanFor(li, j - 1);
@@ -500,19 +502,19 @@ Status PebTree::KnnScan::ScanCell(size_t i, size_t j,
         PEB_RETURN_NOT_OK(tree_->ScanSvInterval(&cursor_, partition, qsv,
                                                 cur.lo, cur.hi,
                                                 &row_wanted_[i], &found_,
-                                                &batch_, tq_));
+                                                &batch_, tq_, &counters_));
       } else {
         if (cur.lo < prev.lo) {
           PEB_RETURN_NOT_OK(tree_->ScanSvInterval(&cursor_, partition, qsv,
                                                   cur.lo, prev.lo - 1,
                                                   &row_wanted_[i], &found_,
-                                                  &batch_, tq_));
+                                                  &batch_, tq_, &counters_));
         }
         if (cur.hi > prev.hi) {
           PEB_RETURN_NOT_OK(tree_->ScanSvInterval(&cursor_, partition, qsv,
                                                   prev.hi + 1, cur.hi,
                                                   &row_wanted_[i], &found_,
-                                                  &batch_, tq_));
+                                                  &batch_, tq_, &counters_));
         }
       }
     }
@@ -554,7 +556,7 @@ Status PebTree::KnnScan::VerticalScan(double dk,
       PEB_RETURN_NOT_OK(tree_->ScanSvInterval(&cursor_, labels_[li].partition,
                                               rows_[i].qsv, span.lo, span.hi,
                                               &row_wanted_[i], &found_,
-                                              &batch_, tq_));
+                                              &batch_, tq_, &counters_));
       InsertVerified(verified);
     }
   }
@@ -565,7 +567,6 @@ PebTree::KnnScan PebTree::NewKnnScan(UserId issuer, const Point& qloc,
                                      Timestamp tq, double rq,
                                      const std::vector<FriendEntry>& friends,
                                      SharedScanCache* shared) const {
-  counters_ = QueryCounters{};
   return KnnScan(this, issuer, qloc, tq, rq, friends, shared);
 }
 
@@ -576,7 +577,8 @@ Result<std::vector<Neighbor>> PebTree::KnnQueryAmong(
     const std::vector<FriendEntry>& friends) const {
   counters_ = QueryCounters{};
   std::vector<Neighbor> verified;
-  if (k == 0) return verified;
+  if (k == 0) return verified;  // Among-path legacy tolerance; the public
+                                // KnnQuery rejects k == 0 uniformly.
   double rq = EstimateKnnDistance(k) / static_cast<double>(k);
   KnnScan scan(this, issuer, qloc, tq, rq, friends, nullptr);
   size_t m = scan.num_rows();
@@ -618,6 +620,7 @@ Result<std::vector<Neighbor>> PebTree::KnnQueryAmong(
   }
 
   if (verified.size() > k) verified.resize(k);
+  counters_ = scan.counters();  // Single-tree path: publish for last_query().
   counters_.results = verified.size();
   return verified;
 }

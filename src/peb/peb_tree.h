@@ -198,6 +198,11 @@ class PebTree final : public PrivacyAwareIndex {
    public:
     size_t num_rows() const { return rows_.size(); }
     size_t max_rounds() const { return max_rounds_; }
+    /// Work counters accumulated by this scan's own cells. Each scan owns
+    /// its counters (they never pass through the tree's shared last_query()
+    /// slot), so concurrent fanned-out queries on the same shard tree stay
+    /// exact. Read after the last Scan* call.
+    const QueryCounters& counters() const { return counters_; }
     /// Anti-diagonals in this shard's (rows x rounds) matrix.
     size_t max_diagonals() const {
       return rows_.empty() ? 0 : rows_.size() + max_rounds_ - 1;
@@ -254,12 +259,14 @@ class PebTree final : public PrivacyAwareIndex {
     std::vector<SpatialCandidate> batch_;
     /// Persistent scan position, reused across cells and rounds.
     ObjectBTree::LeafCursor cursor_;
+    /// Scan-owned work counters (see counters()).
+    QueryCounters counters_;
   };
 
   /// Starts an incremental PkNN scan. `rq` is the per-round enlargement
   /// step (Dk/k); the engine derives it from the global population so all
-  /// shards enlarge identically. Resets this tree's per-query counters;
-  /// they accumulate until the scan's last call.
+  /// shards enlarge identically. The scan accumulates work counters of its
+  /// own (KnnScan::counters()); the tree's last_query() is not touched.
   KnnScan NewKnnScan(UserId issuer, const Point& qloc, Timestamp tq,
                      double rq, const std::vector<FriendEntry>& friends,
                      SharedScanCache* shared = nullptr) const;
@@ -271,7 +278,7 @@ class PebTree final : public PrivacyAwareIndex {
   uint64_t KeyFor(const MovingObject& object) const;
 
   /// Current stored state of a user.
-  Result<MovingObject> GetObject(UserId id) const;
+  Result<MovingObject> GetObject(UserId id) const override;
 
   /// Dk estimate (Section 5.4), scaled to the space side.
   double EstimateKnnDistance(size_t k) const;
@@ -302,12 +309,15 @@ class PebTree final : public PrivacyAwareIndex {
   /// is in `wanted`, marks it found and appends its state. `cursor`
   /// carries the position across the sorted probes of one query; the
   /// legacy per-interval-descent path (leaf_cursor_fast_path off) ignores
-  /// it and re-descends from the root.
+  /// it and re-descends from the root. Work is accounted into `counters`
+  /// (the tree's own for whole-query entry points, a KnnScan's own for
+  /// fanned-out scans — never shared between concurrent queries).
   Status ScanKeyRange(ObjectBTree::LeafCursor* cursor, CompositeKey start,
                       uint64_t end_primary,
                       const std::unordered_set<UserId>* wanted,
                       std::unordered_set<UserId>* found,
-                      std::vector<SpatialCandidate>* out, Timestamp tq) const;
+                      std::vector<SpatialCandidate>* out, Timestamp tq,
+                      QueryCounters* counters) const;
 
   /// ScanKeyRange over the PEB keys [MakeKey(p, qsv, zlo),
   /// MakeKey(p, qsv, zhi)] of one (partition, sequence value) pair.
@@ -315,7 +325,8 @@ class PebTree final : public PrivacyAwareIndex {
                         uint32_t qsv, uint64_t zlo, uint64_t zhi,
                         const std::unordered_set<UserId>* wanted,
                         std::unordered_set<UserId>* found,
-                        std::vector<SpatialCandidate>* out, Timestamp tq) const;
+                        std::vector<SpatialCandidate>* out, Timestamp tq,
+                        QueryCounters* counters) const;
 
   /// Verification: Definition 2's policy conditions.
   bool Verify(UserId issuer, const SpatialCandidate& cand, Timestamp tq) const;

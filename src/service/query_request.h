@@ -1,0 +1,128 @@
+// Request/response value types of the MovingObjectService front-end.
+//
+// A QueryRequest is a plain value describing one privacy-aware operation
+// (PRQ, PkNN, continuous-query registration or cancellation) plus
+// per-request options; a QueryResponse carries the answer AND the query's
+// own observability — work counters and the exact buffer-pool traffic
+// delta — BY VALUE. Nothing about a finished query lives in shared mutable
+// index state, which is what lets the service fan thousands of requests
+// out concurrently (MOIST-style batched front-ends) without the racy
+// last_query()/ResetIo() observer pattern the single-call API needed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bxtree/privacy_index.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "peb/continuous.h"
+#include "spatial/geometry.h"
+
+namespace peb {
+namespace service {
+
+/// The operation a QueryRequest describes.
+enum class QueryKind : uint8_t {
+  kRangeQuery = 0,          ///< PRQ (Definition 2).
+  kKnnQuery = 1,            ///< PkNN (Definition 3).
+  kContinuousRegister = 2,  ///< Register a standing PRQ.
+  kContinuousCancel = 3,    ///< Cancel a standing PRQ.
+};
+
+/// Per-request execution options.
+struct RequestOptions {
+  /// Collect QueryCounters and the per-query IoStats delta into the
+  /// response. Off skips all attribution work on the hot path.
+  bool collect_counters = true;
+  /// Soft deadline in milliseconds measured from submission (0 = none).
+  /// A request that has already waited past its deadline when a worker
+  /// picks it up is answered with ResourceExhausted instead of executing —
+  /// the admission-control hook for overload shedding.
+  double deadline_ms = 0.0;
+};
+
+/// One privacy-aware operation, as a value. Build with the factories.
+struct QueryRequest {
+  QueryKind kind = QueryKind::kRangeQuery;
+  UserId issuer = kInvalidUserId;
+  Rect range;     ///< PRQ / continuous-register window.
+  Point qloc;     ///< PkNN query location.
+  size_t k = 0;   ///< PkNN result size.
+  Timestamp tq = 0.0;  ///< Query (or registration) time.
+  ContinuousQueryId continuous_id = 0;  ///< Continuous-cancel target.
+  RequestOptions options;
+
+  /// PRQ: users inside `range` at `tq` visible to `issuer`.
+  static QueryRequest Prq(UserId issuer, const Rect& range, Timestamp tq) {
+    QueryRequest r;
+    r.kind = QueryKind::kRangeQuery;
+    r.issuer = issuer;
+    r.range = range;
+    r.tq = tq;
+    return r;
+  }
+
+  /// PkNN: the k nearest users to `qloc` at `tq` visible to `issuer`.
+  static QueryRequest Pknn(UserId issuer, const Point& qloc, size_t k,
+                           Timestamp tq) {
+    QueryRequest r;
+    r.kind = QueryKind::kKnnQuery;
+    r.issuer = issuer;
+    r.qloc = qloc;
+    r.k = k;
+    r.tq = tq;
+    return r;
+  }
+
+  /// Registers a standing PRQ; the response carries the assigned
+  /// continuous_id and the seeded initial answer.
+  static QueryRequest RegisterContinuous(UserId issuer, const Rect& range,
+                                         Timestamp now) {
+    QueryRequest r;
+    r.kind = QueryKind::kContinuousRegister;
+    r.issuer = issuer;
+    r.range = range;
+    r.tq = now;
+    return r;
+  }
+
+  /// Cancels a standing PRQ by id.
+  static QueryRequest CancelContinuous(ContinuousQueryId id) {
+    QueryRequest r;
+    r.kind = QueryKind::kContinuousCancel;
+    r.continuous_id = id;
+    return r;
+  }
+};
+
+/// The outcome of one QueryRequest, self-contained by value.
+struct QueryResponse {
+  Status status;
+  QueryKind kind = QueryKind::kRangeQuery;
+
+  /// PRQ answer (ascending user id); also the initial answer of a freshly
+  /// registered continuous query.
+  std::vector<UserId> ids;
+  /// PkNN answer (ascending distance).
+  std::vector<Neighbor> neighbors;
+  /// Id of a freshly registered continuous query.
+  ContinuousQueryId continuous_id = 0;
+
+  /// THIS query's work counters — by value, exact under concurrent
+  /// submission (zeroed when collect_counters was off).
+  QueryCounters counters;
+  /// THIS query's buffer-pool traffic delta — by value, exact under
+  /// concurrent submission (zeroed when collect_counters was off).
+  IoStats io;
+
+  /// Milliseconds spent queued between Submit and execution start.
+  double queue_ms = 0.0;
+  /// Milliseconds spent executing.
+  double exec_ms = 0.0;
+
+  bool ok() const { return status.ok(); }
+};
+
+}  // namespace service
+}  // namespace peb

@@ -1,0 +1,379 @@
+#include "service/service.h"
+
+#include <utility>
+
+namespace peb {
+namespace service {
+
+namespace {
+
+double MsBetween(std::chrono::steady_clock::time_point a,
+                 std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+}  // namespace
+
+MovingObjectService::MovingObjectService(PrivacyAwareIndex* index,
+                                         const PolicyStore* store,
+                                         const RoleRegistry* roles,
+                                         const PolicyEncoding* encoding,
+                                         ServiceOptions options)
+    : index_(index),
+      engine_(dynamic_cast<engine::ShardedPebEngine*>(index)),
+      store_(store),
+      roles_(roles),
+      encoding_(encoding),
+      options_(options),
+      workers_(options.num_workers) {
+  if (store_ != nullptr && roles_ != nullptr && encoding_ != nullptr) {
+    monitor_ = std::make_unique<ContinuousQueryMonitor>(
+        index_, store_, roles_, encoding_, options_.time_domain);
+  }
+}
+
+MovingObjectService::MovingObjectService(PrivacyAwareIndex* index,
+                                         ServiceOptions options)
+    : MovingObjectService(index, nullptr, nullptr, nullptr, options) {}
+
+// ---------------------------------------------------------------------------
+// Query path
+// ---------------------------------------------------------------------------
+
+QueryResponse MovingObjectService::Execute(const QueryRequest& request) {
+  return ExecuteTimed(request, Clock::now());
+}
+
+std::future<QueryResponse> MovingObjectService::Submit(QueryRequest request) {
+  auto submitted = Clock::now();
+  auto promise = std::make_shared<std::promise<QueryResponse>>();
+  std::future<QueryResponse> future = promise->get_future();
+  if (workers_.num_threads() == 0) {
+    // Inline mode: the future is ready on return.
+    promise->set_value(ExecuteTimed(request, submitted));
+    return future;
+  }
+  workers_.Submit(
+      [this, promise, submitted, request = std::move(request)]() mutable {
+        promise->set_value(ExecuteTimed(request, submitted));
+      });
+  return future;
+}
+
+std::vector<std::future<QueryResponse>> MovingObjectService::SubmitBatch(
+    std::vector<QueryRequest> requests) {
+  std::vector<std::future<QueryResponse>> futures;
+  futures.reserve(requests.size());
+  for (QueryRequest& request : requests) {
+    futures.push_back(Submit(std::move(request)));
+  }
+  return futures;
+}
+
+QueryResponse MovingObjectService::ExecuteTimed(const QueryRequest& request,
+                                                Clock::time_point submitted) {
+  auto picked_up = Clock::now();
+  QueryResponse response;
+  response.kind = request.kind;
+  response.queue_ms = MsBetween(submitted, picked_up);
+
+  // Admission control: a request that already overstayed its deadline in
+  // the queue is shed instead of executed.
+  if (request.options.deadline_ms > 0.0 &&
+      response.queue_ms > request.options.deadline_ms) {
+    response.status = Status::ResourceExhausted(
+        "deadline exceeded before execution (queued " +
+        std::to_string(response.queue_ms) + " ms)");
+    return response;
+  }
+
+  switch (request.kind) {
+    case QueryKind::kRangeQuery:
+      response = DoRange(request);
+      break;
+    case QueryKind::kKnnQuery:
+      response = DoKnn(request);
+      break;
+    case QueryKind::kContinuousRegister:
+      response = DoContinuousRegister(request);
+      break;
+    case QueryKind::kContinuousCancel:
+      response = DoContinuousCancel(request);
+      break;
+  }
+  response.queue_ms = MsBetween(submitted, picked_up);
+  response.exec_ms = MsBetween(picked_up, Clock::now());
+  return response;
+}
+
+QueryResponse MovingObjectService::DoRange(const QueryRequest& request) {
+  QueryResponse response;
+  response.kind = request.kind;
+  const bool collect = request.options.collect_counters;
+  QueryStats stats;
+
+  // Thread-safe indexes (the engine) run queries genuinely in parallel;
+  // single-tree indexes are serialized so Submit stays safe over them.
+  Result<std::vector<UserId>> result = [&] {
+    if (index_->SupportsConcurrentQueries()) {
+      std::shared_lock<std::shared_mutex> lock(index_mu_);
+      return index_->RangeQueryWithStats(request.issuer, request.range,
+                                         request.tq,
+                                         collect ? &stats : nullptr);
+    }
+    std::unique_lock<std::shared_mutex> lock(index_mu_);
+    return index_->RangeQueryWithStats(request.issuer, request.range,
+                                       request.tq,
+                                       collect ? &stats : nullptr);
+  }();
+
+  if (result.ok()) {
+    response.ids = std::move(*result);
+  } else {
+    response.status = result.status();
+  }
+  if (collect) {
+    response.counters = stats.counters;
+    response.io = stats.io;
+  }
+  return response;
+}
+
+QueryResponse MovingObjectService::DoKnn(const QueryRequest& request) {
+  QueryResponse response;
+  response.kind = request.kind;
+  const bool collect = request.options.collect_counters;
+  QueryStats stats;
+
+  Result<std::vector<Neighbor>> result = [&] {
+    if (index_->SupportsConcurrentQueries()) {
+      std::shared_lock<std::shared_mutex> lock(index_mu_);
+      return index_->KnnQueryWithStats(request.issuer, request.qloc,
+                                       request.k, request.tq,
+                                       collect ? &stats : nullptr);
+    }
+    std::unique_lock<std::shared_mutex> lock(index_mu_);
+    return index_->KnnQueryWithStats(request.issuer, request.qloc, request.k,
+                                     request.tq, collect ? &stats : nullptr);
+  }();
+
+  if (result.ok()) {
+    response.neighbors = std::move(*result);
+  } else {
+    response.status = result.status();
+  }
+  if (collect) {
+    response.counters = stats.counters;
+    response.io = stats.io;
+  }
+  return response;
+}
+
+QueryResponse MovingObjectService::DoContinuousRegister(
+    const QueryRequest& request) {
+  QueryResponse response;
+  response.kind = request.kind;
+  if (monitor_ == nullptr) {
+    response.status = Status::NotSupported(
+        "continuous queries need the service constructed with policies, "
+        "roles, and encoding");
+    return response;
+  }
+  const bool collect = request.options.collect_counters;
+  QueryStats stats;
+
+  // Lock order: continuous state first, then the index (the seeding PRQ).
+  // A concurrency-capable index (the engine) needs only the shared lock —
+  // its own state lock orders the seed against updates and continuous_mu_
+  // orders it against monitor feeds — so registration never stalls the
+  // concurrent query plane.
+  std::lock_guard<std::mutex> continuous_lock(continuous_mu_);
+  std::shared_lock<std::shared_mutex> shared_index_lock(index_mu_,
+                                                        std::defer_lock);
+  std::unique_lock<std::shared_mutex> unique_index_lock(index_mu_,
+                                                        std::defer_lock);
+  if (index_->SupportsConcurrentQueries()) {
+    shared_index_lock.lock();
+  } else {
+    unique_index_lock.lock();
+  }
+  Result<ContinuousQueryId> id = monitor_->Register(
+      request.issuer, request.range, request.tq, collect ? &stats : nullptr);
+  if (!id.ok()) {
+    response.status = id.status();
+    return response;
+  }
+  response.continuous_id = *id;
+  if (auto initial = monitor_->ResultOf(*id); initial.ok()) {
+    response.ids = std::move(*initial);
+  }
+  if (collect) {
+    response.counters = stats.counters;
+    response.io = stats.io;
+  }
+  return response;
+}
+
+QueryResponse MovingObjectService::DoContinuousCancel(
+    const QueryRequest& request) {
+  QueryResponse response;
+  response.kind = request.kind;
+  if (monitor_ == nullptr) {
+    response.status = Status::NotSupported(
+        "continuous queries need the service constructed with policies, "
+        "roles, and encoding");
+    return response;
+  }
+  std::lock_guard<std::mutex> continuous_lock(continuous_mu_);
+  response.status = monitor_->Unregister(request.continuous_id);
+  return response;
+}
+
+// ---------------------------------------------------------------------------
+// Update path
+// ---------------------------------------------------------------------------
+
+Status MovingObjectService::ApplyUpdate(const MovingObject& state,
+                                        Timestamp now) {
+  if (engine_ != nullptr) {
+    // The engine's own state lock makes the update atomic vs queries.
+    PEB_RETURN_NOT_OK(engine_->Update(state));
+  } else {
+    std::unique_lock<std::shared_mutex> lock(index_mu_);
+    PEB_RETURN_NOT_OK(index_->Update(state));
+  }
+  if (monitor_ != nullptr) {
+    std::lock_guard<std::mutex> continuous_lock(continuous_mu_);
+    PEB_RETURN_NOT_OK(monitor_->OnUpdate(state, now));
+  }
+  return Status::OK();
+}
+
+Status MovingObjectService::ApplyBatch(
+    const std::vector<UpdateEvent>& events) {
+  if (engine_ != nullptr) {
+    // Engine path: shard-parallel application, atomic vs queries.
+    PEB_RETURN_NOT_OK(engine_->ApplyBatch(events));
+  } else {
+    std::unique_lock<std::shared_mutex> lock(index_mu_);
+    for (const UpdateEvent& ev : events) {
+      PEB_RETURN_NOT_OK(index_->Update(ev.state));
+    }
+  }
+  FeedContinuous(events);
+  return Status::OK();
+}
+
+Status MovingObjectService::NotifyUpdated(const MovingObject& state,
+                                          Timestamp now) {
+  if (monitor_ == nullptr) return Status::OK();
+  std::lock_guard<std::mutex> continuous_lock(continuous_mu_);
+  return monitor_->OnUpdate(state, now);
+}
+
+void MovingObjectService::FeedContinuous(
+    const std::vector<UpdateEvent>& events) {
+  if (monitor_ == nullptr) return;
+  std::lock_guard<std::mutex> continuous_lock(continuous_mu_);
+  for (const UpdateEvent& ev : events) {
+    // Events arrive in stream (global time) order regardless of how many
+    // shards applied them, so standing-query event streams are identical
+    // on 1- and N-shard engines.
+    (void)monitor_->OnUpdate(ev.state, ev.t);
+  }
+}
+
+MovingObjectService::UpdateSession MovingObjectService::OpenUpdateSession(
+    UpdateStream* stream, size_t batch_size) {
+  UpdateSession session;
+  session.service_ = this;
+  session.stream_ = stream;
+  session.batch_size_ = batch_size == 0 ? 1 : batch_size;
+  if (engine_ != nullptr) {
+    engine::BatchApplierOptions opts;
+    opts.batch_size = session.batch_size_;
+    opts.on_batch = [this](const std::vector<UpdateEvent>& events) {
+      FeedContinuous(events);
+    };
+    session.applier_ = std::make_unique<engine::BatchUpdateApplier>(
+        engine_, stream, opts);
+  }
+  return session;
+}
+
+Status MovingObjectService::UpdateSession::Apply(size_t count) {
+  if (applier_ != nullptr) return applier_->Apply(count);
+  std::vector<UpdateEvent> batch;
+  while (count > 0) {
+    size_t n = count < batch_size_ ? count : batch_size_;
+    batch.clear();
+    batch.reserve(n);
+    for (size_t i = 0; i < n; ++i) batch.push_back(stream_->Next());
+    PEB_RETURN_NOT_OK(service_->ApplyBatch(batch));
+    events_applied_ += n;
+    batches_applied_++;
+    last_event_time_ = batch.back().t;
+    count -= n;
+  }
+  return Status::OK();
+}
+
+size_t MovingObjectService::UpdateSession::events_applied() const {
+  return applier_ != nullptr ? applier_->events_applied() : events_applied_;
+}
+
+size_t MovingObjectService::UpdateSession::batches_applied() const {
+  return applier_ != nullptr ? applier_->batches_applied() : batches_applied_;
+}
+
+Timestamp MovingObjectService::UpdateSession::last_event_time() const {
+  return applier_ != nullptr ? applier_->last_event_time()
+                             : last_event_time_;
+}
+
+// ---------------------------------------------------------------------------
+// Continuous-query observers
+// ---------------------------------------------------------------------------
+
+Result<std::vector<UserId>> MovingObjectService::ContinuousResult(
+    ContinuousQueryId id) const {
+  if (monitor_ == nullptr) {
+    return Status::NotSupported("continuous queries disabled");
+  }
+  std::lock_guard<std::mutex> continuous_lock(continuous_mu_);
+  return monitor_->ResultOf(id);
+}
+
+std::vector<ContinuousQueryEvent> MovingObjectService::TakeContinuousEvents() {
+  if (monitor_ == nullptr) return {};
+  std::lock_guard<std::mutex> continuous_lock(continuous_mu_);
+  return monitor_->TakeEvents();
+}
+
+Status MovingObjectService::AdvanceContinuous(Timestamp now) {
+  if (monitor_ == nullptr) {
+    return Status::NotSupported("continuous queries disabled");
+  }
+  // Same locking shape as registration: shared index access suffices for
+  // a concurrency-capable index (Advance only reads via GetObject).
+  std::lock_guard<std::mutex> continuous_lock(continuous_mu_);
+  std::shared_lock<std::shared_mutex> shared_index_lock(index_mu_,
+                                                        std::defer_lock);
+  std::unique_lock<std::shared_mutex> unique_index_lock(index_mu_,
+                                                        std::defer_lock);
+  if (index_->SupportsConcurrentQueries()) {
+    shared_index_lock.lock();
+  } else {
+    unique_index_lock.lock();
+  }
+  return monitor_->Advance(now);
+}
+
+size_t MovingObjectService::num_continuous_queries() const {
+  if (monitor_ == nullptr) return 0;
+  std::lock_guard<std::mutex> continuous_lock(continuous_mu_);
+  return monitor_->num_queries();
+}
+
+}  // namespace service
+}  // namespace peb

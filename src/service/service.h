@@ -1,0 +1,203 @@
+// MovingObjectService — the request/response front-end over any
+// PrivacyAwareIndex.
+//
+// The ROADMAP's target is a system serving heavy traffic from millions of
+// users; MOIST (Jiang et al.) drives its scalable moving-object indexer
+// through a batched, parallel service front-end rather than one blocking
+// virtual call per query. This facade is that layer:
+//
+//  * Execute(request)      — synchronous; safe from any thread.
+//  * Submit(request)       — asynchronous, returns std::future<Response>;
+//    SubmitBatch fans a request vector out on the service's own worker
+//    pool (its own, NOT the engine's — engine workers must stay free for
+//    shard fan-out, or a full service pool could deadlock waiting on
+//    itself).
+//  * OpenUpdateSession     — batched update ingestion wrapping
+//    BatchUpdateApplier, feeding engine-wide continuous queries.
+//  * Continuous queries    — registered through QueryRequests, maintained
+//    by a ContinuousQueryMonitor lifted over the whole index (sharded
+//    engine included), fed from the update path in stream order so event
+//    streams are identical for any shard count.
+//
+// Every response carries its own counters and exact per-query IoStats
+// delta by value (see query_request.h); the service never reads
+// last_query() or diffs global pool stats.
+//
+// Thread-safety: thread-safe. Queries against an index that supports
+// concurrent queries (the sharded engine) run genuinely in parallel;
+// single-tree indexes are serialized internally, so Submit is safe — just
+// not parallel — over a bare PebTree or FilteringIndex. Updates and
+// continuous-query maintenance are exclusive.
+#pragma once
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <vector>
+
+#include "bxtree/privacy_index.h"
+#include "common/status.h"
+#include "engine/batch_applier.h"
+#include "engine/sharded_engine.h"
+#include "engine/thread_pool.h"
+#include "motion/update_stream.h"
+#include "peb/continuous.h"
+#include "service/query_request.h"
+
+namespace peb {
+namespace service {
+
+struct ServiceOptions {
+  /// Worker threads executing Submit/SubmitBatch requests. 0 executes each
+  /// request inline at submission (the returned future is already ready) —
+  /// deterministic mode for tests and measurement harnesses.
+  size_t num_workers = 0;
+  /// Time domain for continuous-query policy evaluation.
+  double time_domain = kDefaultTimeDomain;
+};
+
+class MovingObjectService {
+ public:
+  /// Serves queries from `index`. `store`/`roles`/`encoding` enable
+  /// continuous-query requests (pass the workload's; nullptr disables them
+  /// with NotSupported). All referenced objects must outlive the service.
+  MovingObjectService(PrivacyAwareIndex* index, const PolicyStore* store,
+                      const RoleRegistry* roles,
+                      const PolicyEncoding* encoding,
+                      ServiceOptions options = {});
+
+  /// Convenience: queries only (continuous requests -> NotSupported).
+  explicit MovingObjectService(PrivacyAwareIndex* index,
+                               ServiceOptions options = {});
+
+  MovingObjectService(const MovingObjectService&) = delete;
+  MovingObjectService& operator=(const MovingObjectService&) = delete;
+
+  // --- queries --------------------------------------------------------------
+
+  /// Executes `request` synchronously and returns its self-contained
+  /// response. Never blocks on other queries when the index supports
+  /// concurrent queries.
+  QueryResponse Execute(const QueryRequest& request);
+
+  /// Enqueues `request` on the service worker pool; the future resolves to
+  /// the same response Execute would produce, plus queue timing.
+  std::future<QueryResponse> Submit(QueryRequest request);
+
+  /// Submits every request and returns their futures in order.
+  std::vector<std::future<QueryResponse>> SubmitBatch(
+      std::vector<QueryRequest> requests);
+
+  // --- updates --------------------------------------------------------------
+
+  /// Applies one update and feeds continuous queries.
+  Status ApplyUpdate(const MovingObject& state, Timestamp now);
+
+  /// Applies a time-ordered batch atomically with respect to queries (the
+  /// engine's batch path when available, else serialized one-by-one) and
+  /// feeds continuous queries in stream order.
+  Status ApplyBatch(const std::vector<UpdateEvent>& events);
+
+  /// Notifies standing queries that `state` was applied to the index
+  /// out-of-band (a caller that updates the index directly instead of
+  /// through ApplyUpdate/ApplyBatch/update sessions). No index mutation.
+  Status NotifyUpdated(const MovingObject& state, Timestamp now);
+
+  /// A batched update-ingestion session over an UpdateStream. Wraps
+  /// engine::BatchUpdateApplier when the service fronts a ShardedPebEngine
+  /// (the applier's on_batch hook feeds the continuous monitor); falls
+  /// back to service-level batching for single-tree indexes.
+  class UpdateSession {
+   public:
+    /// Applies `count` events in batches.
+    Status Apply(size_t count);
+
+    size_t events_applied() const;
+    size_t batches_applied() const;
+    /// Timestamp of the most recently applied event (0 before any).
+    Timestamp last_event_time() const;
+
+   private:
+    friend class MovingObjectService;
+    UpdateSession() = default;
+
+    MovingObjectService* service_ = nullptr;
+    UpdateStream* stream_ = nullptr;
+    size_t batch_size_ = 1024;
+    /// Engine path: the wrapped applier. Null for single-tree indexes.
+    std::unique_ptr<engine::BatchUpdateApplier> applier_;
+    /// Fallback-path bookkeeping (the applier tracks its own).
+    size_t events_applied_ = 0;
+    size_t batches_applied_ = 0;
+    Timestamp last_event_time_ = 0.0;
+  };
+
+  /// Opens an update session draining `stream` in batches of `batch_size`.
+  /// The stream must outlive the session; one session at a time per stream.
+  UpdateSession OpenUpdateSession(UpdateStream* stream,
+                                  size_t batch_size = 1024);
+
+  // --- continuous-query observers -------------------------------------------
+
+  /// Current answer of a registered continuous query, sorted by user id.
+  Result<std::vector<UserId>> ContinuousResult(ContinuousQueryId id) const;
+
+  /// Drains the accumulated membership events, in order.
+  std::vector<ContinuousQueryEvent> TakeContinuousEvents();
+
+  /// Re-evaluates every continuous query at `now` (motion and policy time
+  /// windows shift answers even without updates).
+  Status AdvanceContinuous(Timestamp now);
+
+  /// Number of registered continuous queries.
+  size_t num_continuous_queries() const;
+
+  // --- introspection --------------------------------------------------------
+
+  PrivacyAwareIndex& index() { return *index_; }
+  const PrivacyAwareIndex& index() const { return *index_; }
+  /// Cumulative pool traffic of the underlying index (for totals; use the
+  /// per-response IoStats for per-query accounting).
+  IoStats aggregate_io() const { return index_->aggregate_io(); }
+  size_t num_workers() const { return workers_.num_threads(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// Execute with submission timing (queue_ms = pickup - submitted).
+  QueryResponse ExecuteTimed(const QueryRequest& request,
+                             Clock::time_point submitted);
+
+  QueryResponse DoRange(const QueryRequest& request);
+  QueryResponse DoKnn(const QueryRequest& request);
+  QueryResponse DoContinuousRegister(const QueryRequest& request);
+  QueryResponse DoContinuousCancel(const QueryRequest& request);
+
+  /// Feeds an applied batch to the continuous monitor (stream order).
+  void FeedContinuous(const std::vector<UpdateEvent>& events);
+
+  PrivacyAwareIndex* index_;
+  /// Set when `index_` is a ShardedPebEngine: enables the engine batch
+  /// update path and lock-free (shared) query execution.
+  engine::ShardedPebEngine* engine_;
+  const PolicyStore* store_;
+  const RoleRegistry* roles_;
+  const PolicyEncoding* encoding_;
+  ServiceOptions options_;
+
+  /// Query/update coordination for indexes without internal thread-safety:
+  /// queries shared when the index supports concurrency (engine) else
+  /// unique; updates always unique.
+  mutable std::shared_mutex index_mu_;
+
+  /// Continuous-query state (the monitor is single-threaded).
+  mutable std::mutex continuous_mu_;
+  std::unique_ptr<ContinuousQueryMonitor> monitor_;
+
+  engine::ThreadPool workers_;
+};
+
+}  // namespace service
+}  // namespace peb

@@ -15,6 +15,8 @@ constexpr int kPinWaitRetries = 64;
 
 }  // namespace
 
+thread_local IoStats* BufferPool::tls_io_ = nullptr;
+
 void PageGuard::Release() {
   if (pool_ != nullptr && frame_ != nullptr) {
     pool_->Unpin(frame_);
@@ -94,6 +96,7 @@ Result<size_t> BufferPool::GetVictimFrame(Shard& shard) {
         PEB_RETURN_NOT_OK(disk_->Write(f.id, f.page));
       }
       shard.stats.physical_writes++;
+      if (tls_io_ != nullptr) tls_io_->physical_writes++;
       f.dirty.store(false, std::memory_order_relaxed);
     }
     shard.table.erase(f.id);
@@ -117,6 +120,10 @@ Result<BufferFrame*> BufferPool::LoadPage(Shard& shard, PageId id, bool pin,
     return s;
   }
   shard.stats.physical_reads++;
+  if (tls_io_ != nullptr) {
+    tls_io_->physical_reads++;
+    if (prefetch) tls_io_->prefetch_reads++;
+  }
   if (prefetch) shard.stats.prefetch_reads++;
   f.id = id;
   f.pin_count.store(pin ? 1 : 0, std::memory_order_relaxed);
@@ -169,6 +176,10 @@ Result<PageGuard> BufferPool::FetchPage(PageId id) {
       if (it != shard.table.end()) {
         shard.stats.logical_fetches++;
         shard.stats.cache_hits++;
+        if (tls_io_ != nullptr) {
+          tls_io_->logical_fetches++;
+          tls_io_->cache_hits++;
+        }
         BufferFrame& f = *shard.frames[it->second];
         f.pin_count.fetch_add(1, std::memory_order_acquire);
         f.referenced.store(true, std::memory_order_relaxed);
@@ -178,6 +189,7 @@ Result<PageGuard> BufferPool::FetchPage(PageId id) {
           LoadPage(shard, id, /*pin=*/true, /*prefetch=*/false);
       if (f.ok()) {
         shard.stats.logical_fetches++;
+        if (tls_io_ != nullptr) tls_io_->logical_fetches++;
         return PageGuard(this, *f);
       }
       if (!f.status().IsResourceExhausted() || attempt >= kPinWaitRetries) {
@@ -195,6 +207,10 @@ PageGuard BufferPool::FetchIfResident(PageId id) {
   if (it == shard.table.end()) return PageGuard{};
   shard.stats.logical_fetches++;
   shard.stats.cache_hits++;
+  if (tls_io_ != nullptr) {
+    tls_io_->logical_fetches++;
+    tls_io_->cache_hits++;
+  }
   BufferFrame& f = *shard.frames[it->second];
   f.pin_count.fetch_add(1, std::memory_order_acquire);
   f.referenced.store(true, std::memory_order_relaxed);
@@ -262,11 +278,7 @@ IoStats BufferPool::stats() const {
   IoStats total;
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
-    total.physical_reads += shard->stats.physical_reads;
-    total.physical_writes += shard->stats.physical_writes;
-    total.logical_fetches += shard->stats.logical_fetches;
-    total.cache_hits += shard->stats.cache_hits;
-    total.prefetch_reads += shard->stats.prefetch_reads;
+    total += shard->stats;
   }
   return total;
 }

@@ -69,6 +69,17 @@ struct IoStats {
                : static_cast<double>(cache_hits) /
                      static_cast<double>(logical_fetches);
   }
+
+  /// The one summation everyone uses (per-shard aggregation, per-task
+  /// query attribution) — new counters can't silently drop out of totals.
+  IoStats& operator+=(const IoStats& o) {
+    physical_reads += o.physical_reads;
+    physical_writes += o.physical_writes;
+    logical_fetches += o.logical_fetches;
+    cache_hits += o.cache_hits;
+    prefetch_reads += o.prefetch_reads;
+    return *this;
+  }
 };
 
 /// One page frame. Metadata the replacement policy and guards touch
@@ -178,6 +189,26 @@ class BufferPool {
   /// Cumulative traffic counters, aggregated over shards.
   IoStats stats() const;
 
+  /// RAII per-query I/O attribution. While a scope is active on a thread,
+  /// every counter this thread bumps on ANY pool is additionally added to
+  /// `into` — so a query fanned out over worker threads can sum exact
+  /// per-task deltas instead of diffing the global stats() (which
+  /// interleaves under concurrency). Scopes nest: the innermost wins for
+  /// the duration of its lifetime (a nested task attributes to its own
+  /// slot, never double-counting into the outer one). Passing nullptr
+  /// suspends attribution for the scope's extent.
+  class ThreadIoScope {
+   public:
+    explicit ThreadIoScope(IoStats* into) : prev_(tls_io_) { tls_io_ = into; }
+    ~ThreadIoScope() { tls_io_ = prev_; }
+
+    ThreadIoScope(const ThreadIoScope&) = delete;
+    ThreadIoScope& operator=(const ThreadIoScope&) = delete;
+
+   private:
+    IoStats* prev_;
+  };
+
   /// Zeroes the traffic counters (used between experiment phases).
   void ResetStats();
 
@@ -227,6 +258,9 @@ class BufferPool {
   /// the frame, pinned iff `pin`.
   Result<BufferFrame*> LoadPage(Shard& shard, PageId id, bool pin,
                                 bool prefetch);
+
+  /// The thread's active per-query attribution target (see ThreadIoScope).
+  static thread_local IoStats* tls_io_;
 
   DiskManager* disk_;
   /// Serializes DiskManager access (implementations are not thread-safe).

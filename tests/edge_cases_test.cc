@@ -117,18 +117,21 @@ TEST(EdgeCases, DegenerateQueryParameters) {
       {0, {500, 500}, {0, 0}, 0},
       {1, {510, 500}, {0, 0}, 0},
   });
-  // Empty rectangle.
+  // Inverted rectangle: uniformly rejected (see privacy_index.h's
+  // validation contract, held identically by every index).
   auto got = w.tree->RangeQuery(0, {{600, 600}, {400, 400}}, 30.0);
-  ASSERT_TRUE(got.ok());
-  EXPECT_TRUE(got->empty());
+  EXPECT_TRUE(got.status().IsInvalidArgument());
   // Point rectangle exactly on the friend.
   got = w.tree->RangeQuery(0, {{510, 500}, {510, 500}}, 30.0);
   ASSERT_TRUE(got.ok());
   EXPECT_EQ(*got, (std::vector<UserId>{1}));
-  // k = 0.
+  // k = 0: uniformly rejected.
   auto knn = w.tree->KnnQuery(0, {500, 500}, 0, 30.0);
-  ASSERT_TRUE(knn.ok());
-  EXPECT_TRUE(knn->empty());
+  EXPECT_TRUE(knn.status().IsInvalidArgument());
+  // Unknown issuer: uniformly NotFound.
+  EXPECT_TRUE(
+      w.tree->RangeQuery(999, {{400, 400}, {600, 600}}, 30.0).status()
+          .IsNotFound());
   // k far beyond the population.
   knn = w.tree->KnnQuery(0, {500, 500}, 1000, 30.0);
   ASSERT_TRUE(knn.ok());

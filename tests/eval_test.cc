@@ -111,8 +111,8 @@ TEST(Runner, BatchesProduceSaneAverages) {
   QuerySetOptions q;
   q.count = 30;
   auto queries = MakePrqQueries(w, q);
-  RunResult peb = RunPrqBatch(w.peb(), queries);
-  RunResult spatial = RunPrqBatch(w.spatial(), queries);
+  RunResult peb = RunPrqBatch(w.peb_service(), queries);
+  RunResult spatial = RunPrqBatch(w.spatial_service(), queries);
   EXPECT_GE(peb.avg_io, 0.0);
   EXPECT_GT(spatial.avg_io, 0.0);
   EXPECT_GT(spatial.avg_candidates, 0.0);

@@ -86,8 +86,8 @@ TEST(Integration, IoAccountingTracksBufferTraffic) {
 
   w.peb().pool()->ResetStats();
   w.spatial().pool()->ResetStats();
-  RunResult peb = RunPrqBatch(w.peb(), queries);
-  RunResult spatial = RunPrqBatch(w.spatial(), queries);
+  RunResult peb = RunPrqBatch(w.peb_service(), queries);
+  RunResult spatial = RunPrqBatch(w.spatial_service(), queries);
 
   // Physical reads happened (tree >> 50-page buffer) and the pool stats
   // agree with the per-query deltas the runner accumulated.
@@ -115,8 +115,8 @@ TEST(Integration, PaperHeadlineShapeAtSmallScale) {
     QuerySetOptions q;
     q.count = 60;
     auto queries = MakePrqQueries(w, q);
-    RunResult peb = RunPrqBatch(w.peb(), queries);
-    RunResult spatial = RunPrqBatch(w.spatial(), queries);
+    RunResult peb = RunPrqBatch(w.peb_service(), queries);
+    RunResult spatial = RunPrqBatch(w.spatial_service(), queries);
     if (theta == 0.0) {
       peb_at_0 = peb.avg_io;
       spatial_at_0 = spatial.avg_io;

@@ -1,7 +1,9 @@
 // peb_shell — an interactive shell over a synthetic PEB-tree deployment.
 //
 // Generate a world, then poke at it: run privacy-aware queries as any
-// user, stream updates, inspect friend lists and index statistics. Reads
+// user, stream updates, inspect friend lists and index statistics. All
+// queries are issued through the MovingObjectService request/response API
+// (per-query counters and I/O come from each response, by value). Reads
 // commands from stdin (scriptable via pipes).
 //
 //   $ ./build/peb_shell
@@ -14,6 +16,8 @@
 //   peb> shards 4        # build a 4-shard engine; queries now use it
 //   peb> threads 8       # rebuild the engine with 8 worker threads
 //   peb> engine off      # back to the single PEB-tree
+//   peb> watch 42 300 300 700 700   # standing query with live events
+//   peb> events          # drain entered/left events
 //   peb> quit
 #include <cstdio>
 #include <iostream>
@@ -25,9 +29,13 @@
 #include "engine/sharded_engine.h"
 #include "eval/runner.h"
 #include "eval/workload.h"
+#include "service/service.h"
 
 using namespace peb;
 using namespace peb::eval;
+using peb::service::MovingObjectService;
+using peb::service::QueryRequest;
+using peb::service::QueryResponse;
 
 namespace {
 
@@ -46,12 +54,18 @@ void PrintHelp() {
       "  shards <n>       build an n-shard engine; prq/knn run against it\n"
       "  threads <n>      rebuild the engine with n worker threads\n"
       "  engine on|off    toggle whether queries use the sharded engine\n"
+      "  watch <issuer> <x1> <y1> <x2> <y2>  register a standing PRQ\n"
+      "  unwatch <id>     cancel a standing PRQ\n"
+      "  events           drain standing-query entered/left events\n"
       "  help | quit\n");
 }
 
 struct Shell {
   std::unique_ptr<Workload> world;
   std::unique_ptr<engine::ShardedPebEngine> eng;
+  /// The service front-end queries go through: over the engine when
+  /// enabled, else over the single PEB-tree.
+  std::unique_ptr<MovingObjectService> svc;
   size_t engine_shards = 4;
   size_t engine_threads = 4;
   bool use_engine = false;
@@ -64,11 +78,20 @@ struct Shell {
     return true;
   }
 
-  /// The index queries run against: the engine when enabled, else the
-  /// single PEB-tree.
-  PrivacyAwareIndex& QueryIndex() {
-    if (use_engine && eng != nullptr) return *eng;
-    return world->peb();
+  /// Rebuilds the service over the active index. Standing queries live in
+  /// the service, so toggling the backing index drops them (reported).
+  void RebindService() {
+    size_t standing = svc != nullptr ? svc->num_continuous_queries() : 0;
+    PrivacyAwareIndex* index =
+        use_engine && eng != nullptr
+            ? static_cast<PrivacyAwareIndex*>(eng.get())
+            : &world->peb();
+    svc = std::make_unique<MovingObjectService>(
+        index, &world->store(), &world->roles(), &world->encoding());
+    if (standing > 0) {
+      std::printf("note: %zu standing quer%s dropped (index switched)\n",
+                  standing, standing == 1 ? "y" : "ies");
+    }
   }
 
   void RebuildEngine(bool enable) {
@@ -76,6 +99,7 @@ struct Shell {
                 engine_shards, engine_threads);
     eng = MakeEngine(*world, engine_shards, engine_threads);
     use_engine = enable;
+    RebindService();
     std::printf("engine ready (%zu users)%s\n", eng->size(),
                 enable ? "; prq/knn now use it"
                        : " (disabled — 'engine on' to use it)");
@@ -114,6 +138,7 @@ struct Shell {
     }
     if (mode == "off") {
       use_engine = false;
+      RebindService();
       std::printf("queries use the single PEB-tree\n");
       return;
     }
@@ -121,6 +146,7 @@ struct Shell {
       RebuildEngine(/*enable=*/true);
     } else {
       use_engine = true;
+      RebindService();
       std::printf("queries use the %zu-shard engine\n", eng->num_shards());
     }
   }
@@ -141,6 +167,7 @@ struct Shell {
     world = std::make_unique<Workload>(Workload::Build(p));
     eng.reset();  // The old engine indexed the old world.
     use_engine = false;
+    RebindService();
     std::printf("done: encoding %.2fs, now=%.1f\n",
                 world->preprocessing_seconds(), world->now());
   }
@@ -153,18 +180,18 @@ struct Shell {
       std::printf("usage: prq <issuer> <x1> <y1> <x2> <y2>\n");
       return;
     }
-    PrivacyAwareIndex& index = QueryIndex();
-    uint64_t before = index.aggregate_io().physical_reads;
-    auto res = index.RangeQuery(issuer, {{x1, y1}, {x2, y2}}, world->now());
-    if (!res.ok()) {
-      std::printf("error: %s\n", res.status().ToString().c_str());
+    QueryResponse resp = svc->Execute(
+        QueryRequest::Prq(issuer, {{x1, y1}, {x2, y2}}, world->now()));
+    if (!resp.ok()) {
+      std::printf("error: %s\n", resp.status.ToString().c_str());
       return;
     }
-    uint64_t io = index.aggregate_io().physical_reads - before;
-    std::printf("%zu visible user(s) [%llu I/O]:", res->size(),
-                static_cast<unsigned long long>(io));
+    std::printf("%zu visible user(s) [%llu I/O, %zu candidates, %.2f ms]:",
+                resp.ids.size(),
+                static_cast<unsigned long long>(resp.io.physical_reads),
+                resp.counters.candidates_examined, resp.exec_ms);
     size_t shown = 0;
-    for (UserId u : *res) {
+    for (UserId u : resp.ids) {
       if (shown++ == 20) {
         std::printf(" ...");
         break;
@@ -183,15 +210,63 @@ struct Shell {
       std::printf("usage: knn <issuer> <x> <y> <k>\n");
       return;
     }
-    auto res = QueryIndex().KnnQuery(issuer, {x, y}, k, world->now());
-    if (!res.ok()) {
-      std::printf("error: %s\n", res.status().ToString().c_str());
+    QueryResponse resp =
+        svc->Execute(QueryRequest::Pknn(issuer, {x, y}, k, world->now()));
+    if (!resp.ok()) {
+      std::printf("error: %s\n", resp.status.ToString().c_str());
       return;
     }
-    for (const Neighbor& n : *res) {
+    for (const Neighbor& n : resp.neighbors) {
       std::printf("  u%-8u d=%.2f\n", n.uid, n.distance);
     }
-    if (res->empty()) std::printf("  (no qualifying user)\n");
+    if (resp.neighbors.empty()) std::printf("  (no qualifying user)\n");
+    std::printf("  [%llu I/O, %zu rounds, %.2f ms]\n",
+                static_cast<unsigned long long>(resp.io.physical_reads),
+                resp.counters.rounds, resp.exec_ms);
+  }
+
+  void Watch(std::istringstream& in) {
+    if (!EnsureWorld()) return;
+    UserId issuer;
+    double x1, y1, x2, y2;
+    if (!(in >> issuer >> x1 >> y1 >> x2 >> y2)) {
+      std::printf("usage: watch <issuer> <x1> <y1> <x2> <y2>\n");
+      return;
+    }
+    QueryResponse resp = svc->Execute(QueryRequest::RegisterContinuous(
+        issuer, {{x1, y1}, {x2, y2}}, world->now()));
+    if (!resp.ok()) {
+      std::printf("error: %s\n", resp.status.ToString().c_str());
+      return;
+    }
+    std::printf("standing query #%u registered; %zu initial member(s)\n",
+                resp.continuous_id, resp.ids.size());
+  }
+
+  void Unwatch(std::istringstream& in) {
+    if (!EnsureWorld()) return;
+    ContinuousQueryId id;
+    if (!(in >> id)) {
+      std::printf("usage: unwatch <id>\n");
+      return;
+    }
+    QueryResponse resp =
+        svc->Execute(QueryRequest::CancelContinuous(id));
+    std::printf("%s\n", resp.ok() ? "cancelled"
+                                  : resp.status.ToString().c_str());
+  }
+
+  void Events() {
+    if (!EnsureWorld()) return;
+    auto events = svc->TakeContinuousEvents();
+    if (events.empty()) {
+      std::printf("(no standing-query events)\n");
+      return;
+    }
+    for (const ContinuousQueryEvent& ev : events) {
+      std::printf("  t=%8.1f  #%u: u%-6u %s\n", ev.t, ev.query, ev.user,
+                  ev.entered ? "ENTERED" : "left");
+    }
   }
 
   void Friends(std::istringstream& in) {
@@ -252,6 +327,15 @@ struct Shell {
           return;
         }
       }
+      // The index was updated out-of-band above; keep standing queries
+      // current with the stream.
+      if (svc != nullptr) {
+        (void)svc->NotifyUpdated(ev->state, world->now());
+      }
+    }
+    // Standing queries re-evaluate at the new time.
+    if (svc != nullptr && svc->num_continuous_queries() > 0) {
+      (void)svc->AdvanceContinuous(world->now());
     }
     std::printf("applied %zu updates; now=%.1f\n", n, world->now());
   }
@@ -271,6 +355,11 @@ struct Shell {
     std::printf("Bx-tree  : %zu entries, %zu leaves, %zu internals, height "
                 "%zu\n", spa.num_entries, spa.num_leaves, spa.num_internals,
                 spa.height);
+    if (svc != nullptr) {
+      std::printf("service  : %zu standing quer%s\n",
+                  svc->num_continuous_queries(),
+                  svc->num_continuous_queries() == 1 ? "y" : "ies");
+    }
     if (eng != nullptr) {
       const auto& eio = eng->aggregate_io();
       std::printf("engine   : %zu shard(s) x %zu thread(s), %s routing, "
@@ -299,10 +388,8 @@ struct Shell {
     q.count = n;
     q.seed = 1234;
     auto queries = MakePrqQueries(*world, q);
-    world->peb().pool()->ResetStats();
-    RunResult peb = RunPrqBatch(world->peb(), queries);
-    world->spatial().pool()->ResetStats();
-    RunResult spatial = RunPrqBatch(world->spatial(), queries);
+    RunResult peb = RunPrqBatch(world->peb_service(), queries);
+    RunResult spatial = RunPrqBatch(world->spatial_service(), queries);
     std::printf("PRQ over %zu queries: PEB %.2f I/O/query vs spatial %.2f "
                 "I/O/query (%.1fx)\n", n, peb.avg_io, spatial.avg_io,
                 peb.avg_io > 0 ? spatial.avg_io / peb.avg_io : 0.0);
@@ -347,6 +434,12 @@ int main() {
       shell.Threads(in);
     } else if (cmd == "engine") {
       shell.Engine(in);
+    } else if (cmd == "watch") {
+      shell.Watch(in);
+    } else if (cmd == "unwatch") {
+      shell.Unwatch(in);
+    } else if (cmd == "events") {
+      shell.Events();
     } else {
       std::printf("unknown command '%s' — try 'help'\n", cmd.c_str());
     }
