@@ -11,6 +11,7 @@
 #include "bxtree/privacy_index.h"
 #include "policy/policy_store.h"
 #include "policy/role_registry.h"
+#include "policy/sequence_value.h"
 
 namespace peb {
 
@@ -33,6 +34,22 @@ class FilteringIndex final : public PrivacyAwareIndex {
   }
   Status Delete(UserId id) override { return tree_.Delete(id); }
   size_t size() const override { return tree_.size(); }
+
+  /// Snapshot adoption: the Bx key embeds no sequence values, so no record
+  /// moves — the index only tracks the epoch it serves (responses report
+  /// it) and keeps verifying against the live store, whose mutations the
+  /// service serializes against queries.
+  Status AdoptSnapshot(std::shared_ptr<const EncodingSnapshot> snapshot,
+                       const std::vector<UserId>* /*rekey*/) override {
+    if (snapshot == nullptr) {
+      return Status::InvalidArgument("cannot adopt a null encoding snapshot");
+    }
+    snapshot_ = std::move(snapshot);
+    return Status::OK();
+  }
+  uint64_t encoding_epoch() const override {
+    return snapshot_ == nullptr ? 0 : snapshot_->epoch();
+  }
   Result<MovingObject> GetObject(UserId id) const override {
     return tree_.GetObject(id);
   }
@@ -77,6 +94,8 @@ class FilteringIndex final : public PrivacyAwareIndex {
   const PolicyStore* store_;
   const RoleRegistry* roles_;
   double time_domain_;
+  /// The epoch this index reports; keys are encoding-independent.
+  std::shared_ptr<const EncodingSnapshot> snapshot_;
 };
 
 }  // namespace peb

@@ -4,6 +4,7 @@
 // interface and reads I/O from the underlying buffer pool.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "common/result.h"
@@ -14,6 +15,8 @@
 #include "storage/buffer_pool.h"
 
 namespace peb {
+
+class EncodingSnapshot;  // policy/sequence_value.h
 
 /// A kNN answer entry.
 struct Neighbor {
@@ -41,6 +44,10 @@ struct QueryCounters {
 struct QueryStats {
   QueryCounters counters;
   IoStats io;
+  /// The policy-encoding epoch this query executed against — pinned at
+  /// admission, so a response always names one consistent (encoding,
+  /// index-keys) version even while re-encodes run concurrently.
+  uint64_t epoch = 0;
 };
 
 // --- uniform request validation --------------------------------------------
@@ -99,6 +106,24 @@ class PrivacyAwareIndex {
   /// service layer) must serialize queries externally.
   virtual bool SupportsConcurrentQueries() const { return false; }
 
+  /// Adopts a new policy-encoding snapshot, atomically with respect to
+  /// queries: swaps the index's encoding and re-keys `rekey` (delete +
+  /// insert at the new quantized SV). `rekey == nullptr` means "diff every
+  /// hosted record against the new snapshot" — self-sufficient but O(n)
+  /// key computations. Users in `rekey` that are not currently indexed are
+  /// skipped. Thread-safe indexes (the sharded engine) take their internal
+  /// exclusive lock; single-tree indexes rely on the caller (the service
+  /// layer) for exclusion, like every other mutation.
+  virtual Status AdoptSnapshot(std::shared_ptr<const EncodingSnapshot>,
+                               const std::vector<UserId>* /*rekey*/) {
+    return Status::NotSupported(
+        "this index does not consume policy-encoding snapshots");
+  }
+
+  /// Epoch of the snapshot this index currently serves (0 for indexes that
+  /// do not embed the encoding in their keys, until one is adopted).
+  virtual uint64_t encoding_epoch() const { return 0; }
+
   /// PRQ (Definition 2): users inside `range` at time `tq` whose policies
   /// allow `issuer` to see them. The result is sorted by user id.
   virtual Result<std::vector<UserId>> RangeQuery(UserId issuer,
@@ -124,7 +149,10 @@ class PrivacyAwareIndex {
     BufferPool::ThreadIoScope io_scope(stats == nullptr ? nullptr
                                                         : &stats->io);
     Result<std::vector<UserId>> result = RangeQuery(issuer, range, tq);
-    if (stats != nullptr) stats->counters = last_query();
+    if (stats != nullptr) {
+      stats->counters = last_query();
+      stats->epoch = encoding_epoch();
+    }
     return result;
   }
 
@@ -137,7 +165,10 @@ class PrivacyAwareIndex {
     BufferPool::ThreadIoScope io_scope(stats == nullptr ? nullptr
                                                         : &stats->io);
     Result<std::vector<Neighbor>> result = KnnQuery(issuer, qloc, k, tq);
-    if (stats != nullptr) stats->counters = last_query();
+    if (stats != nullptr) {
+      stats->counters = last_query();
+      stats->epoch = encoding_epoch();
+    }
     return result;
   }
 

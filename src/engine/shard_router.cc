@@ -23,12 +23,12 @@ size_t HashUserRouter::ShardOf(UserId uid) const {
 }
 
 SvRangeRouter::SvRangeRouter(size_t num_shards,
-                             const PolicyEncoding* encoding)
-    : ShardRouter(num_shards), encoding_(encoding) {
-  assert(encoding_ != nullptr && "SvRangeRouter requires a policy encoding");
-  std::vector<uint32_t> qsv(encoding_->num_users());
+                             std::shared_ptr<const EncodingSnapshot> snapshot)
+    : ShardRouter(num_shards), snapshot_(std::move(snapshot)) {
+  assert(snapshot_ != nullptr && "SvRangeRouter requires a policy encoding");
+  std::vector<uint32_t> qsv(snapshot_->num_users());
   for (size_t u = 0; u < qsv.size(); ++u) {
-    qsv[u] = encoding_->quantized_sv(static_cast<UserId>(u));
+    qsv[u] = snapshot_->quantized_sv(static_cast<UserId>(u));
   }
   std::sort(qsv.begin(), qsv.end());
   upper_.reserve(num_shards_ > 0 ? num_shards_ - 1 : 0);
@@ -44,21 +44,21 @@ SvRangeRouter::SvRangeRouter(size_t num_shards,
 }
 
 size_t SvRangeRouter::ShardOf(UserId uid) const {
-  uint32_t q = encoding_->quantized_sv(uid);
+  uint32_t q = snapshot_->quantized_sv(uid);
   // First shard whose inclusive upper bound admits q; the last shard is
   // unbounded above.
   auto it = std::lower_bound(upper_.begin(), upper_.end(), q);
   return static_cast<size_t>(it - upper_.begin());
 }
 
-std::unique_ptr<ShardRouter> MakeRouter(RouterPolicy policy,
-                                        size_t num_shards,
-                                        const PolicyEncoding* encoding) {
+std::unique_ptr<ShardRouter> MakeRouter(
+    RouterPolicy policy, size_t num_shards,
+    std::shared_ptr<const EncodingSnapshot> snapshot) {
   switch (policy) {
     case RouterPolicy::kHashUser:
       return std::make_unique<HashUserRouter>(num_shards);
     case RouterPolicy::kSvRange:
-      return std::make_unique<SvRangeRouter>(num_shards, encoding);
+      return std::make_unique<SvRangeRouter>(num_shards, std::move(snapshot));
   }
   return nullptr;
 }

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <memory>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
@@ -62,9 +63,25 @@ class HashUserRouter final : public ShardRouter {
 /// cut into num_shards contiguous qsv ranges of roughly equal population.
 /// Users sharing a quantized SV always land in the same shard (the cuts
 /// are value boundaries, not rank boundaries).
+///
+/// The router PINS the snapshot it was built from: routing must stay
+/// stable for the engine's lifetime (a user's record lives in their home
+/// shard), so later epochs never move users between shards — a re-keyed
+/// user changes position within their shard only. Under heavy policy
+/// churn the SV locality of the original cut decays; rebalancing routers
+/// online is a ROADMAP follow-on.
 class SvRangeRouter final : public ShardRouter {
  public:
-  SvRangeRouter(size_t num_shards, const PolicyEncoding* encoding);
+  SvRangeRouter(size_t num_shards,
+                std::shared_ptr<const EncodingSnapshot> snapshot);
+
+  /// Legacy bridge: non-owning view of `encoding` (must outlive the
+  /// router).
+  SvRangeRouter(size_t num_shards, const PolicyEncoding* encoding)
+      : SvRangeRouter(num_shards,
+                      std::shared_ptr<const EncodingSnapshot>(
+                          std::shared_ptr<const EncodingSnapshot>(),
+                          encoding)) {}
 
   size_t ShardOf(UserId uid) const override;
   std::string_view name() const override { return "sv-range"; }
@@ -73,15 +90,24 @@ class SvRangeRouter final : public ShardRouter {
   const std::vector<uint32_t>& upper_bounds() const { return upper_; }
 
  private:
-  const PolicyEncoding* encoding_;
+  /// The epoch the cuts were computed from (pinned; see class comment).
+  std::shared_ptr<const EncodingSnapshot> snapshot_;
   std::vector<uint32_t> upper_;
 };
 
-/// Router factory. `encoding` is required for kSvRange and must outlive
-/// the router.
-std::unique_ptr<ShardRouter> MakeRouter(RouterPolicy policy,
-                                        size_t num_shards,
-                                        const PolicyEncoding* encoding);
+/// Router factory. A snapshot is required for kSvRange; the router pins it.
+std::unique_ptr<ShardRouter> MakeRouter(
+    RouterPolicy policy, size_t num_shards,
+    std::shared_ptr<const EncodingSnapshot> snapshot);
+
+/// Legacy bridge: non-owning view of `encoding` (must outlive the router).
+inline std::unique_ptr<ShardRouter> MakeRouter(RouterPolicy policy,
+                                               size_t num_shards,
+                                               const PolicyEncoding* encoding) {
+  return MakeRouter(policy, num_shards,
+                    std::shared_ptr<const EncodingSnapshot>(
+                        std::shared_ptr<const EncodingSnapshot>(), encoding));
+}
 
 }  // namespace engine
 }  // namespace peb

@@ -82,15 +82,15 @@ Status RouteAndApply(std::vector<ShardPtr>& shards, ThreadPool& threads,
 
 }  // namespace
 
-ShardedPebEngine::ShardedPebEngine(const EngineOptions& options,
-                                   const PolicyStore* store,
-                                   const RoleRegistry* roles,
-                                   const PolicyEncoding* encoding)
+ShardedPebEngine::ShardedPebEngine(
+    const EngineOptions& options, const PolicyStore* store,
+    const RoleRegistry* roles,
+    std::shared_ptr<const EncodingSnapshot> snapshot)
     : options_(options),
-      encoding_(encoding),
+      snapshot_(std::move(snapshot)),
       router_(MakeRouter(options.router,
                          options.num_shards == 0 ? 1 : options.num_shards,
-                         encoding)),
+                         snapshot_)),
       pool_(&disk_,
             BufferPoolOptions{options.buffer_pages, options.pool_shards}),
       threads_(options.num_threads) {
@@ -99,7 +99,7 @@ ShardedPebEngine::ShardedPebEngine(const EngineOptions& options,
   for (size_t s = 0; s < n; ++s) {
     auto shard = std::make_unique<Shard>();
     shard->tree = std::make_unique<PebTree>(&pool_, options_.tree, store,
-                                            roles, encoding);
+                                            roles, snapshot_);
     shards_.push_back(std::move(shard));
   }
 }
@@ -153,6 +153,51 @@ Status ShardedPebEngine::ApplyBatch(const std::vector<UpdateEvent>& events) {
                        });
 }
 
+Status ShardedPebEngine::AdoptSnapshot(
+    std::shared_ptr<const EncodingSnapshot> snapshot,
+    const std::vector<UserId>* rekey) {
+  if (snapshot == nullptr) {
+    return Status::InvalidArgument("cannot adopt a null encoding snapshot");
+  }
+  // One exclusive section swaps every shard AND applies every re-key:
+  // queries (shared holders) observe either the old epoch with old keys or
+  // the new epoch with new keys, never a mix — on any shard count.
+  std::unique_lock<std::shared_mutex> state_lock(state_mu_);
+  snapshot_ = snapshot;
+
+  std::vector<std::vector<UserId>> groups(shards_.size());
+  if (rekey != nullptr) {
+    for (UserId uid : *rekey) {
+      groups[router_->ShardOf(uid)].push_back(uid);
+    }
+  }
+  std::vector<Status> statuses(shards_.size());
+  std::vector<std::function<void()>> tasks;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    tasks.push_back([&, s] {
+      Shard& shard = *shards_[s];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      statuses[s] = shard.tree->AdoptSnapshot(
+          snapshot, rekey == nullptr ? nullptr : &groups[s]);
+    });
+  }
+  threads_.RunAll(std::move(tasks));
+  for (Status& st : statuses) {
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+uint64_t ShardedPebEngine::encoding_epoch() const {
+  std::shared_lock<std::shared_mutex> state_lock(state_mu_);
+  return snapshot_->epoch();
+}
+
+Status ShardedPebEngine::RunExclusive(const std::function<Status()>& fn) {
+  std::unique_lock<std::shared_mutex> state_lock(state_mu_);
+  return fn();
+}
+
 // ---------------------------------------------------------------------------
 // Read path
 // ---------------------------------------------------------------------------
@@ -183,8 +228,10 @@ void ShardedPebEngine::ResetIo() { pool_.ResetStats(); }
 
 std::vector<std::vector<FriendEntry>> ShardedPebEngine::PartitionFriends(
     UserId issuer) const {
+  // Callers hold state_mu_ (shared suffices): snapshot_ is pinned for the
+  // whole fanned-out query.
   std::vector<std::vector<FriendEntry>> per_shard(shards_.size());
-  for (const FriendEntry& f : encoding_->FriendsOf(issuer)) {
+  for (const FriendEntry& f : snapshot_->FriendsOf(issuer)) {
     per_shard[router_->ShardOf(f.uid)].push_back(f);
   }
   return per_shard;
@@ -203,13 +250,15 @@ void ShardedPebEngine::MergeCounters(const QueryCounters& shard_counters,
 Result<std::vector<UserId>> ShardedPebEngine::RangeQueryWithStats(
     UserId issuer, const Rect& range, Timestamp tq, QueryStats* stats) {
   PEB_RETURN_NOT_OK(ValidateQueryRect(range));
-  if (issuer >= encoding_->num_users()) {
-    return UnknownIssuerError(issuer);
-  }
   const bool collect = stats != nullptr;
   // Queries hold the engine state lock shared: parallel with each other,
-  // atomic with respect to update batches.
+  // atomic with respect to update batches AND snapshot adoption — the
+  // epoch is pinned at admission.
   std::shared_lock<std::shared_mutex> state_lock(state_mu_);
+  if (issuer >= snapshot_->num_users()) {
+    return UnknownIssuerError(issuer);
+  }
+  if (collect) stats->epoch = snapshot_->epoch();
   std::vector<std::vector<FriendEntry>> per_shard = PartitionFriends(issuer);
   SharedScanCache cache;  // One window decomposition for all shards.
 
@@ -272,12 +321,13 @@ Result<std::vector<Neighbor>> ShardedPebEngine::KnnQueryWithStats(
     UserId issuer, const Point& qloc, size_t k, Timestamp tq,
     QueryStats* stats) {
   PEB_RETURN_NOT_OK(ValidateQueryK(k));
-  if (issuer >= encoding_->num_users()) {
-    return UnknownIssuerError(issuer);
-  }
   const bool collect = stats != nullptr;
   std::vector<Neighbor> verified;
   std::shared_lock<std::shared_mutex> state_lock(state_mu_);
+  if (issuer >= snapshot_->num_users()) {
+    return UnknownIssuerError(issuer);
+  }
+  if (collect) stats->epoch = snapshot_->epoch();
   std::vector<std::vector<FriendEntry>> per_shard = PartitionFriends(issuer);
 
   // The engine drives the Figure-9 enlargement: every shard enlarges with

@@ -36,6 +36,7 @@
 // concurrent queries still proceed in parallel.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -71,10 +72,19 @@ struct EngineOptions {
 
 class ShardedPebEngine final : public PrivacyAwareIndex {
  public:
-  /// Policies, roles, and the encoding must outlive the engine (the same
-  /// contract as PebTree).
+  /// Policies and roles must outlive the engine; the encoding snapshot is
+  /// shared (every shard tree holds it) and swappable via AdoptSnapshot.
   ShardedPebEngine(const EngineOptions& options, const PolicyStore* store,
-                   const RoleRegistry* roles, const PolicyEncoding* encoding);
+                   const RoleRegistry* roles,
+                   std::shared_ptr<const EncodingSnapshot> snapshot);
+
+  /// Legacy bridge for static worlds: non-owning view of `encoding`.
+  ShardedPebEngine(const EngineOptions& options, const PolicyStore* store,
+                   const RoleRegistry* roles, const PolicyEncoding* encoding)
+      : ShardedPebEngine(options, store, roles,
+                         std::shared_ptr<const EncodingSnapshot>(
+                             std::shared_ptr<const EncodingSnapshot>(),
+                             encoding)) {}
 
   // --- PrivacyAwareIndex ----------------------------------------------------
   Status Insert(const MovingObject& object) override;
@@ -120,6 +130,23 @@ class ShardedPebEngine final : public PrivacyAwareIndex {
   Result<std::vector<Neighbor>> KnnQuery(UserId issuer, const Point& qloc,
                                          size_t k, Timestamp tq) override;
 
+  /// Adopts a new policy-encoding snapshot ATOMICALLY across all shards:
+  /// under the exclusive state lock, every shard tree swaps to `snapshot`
+  /// and re-keys the users it hosts from `rekey` (grouped by home shard,
+  /// applied on worker threads through the same per-shard path update
+  /// batches use). Queries hold the state lock shared, so 1-shard and
+  /// N-shard engines expose identical epoch transitions — no query ever
+  /// sees half an epoch.
+  Status AdoptSnapshot(std::shared_ptr<const EncodingSnapshot> snapshot,
+                       const std::vector<UserId>* rekey) override;
+  uint64_t encoding_epoch() const override;
+
+  /// Runs `fn` while the engine state lock is held exclusive — atomically
+  /// with respect to every query and update. The service layer uses this
+  /// to mutate live policy state (PolicyStore/RoleRegistry) that query
+  /// verification reads. `fn` must not call back into the engine.
+  Status RunExclusive(const std::function<Status()>& fn);
+
   // --- bulk operations ------------------------------------------------------
   /// Routes and inserts every object, loading shards in parallel.
   Status LoadDataset(const Dataset& dataset);
@@ -164,7 +191,9 @@ class ShardedPebEngine final : public PrivacyAwareIndex {
                             QueryCounters* into);
 
   EngineOptions options_;
-  const PolicyEncoding* encoding_;
+  /// Engine-level copy of the current snapshot (shard trees hold their
+  /// own); written under the exclusive state lock, read under shared.
+  std::shared_ptr<const EncodingSnapshot> snapshot_;
   std::unique_ptr<ShardRouter> router_;
   /// One disk + one sharded clock pool shared by every shard tree.
   InMemoryDiskManager disk_;

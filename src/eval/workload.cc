@@ -86,21 +86,17 @@ Workload Workload::Build(const WorkloadParams& params) {
   pg.time_domain = params.time_domain;
   pg.seed = params.seed + 0x9E37;
   GeneratedPolicies gen_policies = GeneratePolicies(pg);
-  w.store_ = std::make_unique<PolicyStore>(std::move(gen_policies.store));
-  w.roles_ = std::make_unique<RoleRegistry>(std::move(gen_policies.roles));
 
-  CompatibilityOptions compat;
-  compat.space = Rect::Space(params.space_side);
-  compat.time_domain = params.time_domain;
-  SvQuantizer quantizer(params.sv_scale, params.sv_bits);
-
-  auto t0 = std::chrono::steady_clock::now();
-  w.encoding_ = std::make_unique<PolicyEncoding>(PolicyEncoding::Build(
-      *w.store_, params.num_users, compat, SequenceValueOptions{}, quantizer,
-      params.sequence_strategy));
-  auto t1 = std::chrono::steady_clock::now();
-  w.preprocessing_seconds_ =
-      std::chrono::duration<double>(t1 - t0).count();
+  CatalogOptions cat;
+  cat.num_users = params.num_users;
+  cat.compat.space = Rect::Space(params.space_side);
+  cat.compat.time_domain = params.time_domain;
+  cat.sv_scale = params.sv_scale;
+  cat.sv_bits = params.sv_bits;
+  cat.strategy = params.sequence_strategy;
+  w.catalog_ = std::make_unique<PolicyCatalog>(
+      std::move(gen_policies.store), std::move(gen_policies.roles), cat);
+  w.preprocessing_seconds_ = w.catalog_->build_seconds();
 
   // --- indexes -------------------------------------------------------------
   MovingIndexOptions idx = IndexOptionsFor(params);
@@ -112,26 +108,30 @@ Workload Workload::Build(const WorkloadParams& params) {
   w.peb_pool_ = std::make_unique<BufferPool>(w.peb_disk_.get(), pool_opts);
   PebTreeOptions peb_opts = PebOptionsFor(params);
   w.peb_ = std::make_unique<PebTree>(w.peb_pool_.get(), peb_opts,
-                                     w.store_.get(), w.roles_.get(),
-                                     w.encoding_.get());
+                                     &w.catalog_->store(),
+                                     &w.catalog_->roles(),
+                                     w.catalog_->snapshot());
 
   w.spatial_disk_ = std::make_unique<InMemoryDiskManager>();
   w.spatial_pool_ =
       std::make_unique<BufferPool>(w.spatial_disk_.get(), pool_opts);
   w.spatial_ = std::make_unique<FilteringIndex>(w.spatial_pool_.get(), idx,
-                                                w.store_.get(),
-                                                w.roles_.get(),
+                                                &w.catalog_->store(),
+                                                &w.catalog_->roles(),
                                                 params.time_domain);
+  // The baseline reports epochs too (its keys are encoding-free).
+  CheckOk(w.spatial_->AdoptSnapshot(w.catalog_->snapshot(), nullptr),
+          "spatial snapshot");
 
   // Request/response services over both competitors (inline execution so
-  // measurement is deterministic; async callers build their own).
+  // measurement is deterministic; async callers build their own). Both are
+  // catalog-backed, so policy-lifecycle requests work out of the box.
   service::ServiceOptions svc;
   svc.time_domain = params.time_domain;
   w.peb_service_ = std::make_unique<service::MovingObjectService>(
-      w.peb_.get(), w.store_.get(), w.roles_.get(), w.encoding_.get(), svc);
+      w.peb_.get(), w.catalog_.get(), svc);
   w.spatial_service_ = std::make_unique<service::MovingObjectService>(
-      w.spatial_.get(), w.store_.get(), w.roles_.get(), w.encoding_.get(),
-      svc);
+      w.spatial_.get(), w.catalog_.get(), svc);
 
   // --- load ----------------------------------------------------------------
   for (const MovingObject& o : w.dataset_.objects) {
@@ -170,6 +170,12 @@ Status Workload::ApplyUpdates(size_t count) {
   return Status::OK();
 }
 
+Status Workload::SyncIndexesToCatalog() {
+  auto snapshot = catalog_->snapshot();
+  PEB_RETURN_NOT_OK(peb_->AdoptSnapshot(snapshot, /*rekey=*/nullptr));
+  return spatial_->AdoptSnapshot(std::move(snapshot), /*rekey=*/nullptr);
+}
+
 std::unique_ptr<engine::ShardedPebEngine> MakeEngine(
     const Workload& workload, size_t num_shards, size_t num_threads,
     engine::RouterPolicy policy) {
@@ -181,7 +187,8 @@ std::unique_ptr<engine::ShardedPebEngine> MakeEngine(
   opts.buffer_pages = params.buffer_pages;
   opts.tree = PebOptionsFor(params);
   auto engine = std::make_unique<engine::ShardedPebEngine>(
-      opts, &workload.store(), &workload.roles(), &workload.encoding());
+      opts, &workload.store(), &workload.roles(),
+      workload.catalog().snapshot());
   CheckOk(engine->LoadDataset(workload.dataset()), "engine load");
   return engine;
 }

@@ -15,6 +15,7 @@
 #include "motion/network_generator.h"
 #include "motion/update_stream.h"
 #include "peb/peb_tree.h"
+#include "policy/policy_catalog.h"
 #include "policy/policy_generator.h"
 #include "policy/sequence_value.h"
 #include "service/service.h"
@@ -70,9 +71,18 @@ class Workload {
   const WorkloadParams& params() const { return params_; }
   Timestamp now() const { return now_; }
   const Dataset& dataset() const { return dataset_; }
-  const PolicyStore& store() const { return *store_; }
-  const RoleRegistry& roles() const { return *roles_; }
-  const PolicyEncoding& encoding() const { return *encoding_; }
+
+  /// The policy lifecycle owner: live store + roles + current snapshot.
+  /// Mutations (catalog()->AddPolicy / service policy requests) must not
+  /// run concurrently with queries on indexes the mutating service does
+  /// not front — the service only excludes queries on its own index.
+  PolicyCatalog* catalog() { return catalog_.get(); }
+  const PolicyCatalog& catalog() const { return *catalog_; }
+
+  const PolicyStore& store() const { return catalog_->store(); }
+  const RoleRegistry& roles() const { return catalog_->roles(); }
+  /// The CURRENT encoding snapshot — valid until the next re-encode.
+  const EncodingSnapshot& encoding() const { return catalog_->current(); }
 
   PebTree& peb() { return *peb_; }
   FilteringIndex& spatial() { return *spatial_; }
@@ -97,6 +107,12 @@ class Workload {
   /// updates into secondary structures (e.g. ContinuousQueryMonitor).
   Result<UpdateEvent> ApplyNextUpdate();
 
+  /// Brings BOTH hosted indexes to the catalog's current snapshot (each
+  /// diffs its hosted records and re-keys the moved ones). For drivers —
+  /// like peb_shell — that mutate the catalog through one service but keep
+  /// the sibling index queryable. Single-threaded callers only.
+  Status SyncIndexesToCatalog();
+
  private:
   Workload() = default;
 
@@ -104,9 +120,7 @@ class Workload {
   Timestamp now_ = 0.0;
   Dataset dataset_;
   std::unique_ptr<NetworkWorkload> network_;  // Network distribution only.
-  std::unique_ptr<PolicyStore> store_;
-  std::unique_ptr<RoleRegistry> roles_;
-  std::unique_ptr<PolicyEncoding> encoding_;
+  std::unique_ptr<PolicyCatalog> catalog_;
   double preprocessing_seconds_ = 0.0;
 
   std::unique_ptr<InMemoryDiskManager> peb_disk_;

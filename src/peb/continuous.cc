@@ -4,15 +4,14 @@
 
 namespace peb {
 
-ContinuousQueryMonitor::ContinuousQueryMonitor(PrivacyAwareIndex* index,
-                                               const PolicyStore* store,
-                                               const RoleRegistry* roles,
-                                               const PolicyEncoding* encoding,
-                                               double time_domain)
+ContinuousQueryMonitor::ContinuousQueryMonitor(
+    PrivacyAwareIndex* index, const PolicyStore* store,
+    const RoleRegistry* roles,
+    std::shared_ptr<const EncodingSnapshot> snapshot, double time_domain)
     : index_(index),
       store_(store),
       roles_(roles),
-      encoding_(encoding),
+      snapshot_(std::move(snapshot)),
       time_domain_(time_domain) {}
 
 bool ContinuousQueryMonitor::Qualifies(const RegisteredQuery& q, UserId uid,
@@ -40,7 +39,7 @@ Result<ContinuousQueryId> ContinuousQueryMonitor::Register(UserId issuer,
                                                            Timestamp now,
                                                            QueryStats* stats) {
   PEB_RETURN_NOT_OK(ValidateQueryRect(range));
-  if (issuer >= encoding_->num_users()) {
+  if (issuer >= snapshot_->num_users()) {
     return UnknownIssuerError(issuer);
   }
   RegisteredQuery q;
@@ -54,7 +53,7 @@ Result<ContinuousQueryId> ContinuousQueryMonitor::Register(UserId issuer,
   q.members.insert(seed.begin(), seed.end());
 
   ContinuousQueryId id = next_id_++;
-  for (const FriendEntry& f : encoding_->FriendsOf(issuer)) {
+  for (const FriendEntry& f : snapshot_->FriendsOf(issuer)) {
     watchers_[f.uid].push_back(id);
   }
   queries_.emplace(id, std::move(q));
@@ -66,7 +65,7 @@ Status ContinuousQueryMonitor::Unregister(ContinuousQueryId id) {
   if (it == queries_.end()) {
     return Status::NotFound("continuous query " + std::to_string(id));
   }
-  for (const FriendEntry& f : encoding_->FriendsOf(it->second.issuer)) {
+  for (const FriendEntry& f : snapshot_->FriendsOf(it->second.issuer)) {
     auto w = watchers_.find(f.uid);
     if (w == watchers_.end()) continue;
     auto& list = w->second;
@@ -91,20 +90,66 @@ Status ContinuousQueryMonitor::OnUpdate(const MovingObject& state,
   return Status::OK();
 }
 
-Status ContinuousQueryMonitor::Advance(Timestamp now) {
-  for (auto& [id, q] : queries_) {
-    for (const FriendEntry& f : encoding_->FriendsOf(q.issuer)) {
-      auto state = index_->GetObject(f.uid);
-      if (!state.ok()) {
-        // Friend not currently indexed: cannot be in any answer.
-        SetMembership(id, q, f.uid, false, now);
-        continue;
-      }
-      SetMembership(id, q, f.uid,
-                    Qualifies(q, f.uid, state->PositionAt(now), now), now);
+void ContinuousQueryMonitor::ReevaluateQuery(ContinuousQueryId id,
+                                             RegisteredQuery& q,
+                                             Timestamp now) {
+  // Members no longer on the friend list can never re-qualify (the list is
+  // the universe of possible answers): emit their departure explicitly,
+  // since the friend loop below will not visit them.
+  const std::vector<FriendEntry>& friends = snapshot_->FriendsOf(q.issuer);
+  std::unordered_set<UserId> friend_set;
+  friend_set.reserve(friends.size());
+  for (const FriendEntry& f : friends) friend_set.insert(f.uid);
+  std::vector<UserId> gone;
+  for (UserId m : q.members) {
+    if (!friend_set.contains(m)) gone.push_back(m);
+  }
+  // Ascending departures: event order must not depend on set iteration
+  // order (1-shard and N-shard instances emit identical streams).
+  std::sort(gone.begin(), gone.end());
+  for (UserId m : gone) SetMembership(id, q, m, false, now);
+
+  for (const FriendEntry& f : friends) {
+    auto state = index_->GetObject(f.uid);
+    if (!state.ok()) {
+      // Friend not currently indexed: cannot be in any answer.
+      SetMembership(id, q, f.uid, false, now);
+      continue;
     }
+    SetMembership(id, q, f.uid,
+                  Qualifies(q, f.uid, state->PositionAt(now), now), now);
+  }
+}
+
+Status ContinuousQueryMonitor::Advance(Timestamp now) {
+  // Ascending query id: deterministic event order across instances.
+  std::vector<ContinuousQueryId> ids;
+  ids.reserve(queries_.size());
+  for (const auto& [id, q] : queries_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  for (ContinuousQueryId id : ids) {
+    ReevaluateQuery(id, queries_.at(id), now);
   }
   return Status::OK();
+}
+
+Status ContinuousQueryMonitor::AdoptSnapshot(
+    std::shared_ptr<const EncodingSnapshot> snapshot, Timestamp now) {
+  if (snapshot == nullptr) {
+    return Status::InvalidArgument("cannot adopt a null encoding snapshot");
+  }
+  snapshot_ = std::move(snapshot);
+  // Watcher lists follow the new friend lists so OnUpdate keeps touching
+  // exactly the affected queries.
+  watchers_.clear();
+  for (auto& [id, q] : queries_) {
+    for (const FriendEntry& f : snapshot_->FriendsOf(q.issuer)) {
+      watchers_[f.uid].push_back(id);
+    }
+  }
+  // Re-evaluate memberships under the new epoch: revoked policies leave,
+  // fresh grants may enter.
+  return Advance(now);
 }
 
 Result<std::vector<UserId>> ContinuousQueryMonitor::ResultOf(

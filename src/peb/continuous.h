@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -60,8 +61,29 @@ class ContinuousQueryMonitor {
  public:
   ContinuousQueryMonitor(PrivacyAwareIndex* index, const PolicyStore* store,
                          const RoleRegistry* roles,
-                         const PolicyEncoding* encoding,
+                         std::shared_ptr<const EncodingSnapshot> snapshot,
                          double time_domain = kDefaultTimeDomain);
+
+  /// Legacy bridge: non-owning view of `encoding` (must outlive the
+  /// monitor).
+  ContinuousQueryMonitor(PrivacyAwareIndex* index, const PolicyStore* store,
+                         const RoleRegistry* roles,
+                         const PolicyEncoding* encoding,
+                         double time_domain = kDefaultTimeDomain)
+      : ContinuousQueryMonitor(index, store, roles,
+                               std::shared_ptr<const EncodingSnapshot>(
+                                   std::shared_ptr<const EncodingSnapshot>(),
+                                   encoding),
+                               time_domain) {}
+
+  /// Adopts a new encoding snapshot at time `now`: watcher lists are
+  /// rebuilt from the new friend lists and every registered query's
+  /// membership is re-evaluated — users who lost their policy toward an
+  /// issuer leave the answer (events emitted), fresh grants can enter.
+  /// Call after the index adopted the same snapshot, holding whatever lock
+  /// serializes this monitor's feeds.
+  Status AdoptSnapshot(std::shared_ptr<const EncodingSnapshot> snapshot,
+                       Timestamp now);
 
   /// Registers a continuous PRQ and seeds its result via the index. When
   /// `stats` is non-null it receives the seeding query's counters and I/O
@@ -104,10 +126,15 @@ class ContinuousQueryMonitor {
   void SetMembership(ContinuousQueryId id, RegisteredQuery& q, UserId uid,
                      bool in_result, Timestamp now);
 
+  /// Re-evaluates every member/friend of query `q` at `now` through the
+  /// index (the shared body of Advance and AdoptSnapshot).
+  void ReevaluateQuery(ContinuousQueryId id, RegisteredQuery& q,
+                       Timestamp now);
+
   PrivacyAwareIndex* index_;
   const PolicyStore* store_;
   const RoleRegistry* roles_;
-  const PolicyEncoding* encoding_;
+  std::shared_ptr<const EncodingSnapshot> snapshot_;
   double time_domain_;
 
   ContinuousQueryId next_id_ = 1;

@@ -11,18 +11,18 @@ namespace peb {
 
 PebTree::PebTree(BufferPool* pool, const PebTreeOptions& options,
                  const PolicyStore* store, const RoleRegistry* roles,
-                 const PolicyEncoding* encoding)
+                 std::shared_ptr<const EncodingSnapshot> snapshot)
     : pool_(pool),
       options_(options),
       grid_(options.index.space_side, options.index.grid_bits),
       tree_(pool),
       store_(store),
       roles_(roles),
-      encoding_(encoding) {
+      snapshot_(std::move(snapshot)) {
   layout_.sv_bits = options.sv_bits;
   layout_.grid_bits = options.index.grid_bits;
   assert(layout_.Fits() && "PEB key layout exceeds 64 bits");
-  assert(encoding_->quantizer().bits() <= options.sv_bits &&
+  assert(snapshot_->quantizer().bits() <= options.sv_bits &&
          "SV quantizer wider than the key's SV field");
 }
 
@@ -31,7 +31,7 @@ uint64_t PebTree::KeyFor(const MovingObject& object) const {
   Timestamp tlab = options_.index.partitions.LabelTimestamp(label);
   Point projected = object.PositionAt(tlab);
   uint64_t zv = grid_.ZValueOf(projected);
-  uint32_t qsv = encoding_->quantized_sv(object.id);
+  uint32_t qsv = snapshot_->quantized_sv(object.id);
   return layout_.MakeKey(options_.index.partitions.PartitionOf(label), qsv,
                          zv);
 }
@@ -41,7 +41,7 @@ Status PebTree::Insert(const MovingObject& object) {
     return Status::AlreadyExists("object " + std::to_string(object.id) +
                                  " already indexed");
   }
-  if (object.id >= encoding_->num_users()) {
+  if (object.id >= snapshot_->num_users()) {
     return Status::InvalidArgument("object id outside the policy encoding");
   }
   StoredObject stored;
@@ -88,6 +88,44 @@ Result<MovingObject> PebTree::GetObject(UserId id) const {
     return Status::NotFound("object " + std::to_string(id));
   }
   return it->second.state;
+}
+
+Status PebTree::AdoptSnapshot(std::shared_ptr<const EncodingSnapshot> snapshot,
+                              const std::vector<UserId>* rekey) {
+  if (snapshot == nullptr) {
+    return Status::InvalidArgument("cannot adopt a null encoding snapshot");
+  }
+  if (snapshot->num_users() != snapshot_->num_users()) {
+    return Status::InvalidArgument(
+        "snapshot population differs from the tree's encoding");
+  }
+  if (snapshot->quantizer().bits() > options_.sv_bits) {
+    return Status::InvalidArgument(
+        "snapshot quantizer wider than the key's SV field");
+  }
+  snapshot_ = std::move(snapshot);
+
+  // Re-key through the normal update path: Delete uses the remembered old
+  // key, Insert recomputes KeyFor under the new snapshot. Collect hosted
+  // ids first — Update mutates objects_.
+  std::vector<UserId> moved;
+  if (rekey != nullptr) {
+    moved.reserve(rekey->size());
+    for (UserId uid : *rekey) {
+      if (objects_.contains(uid)) moved.push_back(uid);
+    }
+  } else {
+    // Self-sufficient mode: diff every hosted record's key.
+    for (const auto& [uid, stored] : objects_) {
+      if (KeyFor(stored.state) != stored.key) moved.push_back(uid);
+    }
+  }
+  for (UserId uid : moved) {
+    // By value: Update deletes the map node the reference would point into.
+    MovingObject state = objects_.at(uid).state;
+    PEB_RETURN_NOT_OK(Update(state));
+  }
+  return Status::OK();
 }
 
 Status PebTree::AttachExisting(const PebTreeManifest& manifest) {
@@ -220,10 +258,13 @@ Result<std::vector<UserId>> PebTree::RangeQuery(UserId issuer,
                                                 const Rect& range,
                                                 Timestamp tq) {
   PEB_RETURN_NOT_OK(ValidateQueryRect(range));
-  if (issuer >= encoding_->num_users()) {
+  // Pin the snapshot for the whole query: friends, quantizer, and the
+  // tree's keys stay one consistent epoch.
+  std::shared_ptr<const EncodingSnapshot> snap = snapshot_;
+  if (issuer >= snap->num_users()) {
     return UnknownIssuerError(issuer);
   }
-  return RangeQueryAmong(issuer, range, tq, encoding_->FriendsOf(issuer));
+  return RangeQueryAmong(issuer, range, tq, snap->FriendsOf(issuer));
 }
 
 Result<std::vector<UserId>> PebTree::RangeQueryAmong(
@@ -267,8 +308,17 @@ Result<std::vector<UserId>> PebTree::RangeQueryPerFriend(
       return ZIntervalsForWindow(grid_, range.Expanded(d),
                                  options_.index.zrange);
     };
-    std::vector<CurveInterval> intervals =
-        shared == nullptr ? compute() : shared->PrqIntervals(label, compute);
+    // Cache hits share one immutable decomposition (no per-shard deep
+    // copies); the uncached path computes into a local.
+    std::vector<CurveInterval> local;
+    SharedScanCache::IntervalsPtr cached;
+    if (shared == nullptr) {
+      local = compute();
+    } else {
+      cached = shared->PrqIntervals(label, compute);
+    }
+    const std::vector<CurveInterval>& intervals =
+        shared == nullptr ? local : *cached;
     if (intervals.empty()) continue;
 
     // Rows ascend by qsv and intervals by Z, and qsv sits above zv in the
@@ -338,8 +388,15 @@ Result<std::vector<UserId>> PebTree::RangeQuerySpan(
       return ZIntervalsForWindow(grid_, range.Expanded(d),
                                  options_.index.zrange);
     };
-    std::vector<CurveInterval> intervals =
-        shared == nullptr ? compute() : shared->PrqIntervals(label, compute);
+    std::vector<CurveInterval> local;
+    SharedScanCache::IntervalsPtr cached;
+    if (shared == nullptr) {
+      local = compute();
+    } else {
+      cached = shared->PrqIntervals(label, compute);
+    }
+    const std::vector<CurveInterval>& intervals =
+        shared == nullptr ? local : *cached;
 
     for (const CurveInterval& iv : intervals) {
       // Figure 7 literally: StartPnt = TID ⊕ SVmin ⊕ ZVstart,
@@ -386,10 +443,11 @@ Result<std::vector<Neighbor>> PebTree::KnnQuery(UserId issuer,
                                                 const Point& qloc, size_t k,
                                                 Timestamp tq) {
   PEB_RETURN_NOT_OK(ValidateQueryK(k));
-  if (issuer >= encoding_->num_users()) {
+  std::shared_ptr<const EncodingSnapshot> snap = snapshot_;
+  if (issuer >= snap->num_users()) {
     return UnknownIssuerError(issuer);
   }
-  return KnnQueryAmong(issuer, qloc, k, tq, encoding_->FriendsOf(issuer));
+  return KnnQueryAmong(issuer, qloc, k, tq, snap->FriendsOf(issuer));
 }
 
 // --- KnnScan: the incremental per-tree search primitive --------------------

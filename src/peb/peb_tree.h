@@ -85,16 +85,19 @@ class SharedScanCache {
  public:
   using ComputeIntervals = std::function<std::vector<CurveInterval>()>;
   using ComputeSpan = std::function<CurveInterval()>;
+  using IntervalsPtr = std::shared_ptr<const std::vector<CurveInterval>>;
 
-  /// PRQ: the enlarged window's Z intervals for a label.
-  std::vector<CurveInterval> PrqIntervals(int64_t label,
-                                          const ComputeIntervals& compute) {
+  /// PRQ: the enlarged window's Z intervals for a label. Returned by
+  /// shared pointer so concurrent shard lookups share one immutable
+  /// decomposition instead of deep-copying it on every hit.
+  IntervalsPtr PrqIntervals(int64_t label, const ComputeIntervals& compute) {
     {
       std::lock_guard<std::mutex> lock(mu_);
       auto it = prq_.find(label);
       if (it != prq_.end()) return it->second;
     }
-    std::vector<CurveInterval> value = compute();
+    auto value =
+        std::make_shared<const std::vector<CurveInterval>>(compute());
     std::lock_guard<std::mutex> lock(mu_);
     return prq_.try_emplace(label, std::move(value)).first->second;
   }
@@ -127,7 +130,7 @@ class SharedScanCache {
 
  private:
   std::mutex mu_;
-  std::unordered_map<int64_t, std::vector<CurveInterval>> prq_;
+  std::unordered_map<int64_t, IntervalsPtr> prq_;
   std::map<std::pair<int64_t, size_t>, CurveInterval> knn_;
   std::unordered_map<int64_t, CurveInterval> vertical_;
 };
@@ -141,9 +144,10 @@ struct PebTreeManifest {
   BTreeStats stats;
 };
 
-/// The PEB-tree. Policies, roles, and the policy encoding must outlive the
-/// tree; the encoding must have been built with a quantizer whose bit width
-/// fits options.sv_bits.
+/// The PEB-tree. Policies and roles must outlive the tree; the encoding
+/// snapshot is shared (the tree keeps it alive) and must have been built
+/// with a quantizer whose bit width fits options.sv_bits. The snapshot can
+/// be swapped online via AdoptSnapshot — the policy-lifecycle re-key path.
 class PebTree final : public PrivacyAwareIndex {
  private:
   /// Friends of the issuer grouped by quantized SV (ascending).
@@ -155,7 +159,16 @@ class PebTree final : public PrivacyAwareIndex {
  public:
   PebTree(BufferPool* pool, const PebTreeOptions& options,
           const PolicyStore* store, const RoleRegistry* roles,
-          const PolicyEncoding* encoding);
+          std::shared_ptr<const EncodingSnapshot> snapshot);
+
+  /// Legacy bridge for static worlds: a non-owning view of `encoding`,
+  /// which must outlive the tree.
+  PebTree(BufferPool* pool, const PebTreeOptions& options,
+          const PolicyStore* store, const RoleRegistry* roles,
+          const PolicyEncoding* encoding)
+      : PebTree(pool, options, store, roles,
+                std::shared_ptr<const EncodingSnapshot>(
+                    std::shared_ptr<const EncodingSnapshot>(), encoding)) {}
 
   Status Insert(const MovingObject& object) override;
   Status Update(const MovingObject& object) override;
@@ -165,6 +178,17 @@ class PebTree final : public PrivacyAwareIndex {
   IoStats aggregate_io() const override { return pool_->stats(); }
   void ResetIo() override { pool_->ResetStats(); }
   const QueryCounters& last_query() const override { return counters_; }
+
+  /// Swaps in a new encoding snapshot and re-keys the named users (nullptr
+  /// = diff all hosted records). Mutation: callers serialize against
+  /// queries exactly as for Insert/Update/Delete.
+  Status AdoptSnapshot(std::shared_ptr<const EncodingSnapshot> snapshot,
+                       const std::vector<UserId>* rekey) override;
+  uint64_t encoding_epoch() const override { return snapshot_->epoch(); }
+  /// The snapshot this tree currently keys by.
+  const std::shared_ptr<const EncodingSnapshot>& snapshot() const {
+    return snapshot_;
+  }
 
   Result<std::vector<UserId>> RangeQuery(UserId issuer, const Rect& range,
                                          Timestamp tq) override;
@@ -345,7 +369,9 @@ class PebTree final : public PrivacyAwareIndex {
   BTree<ObjectTreeTraits> tree_;
   const PolicyStore* store_;
   const RoleRegistry* roles_;
-  const PolicyEncoding* encoding_;
+  /// The encoding epoch this tree's keys are consistent with. Swapped only
+  /// by AdoptSnapshot (serialized against queries by the caller).
+  std::shared_ptr<const EncodingSnapshot> snapshot_;
 
   std::unordered_map<UserId, StoredObject> objects_;
   std::unordered_map<int64_t, size_t> label_counts_;

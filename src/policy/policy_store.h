@@ -53,8 +53,9 @@ class PolicyStore {
               double time_domain = kDefaultTimeDomain) const;
 
  private:
+  /// Guarded 64-bit packing of the (owner, peer) pair (common/types.h).
   static uint64_t PairKey(UserId owner, UserId peer) {
-    return (static_cast<uint64_t>(owner) << 32) | peer;
+    return UserPairKey(owner, peer);
   }
 
   std::unordered_map<uint64_t, std::vector<Lpp>> policies_;

@@ -44,8 +44,9 @@ class RoleRegistry {
   size_t num_assignments() const { return num_assignments_; }
 
  private:
+  /// Guarded 64-bit packing of the (owner, peer) pair (common/types.h).
   static uint64_t PairKey(UserId owner, UserId peer) {
-    return (static_cast<uint64_t>(owner) << 32) | peer;
+    return UserPairKey(owner, peer);
   }
 
   std::vector<std::string> names_;

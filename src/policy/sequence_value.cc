@@ -122,13 +122,13 @@ SequenceAssignment AssignSequenceValuesBfsFromGraph(
   return out;
 }
 
-PolicyEncoding PolicyEncoding::Build(const PolicyStore& store,
-                                     size_t num_users,
-                                     const CompatibilityOptions& compat,
-                                     const SequenceValueOptions& sv_options,
-                                     const SvQuantizer& quantizer,
-                                     SequenceStrategy strategy) {
-  PolicyEncoding enc(quantizer);
+EncodingSnapshot EncodingSnapshot::Build(const PolicyStore& store,
+                                         size_t num_users,
+                                         const CompatibilityOptions& compat,
+                                         const SequenceValueOptions& sv_options,
+                                         const SvQuantizer& quantizer,
+                                         SequenceStrategy strategy) {
+  EncodingSnapshot enc(quantizer);
   auto graph = BuildRelatednessGraph(store, num_users, compat);
   auto edge_compat = [&](UserId a, UserId b) {
     return Compatibility(store, a, b, compat);
@@ -149,7 +149,7 @@ PolicyEncoding PolicyEncoding::Build(const PolicyStore& store,
   for (size_t i = 0; i < num_users; ++i) {
     UserId u = static_cast<UserId>(i);
     auto owners = store.OwnersToward(u);
-    auto& list = enc.friends_[i];
+    std::vector<FriendEntry> list;
     list.reserve(owners.size());
     for (UserId owner : owners) {
       if (owner == u || owner >= num_users) continue;
@@ -160,6 +160,8 @@ PolicyEncoding PolicyEncoding::Build(const PolicyStore& store,
       if (a.qsv != b.qsv) return a.qsv < b.qsv;
       return a.uid < b.uid;
     });
+    enc.friends_[i] =
+        std::make_shared<const std::vector<FriendEntry>>(std::move(list));
   }
   return enc;
 }

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/types.h"
@@ -107,41 +108,65 @@ struct FriendEntry {
   uint32_t qsv = 0;  ///< Quantized sv.
 };
 
-/// Everything policy-related a PEB-tree needs at query and insert time:
+/// Everything policy-related an index needs at query and insert time:
 /// per-user sequence values (raw + quantized) and per-user friend lists
-/// sorted by ascending SV.
-class PolicyEncoding {
+/// sorted by ascending SV — stamped with an **epoch**.
+///
+/// An EncodingSnapshot is immutable once published. The online policy
+/// lifecycle (policy/policy_catalog.h) derives new snapshots from old ones
+/// (epoch + 1) when policies change; indexes, engines, and monitors hold a
+/// `std::shared_ptr<const EncodingSnapshot>` and swap it atomically with
+/// the re-keying of affected users, so any in-flight query sees exactly one
+/// (encoding, index-keys) epoch. Per-user friend lists are internally
+/// shared between snapshots (copy-on-write), which keeps deriving a new
+/// epoch O(affected users), not O(total policies).
+class EncodingSnapshot {
  public:
   /// Runs policy comparison + sequence-value assignment + quantization +
-  /// friend-list construction. This is the offline preprocessing whose cost
-  /// Figure 11 reports.
-  static PolicyEncoding Build(const PolicyStore& store, size_t num_users,
-                              const CompatibilityOptions& compat,
-                              const SequenceValueOptions& sv_options,
-                              const SvQuantizer& quantizer,
-                              SequenceStrategy strategy =
-                                  SequenceStrategy::kGroupOrder);
+  /// friend-list construction, producing the epoch-0 snapshot. This is the
+  /// offline preprocessing whose cost Figure 11 reports.
+  static EncodingSnapshot Build(const PolicyStore& store, size_t num_users,
+                                const CompatibilityOptions& compat,
+                                const SequenceValueOptions& sv_options,
+                                const SvQuantizer& quantizer,
+                                SequenceStrategy strategy =
+                                    SequenceStrategy::kGroupOrder);
+
+  /// Monotonic version of the policy encoding (0 = initial build). An
+  /// index's stored keys are always consistent with exactly one epoch.
+  uint64_t epoch() const { return epoch_; }
 
   size_t num_users() const { return sv_.size(); }
   double sv(UserId u) const { return sv_[u]; }
   uint32_t quantized_sv(UserId u) const { return qsv_[u]; }
   const SvQuantizer& quantizer() const { return quantizer_; }
+  /// The initial (epoch-0) build's raw assignment, for shape statistics.
   const SequenceAssignment& assignment() const { return assignment_; }
 
   /// Users with a policy toward `u`, ascending by (qsv, uid). These are the
   /// candidates any privacy-aware query issued by `u` can ever return.
   const std::vector<FriendEntry>& FriendsOf(UserId u) const {
-    return friends_[u];
+    return *friends_[u];
   }
 
  private:
-  explicit PolicyEncoding(SvQuantizer q) : quantizer_(q) {}
+  friend class PolicyCatalog;  // Derives epoch+1 snapshots copy-on-write.
 
+  using FriendList = std::shared_ptr<const std::vector<FriendEntry>>;
+
+  explicit EncodingSnapshot(SvQuantizer q) : quantizer_(q) {}
+
+  uint64_t epoch_ = 0;
   SvQuantizer quantizer_;
   SequenceAssignment assignment_;
   std::vector<double> sv_;
   std::vector<uint32_t> qsv_;
-  std::vector<std::vector<FriendEntry>> friends_;
+  /// Per-user friend lists, shared across derived snapshots (never null).
+  std::vector<FriendList> friends_;
 };
+
+/// Legacy name from the one-shot (frozen-policy) era; the type is now the
+/// epoch-snapshot. Kept so static-world callers read naturally.
+using PolicyEncoding = EncodingSnapshot;
 
 }  // namespace peb

@@ -15,20 +15,37 @@ double MsBetween(std::chrono::steady_clock::time_point a,
 }  // namespace
 
 MovingObjectService::MovingObjectService(PrivacyAwareIndex* index,
+                                         PolicyCatalog* catalog,
+                                         ServiceOptions options)
+    : index_(index),
+      engine_(dynamic_cast<engine::ShardedPebEngine*>(index)),
+      catalog_(catalog),
+      store_(&catalog->store()),
+      roles_(&catalog->roles()),
+      options_(options),
+      workers_(options.num_workers) {
+  monitor_ = std::make_unique<ContinuousQueryMonitor>(
+      index_, store_, roles_, catalog->snapshot(), options_.time_domain);
+}
+
+MovingObjectService::MovingObjectService(PrivacyAwareIndex* index,
                                          const PolicyStore* store,
                                          const RoleRegistry* roles,
                                          const PolicyEncoding* encoding,
                                          ServiceOptions options)
     : index_(index),
       engine_(dynamic_cast<engine::ShardedPebEngine*>(index)),
+      catalog_(nullptr),
       store_(store),
       roles_(roles),
-      encoding_(encoding),
       options_(options),
       workers_(options.num_workers) {
-  if (store_ != nullptr && roles_ != nullptr && encoding_ != nullptr) {
+  if (store_ != nullptr && roles_ != nullptr && encoding != nullptr) {
     monitor_ = std::make_unique<ContinuousQueryMonitor>(
-        index_, store_, roles_, encoding_, options_.time_domain);
+        index_, store_, roles_,
+        std::shared_ptr<const EncodingSnapshot>(
+            std::shared_ptr<const EncodingSnapshot>(), encoding),
+        options_.time_domain);
   }
 }
 
@@ -100,6 +117,12 @@ QueryResponse MovingObjectService::ExecuteTimed(const QueryRequest& request,
     case QueryKind::kContinuousCancel:
       response = DoContinuousCancel(request);
       break;
+    case QueryKind::kAddPolicy:
+    case QueryKind::kRemovePolicy:
+    case QueryKind::kDefineRole:
+    case QueryKind::kReencode:
+      response = DoPolicyLifecycle(request);
+      break;
   }
   response.queue_ms = MsBetween(submitted, picked_up);
   response.exec_ms = MsBetween(picked_up, Clock::now());
@@ -110,6 +133,10 @@ QueryResponse MovingObjectService::DoRange(const QueryRequest& request) {
   QueryResponse response;
   response.kind = request.kind;
   const bool collect = request.options.collect_counters;
+  // Stats are always gathered internally: the epoch must be pinned while
+  // the query holds its lock (reading it afterwards could name an epoch
+  // published in between). collect_counters only gates what the response
+  // reports.
   QueryStats stats;
 
   // Thread-safe indexes (the engine) run queries genuinely in parallel;
@@ -118,13 +145,11 @@ QueryResponse MovingObjectService::DoRange(const QueryRequest& request) {
     if (index_->SupportsConcurrentQueries()) {
       std::shared_lock<std::shared_mutex> lock(index_mu_);
       return index_->RangeQueryWithStats(request.issuer, request.range,
-                                         request.tq,
-                                         collect ? &stats : nullptr);
+                                         request.tq, &stats);
     }
     std::unique_lock<std::shared_mutex> lock(index_mu_);
     return index_->RangeQueryWithStats(request.issuer, request.range,
-                                       request.tq,
-                                       collect ? &stats : nullptr);
+                                       request.tq, &stats);
   }();
 
   if (result.ok()) {
@@ -132,6 +157,7 @@ QueryResponse MovingObjectService::DoRange(const QueryRequest& request) {
   } else {
     response.status = result.status();
   }
+  response.epoch = stats.epoch;
   if (collect) {
     response.counters = stats.counters;
     response.io = stats.io;
@@ -143,18 +169,17 @@ QueryResponse MovingObjectService::DoKnn(const QueryRequest& request) {
   QueryResponse response;
   response.kind = request.kind;
   const bool collect = request.options.collect_counters;
-  QueryStats stats;
+  QueryStats stats;  // Always gathered: see DoRange on epoch pinning.
 
   Result<std::vector<Neighbor>> result = [&] {
     if (index_->SupportsConcurrentQueries()) {
       std::shared_lock<std::shared_mutex> lock(index_mu_);
       return index_->KnnQueryWithStats(request.issuer, request.qloc,
-                                       request.k, request.tq,
-                                       collect ? &stats : nullptr);
+                                       request.k, request.tq, &stats);
     }
     std::unique_lock<std::shared_mutex> lock(index_mu_);
     return index_->KnnQueryWithStats(request.issuer, request.qloc, request.k,
-                                     request.tq, collect ? &stats : nullptr);
+                                     request.tq, &stats);
   }();
 
   if (result.ok()) {
@@ -162,6 +187,7 @@ QueryResponse MovingObjectService::DoKnn(const QueryRequest& request) {
   } else {
     response.status = result.status();
   }
+  response.epoch = stats.epoch;
   if (collect) {
     response.counters = stats.counters;
     response.io = stats.io;
@@ -180,7 +206,7 @@ QueryResponse MovingObjectService::DoContinuousRegister(
     return response;
   }
   const bool collect = request.options.collect_counters;
-  QueryStats stats;
+  QueryStats stats;  // Always gathered: see DoRange on epoch pinning.
 
   // Lock order: continuous state first, then the index (the seeding PRQ).
   // A concurrency-capable index (the engine) needs only the shared lock —
@@ -198,7 +224,7 @@ QueryResponse MovingObjectService::DoContinuousRegister(
     unique_index_lock.lock();
   }
   Result<ContinuousQueryId> id = monitor_->Register(
-      request.issuer, request.range, request.tq, collect ? &stats : nullptr);
+      request.issuer, request.range, request.tq, &stats);
   if (!id.ok()) {
     response.status = id.status();
     return response;
@@ -207,6 +233,7 @@ QueryResponse MovingObjectService::DoContinuousRegister(
   if (auto initial = monitor_->ResultOf(*id); initial.ok()) {
     response.ids = std::move(*initial);
   }
+  response.epoch = stats.epoch;
   if (collect) {
     response.counters = stats.counters;
     response.io = stats.io;
@@ -226,6 +253,125 @@ QueryResponse MovingObjectService::DoContinuousCancel(
   }
   std::lock_guard<std::mutex> continuous_lock(continuous_mu_);
   response.status = monitor_->Unregister(request.continuous_id);
+  // Cancellation touches no index keys; the current epoch suffices.
+  response.epoch = index_->encoding_epoch();
+  return response;
+}
+
+// ---------------------------------------------------------------------------
+// Policy lifecycle
+// ---------------------------------------------------------------------------
+
+Status MovingObjectService::MutateExclusive(
+    const std::function<Status()>& fn) {
+  // The live PolicyStore/RoleRegistry are read by query verification, so a
+  // mutation must exclude queries: through the engine's state lock when
+  // fronting an engine (its queries never take index_mu_ exclusively),
+  // else through the service's own index lock (single-tree queries hold it
+  // unique already, so unique here excludes them).
+  if (engine_ != nullptr) return engine_->RunExclusive(fn);
+  std::unique_lock<std::shared_mutex> lock(index_mu_);
+  return fn();
+}
+
+Status MovingObjectService::ReencodeAndAdopt(Timestamp now,
+                                             ReencodeStats* stats) {
+  PEB_ASSIGN_OR_RETURN(ReencodeResult result, catalog_->Reencode());
+  *stats = result.stats;
+  // Adopt on the index: the engine swaps all shards and re-keys under one
+  // exclusive section; single-tree indexes are serialized here. The
+  // catalog has already published the epoch, so an adoption failure must
+  // not strand the index at mismatched keys: retry in self-sufficient
+  // diff-all mode (which re-establishes key consistency from any partial
+  // state), then surface the original error — a later re-encode of the
+  // now-clean catalog would carry an empty re-key list and never repair.
+  auto adopt = [&](const std::vector<UserId>* rekey) {
+    if (index_->SupportsConcurrentQueries()) {
+      return index_->AdoptSnapshot(result.snapshot, rekey);
+    }
+    std::unique_lock<std::shared_mutex> lock(index_mu_);
+    return index_->AdoptSnapshot(result.snapshot, rekey);
+  };
+  Status adopted = adopt(&result.rekeyed);
+  if (!adopted.ok()) {
+    (void)adopt(nullptr);
+    return adopted;
+  }
+  // Standing queries reconcile against the new epoch. Same locking shape
+  // as AdvanceContinuous (the caller already holds continuous_mu_): the
+  // monitor re-reads object states through the index.
+  if (monitor_ != nullptr) {
+    std::shared_lock<std::shared_mutex> shared_index_lock(index_mu_,
+                                                          std::defer_lock);
+    std::unique_lock<std::shared_mutex> unique_index_lock(index_mu_,
+                                                          std::defer_lock);
+    if (index_->SupportsConcurrentQueries()) {
+      shared_index_lock.lock();
+    } else {
+      unique_index_lock.lock();
+    }
+    PEB_RETURN_NOT_OK(monitor_->AdoptSnapshot(result.snapshot, now));
+  }
+  return Status::OK();
+}
+
+QueryResponse MovingObjectService::DoPolicyLifecycle(
+    const QueryRequest& request) {
+  QueryResponse response;
+  response.kind = request.kind;
+  if (catalog_ == nullptr) {
+    response.status = Status::NotSupported(
+        "policy mutations need a service constructed over a PolicyCatalog");
+    return response;
+  }
+
+  // Lock order (as for continuous registration): continuous state first,
+  // then the index. Serializes lifecycle requests against each other and
+  // against monitor feeds; queries keep flowing until the brief exclusive
+  // sections inside.
+  std::lock_guard<std::mutex> continuous_lock(continuous_mu_);
+
+  bool run_reencode = false;
+  switch (request.kind) {
+    case QueryKind::kAddPolicy:
+      response.status = MutateExclusive([&] {
+        return catalog_->AddPolicy(request.owner, request.peer,
+                                   request.policy);
+      });
+      run_reencode = response.ok() && request.reencode_now;
+      break;
+    case QueryKind::kRemovePolicy: {
+      Result<size_t> removed{size_t{0}};
+      response.status = MutateExclusive([&] {
+        removed = catalog_->RemovePolicies(request.owner, request.peer);
+        return removed.status();
+      });
+      if (response.ok()) {
+        response.removed_policies = *removed;
+        run_reencode = request.reencode_now;
+      }
+      break;
+    }
+    case QueryKind::kDefineRole:
+      // Registering a role name touches tables verification never reads,
+      // but stay uniform: all catalog writes run excluded.
+      response.status = MutateExclusive([&] {
+        response.role_id = catalog_->DefineRole(request.role_name);
+        return Status::OK();
+      });
+      break;
+    case QueryKind::kReencode:
+      run_reencode = true;
+      break;
+    default:
+      response.status = Status::Internal("non-lifecycle kind");
+      break;
+  }
+
+  if (response.ok() && run_reencode) {
+    response.status = ReencodeAndAdopt(request.tq, &response.reencode);
+  }
+  response.epoch = catalog_->epoch();
   return response;
 }
 

@@ -18,6 +18,13 @@
 //    by a ContinuousQueryMonitor lifted over the whole index (sharded
 //    engine included), fed from the update path in stream order so event
 //    streams are identical for any shard count.
+//  * Policy lifecycle      — when constructed over a PolicyCatalog, the
+//    service accepts AddPolicy/RemovePolicy/DefineRole/Reencode requests:
+//    mutations run atomically with respect to queries (the engine's
+//    exclusive state lock / the service index lock), the catalog derives
+//    the next snapshot incrementally, the index re-keys only the users
+//    whose quantized SV changed, and standing queries reconcile — all in
+//    one request. Every response names the epoch it executed against.
 //
 // Every response carries its own counters and exact per-query IoStats
 // delta by value (see query_request.h); the service never reads
@@ -31,6 +38,7 @@
 #pragma once
 
 #include <chrono>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -44,6 +52,7 @@
 #include "engine/thread_pool.h"
 #include "motion/update_stream.h"
 #include "peb/continuous.h"
+#include "policy/policy_catalog.h"
 #include "service/query_request.h"
 
 namespace peb {
@@ -60,9 +69,23 @@ struct ServiceOptions {
 
 class MovingObjectService {
  public:
-  /// Serves queries from `index`. `store`/`roles`/`encoding` enable
-  /// continuous-query requests (pass the workload's; nullptr disables them
-  /// with NotSupported). All referenced objects must outlive the service.
+  /// The full-lifecycle service: queries, continuous queries, AND online
+  /// policy mutations, all against `catalog`'s live policy state. The
+  /// index must have been built from one of the catalog's snapshots; both
+  /// must outlive the service.
+  ///
+  /// A mutation re-keys THIS service's index only. Sibling indexes sharing
+  /// the catalog (e.g. a workload's baseline) must re-sync afterwards via
+  /// AdoptSnapshot(catalog->snapshot(), nullptr), and must not serve
+  /// concurrent queries while the mutation runs — exclusion covers only
+  /// the fronted index.
+  MovingObjectService(PrivacyAwareIndex* index, PolicyCatalog* catalog,
+                      ServiceOptions options = {});
+
+  /// Static-world service: `store`/`roles`/`encoding` enable continuous-
+  /// query requests (pass the workload's; nullptr disables them with
+  /// NotSupported); policy mutations answer NotSupported. All referenced
+  /// objects must outlive the service.
   MovingObjectService(PrivacyAwareIndex* index, const PolicyStore* store,
                       const RoleRegistry* roles,
                       const PolicyEncoding* encoding,
@@ -174,6 +197,18 @@ class MovingObjectService {
   QueryResponse DoKnn(const QueryRequest& request);
   QueryResponse DoContinuousRegister(const QueryRequest& request);
   QueryResponse DoContinuousCancel(const QueryRequest& request);
+  /// kAddPolicy / kRemovePolicy / kDefineRole / kReencode.
+  QueryResponse DoPolicyLifecycle(const QueryRequest& request);
+
+  /// Runs a live policy-state mutation atomically with respect to queries:
+  /// through the engine's exclusive state lock when fronting an engine,
+  /// else under the service's own unique index lock.
+  Status MutateExclusive(const std::function<Status()>& fn);
+
+  /// Re-encodes the catalog's dirty-set, adopts the snapshot on the index
+  /// (re-keying only the changed users) and reconciles standing queries at
+  /// `now`. Caller holds continuous_mu_. Fills `stats`.
+  Status ReencodeAndAdopt(Timestamp now, ReencodeStats* stats);
 
   /// Feeds an applied batch to the continuous monitor (stream order).
   void FeedContinuous(const std::vector<UpdateEvent>& events);
@@ -182,9 +217,10 @@ class MovingObjectService {
   /// Set when `index_` is a ShardedPebEngine: enables the engine batch
   /// update path and lock-free (shared) query execution.
   engine::ShardedPebEngine* engine_;
+  /// Set by the lifecycle constructor: enables policy mutation requests.
+  PolicyCatalog* catalog_;
   const PolicyStore* store_;
   const RoleRegistry* roles_;
-  const PolicyEncoding* encoding_;
   ServiceOptions options_;
 
   /// Query/update coordination for indexes without internal thread-safety:

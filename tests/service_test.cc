@@ -422,6 +422,106 @@ TEST(ServiceConcurrency, ManualThreadsHammerExecute) {
 }
 
 // ---------------------------------------------------------------------------
+// Online policy lifecycle under concurrent traffic
+// ---------------------------------------------------------------------------
+
+TEST(ServicePolicyLifecycle, MutationsInterleavedWithQueriesAndUpdates) {
+  const size_t kUpdates = 120;
+  const size_t kMutations = 8;
+  Workload w = Workload::Build(SmallParams(42));
+
+  // The lifecycle instance owns its catalog (the workload's stays frozen
+  // as the generator reference).
+  PolicyCatalog catalog(w.store(), w.roles(), w.catalog()->options());
+  engine::EngineOptions eopts;
+  eopts.num_shards = 4;
+  eopts.num_threads = 4;
+  eopts.buffer_pages = w.params().buffer_pages;
+  eopts.tree = eval::PebOptionsFor(w.params());
+  ShardedPebEngine engine(eopts, &catalog.store(), &catalog.roles(),
+                          catalog.snapshot());
+  ASSERT_TRUE(engine.LoadDataset(w.dataset()).ok());
+
+  ServiceOptions opts;
+  opts.num_workers = 4;
+  MovingObjectService svc(&engine, &catalog, opts);
+
+  auto stream = eval::CloneUniformUpdateStream(w);
+  ASSERT_NE(stream, nullptr);
+  auto session = svc.OpenUpdateSession(stream.get(), /*batch_size=*/64);
+
+  QuerySetOptions q;
+  q.count = 40;
+  q.seed = 17;
+  auto prq = MakePrqQueries(w, q);
+  std::vector<QueryRequest> wave;
+  for (const auto& query : prq) {
+    wave.push_back(QueryRequest::Prq(query.issuer, query.range, query.tq));
+  }
+
+  // Concurrently: an async query wave, an update session, and a stream of
+  // policy mutations (each re-encoding + re-keying + publishing an epoch).
+  auto futures = svc.SubmitBatch(std::move(wave));
+  std::thread churn([&] {
+    Lpp policy;
+    policy.role = 0;  // The generator's "friend" role.
+    policy.locr = Rect{{-1e9, -1e9}, {1e9, 1e9}};
+    policy.tint = TimeOfDayInterval::AllDay();
+    for (size_t i = 0; i < kMutations; ++i) {
+      UserId owner = static_cast<UserId>((i * 37) % w.params().num_users);
+      UserId peer = static_cast<UserId>((owner + 113 + i) %
+                                        w.params().num_users);
+      if (owner == peer) continue;
+      QueryResponse resp =
+          i % 2 == 0
+              ? svc.Execute(QueryRequest::AddPolicy(owner, peer, policy,
+                                                    w.now()))
+              : svc.Execute(QueryRequest::RemovePolicy(owner, peer,
+                                                       w.now()));
+      ASSERT_TRUE(resp.ok()) << resp.status;
+      EXPECT_GT(resp.epoch, 0u) << "mutation " << i;
+    }
+  });
+  ASSERT_TRUE(session.Apply(kUpdates).ok());
+  churn.join();
+
+  uint64_t final_epoch = catalog.epoch();
+  EXPECT_GT(final_epoch, 0u);
+
+  // Every concurrent query succeeded, carried consistent by-value stats,
+  // and named an epoch that existed while it ran.
+  for (auto& future : futures) {
+    QueryResponse resp = future.get();
+    ASSERT_TRUE(resp.ok()) << resp.status;
+    EXPECT_LE(resp.epoch, final_epoch);
+    EXPECT_EQ(resp.io.logical_fetches,
+              resp.io.cache_hits + resp.io.physical_reads);
+  }
+
+  // Settled state: answers are identical to a from-scratch rebuild of the
+  // mutated corpus over the same motion state.
+  PolicyCatalog rebuilt_catalog(catalog.store(), catalog.roles(),
+                                catalog.options());
+  ShardedPebEngine rebuilt(eopts, &rebuilt_catalog.store(),
+                           &rebuilt_catalog.roles(),
+                           rebuilt_catalog.snapshot());
+  for (size_t u = 0; u < w.params().num_users; ++u) {
+    auto obj = engine.GetObject(static_cast<UserId>(u));
+    ASSERT_TRUE(obj.ok());
+    ASSERT_TRUE(rebuilt.Insert(*obj).ok());
+  }
+  for (const auto& query : prq) {
+    QueryResponse resp = svc.Execute(
+        QueryRequest::Prq(query.issuer, query.range, query.tq));
+    ASSERT_TRUE(resp.ok());
+    EXPECT_EQ(resp.epoch, final_epoch);
+    auto want = rebuilt.RangeQuery(query.issuer, query.range, query.tq);
+    ASSERT_TRUE(want.ok());
+    EXPECT_EQ(resp.ids, *want);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Engine-wide continuous queries
 // ---------------------------------------------------------------------------
 

@@ -57,6 +57,14 @@ void PrintHelp() {
       "  watch <issuer> <x1> <y1> <x2> <y2>  register a standing PRQ\n"
       "  unwatch <id>     cancel a standing PRQ\n"
       "  events           drain standing-query entered/left events\n"
+      "  policy add <owner> <peer> [x1 y1 x2 y2 [tstart tend]]\n"
+      "      grant: owner lets peer see them inside the region (default:\n"
+      "      everywhere) during the daily window (default: all day)\n"
+      "  policy remove <owner> <peer>   revoke all owner->peer policies\n"
+      "  role define <name>             register a role by name\n"
+      "  reencode         flush pending mutations: incremental re-encode,\n"
+      "                   re-key the affected users, publish a new epoch\n"
+      "  epoch            current encoding epoch and pending mutations\n"
       "  help | quit\n");
 }
 
@@ -86,8 +94,8 @@ struct Shell {
         use_engine && eng != nullptr
             ? static_cast<PrivacyAwareIndex*>(eng.get())
             : &world->peb();
-    svc = std::make_unique<MovingObjectService>(
-        index, &world->store(), &world->roles(), &world->encoding());
+    // Catalog-backed: policy add/remove, role define, and reencode work.
+    svc = std::make_unique<MovingObjectService>(index, world->catalog());
     if (standing > 0) {
       std::printf("note: %zu standing quer%s dropped (index switched)\n",
                   standing, standing == 1 ? "y" : "ies");
@@ -377,6 +385,112 @@ struct Shell {
     }
   }
 
+  /// After a re-encode through the active service, bring every OTHER index
+  /// the shell hosts to the same epoch (each diffs its own records; the
+  /// active index was already re-keyed precisely by the service).
+  void SyncInactiveIndexes() {
+    auto snapshot = world->catalog()->snapshot();
+    bool engine_active = use_engine && eng != nullptr;
+    Status st = engine_active
+                    ? world->SyncIndexesToCatalog()  // peb + spatial.
+                    : world->spatial().AdoptSnapshot(snapshot, nullptr);
+    if (!st.ok()) {
+      std::printf("sync error: %s\n", st.ToString().c_str());
+      return;
+    }
+    if (eng != nullptr && !engine_active) {
+      st = eng->AdoptSnapshot(std::move(snapshot), nullptr);
+      if (!st.ok()) {
+        std::printf("engine sync error: %s\n", st.ToString().c_str());
+      }
+    }
+  }
+
+  void PrintReencode(const QueryResponse& resp) {
+    std::printf("epoch %llu: %zu dirty -> component of %zu, %zu re-keyed, "
+                "%zu friend list(s) rebuilt (%.2f ms)\n",
+                static_cast<unsigned long long>(resp.epoch),
+                resp.reencode.dirty_users, resp.reencode.component_users,
+                resp.reencode.rekeyed, resp.reencode.lists_rebuilt,
+                resp.reencode.seconds * 1e3);
+  }
+
+  void Policy(std::istringstream& in) {
+    if (!EnsureWorld()) return;
+    std::string verb;
+    UserId owner, peer;
+    if (!(in >> verb >> owner >> peer) ||
+        (verb != "add" && verb != "remove")) {
+      std::printf("usage: policy add <owner> <peer> [x1 y1 x2 y2 "
+                  "[tstart tend]] | policy remove <owner> <peer>\n");
+      return;
+    }
+    QueryResponse resp;
+    if (verb == "add") {
+      Lpp policy;
+      policy.role = world->catalog()->DefineRole("friend");
+      policy.locr = Rect::Space(world->params().space_side);
+      policy.tint = TimeOfDayInterval::AllDay(world->params().time_domain);
+      double x1, y1, x2, y2;
+      if (in >> x1 >> y1 >> x2 >> y2) {
+        policy.locr = {{x1, y1}, {x2, y2}};
+        double ts, te;
+        if (in >> ts >> te) policy.tint = {ts, te};
+      }
+      resp = svc->Execute(QueryRequest::AddPolicy(
+          owner, peer, policy, world->now(), /*reencode_now=*/false));
+      if (resp.ok()) {
+        std::printf("policy u%u -> u%u granted (pending re-encode; run "
+                    "'reencode' to publish)\n", owner, peer);
+      }
+    } else {
+      resp = svc->Execute(QueryRequest::RemovePolicy(
+          owner, peer, world->now(), /*reencode_now=*/false));
+      if (resp.ok()) {
+        std::printf("%zu polic%s u%u -> u%u revoked (visibility gone now; "
+                    "'reencode' compacts)\n", resp.removed_policies,
+                    resp.removed_policies == 1 ? "y" : "ies", owner, peer);
+      }
+    }
+    if (!resp.ok()) {
+      std::printf("error: %s\n", resp.status.ToString().c_str());
+    }
+  }
+
+  void Role(std::istringstream& in) {
+    if (!EnsureWorld()) return;
+    std::string verb, name;
+    if (!(in >> verb >> name) || verb != "define") {
+      std::printf("usage: role define <name>\n");
+      return;
+    }
+    QueryResponse resp = svc->Execute(QueryRequest::DefineRole(name));
+    if (!resp.ok()) {
+      std::printf("error: %s\n", resp.status.ToString().c_str());
+      return;
+    }
+    std::printf("role '%s' = #%u\n", name.c_str(),
+                static_cast<unsigned>(resp.role_id));
+  }
+
+  void Reencode() {
+    if (!EnsureWorld()) return;
+    QueryResponse resp = svc->Execute(QueryRequest::Reencode(world->now()));
+    if (!resp.ok()) {
+      std::printf("error: %s\n", resp.status.ToString().c_str());
+      return;
+    }
+    PrintReencode(resp);
+    SyncInactiveIndexes();
+  }
+
+  void Epoch() {
+    if (!EnsureWorld()) return;
+    std::printf("epoch %llu, %zu user(s) dirty (pending re-encode)\n",
+                static_cast<unsigned long long>(world->catalog()->epoch()),
+                world->catalog()->dirty_count());
+  }
+
   void Compare(std::istringstream& in) {
     if (!EnsureWorld()) return;
     size_t n = 0;
@@ -440,6 +554,14 @@ int main() {
       shell.Unwatch(in);
     } else if (cmd == "events") {
       shell.Events();
+    } else if (cmd == "policy") {
+      shell.Policy(in);
+    } else if (cmd == "role") {
+      shell.Role(in);
+    } else if (cmd == "reencode") {
+      shell.Reencode();
+    } else if (cmd == "epoch") {
+      shell.Epoch();
     } else {
       std::printf("unknown command '%s' — try 'help'\n", cmd.c_str());
     }
