@@ -77,6 +77,8 @@ inline Json ToJson(const RunResult& r) {
       .Set("avg_candidates", r.avg_candidates)
       .Set("avg_results", r.avg_results)
       .Set("avg_probes", r.avg_probes)
+      .Set("avg_rounds", r.avg_rounds)
+      .Set("avg_seek_descents", r.avg_descents)
       .Set("wall_ms", r.wall_ms);
 }
 

@@ -2,20 +2,29 @@
 // blocks — space-filling curves, PEB key generation, B+-tree operations,
 // buffer pool hits, policy compatibility, and end-to-end index updates.
 //
-// After the google-benchmark suite, an A/B "range-scan cell" always runs:
-// the same window-query batch against a Bx-tree with the legacy
-// per-interval root-descent scan (the pre-leaf-cursor behavior: fast path
-// off, no interval coalescing) and with the LeafCursor fast path + default
-// coalescing. `--json <path>` records both sides in BENCH_micro.json so
-// the fetch-count reduction is part of the perf trajectory.
+// After the google-benchmark suite, two A/B cells always run:
+//  * "range-scan cell": the same window-query batch against a Bx-tree with
+//    the legacy per-interval root-descent scan (the pre-leaf-cursor
+//    behavior: fast path off, no interval coalescing) and with the
+//    LeafCursor fast path + default coalescing.
+//  * "pknn cell": the same PkNN batch against a PEB-tree with the legacy
+//    Figure-9 round path (fixed Dk/k step, cumulative single-span rings)
+//    and with the incremental path (cost-model-seeded radius, exact
+//    annulus deltas, qsv-run coalescing). Results must be bit-identical —
+//    the cell doubles as the equivalence oracle — and CI fails when the
+//    incremental speedup drops below 1.0.
+// `--json <path>` records both cells in BENCH_micro.json so the reductions
+// are part of the perf trajectory.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <memory>
 #include <vector>
 
 #include "bench_common.h"
 #include "btree/btree.h"
+#include "peb/peb_tree.h"
 #include "btree/btree_traits.h"
 #include "bxtree/bxtree.h"
 #include "common/rng.h"
@@ -240,7 +249,7 @@ eval::Json ToJson(const ScanCellResult& r) {
 
 }  // namespace
 
-void RunAndReportScanCell(const std::string& json_path) {
+eval::Json RunAndReportScanCell() {
   size_t num_objects = eval::Scaled(60000, 5000);
   size_t num_queries = eval::Scaled(200, 20);
   // "legacy" is the pre-PR baseline: one root descent per Z interval, no
@@ -271,26 +280,160 @@ void RunAndReportScanCell(const std::string& json_path) {
             << eval::Fmt(read_ratio) << "x, speedup "
             << eval::Fmt(speedup) << "x\n";
 
-  if (!json_path.empty()) {
-    eval::Json doc =
-        eval::Json::Object()
-            .Set("bench", "micro")
-            .Set("scale", eval::BenchScale())
-            .Set("range_scan_cell",
-                 eval::Json::Object()
-                     .Set("num_objects", static_cast<uint64_t>(num_objects))
-                     .Set("num_queries", static_cast<uint64_t>(num_queries))
-                     .Set("window_side", 200.0)
-                     .Set("buffer_pages", 50)
-                     .Set("legacy", ToJson(legacy))
-                     .Set("fastpath", ToJson(fast))
-                     .Set("fetch_ratio", fetch_ratio)
-                     .Set("read_ratio", read_ratio)
-                     .Set("speedup", speedup));
-    if (doc.WriteTo(json_path)) {
-      std::cout << "wrote " << json_path << "\n";
+  return eval::Json::Object()
+      .Set("num_objects", static_cast<uint64_t>(num_objects))
+      .Set("num_queries", static_cast<uint64_t>(num_queries))
+      .Set("window_side", 200.0)
+      .Set("buffer_pages", 50)
+      .Set("legacy", ToJson(legacy))
+      .Set("fastpath", ToJson(fast))
+      .Set("fetch_ratio", fetch_ratio)
+      .Set("read_ratio", read_ratio)
+      .Set("speedup", speedup);
+}
+
+// ---------------------------------------------------------------------------
+// A/B pknn cell: legacy Figure-9 rounds vs the incremental path
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct PknnCellResult {
+  IoStats io;
+  double wall_ms = 0.0;
+  uint64_t probes = 0;
+  uint64_t descents = 0;
+  uint64_t leaf_hops = 0;
+  uint64_t candidates = 0;
+  uint64_t rounds = 0;
+  std::vector<std::vector<Neighbor>> answers;
+};
+
+/// Runs the PkNN batch against a fresh PEB-tree (own 50-page pool) indexing
+/// the workload's dataset, with the incremental path on or off.
+PknnCellResult RunPknnCell(const eval::Workload& w,
+                           const std::vector<eval::PknnQuery>& queries,
+                           bool incremental) {
+  InMemoryDiskManager disk;
+  BufferPool pool(&disk, BufferPoolOptions{50});  // Paper's buffer budget.
+  PebTreeOptions opt = eval::PebOptionsFor(w.params());
+  opt.index.incremental_knn = incremental;
+  PebTree tree(&pool, opt, &w.store(), &w.roles(), &w.encoding());
+  for (const auto& o : w.dataset().objects) (void)tree.Insert(o);
+
+  PknnCellResult r;
+  r.answers.reserve(queries.size());
+  pool.ResetStats();
+  auto t0 = std::chrono::steady_clock::now();
+  for (const auto& q : queries) {
+    auto res = tree.KnnQuery(q.issuer, q.qloc, q.k, q.tq);
+    if (!res.ok()) {
+      std::cerr << "pknn cell query failed: " << res.status().ToString()
+                << "\n";
+      std::abort();
+    }
+    r.probes += tree.last_query().range_probes;
+    r.descents += tree.last_query().seek_descents;
+    r.leaf_hops += tree.last_query().leaf_hops;
+    r.candidates += tree.last_query().candidates_examined;
+    r.rounds += tree.last_query().rounds;
+    r.answers.push_back(std::move(*res));
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  r.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  r.io = pool.stats();
+  return r;
+}
+
+eval::Json ToJson(const PknnCellResult& r) {
+  return eval::Json::Object()
+      .Set("io", eval::ToJson(r.io))
+      .Set("wall_ms", r.wall_ms)
+      .Set("range_probes", r.probes)
+      .Set("seek_descents", r.descents)
+      .Set("leaf_hops", r.leaf_hops)
+      .Set("candidates_examined", r.candidates)
+      .Set("rounds", r.rounds);
+}
+
+}  // namespace
+
+eval::Json RunAndReportPknnCell() {
+  eval::WorkloadParams p;  // Table 1 defaults.
+  p.num_users = eval::Scaled(60000, 1000);
+  size_t num_queries = eval::Scaled(200, 20);
+  eval::Workload w = eval::Workload::Build(p);
+  eval::QuerySetOptions q;
+  q.count = num_queries;
+  auto queries = eval::MakePknnQueries(w, q);
+
+  PknnCellResult legacy = RunPknnCell(w, queries, /*incremental=*/false);
+  PknnCellResult inc = RunPknnCell(w, queries, /*incremental=*/true);
+
+  // The legacy round path is the equivalence oracle: the incremental path
+  // must produce bit-identical answers (same uids, same distances). Sort
+  // by (distance, uid) first — distances are continuous, so this only
+  // normalizes the order of exact ties, which the merges may permute.
+  auto normalized = [](std::vector<Neighbor> v) {
+    std::sort(v.begin(), v.end(), [](const Neighbor& a, const Neighbor& b) {
+      if (a.distance != b.distance) return a.distance < b.distance;
+      return a.uid < b.uid;
+    });
+    return v;
+  };
+  for (size_t i = 0; i < queries.size(); ++i) {
+    std::vector<Neighbor> want = normalized(legacy.answers[i]);
+    std::vector<Neighbor> got = normalized(inc.answers[i]);
+    if (want.size() != got.size()) {
+      std::cerr << "pknn cell mismatch at query " << i << ": "
+                << want.size() << " vs " << got.size() << " results\n";
+      std::abort();
+    }
+    for (size_t j = 0; j < want.size(); ++j) {
+      if (want[j].uid != got[j].uid ||
+          want[j].distance != got[j].distance) {
+        std::cerr << "pknn cell mismatch at query " << i << " rank " << j
+                  << "\n";
+        std::abort();
+      }
     }
   }
+
+  auto ratio = [](double a, double b) { return b > 0.0 ? a / b : 0.0; };
+  double fetch_ratio =
+      ratio(static_cast<double>(legacy.io.logical_fetches),
+            static_cast<double>(inc.io.logical_fetches));
+  double descent_ratio = ratio(static_cast<double>(legacy.descents),
+                               static_cast<double>(inc.descents));
+  double speedup = ratio(legacy.wall_ms, inc.wall_ms);
+  double nq = static_cast<double>(queries.size());
+
+  std::cout << "\n--- pknn cell (PEB PkNN batch, " << p.num_users
+            << " users, " << num_queries << " queries) ---\n"
+            << "legacy      : " << legacy.io.logical_fetches << " fetches, "
+            << legacy.io.physical_reads << " reads, " << legacy.probes
+            << " probes, " << legacy.descents << " descents, "
+            << eval::Fmt(static_cast<double>(legacy.rounds) / nq)
+            << " rounds/query, " << eval::Fmt(legacy.wall_ms) << " ms\n"
+            << "incremental : " << inc.io.logical_fetches << " fetches, "
+            << inc.io.physical_reads << " reads, " << inc.probes
+            << " probes, " << inc.descents << " descents, "
+            << eval::Fmt(static_cast<double>(inc.rounds) / nq)
+            << " rounds/query, " << eval::Fmt(inc.wall_ms) << " ms\n"
+            << "results bit-identical; fetch ratio " << eval::Fmt(fetch_ratio)
+            << "x, descent ratio " << eval::Fmt(descent_ratio)
+            << "x, speedup " << eval::Fmt(speedup) << "x\n";
+
+  return eval::Json::Object()
+      .Set("num_users", static_cast<uint64_t>(p.num_users))
+      .Set("num_queries", static_cast<uint64_t>(num_queries))
+      .Set("k", static_cast<uint64_t>(q.k))
+      .Set("buffer_pages", 50)
+      .Set("legacy", ToJson(legacy))
+      .Set("incremental", ToJson(inc))
+      .Set("fetch_ratio", fetch_ratio)
+      .Set("descent_ratio", descent_ratio)
+      .Set("speedup", speedup);
 }
 
 }  // namespace peb
@@ -310,6 +453,17 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&bargc, args.data());
   if (benchmark::ReportUnrecognizedArguments(bargc, args.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();
-  peb::RunAndReportScanCell(json_path);
+  peb::eval::Json range_cell = peb::RunAndReportScanCell();
+  peb::eval::Json pknn_cell = peb::RunAndReportPknnCell();
+  if (!json_path.empty()) {
+    peb::eval::Json doc = peb::eval::Json::Object()
+                              .Set("bench", "micro")
+                              .Set("scale", peb::eval::BenchScale())
+                              .Set("range_scan_cell", std::move(range_cell))
+                              .Set("pknn_cell", std::move(pknn_cell));
+    if (doc.WriteTo(json_path)) {
+      std::cout << "wrote " << json_path << "\n";
+    }
+  }
   return 0;
 }

@@ -51,6 +51,25 @@ struct MovingIndexOptions {
   /// default: prefetch reads perturb the physical-read counts the figure
   /// benches compare against the paper.
   bool prefetch_next_leaf = false;
+  /// Incremental PkNN fast path (PEB-tree only): the initial search radius
+  /// is seeded from the analytic cost model's candidate-density estimate
+  /// (doubling afterwards), each enlargement round scans only the exact
+  /// annulus delta (the round's Z decomposition minus every interval a
+  /// previous round already covered), and the sharded engine streams
+  /// per-shard scans instead of barriering each round. The legacy
+  /// Figure-9 path (fixed Dk/k step, cumulative single-span rings, global
+  /// per-round barrier) is kept behind this flag as the result-equivalence
+  /// oracle for tests and the A/B bench cell.
+  bool incremental_knn = true;
+  /// Coalesce friend rows whose quantized SVs differ by at most this much
+  /// into one SV-run key-range scan spanning the run's whole interval list
+  /// (0 = per-row probing). Under the paper's grouping factor an issuer's
+  /// friends concentrate on few, often consecutive quantized SVs, so
+  /// per-row probing multiplies seek descents; a run scan walks the run's
+  /// sparse adjacent rows once instead (extra entries are discarded by the
+  /// wanted-set filter, so answers are unchanged). Applies to PRQ
+  /// per-friend scans and incremental PkNN.
+  uint32_t qsv_run_gap = 1;
 };
 
 /// A candidate produced by the spatial search (pre-verification state).

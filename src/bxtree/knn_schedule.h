@@ -25,4 +25,15 @@ inline double KnnRadiusForRound(double rq, size_t j) {
   return base * std::pow(2.0, static_cast<double>(j + 1 - kKnnLinearRounds));
 }
 
+/// Incremental-path schedule: round 0 starts at the cost-model-seeded
+/// radius (costmodel::EstimateKnnSeedRadius, derived from the CANDIDATE
+/// density rather than the population density), doubling afterwards. When
+/// the seed is right, round 0 already contains the k-th qualified user and
+/// the search closes after one annulus-free scan; a mis-seeded query
+/// reaches any radius within log2 rounds instead of radius/rq rounds.
+/// Rings stay nested, so annulus deltas remain well defined.
+inline double KnnSeededRadiusForRound(double seed, size_t j) {
+  return seed * std::pow(2.0, static_cast<double>(j));
+}
+
 }  // namespace peb

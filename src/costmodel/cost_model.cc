@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numbers>
 
 namespace peb {
 
@@ -23,6 +24,25 @@ double Density(const CostModelInputs& in) {
 
 double CostC1(const CostModelInputs& in) {
   return 1.0 + GroupingTerm(in);
+}
+
+double ExpectedKnnDistance(double n, size_t k, double space_side) {
+  if (n < 1.0) n = 1.0;
+  double ratio = std::min(1.0, static_cast<double>(k) / n);
+  double inner = 1.0 - std::sqrt(ratio);
+  double dk = 2.0 / std::sqrt(std::numbers::pi) *
+              (1.0 - std::sqrt(std::max(0.0, inner)));
+  return std::max(dk * space_side, 1e-6 * space_side);
+}
+
+double EstimateKnnSeedRadius(const KnnSeedInputs& in) {
+  // 25% margin over the analytic Dk: the estimate is an expectation, so
+  // roughly half of all queries would otherwise need a second round for
+  // purely statistical reasons.
+  constexpr double kSeedMargin = 1.25;
+  double dk = ExpectedKnnDistance(in.candidate_count, in.k, in.space_side);
+  double diag = in.space_side * std::numbers::sqrt2;
+  return std::min(dk * kSeedMargin, diag);
 }
 
 double CostModel::EstimateIo(const CostModelInputs& in) const {

@@ -34,6 +34,31 @@ struct CostModelInputs {
 /// The base cost C1 of Equation 6 (no density correction).
 double CostC1(const CostModelInputs& in);
 
+/// The paper's closed-form Dk estimate (Section 5.4): the expected distance
+/// to the k-th nearest of `n` uniformly distributed users, scaled to the
+/// space side. This is THE analytic primitive both the figure benches and
+/// the query-time radius seeding below are built on.
+double ExpectedKnnDistance(double n, size_t k, double space_side);
+
+/// Query-time inputs for seeding an incremental PkNN search radius.
+struct KnnSeedInputs {
+  /// Estimated number of live qualified candidates: the issuer's friend
+  /// count scaled by the indexed fraction of the population (the "local
+  /// density" the engine derives from its shard object counts).
+  double candidate_count = 1.0;
+  size_t k = 1;
+  double space_side = 1000.0;
+};
+
+/// Initial search radius for the incremental PkNN path: the Dk estimate
+/// applied to the CANDIDATE density (friends, not the whole population —
+/// privacy-aware queries qualify only the issuer's friends, so seeding from
+/// the population radius under-shoots by orders of magnitude and forces
+/// dozens of enlargement rounds). A small safety margin is applied so a
+/// typical query closes in one or two rounds; the result is clamped to
+/// [~0, space diagonal].
+double EstimateKnnSeedRadius(const KnnSeedInputs& in);
+
 /// A measured sample for calibration: the workload plus its observed
 /// average I/O per query.
 struct CostSample {

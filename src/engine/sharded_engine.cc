@@ -279,11 +279,12 @@ Result<std::vector<UserId>> ShardedPebEngine::RangeQueryWithStats(
       BufferPool::ThreadIoScope io_scope(collect ? &slots[s].io : nullptr);
       Shard& shard = *shards_[s];
       std::lock_guard<std::mutex> lock(shard.mu);
+      // Counters land in this task's own slot (scan-local), so concurrent
+      // queries touching the same shard tree never share observer state.
       auto r = shard.tree->RangeQueryAmong(issuer, range, tq, per_shard[s],
-                                           &cache);
+                                           &cache, &slots[s].counters);
       if (r.ok()) {
         slots[s].ids = std::move(*r);
-        slots[s].counters = shard.tree->last_query();
       } else {
         slots[s].status = r.status();
       }
@@ -331,14 +332,24 @@ Result<std::vector<Neighbor>> ShardedPebEngine::KnnQueryWithStats(
   std::vector<std::vector<FriendEntry>> per_shard = PartitionFriends(issuer);
 
   // The engine drives the Figure-9 enlargement: every shard enlarges with
-  // the same per-round step (derived from the global population), scanning
-  // only its own friend rows; after each anti-diagonal the per-shard
-  // candidates are k-way merged and the search stops as soon as k verified
-  // candidates exist globally — so total scan work stays close to the
-  // single tree's instead of growing with the shard count.
-  double rq = EstimateKnnDistanceFor(SizeLocked(), k,
-                                     options_.tree.index.space_side) /
-              static_cast<double>(k);
+  // the same schedule (derived from GLOBAL workload state, so shard count
+  // never changes the search geometry), scanning only its own friend rows.
+  // On the incremental path the schedule starts at the cost model's
+  // candidate-density seed radius; on the legacy path it is the
+  // paper-literal Dk/k step.
+  const bool incremental = options_.tree.index.incremental_knn;
+  double rq;
+  if (incremental) {
+    size_t total_friends = 0;
+    for (const auto& fl : per_shard) total_friends += fl.size();
+    rq = KnnSeedRadiusFor(total_friends, SizeLocked(),
+                          snapshot_->num_users(), k,
+                          options_.tree.index.space_side);
+  } else {
+    rq = EstimateKnnDistanceFor(SizeLocked(), k,
+                                options_.tree.index.space_side) /
+         static_cast<double>(k);
+  }
   SharedScanCache cache;  // One ring decomposition per round for all shards.
 
   struct Slot {
@@ -359,60 +370,135 @@ Result<std::vector<Neighbor>> ShardedPebEngine::KnnQueryWithStats(
     max_diagonals = std::max(max_diagonals, slots[s].scan->max_diagonals());
   }
 
-  bool need_vertical = false;
-  for (size_t d = 0; d < max_diagonals && !need_vertical; ++d) {
+  if (incremental) {
+    // Streaming merge: ONE task per shard drives that shard's whole scan,
+    // publishing each anti-diagonal's candidates into the shared verified
+    // list as soon as they exist — no engine-wide per-round barrier, so a
+    // shard whose friends sit near the query point finishes and frees its
+    // worker while a sparse shard is still enlarging. Once k verified
+    // candidates exist globally, a shard whose covered radius already
+    // reaches the k-th distance RETIRES outright (its remaining annuli and
+    // final vertical scan provably cannot beat any current top-k entry);
+    // otherwise it stops enlarging and runs one vertical delta scan.
+    // Retirement with the k-th distance of the moment stays correct when
+    // later merges shrink it: unexamined users are farther than the
+    // retirement-time bound, which only ever exceeds the final one.
+    std::mutex merge_mu;
     std::vector<std::function<void()>> tasks;
     for (size_t s = 0; s < shards_.size(); ++s) {
-      Slot& slot = slots[s];
-      if (!slot.scan.has_value() || slot.scan->AllFound()) continue;
-      if (d >= slot.scan->max_diagonals()) continue;
-      tasks.push_back([this, s, d, collect, &slots] {
+      if (!slots[s].scan.has_value()) continue;
+      tasks.push_back([this, s, k, collect, &slots, &verified, &merge_mu] {
         Slot& sl = slots[s];
         BufferPool::ThreadIoScope io_scope(collect ? &sl.io : nullptr);
         Shard& shard = *shards_[s];
-        std::lock_guard<std::mutex> lock(shard.mu);
-        sl.status = sl.scan->ScanDiagonal(d, &sl.fresh);
+        const size_t nd = sl.scan->max_diagonals();
+        for (size_t d = 0; d < nd; ++d) {
+          if (sl.scan->AllFound()) return;
+          double dk = 0.0;
+          bool have_k = false;
+          {
+            std::lock_guard<std::mutex> g(merge_mu);
+            if (verified.size() >= k) {
+              have_k = true;
+              dk = verified[k - 1].distance;
+            }
+          }
+          // shard.mu is taken per scan step, not for the whole task:
+          // other queries touching this shard interleave between rounds
+          // exactly as they did between the legacy path's barriers.
+          // (Mutations stay excluded for the whole query by state_mu_.)
+          if (have_k) {
+            if (d == 0 ||
+                sl.scan->CoveredRadiusAfterDiagonal(d - 1) < dk) {
+              sl.fresh.clear();
+              {
+                std::lock_guard<std::mutex> lock(shard.mu);
+                sl.status = sl.scan->VerticalScan(dk, &sl.fresh);
+              }
+              if (!sl.status.ok() || sl.fresh.empty()) return;
+              std::lock_guard<std::mutex> g(merge_mu);
+              KWayMergeByDistance({&sl.fresh}, &verified);
+            }
+            return;  // Retired.
+          }
+          sl.fresh.clear();
+          {
+            std::lock_guard<std::mutex> lock(shard.mu);
+            sl.status = sl.scan->ScanDiagonal(d, &sl.fresh);
+          }
+          if (!sl.status.ok()) return;
+          if (!sl.fresh.empty()) {
+            std::lock_guard<std::mutex> g(merge_mu);
+            KWayMergeByDistance({&sl.fresh}, &verified);
+          }
+        }
+        // Every diagonal exhausted: the scan covered the whole space for
+        // each run that still has unlocated users, so those users are
+        // simply not hosted here — nothing left to rule out.
       });
     }
-    if (tasks.empty()) break;  // Every shard located all its friends.
     threads_.RunAll(std::move(tasks));
-
-    std::vector<const std::vector<Neighbor>*> fresh_lists;
     for (Slot& slot : slots) {
       if (!slot.scan.has_value()) continue;
       PEB_RETURN_NOT_OK(slot.status);
-      fresh_lists.push_back(&slot.fresh);
     }
-    KWayMergeByDistance(std::move(fresh_lists), &verified);
-    for (Slot& slot : slots) slot.fresh.clear();
-    if (verified.size() >= k) need_vertical = true;
-  }
+  } else {
+    bool need_vertical = false;
+    for (size_t d = 0; d < max_diagonals && !need_vertical; ++d) {
+      std::vector<std::function<void()>> tasks;
+      for (size_t s = 0; s < shards_.size(); ++s) {
+        Slot& slot = slots[s];
+        if (!slot.scan.has_value() || slot.scan->AllFound()) continue;
+        if (d >= slot.scan->max_diagonals()) continue;
+        tasks.push_back([this, s, d, collect, &slots] {
+          Slot& sl = slots[s];
+          BufferPool::ThreadIoScope io_scope(collect ? &sl.io : nullptr);
+          Shard& shard = *shards_[s];
+          std::lock_guard<std::mutex> lock(shard.mu);
+          sl.status = sl.scan->ScanDiagonal(d, &sl.fresh);
+        });
+      }
+      if (tasks.empty()) break;  // Every shard located all its friends.
+      threads_.RunAll(std::move(tasks));
 
-  // Section 5.4's final step, fanned out: every shard with unlocated
-  // friends scans the square bounded by the global k-th distance, ruling
-  // out closer unexamined candidates. After this the merged list is exact.
-  if (need_vertical) {
-    double dk = verified[k - 1].distance;
-    std::vector<std::function<void()>> tasks;
-    for (size_t s = 0; s < shards_.size(); ++s) {
-      Slot& slot = slots[s];
-      if (!slot.scan.has_value() || slot.scan->AllFound()) continue;
-      tasks.push_back([this, s, dk, collect, &slots] {
-        Slot& sl = slots[s];
-        BufferPool::ThreadIoScope io_scope(collect ? &sl.io : nullptr);
-        Shard& shard = *shards_[s];
-        std::lock_guard<std::mutex> lock(shard.mu);
-        sl.status = sl.scan->VerticalScan(dk, &sl.fresh);
-      });
+      std::vector<const std::vector<Neighbor>*> fresh_lists;
+      for (Slot& slot : slots) {
+        if (!slot.scan.has_value()) continue;
+        PEB_RETURN_NOT_OK(slot.status);
+        fresh_lists.push_back(&slot.fresh);
+      }
+      KWayMergeByDistance(std::move(fresh_lists), &verified);
+      for (Slot& slot : slots) slot.fresh.clear();
+      if (verified.size() >= k) need_vertical = true;
     }
-    threads_.RunAll(std::move(tasks));
-    std::vector<const std::vector<Neighbor>*> fresh_lists;
-    for (Slot& slot : slots) {
-      if (!slot.scan.has_value()) continue;
-      PEB_RETURN_NOT_OK(slot.status);
-      fresh_lists.push_back(&slot.fresh);
+
+    // Section 5.4's final step, fanned out: every shard with unlocated
+    // friends scans the square bounded by the global k-th distance, ruling
+    // out closer unexamined candidates. After this the merged list is
+    // exact.
+    if (need_vertical) {
+      double dk = verified[k - 1].distance;
+      std::vector<std::function<void()>> tasks;
+      for (size_t s = 0; s < shards_.size(); ++s) {
+        Slot& slot = slots[s];
+        if (!slot.scan.has_value() || slot.scan->AllFound()) continue;
+        tasks.push_back([this, s, dk, collect, &slots] {
+          Slot& sl = slots[s];
+          BufferPool::ThreadIoScope io_scope(collect ? &sl.io : nullptr);
+          Shard& shard = *shards_[s];
+          std::lock_guard<std::mutex> lock(shard.mu);
+          sl.status = sl.scan->VerticalScan(dk, &sl.fresh);
+        });
+      }
+      threads_.RunAll(std::move(tasks));
+      std::vector<const std::vector<Neighbor>*> fresh_lists;
+      for (Slot& slot : slots) {
+        if (!slot.scan.has_value()) continue;
+        PEB_RETURN_NOT_OK(slot.status);
+        fresh_lists.push_back(&slot.fresh);
+      }
+      KWayMergeByDistance(std::move(fresh_lists), &verified);
     }
-    KWayMergeByDistance(std::move(fresh_lists), &verified);
   }
 
   if (verified.size() > k) verified.resize(k);

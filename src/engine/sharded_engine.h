@@ -16,7 +16,13 @@
 // friends it hosts, on a fixed ThreadPool, so the total key-range probe
 // count matches the single-tree index while wall-clock drops with
 // parallelism. Per-shard candidate lists are merged into one result
-// (k-way merge by distance for PkNN).
+// (k-way merge by distance for PkNN). On the incremental PkNN path
+// (MovingIndexOptions::incremental_knn, the default) the engine runs ONE
+// streaming task per shard instead of a per-round barrier: each shard
+// publishes its anti-diagonal's candidates into a shared verified list as
+// soon as they exist, and a shard retires the moment its provably covered
+// radius reaches the global k-th candidate distance — its remaining
+// annuli (and final vertical scan) cannot improve the answer.
 //
 // Results are shard-count invariant: a user qualifies for a PRQ/PkNN answer
 // in exactly one shard (their home shard), so the merged result equals the
@@ -112,7 +118,9 @@ class ShardedPebEngine final : public PrivacyAwareIndex {
   /// shard task accumulates its own counters and attributes its buffer-pool
   /// traffic through BufferPool::ThreadIoScope, and the merged totals are
   /// returned by value in `stats` — no shared observer state on the hot
-  /// path (the old counters-publishing mutex is gone).
+  /// path (the old counters-publishing mutex is gone; PRQ shard counters
+  /// go straight into the query's own slot via RangeQueryAmong's
+  /// counters out-param, never through the shard tree's last_query()).
   Result<std::vector<UserId>> RangeQueryWithStats(UserId issuer,
                                                   const Rect& range,
                                                   Timestamp tq,

@@ -66,6 +66,8 @@ RunResult RunPrqBatch(service::MovingObjectService& service,
     r.avg_candidates +=
         static_cast<double>(resp.counters.candidates_examined);
     r.avg_probes += static_cast<double>(resp.counters.range_probes);
+    r.avg_rounds += static_cast<double>(resp.counters.rounds);
+    r.avg_descents += static_cast<double>(resp.counters.seek_descents);
     r.avg_results += static_cast<double>(resp.ids.size());
   }
   auto t1 = std::chrono::steady_clock::now();
@@ -73,6 +75,8 @@ RunResult RunPrqBatch(service::MovingObjectService& service,
   r.avg_io /= n;
   r.avg_candidates /= n;
   r.avg_probes /= n;
+  r.avg_rounds /= n;
+  r.avg_descents /= n;
   r.avg_results /= n;
   r.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
   return r;
@@ -91,6 +95,8 @@ RunResult RunPknnBatch(service::MovingObjectService& service,
     r.avg_candidates +=
         static_cast<double>(resp.counters.candidates_examined);
     r.avg_probes += static_cast<double>(resp.counters.range_probes);
+    r.avg_rounds += static_cast<double>(resp.counters.rounds);
+    r.avg_descents += static_cast<double>(resp.counters.seek_descents);
     r.avg_results += static_cast<double>(resp.neighbors.size());
   }
   auto t1 = std::chrono::steady_clock::now();
@@ -98,6 +104,8 @@ RunResult RunPknnBatch(service::MovingObjectService& service,
   r.avg_io /= n;
   r.avg_candidates /= n;
   r.avg_probes /= n;
+  r.avg_rounds /= n;
+  r.avg_descents /= n;
   r.avg_results /= n;
   r.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
   return r;

@@ -55,6 +55,8 @@ struct RunResult {
   double avg_candidates = 0.0;  ///< Leaf entries inspected per query.
   double avg_results = 0.0;     ///< Result size per query.
   double avg_probes = 0.0;      ///< 1-D key ranges searched per query.
+  double avg_rounds = 0.0;      ///< kNN enlargement rounds per query.
+  double avg_descents = 0.0;    ///< Root descents per query.
   double wall_ms = 0.0;         ///< Total wall time for the batch.
 };
 

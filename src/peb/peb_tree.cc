@@ -1,10 +1,12 @@
 #include "peb/peb_tree.h"
 
 #include "bxtree/knn_schedule.h"
+#include "costmodel/cost_model.h"
 
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 #include <numbers>
 
 namespace peb {
@@ -161,17 +163,20 @@ Status PebTree::AttachExisting(const PebTreeManifest& manifest) {
   return Status::OK();
 }
 
-std::vector<PebTree::SvRow> PebTree::BuildRows(
-    const std::vector<FriendEntry>& friends) {
-  std::vector<SvRow> rows;
-  rows.reserve(friends.size());
+std::vector<PebTree::SvRun> PebTree::BuildRuns(
+    const std::vector<FriendEntry>& friends, uint32_t gap) {
+  std::vector<SvRun> runs;
+  runs.reserve(friends.size());
   for (const FriendEntry& f : friends) {  // Ascending (qsv, uid).
-    if (rows.empty() || rows.back().qsv != f.qsv) {
-      rows.push_back({f.qsv, {}});
+    if (runs.empty() || f.qsv > runs.back().qsv_hi + gap) {
+      runs.emplace_back();
+      runs.back().qsv_lo = f.qsv;
     }
-    rows.back().uids.push_back(f.uid);
+    SvRun& run = runs.back();
+    run.qsv_hi = f.qsv;
+    if (run.wanted.insert(f.uid).second) run.remaining++;
   }
-  return rows;
+  return runs;
 }
 
 bool PebTree::Verify(UserId issuer, const SpatialCandidate& cand,
@@ -184,12 +189,13 @@ bool PebTree::Verify(UserId issuer, const SpatialCandidate& cand,
 namespace {
 
 /// Consumes entries from an iterator-like positioned at the scan start
-/// until the key leaves [.., end_primary]. Shared by the LeafCursor fast
-/// path and the legacy per-interval-descent path.
+/// until the key leaves [.., end_primary] — or until `*remaining` hits
+/// zero, after which no further wanted user can appear. Shared by the
+/// LeafCursor fast path and the legacy per-interval-descent path.
 template <typename It>
 Status ConsumePebEntries(It& it, uint64_t end_primary,
                          const std::unordered_set<UserId>* wanted,
-                         std::unordered_set<UserId>* found,
+                         std::unordered_set<UserId>* found, size_t* remaining,
                          std::vector<SpatialCandidate>* out, Timestamp tq,
                          QueryCounters* counters) {
   while (it.Valid()) {
@@ -207,6 +213,7 @@ Status ConsumePebEntries(It& it, uint64_t end_primary,
       obj.vel = {rec.vx, rec.vy};
       obj.tu = rec.tu;
       out->push_back({uid, obj.PositionAt(tq), obj});
+      if (remaining != nullptr && --*remaining == 0) break;
     }
     PEB_RETURN_NOT_OK(it.Next());
   }
@@ -219,6 +226,7 @@ Status PebTree::ScanKeyRange(ObjectBTree::LeafCursor* cursor,
                              CompositeKey start, uint64_t end_primary,
                              const std::unordered_set<UserId>* wanted,
                              std::unordered_set<UserId>* found,
+                             size_t* remaining,
                              std::vector<SpatialCandidate>* out, Timestamp tq,
                              QueryCounters* counters) const {
   counters->range_probes++;
@@ -228,26 +236,28 @@ Status PebTree::ScanKeyRange(ObjectBTree::LeafCursor* cursor,
     PEB_RETURN_NOT_OK(cursor->SeekGE(start));
     counters->seek_descents += cursor->descents() - d0;
     counters->leaf_hops += cursor->chain_hops() - h0;
-    return ConsumePebEntries(*cursor, end_primary, wanted, found, out, tq,
-                             counters);
+    return ConsumePebEntries(*cursor, end_primary, wanted, found, remaining,
+                             out, tq, counters);
   }
   counters->seek_descents++;
   PEB_ASSIGN_OR_RETURN(auto it, tree_.SeekGE(start));
-  return ConsumePebEntries(it, end_primary, wanted, found, out, tq, counters);
+  return ConsumePebEntries(it, end_primary, wanted, found, remaining, out, tq,
+                           counters);
 }
 
-Status PebTree::ScanSvInterval(ObjectBTree::LeafCursor* cursor,
-                               uint32_t partition, uint32_t qsv, uint64_t zlo,
-                               uint64_t zhi,
-                               const std::unordered_set<UserId>* wanted,
-                               std::unordered_set<UserId>* found,
-                               std::vector<SpatialCandidate>* out,
-                               Timestamp tq, QueryCounters* counters) const {
+Status PebTree::ScanSvRun(ObjectBTree::LeafCursor* cursor, uint32_t partition,
+                          uint32_t qsv_lo, uint32_t qsv_hi, uint64_t zlo,
+                          uint64_t zhi,
+                          const std::unordered_set<UserId>* wanted,
+                          std::unordered_set<UserId>* found,
+                          size_t* remaining,
+                          std::vector<SpatialCandidate>* out, Timestamp tq,
+                          QueryCounters* counters) const {
   if (zlo > zhi) return Status::OK();
-  return ScanKeyRange(cursor,
-                      CompositeKey::Min(layout_.MakeKey(partition, qsv, zlo)),
-                      layout_.MakeKey(partition, qsv, zhi), wanted, found,
-                      out, tq, counters);
+  return ScanKeyRange(
+      cursor, CompositeKey::Min(layout_.MakeKey(partition, qsv_lo, zlo)),
+      layout_.MakeKey(partition, qsv_hi, zhi), wanted, found, remaining, out,
+      tq, counters);
 }
 
 // ---------------------------------------------------------------------------
@@ -264,38 +274,38 @@ Result<std::vector<UserId>> PebTree::RangeQuery(UserId issuer,
   if (issuer >= snap->num_users()) {
     return UnknownIssuerError(issuer);
   }
-  return RangeQueryAmong(issuer, range, tq, snap->FriendsOf(issuer));
+  counters_ = QueryCounters{};
+  return RangeQueryAmong(issuer, range, tq, snap->FriendsOf(issuer), nullptr,
+                         &counters_);
 }
 
 Result<std::vector<UserId>> PebTree::RangeQueryAmong(
     UserId issuer, const Rect& range, Timestamp tq,
-    const std::vector<FriendEntry>& friends, SharedScanCache* shared) const {
-  counters_ = QueryCounters{};
-  std::vector<SvRow> rows = BuildRows(friends);
+    const std::vector<FriendEntry>& friends, SharedScanCache* shared,
+    QueryCounters* counters) const {
+  QueryCounters local;
+  QueryCounters* c = counters != nullptr ? counters : &local;
+  *c = QueryCounters{};
   switch (options_.prq_strategy) {
-    case PrqStrategy::kPerFriendIntervals:
-      return RangeQueryPerFriend(issuer, range, tq, rows, shared);
+    case PrqStrategy::kPerFriendIntervals: {
+      std::vector<SvRun> runs = BuildRuns(friends, options_.index.qsv_run_gap);
+      return RangeQueryPerFriend(issuer, range, tq, runs, shared, c);
+    }
     case PrqStrategy::kSpanScan:
-      return RangeQuerySpan(issuer, range, tq, rows, shared);
+      return RangeQuerySpan(issuer, range, tq, friends, shared, c);
   }
   return Status::Internal("unknown PRQ strategy");
 }
 
 Result<std::vector<UserId>> PebTree::RangeQueryPerFriend(
-    UserId issuer, const Rect& range, Timestamp tq,
-    const std::vector<SvRow>& rows, SharedScanCache* shared) const {
+    UserId issuer, const Rect& range, Timestamp tq, std::vector<SvRun>& runs,
+    SharedScanCache* shared, QueryCounters* counters) const {
   std::vector<UserId> results;
-  if (rows.empty()) return results;
+  if (runs.empty()) return results;
 
   std::unordered_set<UserId> found;
   std::vector<SpatialCandidate> candidates;
-  candidates.reserve(rows.size());
-
-  // Per-row wanted sets, built once instead of per (label, row) pair.
-  std::vector<std::unordered_set<UserId>> row_wanted(rows.size());
-  for (size_t i = 0; i < rows.size(); ++i) {
-    row_wanted[i].insert(rows[i].uids.begin(), rows[i].uids.end());
-  }
+  candidates.reserve(runs.size());
 
   ObjectBTree::LeafCursor cursor = tree_.NewCursor();
   cursor.set_prefetch(options_.index.prefetch_next_leaf);
@@ -321,32 +331,33 @@ Result<std::vector<UserId>> PebTree::RangeQueryPerFriend(
         shared == nullptr ? local : *cached;
     if (intervals.empty()) continue;
 
-    // Rows ascend by qsv and intervals by Z, and qsv sits above zv in the
+    // Runs ascend by qsv and intervals by Z, and qsv sits above zv in the
     // PEB key, so every probe within one label moves the cursor forward.
-    for (size_t i = 0; i < rows.size(); ++i) {
-      const SvRow& row = rows[i];
-      // Skip rule: a user has one location; once each of the row's users
+    for (SvRun& run : runs) {
+      // Skip rule: a user has one location; once each of the run's users
       // has been found (in any partition), its remaining ranges are dead.
-      bool all_found = true;
-      for (UserId u : row.uids) {
-        if (!found.contains(u)) {
-          all_found = false;
-          break;
-        }
+      // `remaining` is maintained inside the scans, so this is O(1).
+      if (run.remaining == 0) continue;
+      if (run.qsv_lo != run.qsv_hi) {
+        // Coalesced SV run: the rows are adjacent in key space, so ONE
+        // scan spanning the whole run replaces |intervals| probes per
+        // row. The scan walks each row's (sparse) full extent once —
+        // per-interval probing would re-read those same entries once per
+        // interval instead, since every probe [lo ⊕ ZVs, hi ⊕ ZVe]
+        // crosses all the rows in between.
+        PEB_RETURN_NOT_OK(ScanSvRun(&cursor, partition, run.qsv_lo,
+                                    run.qsv_hi, intervals.front().lo,
+                                    intervals.back().hi, &run.wanted, &found,
+                                    &run.remaining, &candidates, tq,
+                                    counters));
+        continue;
       }
-      if (all_found) continue;
       for (const CurveInterval& iv : intervals) {
-        PEB_RETURN_NOT_OK(ScanSvInterval(&cursor, partition, row.qsv, iv.lo,
-                                         iv.hi, &row_wanted[i], &found,
-                                         &candidates, tq, &counters_));
-        bool row_done = true;
-        for (UserId u : row.uids) {
-          if (!found.contains(u)) {
-            row_done = false;
-            break;
-          }
-        }
-        if (row_done) break;
+        PEB_RETURN_NOT_OK(ScanSvRun(&cursor, partition, run.qsv_lo,
+                                    run.qsv_hi, iv.lo, iv.hi, &run.wanted,
+                                    &found, &run.remaining, &candidates, tq,
+                                    counters));
+        if (run.remaining == 0) break;
       }
     }
   }
@@ -357,25 +368,25 @@ Result<std::vector<UserId>> PebTree::RangeQueryPerFriend(
     }
   }
   std::sort(results.begin(), results.end());
-  counters_.results = results.size();
+  counters->results = results.size();
   return results;
 }
 
 Result<std::vector<UserId>> PebTree::RangeQuerySpan(
     UserId issuer, const Rect& range, Timestamp tq,
-    const std::vector<SvRow>& rows, SharedScanCache* shared) const {
+    const std::vector<FriendEntry>& friends, SharedScanCache* shared,
+    QueryCounters* counters) const {
   std::vector<UserId> results;
-  if (rows.empty()) return results;
+  if (friends.empty()) return results;
 
-  uint32_t sv_min = rows.front().qsv;
-  uint32_t sv_max = rows.back().qsv;
+  uint32_t sv_min = friends.front().qsv;  // Ascending (qsv, uid).
+  uint32_t sv_max = friends.back().qsv;
   std::unordered_set<UserId> wanted;
-  for (const SvRow& row : rows) {
-    wanted.insert(row.uids.begin(), row.uids.end());
-  }
+  for (const FriendEntry& f : friends) wanted.insert(f.uid);
+  size_t remaining = wanted.size();
   std::unordered_set<UserId> found;
   std::vector<SpatialCandidate> candidates;
-  candidates.reserve(rows.size());
+  candidates.reserve(wanted.size());
 
   ObjectBTree::LeafCursor cursor = tree_.NewCursor();
   cursor.set_prefetch(options_.index.prefetch_next_leaf);
@@ -408,8 +419,10 @@ Result<std::vector<UserId>> PebTree::RangeQuerySpan(
       PEB_RETURN_NOT_OK(ScanKeyRange(
           &cursor, CompositeKey::Min(layout_.MakeKey(partition, sv_min, iv.lo)),
           layout_.MakeKey(partition, sv_max, iv.hi), &wanted, &found,
-          &candidates, tq, &counters_));
+          &remaining, &candidates, tq, counters));
+      if (remaining == 0) break;
     }
+    if (remaining == 0) break;
   }
 
   for (const SpatialCandidate& cand : candidates) {
@@ -418,7 +431,7 @@ Result<std::vector<UserId>> PebTree::RangeQuerySpan(
     }
   }
   std::sort(results.begin(), results.end());
-  counters_.results = results.size();
+  counters->results = results.size();
   return results;
 }
 
@@ -427,16 +440,35 @@ Result<std::vector<UserId>> PebTree::RangeQuerySpan(
 // ---------------------------------------------------------------------------
 
 double EstimateKnnDistanceFor(size_t n, size_t k, double space_side) {
-  if (n == 0) n = 1;
-  double ratio = std::min(1.0, static_cast<double>(k) / static_cast<double>(n));
-  double inner = 1.0 - std::sqrt(ratio);
-  double dk = 2.0 / std::sqrt(std::numbers::pi) *
-              (1.0 - std::sqrt(std::max(0.0, inner)));
-  return std::max(dk * space_side, 1e-6 * space_side);
+  // Delegates to the analytic cost model's closed form (Section 5.4).
+  return ExpectedKnnDistance(static_cast<double>(n == 0 ? 1 : n), k,
+                             space_side);
 }
 
 double PebTree::EstimateKnnDistance(size_t k) const {
   return EstimateKnnDistanceFor(size(), k, options_.index.space_side);
+}
+
+double KnnSeedRadiusFor(size_t num_candidates, size_t indexed,
+                        size_t population, size_t k, double space_side) {
+  // Local density estimate: of the issuer's `num_candidates` friends, only
+  // the indexed fraction of the population can be in the index at all.
+  double live = 1.0;
+  if (population > 0) {
+    live = std::min(1.0, static_cast<double>(indexed) /
+                             static_cast<double>(population));
+  }
+  KnnSeedInputs in;
+  in.candidate_count =
+      std::max(1.0, static_cast<double>(num_candidates) * live);
+  in.k = k;
+  in.space_side = space_side;
+  return EstimateKnnSeedRadius(in);
+}
+
+double PebTree::KnnSeedRadius(size_t num_candidates, size_t k) const {
+  return KnnSeedRadiusFor(num_candidates, size(), snapshot_->num_users(), k,
+                          options_.index.space_side);
 }
 
 Result<std::vector<Neighbor>> PebTree::KnnQuery(UserId issuer,
@@ -447,7 +479,8 @@ Result<std::vector<Neighbor>> PebTree::KnnQuery(UserId issuer,
   if (issuer >= snap->num_users()) {
     return UnknownIssuerError(issuer);
   }
-  return KnnQueryAmong(issuer, qloc, k, tq, snap->FriendsOf(issuer));
+  return KnnQueryAmong(issuer, qloc, k, tq, snap->FriendsOf(issuer),
+                       &counters_);
 }
 
 // --- KnnScan: the incremental per-tree search primitive --------------------
@@ -461,15 +494,14 @@ PebTree::KnnScan::KnnScan(const PebTree* tree, UserId issuer, Point qloc,
       qloc_(qloc),
       tq_(tq),
       rq_(rq),
+      incremental_(tree->options_.index.incremental_knn),
       shared_(shared),
-      rows_(BuildRows(friends)) {
-  row_wanted_.resize(rows_.size());
-  for (size_t i = 0; i < rows_.size(); ++i) {
-    row_wanted_[i].insert(rows_[i].uids.begin(), rows_[i].uids.end());
-    total_wanted_ += rows_[i].uids.size();
-  }
+      runs_(BuildRuns(friends, incremental_
+                                   ? tree->options_.index.qsv_run_gap
+                                   : 0)) {
+  for (const SvRun& run : runs_) total_wanted_ += run.remaining;
   double space_diag = tree_->options_.index.space_side * std::numbers::sqrt2;
-  while (KnnRadiusForRound(rq_, max_rounds_ - 1) < space_diag) max_rounds_++;
+  while (RadiusForRound(max_rounds_ - 1) < space_diag) max_rounds_++;
 
   cursor_ = tree_->tree_.NewCursor();
   cursor_.set_prefetch(tree_->options_.index.prefetch_next_leaf);
@@ -481,14 +513,27 @@ PebTree::KnnScan::KnnScan(const PebTree* tree, UserId issuer, Point qloc,
     labels_.push_back({label, opts.partitions.PartitionOf(label),
                        opts.max_speed * std::abs(tq - tlab)});
   }
-  spans_.resize(labels_.size());
+  if (incremental_) {
+    rings_.resize(labels_.size());
+  } else {
+    spans_.resize(labels_.size());
+  }
 }
 
-bool PebTree::KnnScan::RowDone(size_t i) const {
-  for (UserId u : rows_[i].uids) {
-    if (!found_.contains(u)) return false;
+double PebTree::KnnScan::RadiusForRound(size_t j) const {
+  return incremental_ ? KnnSeededRadiusForRound(rq_, j)
+                      : KnnRadiusForRound(rq_, j);
+}
+
+double PebTree::KnnScan::CoveredRadiusAfterDiagonal(size_t d) const {
+  double covered = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < runs_.size(); ++i) {
+    if (runs_[i].remaining == 0) continue;  // Nothing left to find there.
+    if (d < i) return 0.0;  // Run not started: no coverage at all yet.
+    covered = std::min(covered, RadiusForRound(std::min(d - i,
+                                                        max_rounds_ - 1)));
   }
-  return true;
+  return covered;
 }
 
 // Per-label, per-round single Z span (Section 5.4 uses one interval per
@@ -525,6 +570,37 @@ CurveInterval PebTree::KnnScan::SpanFor(size_t li, size_t j) {
   return memo[j];
 }
 
+const SharedScanCache::RingEntry& PebTree::KnnScan::RingFor(size_t li,
+                                                            size_t j) {
+  auto& memo = rings_[li];
+  while (memo.size() <= j) {
+    size_t round = memo.size();
+    // The previous round's cumulative covered set — built strictly in
+    // round order, so it is already in the memo. Deterministic for a
+    // given (query, label, round), which is what lets every shard of a
+    // fanned-out query share one copy through the cache.
+    auto compute = [&]() -> SharedScanCache::RingEntry {
+      Rect rect = Rect::CenteredSquare(qloc_, 2.0 * RadiusForRound(round));
+      static const std::vector<CurveInterval> kNone;
+      const std::vector<CurveInterval>& covered_in =
+          round == 0 ? kNone : *memo[round - 1].covered;
+      RingDecomposition rd =
+          ZRingForWindow(tree_->grid_, rect.Expanded(labels_[li].enlarge),
+                         covered_in, tree_->options_.index.zrange);
+      SharedScanCache::RingEntry entry;
+      entry.ring = std::make_shared<const std::vector<CurveInterval>>(
+          std::move(rd.ring));
+      entry.covered = std::make_shared<const std::vector<CurveInterval>>(
+          std::move(rd.covered));
+      return entry;
+    };
+    memo.push_back(shared_ == nullptr
+                       ? compute()
+                       : shared_->KnnRing(labels_[li].label, round, compute));
+  }
+  return memo[j];
+}
+
 void PebTree::KnnScan::InsertVerified(std::vector<Neighbor>* verified) {
   for (const SpatialCandidate& cand : batch_) {
     if (tree_->Verify(issuer_, cand, tq_)) {
@@ -542,49 +618,83 @@ Status PebTree::KnnScan::ScanCell(size_t i, size_t j,
                                   std::vector<Neighbor>* verified) {
   counters_.rounds = std::max(counters_.rounds, j + 1);
   if (RowDone(i)) return Status::OK();
+  SvRun& run = runs_[i];
   for (size_t li = 0; li < labels_.size(); ++li) {
+    const uint32_t partition = labels_[li].partition;
+    if (incremental_) {
+      // Exact annulus delta: scan only the intervals new to round j. The
+      // persistent cursor carries its leaf position across rounds, so a
+      // later round never re-fetches leaves an earlier round examined.
+      const SharedScanCache::RingEntry& ring = RingFor(li, j);
+      if (ring.ring->empty()) continue;
+      batch_.clear();
+      if (run.qsv_lo != run.qsv_hi) {
+        // Coalesced SV run: one scan bounding the whole ring replaces a
+        // probe per (row, interval) — per-interval probing would re-read
+        // the run's sparse row extents once per interval.
+        PEB_RETURN_NOT_OK(tree_->ScanSvRun(&cursor_, partition, run.qsv_lo,
+                                           run.qsv_hi, ring.ring->front().lo,
+                                           ring.ring->back().hi, &run.wanted,
+                                           &found_, &run.remaining, &batch_,
+                                           tq_, &counters_));
+      } else {
+        for (const CurveInterval& iv : *ring.ring) {
+          PEB_RETURN_NOT_OK(tree_->ScanSvRun(&cursor_, partition, run.qsv_lo,
+                                             run.qsv_hi, iv.lo, iv.hi,
+                                             &run.wanted, &found_,
+                                             &run.remaining, &batch_, tq_,
+                                             &counters_));
+          if (run.remaining == 0) break;
+        }
+      }
+      InsertVerified(verified);
+      if (run.remaining == 0) break;
+      continue;
+    }
     CurveInterval cur = SpanFor(li, j);
     if (cur.lo > cur.hi) continue;
     batch_.clear();
-    const uint32_t partition = labels_[li].partition;
-    const uint32_t qsv = rows_[i].qsv;
+    const uint32_t qsv = run.qsv_lo;  // Legacy runs are single rows.
     if (j == 0) {
-      PEB_RETURN_NOT_OK(tree_->ScanSvInterval(&cursor_, partition, qsv,
-                                              cur.lo, cur.hi, &row_wanted_[i],
-                                              &found_, &batch_, tq_,
-                                              &counters_));
+      PEB_RETURN_NOT_OK(tree_->ScanSvRun(&cursor_, partition, qsv, qsv,
+                                         cur.lo, cur.hi, &run.wanted,
+                                         &found_, &run.remaining, &batch_,
+                                         tq_, &counters_));
     } else {
       // Scan only the ring new to round j.
       CurveInterval prev = SpanFor(li, j - 1);
       if (prev.lo > prev.hi) {
-        PEB_RETURN_NOT_OK(tree_->ScanSvInterval(&cursor_, partition, qsv,
-                                                cur.lo, cur.hi,
-                                                &row_wanted_[i], &found_,
-                                                &batch_, tq_, &counters_));
+        PEB_RETURN_NOT_OK(tree_->ScanSvRun(&cursor_, partition, qsv, qsv,
+                                           cur.lo, cur.hi, &run.wanted,
+                                           &found_, &run.remaining, &batch_,
+                                           tq_, &counters_));
       } else {
         if (cur.lo < prev.lo) {
-          PEB_RETURN_NOT_OK(tree_->ScanSvInterval(&cursor_, partition, qsv,
-                                                  cur.lo, prev.lo - 1,
-                                                  &row_wanted_[i], &found_,
-                                                  &batch_, tq_, &counters_));
+          PEB_RETURN_NOT_OK(tree_->ScanSvRun(&cursor_, partition, qsv, qsv,
+                                             cur.lo, prev.lo - 1,
+                                             &run.wanted, &found_,
+                                             &run.remaining, &batch_, tq_,
+                                             &counters_));
         }
         if (cur.hi > prev.hi) {
-          PEB_RETURN_NOT_OK(tree_->ScanSvInterval(&cursor_, partition, qsv,
-                                                  prev.hi + 1, cur.hi,
-                                                  &row_wanted_[i], &found_,
-                                                  &batch_, tq_, &counters_));
+          PEB_RETURN_NOT_OK(tree_->ScanSvRun(&cursor_, partition, qsv, qsv,
+                                             prev.hi + 1, cur.hi,
+                                             &run.wanted, &found_,
+                                             &run.remaining, &batch_, tq_,
+                                             &counters_));
         }
       }
     }
     InsertVerified(verified);
   }
+  run.rounds_done = std::max(run.rounds_done, j + 1);
   return Status::OK();
 }
 
 Status PebTree::KnnScan::ScanDiagonal(size_t d,
                                       std::vector<Neighbor>* verified) {
-  if (rows_.empty()) return Status::OK();
-  size_t i_hi = std::min(d, rows_.size() - 1);
+  if (runs_.empty()) return Status::OK();
+  size_t i_hi = std::min(d, runs_.size() - 1);
   for (size_t i = 0; i <= i_hi; ++i) {
     size_t j = d - i;
     if (j >= max_rounds_) continue;
@@ -597,6 +707,52 @@ Status PebTree::KnnScan::VerticalScan(double dk,
                                       std::vector<Neighbor>* verified) {
   Rect rect = Rect::CenteredSquare(qloc_, 2.0 * dk);
   for (size_t li = 0; li < labels_.size(); ++li) {
+    if (incremental_) {
+      // Scan only the part of the vertical window this run has NOT already
+      // covered during its enlargement rounds — usually nothing, since dk
+      // is bounded by the last scanned radius.
+      auto compute = [&]() -> std::vector<CurveInterval> {
+        return ZIntervalsForWindow(tree_->grid_,
+                                   rect.Expanded(labels_[li].enlarge),
+                                   tree_->options_.index.zrange);
+      };
+      SharedScanCache::IntervalsPtr vert =
+          shared_ == nullptr
+              ? std::make_shared<const std::vector<CurveInterval>>(compute())
+              : shared_->VerticalIntervals(labels_[li].label, compute);
+      if (vert->empty()) continue;
+      for (size_t i = 0; i < runs_.size(); ++i) {
+        if (RowDone(i)) continue;
+        SvRun& run = runs_[i];
+        std::vector<CurveInterval> local;
+        const std::vector<CurveInterval>* delta = vert.get();
+        if (run.rounds_done > 0) {
+          local = SubtractIntervals(
+              *vert, *RingFor(li, run.rounds_done - 1).covered);
+          delta = &local;
+        }
+        if (delta->empty()) continue;
+        batch_.clear();
+        if (run.qsv_lo != run.qsv_hi) {
+          PEB_RETURN_NOT_OK(tree_->ScanSvRun(&cursor_, labels_[li].partition,
+                                             run.qsv_lo, run.qsv_hi,
+                                             delta->front().lo,
+                                             delta->back().hi, &run.wanted,
+                                             &found_, &run.remaining,
+                                             &batch_, tq_, &counters_));
+        } else {
+          for (const CurveInterval& iv : *delta) {
+            PEB_RETURN_NOT_OK(tree_->ScanSvRun(
+                &cursor_, labels_[li].partition, run.qsv_lo, run.qsv_hi,
+                iv.lo, iv.hi, &run.wanted, &found_, &run.remaining, &batch_,
+                tq_, &counters_));
+            if (run.remaining == 0) break;
+          }
+        }
+        InsertVerified(verified);
+      }
+      continue;
+    }
     auto compute = [&]() -> CurveInterval {
       auto intervals =
           ZIntervalsForWindow(tree_->grid_, rect.Expanded(labels_[li].enlarge),
@@ -608,13 +764,15 @@ Status PebTree::KnnScan::VerticalScan(double dk,
         shared_ == nullptr ? compute()
                            : shared_->VerticalSpan(labels_[li].label, compute);
     if (span.lo > span.hi) continue;
-    for (size_t i = 0; i < rows_.size(); ++i) {
+    for (size_t i = 0; i < runs_.size(); ++i) {
       if (RowDone(i)) continue;
+      SvRun& run = runs_[i];
       batch_.clear();
-      PEB_RETURN_NOT_OK(tree_->ScanSvInterval(&cursor_, labels_[li].partition,
-                                              rows_[i].qsv, span.lo, span.hi,
-                                              &row_wanted_[i], &found_,
-                                              &batch_, tq_, &counters_));
+      PEB_RETURN_NOT_OK(tree_->ScanSvRun(&cursor_, labels_[li].partition,
+                                         run.qsv_lo, run.qsv_hi, span.lo,
+                                         span.hi, &run.wanted, &found_,
+                                         &run.remaining, &batch_, tq_,
+                                         &counters_));
       InsertVerified(verified);
     }
   }
@@ -632,12 +790,18 @@ PebTree::KnnScan PebTree::NewKnnScan(UserId issuer, const Point& qloc,
 
 Result<std::vector<Neighbor>> PebTree::KnnQueryAmong(
     UserId issuer, const Point& qloc, size_t k, Timestamp tq,
-    const std::vector<FriendEntry>& friends) const {
-  counters_ = QueryCounters{};
+    const std::vector<FriendEntry>& friends,
+    QueryCounters* counters) const {
+  if (counters != nullptr) *counters = QueryCounters{};
   std::vector<Neighbor> verified;
   if (k == 0) return verified;  // Among-path legacy tolerance; the public
                                 // KnnQuery rejects k == 0 uniformly.
-  double rq = EstimateKnnDistance(k) / static_cast<double>(k);
+  // Incremental path: the round-0 radius comes from the cost model's
+  // candidate-density estimate (most queries close without enlarging).
+  // Legacy path: the paper-literal Dk/k per-round step.
+  double rq = options_.index.incremental_knn
+                  ? KnnSeedRadius(friends.size(), k)
+                  : EstimateKnnDistance(k) / static_cast<double>(k);
   KnnScan scan(this, issuer, qloc, tq, rq, friends, nullptr);
   size_t m = scan.num_rows();
   if (m == 0) return verified;
@@ -678,8 +842,10 @@ Result<std::vector<Neighbor>> PebTree::KnnQueryAmong(
   }
 
   if (verified.size() > k) verified.resize(k);
-  counters_ = scan.counters();  // Single-tree path: publish for last_query().
-  counters_.results = verified.size();
+  if (counters != nullptr) {
+    *counters = scan.counters();
+    counters->results = verified.size();
+  }
   return verified;
 }
 

@@ -15,6 +15,16 @@
 //    only the ring new to that round; after k candidates are verified, a
 //    final vertical scan bounded by the distance to the current k-th
 //    candidate closes the search.
+//
+// The default PkNN path (MovingIndexOptions::incremental_knn) sharpens
+// Figure 9 in three ways: the round-0 radius is seeded from the cost
+// model's candidate-density Dk (costmodel EstimateKnnSeedRadius) so a
+// typical query closes in 1-2 rounds; each later round scans only the
+// EXACT annulus delta (the round's Z decomposition minus every interval a
+// previous round covered, via ZRingForWindow) instead of the cumulative
+// bounding span; and adjacent quantized-SV friend rows coalesce into
+// single SV-run scans. The paper-literal path is kept behind the flag as
+// the result-equivalence oracle.
 #pragma once
 
 #include <cstdint>
@@ -70,6 +80,13 @@ struct PebTreeOptions {
 /// the space side (the initial PkNN radius is Dk/k).
 double EstimateKnnDistanceFor(size_t n, size_t k, double space_side);
 
+/// The incremental PkNN seed radius for `num_candidates` friends of which
+/// only the indexed fraction (`indexed` of `population`) can qualify —
+/// the ONE formula both the single tree and the engine seed from, so all
+/// shards of a fanned-out query enlarge identically.
+double KnnSeedRadiusFor(size_t num_candidates, size_t indexed,
+                        size_t population, size_t k, double space_side);
+
 /// Per-query decomposition cache shared by the shards of one fanned-out
 /// query: window/ring Z-decompositions depend only on the query and the
 /// time-partition label — not on which shard scans them — so whichever
@@ -102,7 +119,7 @@ class SharedScanCache {
     return prq_.try_emplace(label, std::move(value)).first->second;
   }
 
-  /// PkNN: the cumulative ring span for (label, round).
+  /// PkNN: the cumulative ring span for (label, round). Legacy round path.
   CurveInterval KnnSpan(int64_t label, size_t round,
                         const ComputeSpan& compute) {
     auto key = std::make_pair(label, round);
@@ -116,7 +133,29 @@ class SharedScanCache {
     return knn_.try_emplace(key, value).first->second;
   }
 
-  /// PkNN: the final vertical-scan span for a label.
+  /// Incremental PkNN: one round's exact annulus delta for (label, round) —
+  /// the intervals new to the round plus the cumulative covered set the
+  /// NEXT round subtracts. Both are deterministic functions of the query
+  /// and the label, so every shard of a fanned-out query shares one copy.
+  struct RingEntry {
+    IntervalsPtr ring;
+    IntervalsPtr covered;
+  };
+  using ComputeRing = std::function<RingEntry()>;
+
+  RingEntry KnnRing(int64_t label, size_t round, const ComputeRing& compute) {
+    auto key = std::make_pair(label, round);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = rings_.find(key);
+      if (it != rings_.end()) return it->second;
+    }
+    RingEntry value = compute();
+    std::lock_guard<std::mutex> lock(mu_);
+    return rings_.try_emplace(key, std::move(value)).first->second;
+  }
+
+  /// PkNN: the final vertical-scan span for a label. Legacy round path.
   CurveInterval VerticalSpan(int64_t label, const ComputeSpan& compute) {
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -128,11 +167,29 @@ class SharedScanCache {
     return vertical_.try_emplace(label, value).first->second;
   }
 
+  /// Incremental PkNN: the final vertical window's full decomposition for a
+  /// label (each scan subtracts its own covered set from it).
+  IntervalsPtr VerticalIntervals(int64_t label,
+                                 const ComputeIntervals& compute) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = vertical_intervals_.find(label);
+      if (it != vertical_intervals_.end()) return it->second;
+    }
+    auto value =
+        std::make_shared<const std::vector<CurveInterval>>(compute());
+    std::lock_guard<std::mutex> lock(mu_);
+    return vertical_intervals_.try_emplace(label, std::move(value))
+        .first->second;
+  }
+
  private:
   std::mutex mu_;
   std::unordered_map<int64_t, IntervalsPtr> prq_;
   std::map<std::pair<int64_t, size_t>, CurveInterval> knn_;
+  std::map<std::pair<int64_t, size_t>, RingEntry> rings_;
   std::unordered_map<int64_t, CurveInterval> vertical_;
+  std::unordered_map<int64_t, IntervalsPtr> vertical_intervals_;
 };
 
 /// Everything about a persisted PEB-tree that is not stored in its pages:
@@ -150,10 +207,25 @@ struct PebTreeManifest {
 /// be swapped online via AdoptSnapshot — the policy-lifecycle re-key path.
 class PebTree final : public PrivacyAwareIndex {
  private:
-  /// Friends of the issuer grouped by quantized SV (ascending).
-  struct SvRow {
-    uint32_t qsv = 0;
-    std::vector<UserId> uids;
+  /// A run of the issuer's friends over consecutive quantized SVs
+  /// (ascending; `qsv_lo == qsv_hi` for a single row). Rows whose SVs
+  /// differ by at most MovingIndexOptions::qsv_run_gap coalesce into one
+  /// run, which costs ONE key-range scan [qsv_lo ⊕ ZVs, qsv_hi ⊕ ZVe]
+  /// spanning the whole interval list instead of one probe per (row,
+  /// interval): the run's rows are adjacent in key space and sparse, so a
+  /// single pass over their full extents is cheaper than |intervals|
+  /// probes that each cross the same rows anyway. `remaining` counts the
+  /// run's not-yet-located users: it is decremented inside the scan
+  /// itself, so the paper's skip rule ("a user has one location") costs
+  /// O(1) per check and a scan can stop the moment its run is done.
+  struct SvRun {
+    uint32_t qsv_lo = 0;
+    uint32_t qsv_hi = 0;
+    std::unordered_set<UserId> wanted;
+    size_t remaining = 0;
+    /// Contiguously completed enlargement rounds (incremental PkNN only;
+    /// the final vertical scan subtracts the covered set of this round).
+    size_t rounds_done = 0;
   };
 
  public:
@@ -198,19 +270,23 @@ class PebTree final : public PrivacyAwareIndex {
   /// PRQ restricted to an explicit candidate list (a subset of the issuer's
   /// friends, ascending by (qsv, uid)). This is the const read path the
   /// sharded engine fans out across shards: each shard is asked only about
-  /// the friends it hosts. Only the (mutable) per-query counters and the
-  /// buffer pool's LRU state change, so distinct trees may be queried from
-  /// distinct threads concurrently. `shared`, when given, deduplicates the
-  /// window decomposition across the shards of one fanned-out query.
+  /// the friends it hosts. Only the buffer pool's LRU state changes, so
+  /// distinct trees may be queried from distinct threads concurrently —
+  /// and, with `counters` supplied, the SAME tree too: all work accounting
+  /// goes into the caller's scan-local slot, never the tree's shared
+  /// last_query() member. `shared`, when given, deduplicates the window
+  /// decomposition across the shards of one fanned-out query.
   Result<std::vector<UserId>> RangeQueryAmong(
       UserId issuer, const Rect& range, Timestamp tq,
       const std::vector<FriendEntry>& friends,
-      SharedScanCache* shared = nullptr) const;
+      SharedScanCache* shared = nullptr,
+      QueryCounters* counters = nullptr) const;
 
   /// PkNN restricted to an explicit candidate list; see RangeQueryAmong.
   Result<std::vector<Neighbor>> KnnQueryAmong(
       UserId issuer, const Point& qloc, size_t k, Timestamp tq,
-      const std::vector<FriendEntry>& friends) const;
+      const std::vector<FriendEntry>& friends,
+      QueryCounters* counters = nullptr) const;
 
   /// Incremental PkNN scan state over this tree — the engine's per-shard
   /// primitive. The engine drives the Figure-9 search matrix round by
@@ -220,33 +296,56 @@ class PebTree final : public PrivacyAwareIndex {
   /// the single-tree and fanned-out searches share one implementation.
   class KnnScan {
    public:
-    size_t num_rows() const { return rows_.size(); }
+    /// Number of SV runs (coalesced friend rows) this scan searches.
+    size_t num_rows() const { return runs_.size(); }
     size_t max_rounds() const { return max_rounds_; }
     /// Work counters accumulated by this scan's own cells. Each scan owns
     /// its counters (they never pass through the tree's shared last_query()
     /// slot), so concurrent fanned-out queries on the same shard tree stay
     /// exact. Read after the last Scan* call.
     const QueryCounters& counters() const { return counters_; }
-    /// Anti-diagonals in this shard's (rows x rounds) matrix.
+    /// Anti-diagonals in this shard's (runs x rounds) matrix.
     size_t max_diagonals() const {
-      return rows_.empty() ? 0 : rows_.size() + max_rounds_ - 1;
+      return runs_.empty() ? 0 : runs_.size() + max_rounds_ - 1;
     }
-    /// True once every wanted user of row i has been located.
-    bool RowDone(size_t i) const;
+    /// True once every wanted user of run i has been located. O(1): the
+    /// run's remaining-count is decremented inside the scans themselves.
+    bool RowDone(size_t i) const { return runs_[i].remaining == 0; }
     /// True once every wanted user has been located.
     bool AllFound() const { return found_.size() >= total_wanted_; }
 
-    /// Scans matrix cell (row i, round j): the ring new to round j for the
-    /// row's sequence value, in every live partition. Policy-verified
-    /// candidates are inserted into *verified, kept ascending by distance.
+    /// Radius of enlargement round `j` under this scan's schedule
+    /// (cost-model-seeded doubling on the incremental path, the legacy
+    /// linear-then-doubling Dk/k schedule otherwise).
+    double RadiusForRound(size_t j) const;
+
+    /// The largest radius around the query point this scan has PROVABLY
+    /// fully examined for every run that still has unlocated users, after
+    /// anti-diagonal `d` completed (run i has then scanned rounds 0..d-i).
+    /// Any user this scan has not yet located lies strictly farther than
+    /// this, so a scan whose covered radius reaches the global k-th
+    /// candidate distance can be retired — remaining annuli (and the final
+    /// vertical scan) provably cannot improve the answer. Returns +inf
+    /// when every run is done.
+    double CoveredRadiusAfterDiagonal(size_t d) const;
+
+    /// Scans matrix cell (run i, round j): the ring new to round j for the
+    /// run's SV range, in every live partition. Policy-verified candidates
+    /// are inserted into *verified, kept ascending by distance. On the
+    /// incremental path the ring is the exact annulus delta — the round's
+    /// Z decomposition minus every interval already covered — and the
+    /// persistent LeafCursor carries the position across rounds, so a
+    /// round never re-fetches leaves a previous round examined.
     Status ScanCell(size_t i, size_t j, std::vector<Neighbor>* verified);
 
     /// Scans every cell of anti-diagonal d (cells (i, d-i)).
     Status ScanDiagonal(size_t d, std::vector<Neighbor>* verified);
 
     /// Section 5.4's final step: scans the square of half-side dk around
-    /// the query point for every row with unfound users, ruling out closer
-    /// unexamined candidates. After this the verified list is exact.
+    /// the query point for every run with unfound users, ruling out closer
+    /// unexamined candidates. After this the verified list is exact. On
+    /// the incremental path only the DELTA against the run's covered
+    /// intervals is fetched (often nothing).
     Status VerticalScan(double dk, std::vector<Neighbor>* verified);
 
    private:
@@ -263,22 +362,29 @@ class PebTree final : public PrivacyAwareIndex {
             SharedScanCache* shared);
 
     /// Cumulative ring span for (label li, round j), memoized per label and
-    /// deduplicated across shards via the shared cache.
+    /// deduplicated across shards via the shared cache. Legacy path.
     CurveInterval SpanFor(size_t li, size_t j);
+    /// Exact annulus delta for (label li, round j); incremental path.
+    const SharedScanCache::RingEntry& RingFor(size_t li, size_t j);
     void InsertVerified(std::vector<Neighbor>* verified);
 
     const PebTree* tree_;
     UserId issuer_;
     Point qloc_;
     Timestamp tq_;
+    /// Incremental path: the cost-model-seeded round-0 radius. Legacy
+    /// path: the per-round enlargement step (Dk/k).
     double rq_;
+    bool incremental_ = false;
     SharedScanCache* shared_;
-    std::vector<SvRow> rows_;
-    std::vector<std::unordered_set<UserId>> row_wanted_;
+    std::vector<SvRun> runs_;
     size_t total_wanted_ = 0;
     size_t max_rounds_ = 1;
     std::vector<LabelInfo> labels_;
+    /// Legacy path: cumulative single-span rings per (label, round).
     std::vector<std::vector<CurveInterval>> spans_;
+    /// Incremental path: exact annulus deltas per (label, round).
+    std::vector<std::vector<SharedScanCache::RingEntry>> rings_;
     std::unordered_set<UserId> found_;
     std::vector<SpatialCandidate> batch_;
     /// Persistent scan position, reused across cells and rounds.
@@ -287,13 +393,19 @@ class PebTree final : public PrivacyAwareIndex {
     QueryCounters counters_;
   };
 
-  /// Starts an incremental PkNN scan. `rq` is the per-round enlargement
-  /// step (Dk/k); the engine derives it from the global population so all
-  /// shards enlarge identically. The scan accumulates work counters of its
-  /// own (KnnScan::counters()); the tree's last_query() is not touched.
+  /// Starts an incremental PkNN scan. On the incremental path `rq` is the
+  /// cost-model-seeded round-0 radius; on the legacy path it is the
+  /// per-round enlargement step (Dk/k). The engine derives either from
+  /// GLOBAL workload state so all shards enlarge identically. The scan
+  /// accumulates work counters of its own (KnnScan::counters()); the
+  /// tree's last_query() is not touched.
   KnnScan NewKnnScan(UserId issuer, const Point& qloc, Timestamp tq,
                      double rq, const std::vector<FriendEntry>& friends,
                      SharedScanCache* shared = nullptr) const;
+
+  /// The seed radius the incremental PkNN path starts from (cost model's
+  /// candidate-density Dk; see costmodel::EstimateKnnSeedRadius).
+  double KnnSeedRadius(size_t num_candidates, size_t k) const;
 
   const PebTreeOptions& options() const { return options_; }
   const BTreeStats& tree_stats() const { return tree_.stats(); }
@@ -326,41 +438,49 @@ class PebTree final : public PrivacyAwareIndex {
     uint64_t key = 0;
   };
 
-  /// Groups a friend list (ascending by (qsv, uid)) into per-SV rows.
-  static std::vector<SvRow> BuildRows(const std::vector<FriendEntry>& friends);
+  /// Groups a friend list (ascending by (qsv, uid)) into SV runs: rows
+  /// whose quantized SVs differ by at most `gap` coalesce into one run
+  /// (gap 0 = one run per distinct qsv, the legacy per-row layout).
+  static std::vector<SvRun> BuildRuns(const std::vector<FriendEntry>& friends,
+                                      uint32_t gap);
 
   /// Scans composite keys [start, end_primary]. For every entry whose uid
-  /// is in `wanted`, marks it found and appends its state. `cursor`
-  /// carries the position across the sorted probes of one query; the
-  /// legacy per-interval-descent path (leaf_cursor_fast_path off) ignores
-  /// it and re-descends from the root. Work is accounted into `counters`
-  /// (the tree's own for whole-query entry points, a KnnScan's own for
+  /// is in `wanted`, marks it found, appends its state, and decrements
+  /// `*remaining` (when given) — stopping the scan the moment it hits
+  /// zero, since no further wanted user can appear. `cursor` carries the
+  /// position across the sorted probes of one query; the legacy
+  /// per-interval-descent path (leaf_cursor_fast_path off) ignores it and
+  /// re-descends from the root. Work is accounted into `counters` (the
+  /// tree's own for whole-query entry points, a KnnScan's own for
   /// fanned-out scans — never shared between concurrent queries).
   Status ScanKeyRange(ObjectBTree::LeafCursor* cursor, CompositeKey start,
                       uint64_t end_primary,
                       const std::unordered_set<UserId>* wanted,
-                      std::unordered_set<UserId>* found,
+                      std::unordered_set<UserId>* found, size_t* remaining,
                       std::vector<SpatialCandidate>* out, Timestamp tq,
                       QueryCounters* counters) const;
 
-  /// ScanKeyRange over the PEB keys [MakeKey(p, qsv, zlo),
-  /// MakeKey(p, qsv, zhi)] of one (partition, sequence value) pair.
-  Status ScanSvInterval(ObjectBTree::LeafCursor* cursor, uint32_t partition,
-                        uint32_t qsv, uint64_t zlo, uint64_t zhi,
-                        const std::unordered_set<UserId>* wanted,
-                        std::unordered_set<UserId>* found,
-                        std::vector<SpatialCandidate>* out, Timestamp tq,
-                        QueryCounters* counters) const;
+  /// ScanKeyRange over the PEB keys [MakeKey(p, qsv_lo, zlo),
+  /// MakeKey(p, qsv_hi, zhi)] of one partition's SV run — ONE probe for
+  /// the whole run of consecutive sequence values.
+  Status ScanSvRun(ObjectBTree::LeafCursor* cursor, uint32_t partition,
+                   uint32_t qsv_lo, uint32_t qsv_hi, uint64_t zlo,
+                   uint64_t zhi, const std::unordered_set<UserId>* wanted,
+                   std::unordered_set<UserId>* found, size_t* remaining,
+                   std::vector<SpatialCandidate>* out, Timestamp tq,
+                   QueryCounters* counters) const;
 
   /// Verification: Definition 2's policy conditions.
   bool Verify(UserId issuer, const SpatialCandidate& cand, Timestamp tq) const;
 
   Result<std::vector<UserId>> RangeQueryPerFriend(
       UserId issuer, const Rect& range, Timestamp tq,
-      const std::vector<SvRow>& rows, SharedScanCache* shared) const;
+      std::vector<SvRun>& runs, SharedScanCache* shared,
+      QueryCounters* counters) const;
   Result<std::vector<UserId>> RangeQuerySpan(
       UserId issuer, const Rect& range, Timestamp tq,
-      const std::vector<SvRow>& rows, SharedScanCache* shared) const;
+      const std::vector<FriendEntry>& friends, SharedScanCache* shared,
+      QueryCounters* counters) const;
 
   BufferPool* pool_;
   PebTreeOptions options_;
@@ -375,9 +495,11 @@ class PebTree final : public PrivacyAwareIndex {
 
   std::unordered_map<UserId, StoredObject> objects_;
   std::unordered_map<int64_t, size_t> label_counts_;
-  /// Per-query work counters. Mutable so the query methods form a const
-  /// read path (queries are logically read-only).
-  mutable QueryCounters counters_;
+  /// last_query() slot for the NON-const whole-query entry points
+  /// (RangeQuery/KnnQuery). The const ...Among read path never touches it:
+  /// it accounts into the caller-supplied scan-local counters, so
+  /// concurrent fanned-out queries on one tree stay exact and race-free.
+  QueryCounters counters_;
 };
 
 }  // namespace peb

@@ -152,6 +152,21 @@ std::vector<CurveInterval> UnionIntervals(const std::vector<CurveInterval>& a,
   return out;
 }
 
+RingDecomposition ZRingForWindow(const GridMapper& grid, const Rect& outer,
+                                 const std::vector<CurveInterval>& covered_in,
+                                 const ZRangeOptions& options) {
+  RingDecomposition out;
+  std::vector<CurveInterval> dec = ZIntervalsForWindow(grid, outer, options);
+  if (covered_in.empty()) {
+    out.ring = dec;
+    out.covered = std::move(dec);
+    return out;
+  }
+  out.ring = SubtractIntervals(dec, covered_in);
+  out.covered = UnionIntervals(dec, covered_in);
+  return out;
+}
+
 std::vector<CurveInterval> ZIntervalsForWindow(const GridMapper& grid,
                                                const Rect& window,
                                                const ZRangeOptions& options) {

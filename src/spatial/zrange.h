@@ -74,4 +74,22 @@ std::vector<CurveInterval> SubtractIntervals(
 std::vector<CurveInterval> UnionIntervals(const std::vector<CurveInterval>& a,
                                           const std::vector<CurveInterval>& b);
 
+/// One kNN enlargement step's annulus delta (Section 5.4's R'_qi −
+/// R'_q(i−1), taken exactly rather than as a single bounding span): the Z
+/// intervals of the round's window that were NOT already scanned, plus the
+/// new cumulative covered set for the next round.
+struct RingDecomposition {
+  std::vector<CurveInterval> ring;     ///< decompose(outer) \ covered_in.
+  std::vector<CurveInterval> covered;  ///< decompose(outer) ∪ covered_in.
+};
+
+/// Decomposes `outer` and subtracts the already-covered intervals. With an
+/// empty `covered_in` this is exactly ZIntervalsForWindow (ring == covered).
+/// Interval capping/coalescing in `options` may make the decomposition a
+/// superset of the window's cells; `covered` records what the ring scans,
+/// so later rounds never re-fetch a coalesced-in gap either.
+RingDecomposition ZRingForWindow(const GridMapper& grid, const Rect& outer,
+                                 const std::vector<CurveInterval>& covered_in,
+                                 const ZRangeOptions& options = {});
+
 }  // namespace peb

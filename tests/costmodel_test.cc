@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <numbers>
 
 #include "costmodel/cost_model.h"
 
@@ -115,4 +116,43 @@ TEST(CostModel, CostGrowsWithDensityAndPolicies) {
 }
 
 }  // namespace
+
+TEST(KnnSeed, ExpectedDistanceMatchesPaperClosedForm) {
+  // Dk(n, k) from Section 5.4, scaled to the space side.
+  double n = 60000, L = 1000;
+  size_t k = 5;
+  double ratio = k / n;
+  double want = 2.0 / std::sqrt(std::numbers::pi) *
+                (1.0 - std::sqrt(1.0 - std::sqrt(ratio))) * L;
+  EXPECT_NEAR(ExpectedKnnDistance(n, k, L), want, 1e-9);
+  // Degenerate populations clamp instead of dividing by zero.
+  EXPECT_GT(ExpectedKnnDistance(0, 1, L), 0.0);
+}
+
+TEST(KnnSeed, SeedShrinksWithCandidateDensityAndGrowsWithK) {
+  KnnSeedInputs in;
+  in.space_side = 1000.0;
+  in.k = 5;
+  in.candidate_count = 50;
+  double sparse = EstimateKnnSeedRadius(in);
+  in.candidate_count = 5000;
+  double dense = EstimateKnnSeedRadius(in);
+  EXPECT_LT(dense, sparse);
+
+  in.candidate_count = 50;
+  in.k = 20;
+  double deeper = EstimateKnnSeedRadius(in);
+  EXPECT_GT(deeper, sparse);
+}
+
+TEST(KnnSeed, ClampedToSpaceDiagonal) {
+  KnnSeedInputs in;
+  in.space_side = 1000.0;
+  in.k = 100;
+  in.candidate_count = 1;  // k far above the candidates: want everything.
+  double seed = EstimateKnnSeedRadius(in);
+  EXPECT_LE(seed, in.space_side * std::numbers::sqrt2 + 1e-9);
+  EXPECT_GT(seed, in.space_side);  // Covers the space in very few rounds.
+}
+
 }  // namespace peb

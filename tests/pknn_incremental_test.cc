@@ -1,0 +1,321 @@
+// Incremental PkNN tests: the incremental path (cost-model-seeded radius,
+// exact annulus-delta scans, qsv-run coalescing, streaming shard merge
+// with retirement) must be observationally identical to the legacy
+// Figure-9 round path — for any shard count, for adversarial k values at
+// or above the number of matching friends, and while policy-encoding
+// epochs transition under the queries. Runs under the TSan CI job.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "engine/sharded_engine.h"
+#include "eval/runner.h"
+#include "eval/workload.h"
+#include "policy/policy_catalog.h"
+
+namespace peb {
+namespace {
+
+using engine::ShardedPebEngine;
+using eval::MakeEngine;
+using eval::MakePknnQueries;
+using eval::PknnQuery;
+using eval::QuerySetOptions;
+using eval::Workload;
+using eval::WorkloadParams;
+
+WorkloadParams SmallParams(uint64_t seed) {
+  WorkloadParams p;
+  p.num_users = 800;
+  p.policies_per_user = 10;
+  p.buffer_pages = 50;
+  p.grid_bits = 8;
+  p.seed = seed;
+  return p;
+}
+
+/// A single PEB-tree on its own pool with the incremental path forced on
+/// or off (the legacy round path is kept behind
+/// MovingIndexOptions::incremental_knn exactly for this oracle role).
+struct OracleTree {
+  OracleTree(const Workload& w, bool incremental) {
+    PebTreeOptions opts = eval::PebOptionsFor(w.params());
+    opts.index.incremental_knn = incremental;
+    pool = std::make_unique<BufferPool>(
+        &disk, BufferPoolOptions{w.params().buffer_pages});
+    tree = std::make_unique<PebTree>(pool.get(), opts, &w.store(), &w.roles(),
+                                     &w.encoding());
+    for (const MovingObject& o : w.dataset().objects) {
+      EXPECT_TRUE(tree->Insert(o).ok());
+    }
+  }
+
+  InMemoryDiskManager disk;
+  std::unique_ptr<BufferPool> pool;
+  std::unique_ptr<PebTree> tree;
+};
+
+/// Sorts a kNN answer by (distance, uid): distances are continuous, so
+/// this only normalizes the order of exact ties, which merges may permute.
+std::vector<Neighbor> Normalized(std::vector<Neighbor> v) {
+  std::sort(v.begin(), v.end(), [](const Neighbor& a, const Neighbor& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.uid < b.uid;
+  });
+  return v;
+}
+
+void ExpectBitIdentical(const std::vector<Neighbor>& want,
+                        const std::vector<Neighbor>& got,
+                        const char* context, size_t qi) {
+  std::vector<Neighbor> wn = Normalized(want);
+  std::vector<Neighbor> gn = Normalized(got);
+  ASSERT_EQ(gn.size(), wn.size()) << context << " query " << qi;
+  for (size_t r = 0; r < wn.size(); ++r) {
+    EXPECT_EQ(gn[r].uid, wn[r].uid) << context << " query " << qi
+                                    << " rank " << r;
+    // Bit-identical: the same candidate's distance is computed from the
+    // same stored record on either path.
+    EXPECT_EQ(gn[r].distance, wn[r].distance)
+        << context << " query " << qi << " rank " << r;
+  }
+}
+
+class PknnWorldTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    world_ = new Workload(Workload::Build(SmallParams(17)));
+  }
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+  }
+  static Workload& world() { return *world_; }
+
+  static Workload* world_;
+};
+
+Workload* PknnWorldTest::world_ = nullptr;
+
+TEST_F(PknnWorldTest, SingleTreeIncrementalBitIdenticalToLegacy) {
+  OracleTree legacy(world(), /*incremental=*/false);
+  OracleTree inc(world(), /*incremental=*/true);
+
+  QuerySetOptions q;
+  q.count = 40;
+  q.seed = 2024;
+  auto knn = MakePknnQueries(world(), q);
+  bool any_results = false;
+  for (size_t i = 0; i < knn.size(); ++i) {
+    auto a = legacy.tree->KnnQuery(knn[i].issuer, knn[i].qloc, knn[i].k,
+                                   knn[i].tq);
+    auto b = inc.tree->KnnQuery(knn[i].issuer, knn[i].qloc, knn[i].k,
+                                knn[i].tq);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ExpectBitIdentical(*a, *b, "single-tree", i);
+    any_results |= !b->empty();
+  }
+  EXPECT_TRUE(any_results);  // The batch exercised non-trivial searches.
+}
+
+TEST_F(PknnWorldTest, IncrementalDoesLessWorkThanLegacy) {
+  OracleTree legacy(world(), /*incremental=*/false);
+  OracleTree inc(world(), /*incremental=*/true);
+
+  QuerySetOptions q;
+  q.count = 40;
+  q.seed = 909;
+  auto knn = MakePknnQueries(world(), q);
+  size_t legacy_descents = 0, inc_descents = 0;
+  size_t legacy_rounds = 0, inc_rounds = 0;
+  for (const PknnQuery& query : knn) {
+    ASSERT_TRUE(legacy.tree->KnnQuery(query.issuer, query.qloc, query.k,
+                                      query.tq)
+                    .ok());
+    legacy_descents += legacy.tree->last_query().seek_descents;
+    legacy_rounds += legacy.tree->last_query().rounds;
+    ASSERT_TRUE(
+        inc.tree->KnnQuery(query.issuer, query.qloc, query.k, query.tq).ok());
+    inc_descents += inc.tree->last_query().seek_descents;
+    inc_rounds += inc.tree->last_query().rounds;
+  }
+  // The seeded schedule needs fewer enlargement rounds and the annulus
+  // deltas + qsv runs need fewer positioning descents.
+  EXPECT_LT(inc_rounds, legacy_rounds);
+  EXPECT_LT(inc_descents, legacy_descents);
+}
+
+class PknnShardCountTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PknnShardCountTest, EngineIncrementalBitIdenticalToLegacyRoundPath) {
+  const size_t shards = GetParam();
+  Workload w = Workload::Build(SmallParams(29));
+  OracleTree legacy(w, /*incremental=*/false);
+  auto engine = MakeEngine(w, shards, 4);  // Incremental by default.
+  ASSERT_TRUE(engine->options().tree.index.incremental_knn);
+
+  QuerySetOptions q;
+  q.count = 30;
+  q.seed = 3030;
+  auto knn = MakePknnQueries(w, q);
+  for (size_t i = 0; i < knn.size(); ++i) {
+    auto want = legacy.tree->KnnQuery(knn[i].issuer, knn[i].qloc, knn[i].k,
+                                      knn[i].tq);
+    auto got =
+        engine->KnnQuery(knn[i].issuer, knn[i].qloc, knn[i].k, knn[i].tq);
+    ASSERT_TRUE(want.ok());
+    ASSERT_TRUE(got.ok());
+    ExpectBitIdentical(*want, *got, "engine", i);
+  }
+}
+
+TEST_P(PknnShardCountTest, AdversarialKAtOrAboveMatchingFriends) {
+  const size_t shards = GetParam();
+  Workload w = Workload::Build(SmallParams(31));
+  OracleTree legacy(w, /*incremental=*/false);
+  OracleTree inc(w, /*incremental=*/true);
+  auto engine = MakeEngine(w, shards, 2);
+
+  // With 10 policies/user an issuer has far fewer matching friends than
+  // these k values, so every search exhausts its rows (the k-candidates
+  // early stop never fires) and must still terminate and agree.
+  QuerySetOptions q;
+  q.count = 8;
+  q.seed = 4242;
+  auto knn = MakePknnQueries(w, q);
+  for (size_t k : {25u, 200u, 800u, 1000u}) {
+    for (size_t i = 0; i < knn.size(); ++i) {
+      auto want =
+          legacy.tree->KnnQuery(knn[i].issuer, knn[i].qloc, k, knn[i].tq);
+      auto single =
+          inc.tree->KnnQuery(knn[i].issuer, knn[i].qloc, k, knn[i].tq);
+      auto fanned =
+          engine->KnnQuery(knn[i].issuer, knn[i].qloc, k, knn[i].tq);
+      ASSERT_TRUE(want.ok());
+      ASSERT_TRUE(single.ok());
+      ASSERT_TRUE(fanned.ok());
+      EXPECT_LE(want->size(), k);
+      ExpectBitIdentical(*want, *single, "adversarial-single", i);
+      ExpectBitIdentical(*want, *fanned, "adversarial-engine", i);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, PknnShardCountTest,
+                         ::testing::Values(1, 2, 4, 7));
+
+// ---------------------------------------------------------------------------
+// Mid-query epoch stability
+// ---------------------------------------------------------------------------
+
+// Queries pin the encoding snapshot at admission, so a streaming PkNN that
+// overlaps an epoch transition must answer ENTIRELY under one epoch: its
+// response's stamped epoch names which, and the answer must equal a static
+// index pinned at that snapshot. The policy store is mutated BEFORE the
+// concurrent phase (verification state stays constant; only the snapshot
+// flips), so each epoch has one well-defined expected answer set.
+TEST(PknnEpochStability, StreamingQueriesSeeExactlyOneEpoch) {
+  WorkloadParams p = SmallParams(37);
+  p.num_users = 400;
+  Workload w = Workload::Build(p);
+  PolicyCatalog* catalog = w.catalog();
+
+  std::shared_ptr<const EncodingSnapshot> s0 = catalog->snapshot();
+
+  // One mutation wave -> epoch 1. The store is final from here on.
+  Lpp grant;
+  grant.role = catalog->DefineRole("epoch-test-role");
+  grant.locr = Rect::Space(p.space_side);
+  grant.tint = TimeOfDayInterval::AllDay(p.time_domain);
+  for (UserId u = 0; u < 12; ++u) {
+    ASSERT_TRUE(catalog->AddPolicy(u, u + 40, grant).ok());
+  }
+  auto re = catalog->Reencode();
+  ASSERT_TRUE(re.ok());
+  std::shared_ptr<const EncodingSnapshot> s1 = re->snapshot;
+  ASSERT_NE(s0->epoch(), s1->epoch());
+
+  // Expected answers per epoch, from single trees pinned at each snapshot
+  // (same final store/roles).
+  auto make_pinned = [&](std::shared_ptr<const EncodingSnapshot> snap,
+                         InMemoryDiskManager* disk,
+                         std::unique_ptr<BufferPool>* pool) {
+    pool->reset(new BufferPool(disk, BufferPoolOptions{p.buffer_pages}));
+    PebTreeOptions opts = eval::PebOptionsFor(p);
+    auto tree = std::make_unique<PebTree>(pool->get(), opts, &w.store(),
+                                          &w.roles(), std::move(snap));
+    for (const MovingObject& o : w.dataset().objects) {
+      EXPECT_TRUE(tree->Insert(o).ok());
+    }
+    return tree;
+  };
+  InMemoryDiskManager disk0, disk1;
+  std::unique_ptr<BufferPool> pool0, pool1;
+  auto tree0 = make_pinned(s0, &disk0, &pool0);
+  auto tree1 = make_pinned(s1, &disk1, &pool1);
+
+  QuerySetOptions q;
+  q.count = 12;
+  q.seed = 555;
+  auto knn = MakePknnQueries(w, q);
+  std::vector<std::vector<Neighbor>> want0, want1;
+  for (const PknnQuery& query : knn) {
+    auto a = tree0->KnnQuery(query.issuer, query.qloc, query.k, query.tq);
+    auto b = tree1->KnnQuery(query.issuer, query.qloc, query.k, query.tq);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    want0.push_back(Normalized(*a));
+    want1.push_back(Normalized(*b));
+  }
+
+  // The engine (built at the catalog's current epoch) flips s0 <-> s1
+  // while query threads hammer it; every response must match the expected
+  // answers of the epoch it reports.
+  auto engine = MakeEngine(w, 4, 4);
+  ASSERT_EQ(engine->encoding_epoch(), s1->epoch());
+
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> checked{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      for (int iter = 0; iter < 15; ++iter) {
+        size_t i = static_cast<size_t>(t + iter) % knn.size();
+        QueryStats stats;
+        auto got = engine->KnnQueryWithStats(knn[i].issuer, knn[i].qloc,
+                                             knn[i].k, knn[i].tq, &stats);
+        ASSERT_TRUE(got.ok());
+        const std::vector<std::vector<Neighbor>>& want =
+            stats.epoch == s0->epoch() ? want0 : want1;
+        ASSERT_TRUE(stats.epoch == s0->epoch() ||
+                    stats.epoch == s1->epoch());
+        std::vector<Neighbor> gn = Normalized(*got);
+        ASSERT_EQ(gn.size(), want[i].size()) << "query " << i;
+        for (size_t r = 0; r < gn.size(); ++r) {
+          EXPECT_EQ(gn[r].uid, want[i][r].uid) << "query " << i;
+          EXPECT_EQ(gn[r].distance, want[i][r].distance) << "query " << i;
+        }
+        checked++;
+      }
+    });
+  }
+  std::thread flipper([&] {
+    bool to_s1 = true;
+    while (!stop.load()) {
+      ASSERT_TRUE(engine->AdoptSnapshot(to_s1 ? s1 : s0, nullptr).ok());
+      to_s1 = !to_s1;
+    }
+  });
+  for (auto& r : readers) r.join();
+  stop.store(true);
+  flipper.join();
+  EXPECT_EQ(checked.load(), 3u * 15u);
+}
+
+}  // namespace
+}  // namespace peb

@@ -429,4 +429,64 @@ TEST(IntervalSubtract, RandomizedAgainstSetModel) {
 }
 
 }  // namespace
+
+TEST(ZRing, EmptyCoveredEqualsPlainDecomposition) {
+  GridMapper grid(1000.0, 6);
+  Rect window{{100, 100}, {400, 300}};
+  auto plain = ZIntervalsForWindow(grid, window);
+  RingDecomposition ring = ZRingForWindow(grid, window, {});
+  EXPECT_EQ(ring.ring, plain);
+  EXPECT_EQ(ring.covered, plain);
+}
+
+TEST(ZRing, NestedWindowsYieldDisjointRings) {
+  // Annulus deltas of a growing centered square: each round's ring must be
+  // disjoint from everything previously covered, and the union of all
+  // rings must equal the outermost window's decomposition.
+  GridMapper grid(1000.0, 6);
+  Point c{480.0, 520.0};
+  std::vector<CurveInterval> covered;
+  std::vector<CurveInterval> accumulated;
+  for (double side : {120.0, 240.0, 480.0, 960.0}) {
+    Rect outer = Rect::CenteredSquare(c, side);
+    RingDecomposition rd = ZRingForWindow(grid, outer, covered);
+    // Disjoint: subtracting the prior covered set from the ring again
+    // changes nothing.
+    EXPECT_EQ(SubtractIntervals(rd.ring, covered), rd.ring);
+    accumulated = UnionIntervals(accumulated, rd.ring);
+    covered = rd.covered;
+    EXPECT_EQ(accumulated, covered);
+  }
+  EXPECT_EQ(covered,
+            ZIntervalsForWindow(grid, Rect::CenteredSquare(c, 960.0)));
+}
+
+TEST(ZRing, InnerRoundFullyCoveredYieldsEmptyRing) {
+  GridMapper grid(1000.0, 6);
+  Rect outer{{200, 200}, {500, 500}};
+  auto dec = ZIntervalsForWindow(grid, outer);
+  RingDecomposition rd = ZRingForWindow(grid, outer, dec);
+  EXPECT_TRUE(rd.ring.empty());
+  EXPECT_EQ(rd.covered, dec);
+}
+
+TEST(ZRing, CoalescedCoverIsRememberedAcrossRounds) {
+  // With a coalescing gap the inner decomposition scans gap cells too;
+  // the covered set must remember them so the next round's ring does not
+  // re-fetch those keys.
+  GridMapper grid(1000.0, 6);
+  ZRangeOptions opts;
+  opts.coalesce_gap = 8;
+  Rect inner{{300, 300}, {460, 460}};
+  Rect outer{{240, 240}, {520, 520}};
+  auto inner_dec = ZIntervalsForWindow(grid, inner, opts);
+  RingDecomposition rd = ZRingForWindow(grid, outer, inner_dec, opts);
+  EXPECT_EQ(SubtractIntervals(rd.ring, inner_dec), rd.ring);
+  // Everything the outer window needs is in ring + prior covered.
+  auto outer_dec = ZIntervalsForWindow(grid, outer, opts);
+  EXPECT_TRUE(
+      SubtractIntervals(outer_dec, UnionIntervals(rd.ring, inner_dec))
+          .empty());
+}
+
 }  // namespace peb
