@@ -17,6 +17,7 @@
 //   ./bench_engine_scaling --service-json BENCH_service.json  # closed loop
 #include <algorithm>
 #include <chrono>
+#include <fstream>
 #include <iostream>
 #include <thread>
 #include <vector>
@@ -24,6 +25,8 @@
 #include "bench_common.h"
 #include "engine/sharded_engine.h"
 #include "service/service.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 using namespace peb;
 using namespace peb::eval;
@@ -53,29 +56,23 @@ struct ClosedLoopPoint {
   double p99_ms = 0.0;
 };
 
-double Percentile(std::vector<double>& sorted, double p) {
-  if (sorted.empty()) return 0.0;
-  size_t idx = static_cast<size_t>(p * static_cast<double>(sorted.size()));
-  if (idx >= sorted.size()) idx = sorted.size() - 1;
-  return sorted[idx];
-}
-
 /// Closed loop: each of `clients` threads executes its share of the mixed
 /// request list back to back (a new request is issued the moment the
 /// previous response returns — the classic closed-loop client model).
+/// Latencies go through a shared telemetry histogram — the thread-striped
+/// recording the live service uses, instead of per-client sorted vectors.
 ClosedLoopPoint RunClosedLoop(MovingObjectService& svc,
                               const std::vector<QueryRequest>& mixed,
                               size_t clients) {
   ClosedLoopPoint point;
   point.clients = clients;
   point.ops = mixed.size();
-  std::vector<std::vector<double>> latencies(clients);
+  telemetry::Histogram latency;
   auto t0 = std::chrono::steady_clock::now();
   std::vector<std::thread> threads;
   threads.reserve(clients);
   for (size_t c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
-      auto& lat = latencies[c];
       for (size_t i = c; i < mixed.size(); i += clients) {
         auto q0 = std::chrono::steady_clock::now();
         QueryResponse resp = svc.Execute(mixed[i]);
@@ -85,7 +82,7 @@ ClosedLoopPoint RunClosedLoop(MovingObjectService& svc,
                     << resp.status.ToString() << "\n";
           std::abort();
         }
-        lat.push_back(
+        latency.Record(
             std::chrono::duration<double, std::milli>(q1 - q0).count());
       }
     });
@@ -93,18 +90,14 @@ ClosedLoopPoint RunClosedLoop(MovingObjectService& svc,
   for (auto& t : threads) t.join();
   auto t1 = std::chrono::steady_clock::now();
   point.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
-  std::vector<double> all;
-  for (auto& lat : latencies) {
-    all.insert(all.end(), lat.begin(), lat.end());
-  }
-  std::sort(all.begin(), all.end());
-  point.p50_ms = Percentile(all, 0.50);
-  point.p95_ms = Percentile(all, 0.95);
-  point.p99_ms = Percentile(all, 0.99);
-  point.throughput_qps = point.wall_ms > 0.0
-                             ? 1000.0 * static_cast<double>(all.size()) /
-                                   point.wall_ms
-                             : 0.0;
+  telemetry::Histogram::Snapshot snap = latency.Snap();
+  point.p50_ms = snap.p50;
+  point.p95_ms = snap.p95;
+  point.p99_ms = snap.p99;
+  point.throughput_qps =
+      point.wall_ms > 0.0
+          ? 1000.0 * static_cast<double>(snap.count) / point.wall_ms
+          : 0.0;
   return point;
 }
 
@@ -119,12 +112,152 @@ Json ToJson(const ClosedLoopPoint& p) {
       .Set("p99_ms", p.p99_ms);
 }
 
+void CheckResponse(const QueryResponse& resp, const char* what) {
+  if (!resp.ok()) {
+    std::cerr << "telemetry smoke " << what
+              << " failed: " << resp.status.ToString() << "\n";
+    std::abort();
+  }
+}
+
+/// Telemetry smoke: drives EVERY registered instrument of a 4-shard engine
+/// service — query batches, deadline sheds, continuous queries, the full
+/// policy lifecycle — then writes the registry snapshot to `snapshot_path`
+/// and a forced PkNN Chrome trace to `trace_path`. CI gates on both: every
+/// counter and histogram in the snapshot must be non-zero, and the trace
+/// must carry per-shard spans. Mutates the workload's catalog — run last.
+void RunTelemetrySmoke(Workload& w, const std::string& snapshot_path,
+                       const std::string& trace_path) {
+  PrintBanner(std::cout, "Telemetry smoke (4-shard engine service)");
+  telemetry::MetricsRegistry registry;  // Private: only this smoke's numbers.
+  telemetry::TelemetryOptions topts;
+  topts.registry = &registry;
+  topts.trace_sample_every = 7;  // Sampling path exercised alongside forced.
+  topts.slow_query_ms = 0.0;     // Every query is "slow": the log fills.
+  topts.slow_log_capacity = 16;
+
+  auto engine =
+      MakeEngine(w, 4, 4, engine::RouterPolicy::kHashUser, topts);
+  service::ServiceOptions so;
+  so.num_workers = 2;  // Real queueing: queue_ms, depth gauge, shed path.
+  so.time_domain = w.params().time_domain;
+  so.telemetry = topts;
+  MovingObjectService svc(engine.get(), w.catalog(), so);
+
+  QuerySetOptions q;
+  q.count = Scaled(200, 60);
+  q.seed = 5150;
+  auto prq = MakePrqQueries(w, q);
+  auto knn = MakePknnQueries(w, q);
+
+  // PRQ + PkNN batches through Submit: latency histograms, per-shard query
+  // counters, PkNN rounds/retirements, pool traffic.
+  std::vector<QueryRequest> batch;
+  batch.reserve(prq.size() + knn.size());
+  for (const auto& query : prq) {
+    batch.push_back(QueryRequest::Prq(query.issuer, query.range, query.tq));
+  }
+  // Half the PkNN batch runs at k=1: issuers at smoke scale often have
+  // fewer policy-visible friends than the default k, and a shard only
+  // retires once k verified neighbors exist globally — k=1 guarantees the
+  // retirement path fires as soon as any shard verifies one friend.
+  for (size_t i = 0; i < knn.size(); ++i) {
+    const auto& query = knn[i];
+    size_t k = (i % 2 == 0) ? query.k : 1;
+    batch.push_back(QueryRequest::Pknn(query.issuer, query.qloc, k, query.tq));
+  }
+  for (auto& f : svc.SubmitBatch(batch)) {
+    CheckResponse(f.get(), "batch query");
+  }
+
+  // Deadline sheds, one per query kind: an already-elapsed deadline is
+  // always exceeded by the time a worker picks the request up.
+  QueryRequest shed_prq =
+      QueryRequest::Prq(prq[0].issuer, prq[0].range, prq[0].tq);
+  shed_prq.options.deadline_ms = 1e-9;
+  QueryRequest shed_knn =
+      QueryRequest::Pknn(knn[0].issuer, knn[0].qloc, knn[0].k, knn[0].tq);
+  shed_knn.options.deadline_ms = 1e-9;
+  if (svc.Submit(shed_prq).get().ok() || svc.Submit(shed_knn).get().ok()) {
+    std::cerr << "telemetry smoke: expected both sheds to be rejected\n";
+    std::abort();
+  }
+
+  // Continuous queries: standing PRQs over a central window, fed by an
+  // update session, advanced through time so membership actually churns.
+  std::vector<ContinuousQueryId> standing;
+  Rect region = Rect::CenteredSquare(
+      {w.params().space_side / 2, w.params().space_side / 2},
+      w.params().space_side * 0.4);
+  for (UserId issuer = 0; issuer < 20; ++issuer) {
+    QueryResponse reg = svc.Execute(
+        QueryRequest::RegisterContinuous(issuer, region, w.now()));
+    CheckResponse(reg, "continuous register");
+    standing.push_back(reg.continuous_id);
+  }
+  if (auto stream = CloneUniformUpdateStream(w)) {
+    auto session = svc.OpenUpdateSession(stream.get(), 256);
+    Status applied = session.Apply(Scaled(4000, 400));
+    if (!applied.ok()) {
+      std::cerr << "telemetry smoke update session failed: "
+                << applied.ToString() << "\n";
+      std::abort();
+    }
+  }
+  (void)svc.AdvanceContinuous(w.now() + 120.0);
+  size_t drained = svc.TakeContinuousEvents().size();
+  CheckResponse(svc.Execute(QueryRequest::CancelContinuous(standing[0])),
+                "continuous cancel");
+
+  // Policy lifecycle: role, grant (re-encode + re-key now), revoke, flush.
+  QueryResponse role = svc.Execute(QueryRequest::DefineRole("smoke-role"));
+  CheckResponse(role, "define role");
+  Lpp policy;
+  policy.role = role.role_id;
+  policy.locr = Rect{{-1e9, -1e9}, {1e9, 1e9}};
+  policy.tint = TimeOfDayInterval::AllDay();
+  CheckResponse(
+      svc.Execute(QueryRequest::AddPolicy(3, 1501, policy, w.now())),
+      "add policy");
+  CheckResponse(svc.Execute(QueryRequest::RemovePolicy(
+                    3, 1501, w.now(), /*reencode_now=*/false)),
+                "remove policy");
+  CheckResponse(svc.Execute(QueryRequest::Reencode(w.now())), "reencode");
+
+  // One forced trace: per-shard / per-round PkNN spans for about:tracing.
+  QueryRequest traced =
+      QueryRequest::Pknn(knn[1].issuer, knn[1].qloc, knn[1].k, knn[1].tq);
+  traced.options.trace = true;
+  QueryResponse traced_resp = svc.Execute(traced);
+  CheckResponse(traced_resp, "traced pknn");
+
+  std::cout << "continuous events drained: " << drained
+            << ", slow-log entries: " << svc.SlowQueries().size()
+            << ", traced spans: " << traced_resp.trace.spans.size() << "\n";
+
+  if (!trace_path.empty()) {
+    std::ofstream f(trace_path);
+    f << traced_resp.trace.ChromeJson() << "\n";
+    std::cout << (f.good() ? "wrote " : "FAILED to write ") << trace_path
+              << "\n";
+  }
+  if (!snapshot_path.empty()) {
+    std::ofstream f(snapshot_path);
+    f << registry.SnapshotJson() << "\n";
+    std::cout << (f.good() ? "wrote " : "FAILED to write ") << snapshot_path
+              << "\n";
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string json_path = JsonPathFromArgs(argc, argv);
   std::string service_json_path =
       FlagPathFromArgs(argc, argv, "--service-json");
+  std::string telemetry_json_path =
+      FlagPathFromArgs(argc, argv, "--telemetry-json");
+  std::string trace_json_path = FlagPathFromArgs(argc, argv, "--trace-json");
   unsigned cores = std::thread::hardware_concurrency();
   std::cout << "hardware threads: " << cores << "\n";
   if (cores < 4) {
@@ -259,6 +392,11 @@ int main(int argc, char** argv) {
         std::cout << "wrote " << service_json_path << "\n";
       }
     }
+  }
+
+  // Runs last: the smoke's policy-lifecycle requests mutate the catalog.
+  if (!telemetry_json_path.empty() || !trace_json_path.empty()) {
+    RunTelemetrySmoke(w, telemetry_json_path, trace_json_path);
   }
   return 0;
 }

@@ -45,6 +45,16 @@ class Json {
     return j;
   }
 
+  /// Embeds `text` verbatim — it must already be valid JSON. Lets benches
+  /// splice in documents produced elsewhere (a telemetry registry
+  /// SnapshotJson()) without re-parsing them into this value model.
+  static Json Raw(std::string text) {
+    Json j;
+    j.kind_ = Kind::kRaw;
+    j.str_ = std::move(text);
+    return j;
+  }
+
   /// Object field (insertion-ordered). Returns *this for chaining.
   Json& Set(const std::string& key, Json value) {
     fields_.emplace_back(key, std::move(value));
@@ -77,6 +87,9 @@ class Json {
         }
         break;
       }
+      case Kind::kRaw:
+        os << str_;
+        break;
       case Kind::kString:
         os << '"';
         for (char c : str_) {
@@ -138,7 +151,7 @@ class Json {
   }
 
  private:
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  enum class Kind { kNull, kBool, kNumber, kString, kRaw, kArray, kObject };
 
   static void Pad(std::ostream& os, int n) {
     for (int i = 0; i < n; ++i) os << ' ';

@@ -326,17 +326,18 @@ PknnCellResult RunPknnCell(const eval::Workload& w,
   pool.ResetStats();
   auto t0 = std::chrono::steady_clock::now();
   for (const auto& q : queries) {
-    auto res = tree.KnnQuery(q.issuer, q.qloc, q.k, q.tq);
+    QueryStats stats;
+    auto res = tree.KnnQueryWithStats(q.issuer, q.qloc, q.k, q.tq, &stats);
     if (!res.ok()) {
       std::cerr << "pknn cell query failed: " << res.status().ToString()
                 << "\n";
       std::abort();
     }
-    r.probes += tree.last_query().range_probes;
-    r.descents += tree.last_query().seek_descents;
-    r.leaf_hops += tree.last_query().leaf_hops;
-    r.candidates += tree.last_query().candidates_examined;
-    r.rounds += tree.last_query().rounds;
+    r.probes += stats.counters.range_probes;
+    r.descents += stats.counters.seek_descents;
+    r.leaf_hops += stats.counters.leaf_hops;
+    r.candidates += stats.counters.candidates_examined;
+    r.rounds += stats.counters.rounds;
     r.answers.push_back(std::move(*res));
   }
   auto t1 = std::chrono::steady_clock::now();
@@ -436,6 +437,95 @@ eval::Json RunAndReportPknnCell() {
       .Set("speedup", speedup);
 }
 
+// ---------------------------------------------------------------------------
+// A/B telemetry-overhead cell: instrumented vs disabled service PRQ batch
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Wall-clock of one PRQ batch through `svc` (every response checked).
+double RunTelemetryPrqBatch(service::MovingObjectService& svc,
+                            const std::vector<eval::PrqQuery>& queries) {
+  auto t0 = std::chrono::steady_clock::now();
+  for (const auto& q : queries) {
+    service::QueryResponse resp = svc.Execute(
+        service::QueryRequest::Prq(q.issuer, q.range, q.tq));
+    if (!resp.ok()) {
+      std::cerr << "telemetry cell query failed: " << resp.status.ToString()
+                << "\n";
+      std::abort();
+    }
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+}  // namespace
+
+/// Measures the telemetry hot-path tax: the same PRQ batch against two
+/// identical 4-shard engine services, one fully instrumented (private
+/// registry, metrics on), one with TelemetryOptions::Disabled(). Reps
+/// alternate sides and the minimum per side is compared, so scheduler
+/// noise cancels; CI gates overhead_pct at 2%.
+eval::Json RunAndReportTelemetryOverheadCell() {
+  eval::WorkloadParams p;  // Table 1 defaults.
+  p.num_users = eval::Scaled(40000, 1000);
+  size_t num_queries = eval::Scaled(300, 30);
+  eval::Workload w = eval::Workload::Build(p);
+  eval::QuerySetOptions q;
+  q.count = num_queries;
+  q.seed = 77;
+  auto queries = eval::MakePrqQueries(w, q);
+
+  telemetry::MetricsRegistry registry;  // Private: the cell stays self-contained.
+  telemetry::TelemetryOptions on;
+  on.registry = &registry;
+
+  // Inline execution (0 engine threads, 0 workers) keeps both sides
+  // deterministic: the cell measures instrumentation cost, not scheduling.
+  auto engine_on = eval::MakeEngine(w, 4, 0, engine::RouterPolicy::kHashUser,
+                                    on);
+  auto engine_off = eval::MakeEngine(w, 4, 0, engine::RouterPolicy::kHashUser,
+                                     telemetry::TelemetryOptions::Disabled());
+  service::ServiceOptions svc_on_opts;
+  svc_on_opts.time_domain = p.time_domain;
+  svc_on_opts.telemetry = on;
+  service::ServiceOptions svc_off_opts;
+  svc_off_opts.time_domain = p.time_domain;
+  svc_off_opts.telemetry = telemetry::TelemetryOptions::Disabled();
+  service::MovingObjectService svc_on(engine_on.get(), &w.store(), &w.roles(),
+                                      &w.encoding(), svc_on_opts);
+  service::MovingObjectService svc_off(engine_off.get(), &w.store(),
+                                       &w.roles(), &w.encoding(),
+                                       svc_off_opts);
+
+  constexpr int kReps = 5;
+  double best_on = 0.0, best_off = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    double off_ms = RunTelemetryPrqBatch(svc_off, queries);
+    double on_ms = RunTelemetryPrqBatch(svc_on, queries);
+    if (rep == 0 || off_ms < best_off) best_off = off_ms;
+    if (rep == 0 || on_ms < best_on) best_on = on_ms;
+  }
+  double overhead_pct =
+      best_off > 0.0 ? (best_on / best_off - 1.0) * 100.0 : 0.0;
+
+  std::cout << "\n--- telemetry overhead cell (4-shard engine service, "
+            << p.num_users << " users, " << num_queries
+            << " PRQ/batch, min of " << kReps << ") ---\n"
+            << "disabled    : " << eval::Fmt(best_off) << " ms\n"
+            << "instrumented: " << eval::Fmt(best_on) << " ms\n"
+            << "overhead    : " << eval::Fmt(overhead_pct, 2) << "%\n";
+
+  return eval::Json::Object()
+      .Set("num_users", static_cast<uint64_t>(p.num_users))
+      .Set("num_queries", static_cast<uint64_t>(num_queries))
+      .Set("reps", static_cast<uint64_t>(kReps))
+      .Set("disabled_ms", best_off)
+      .Set("instrumented_ms", best_on)
+      .Set("overhead_pct", overhead_pct);
+}
+
 }  // namespace peb
 
 int main(int argc, char** argv) {
@@ -455,12 +545,15 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   peb::eval::Json range_cell = peb::RunAndReportScanCell();
   peb::eval::Json pknn_cell = peb::RunAndReportPknnCell();
+  peb::eval::Json telemetry_cell = peb::RunAndReportTelemetryOverheadCell();
   if (!json_path.empty()) {
-    peb::eval::Json doc = peb::eval::Json::Object()
-                              .Set("bench", "micro")
-                              .Set("scale", peb::eval::BenchScale())
-                              .Set("range_scan_cell", std::move(range_cell))
-                              .Set("pknn_cell", std::move(pknn_cell));
+    peb::eval::Json doc =
+        peb::eval::Json::Object()
+            .Set("bench", "micro")
+            .Set("scale", peb::eval::BenchScale())
+            .Set("range_scan_cell", std::move(range_cell))
+            .Set("pknn_cell", std::move(pknn_cell))
+            .Set("telemetry_overhead_cell", std::move(telemetry_cell));
     if (doc.WriteTo(json_path)) {
       std::cout << "wrote " << json_path << "\n";
     }

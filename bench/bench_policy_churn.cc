@@ -24,6 +24,7 @@
 #include "policy/policy_catalog.h"
 #include "policy/policy_generator.h"
 #include "service/service.h"
+#include "telemetry/metrics.h"
 
 using namespace peb;
 using namespace peb::eval;
@@ -67,9 +68,20 @@ int main(int argc, char** argv) {
   std::printf("policy churn: %zu users, %zu policies/user, %zu mutations\n",
               params.num_users, params.policies_per_user, kMutations);
 
+  // Private registry: the bench's own series plus every engine/service
+  // instrument, embedded verbatim in the JSON report.
+  telemetry::MetricsRegistry registry;
+  telemetry::TelemetryOptions topts;
+  topts.registry = &registry;
+
   Workload w = Workload::Build(params);
-  auto engine = MakeEngine(w, /*num_shards=*/4, /*num_threads=*/4);
-  service::MovingObjectService svc(engine.get(), w.catalog());
+  auto engine =
+      MakeEngine(w, /*num_shards=*/4, /*num_threads=*/4,
+                 engine::RouterPolicy::kHashUser, topts);
+  service::ServiceOptions so;
+  so.time_domain = params.time_domain;
+  so.telemetry = topts;
+  service::MovingObjectService svc(engine.get(), w.catalog(), so);
 
   QuerySetOptions qopt;
   qopt.count = Scaled(200, 30);
@@ -82,7 +94,9 @@ int main(int argc, char** argv) {
   Rng rng(params.seed + 0xC0DE);
   RoleId friend_role = w.catalog()->DefineRole("friend");
 
-  std::vector<double> reencode_ms, rekeyed, component, query_ms;
+  telemetry::Histogram& reencode_ms = *registry.histogram("churn.reencode_ms");
+  telemetry::Histogram& query_ms = *registry.histogram("churn.prq_ms");
+  std::vector<double> rekeyed, component;
   size_t next_query = 0;
   for (size_t m = 0; m < kMutations; ++m) {
     UserId owner = static_cast<UserId>(rng.NextBelow(params.num_users));
@@ -117,7 +131,7 @@ int main(int argc, char** argv) {
                    resp.status.ToString().c_str());
       return 1;
     }
-    reencode_ms.push_back(resp.reencode.seconds * 1e3);
+    reencode_ms.Record(resp.reencode.seconds * 1e3);
     rekeyed.push_back(static_cast<double>(resp.reencode.rekeyed));
     component.push_back(static_cast<double>(resp.reencode.component_users));
 
@@ -130,7 +144,7 @@ int main(int argc, char** argv) {
                      r.status.ToString().c_str());
         return 1;
       }
-      query_ms.push_back(r.exec_ms);
+      query_ms.Record(r.exec_ms);
     }
   }
 
@@ -163,17 +177,17 @@ int main(int argc, char** argv) {
       Mean(rekeyed) / static_cast<double>(params.num_users);
   uint64_t final_epoch = full.ok() ? full->stats.epoch : 0;
 
+  telemetry::Histogram::Snapshot re_snap = reencode_ms.Snap();
+  telemetry::Histogram::Snapshot q_snap = query_ms.Snap();
   std::printf("re-encode : %.3f ms mean, %.3f ms p95, %.3f ms max\n",
-              Mean(reencode_ms), Percentile(reencode_ms, 0.95),
-              Percentile(reencode_ms, 1.0));
+              re_snap.mean(), re_snap.p95, re_snap.max);
   std::printf("re-keyed  : %.1f users mean (%.4f of population), %.0f max\n",
               Mean(rekeyed), rekey_fraction, Percentile(rekeyed, 1.0));
   std::printf("component : %.1f users mean\n", Mean(component));
   std::printf("PRQ churn : %.3f ms p50, %.3f ms p95, %.3f ms p99\n",
-              Percentile(query_ms, 0.5), Percentile(query_ms, 0.95),
-              Percentile(query_ms, 0.99));
+              q_snap.p50, q_snap.p95, q_snap.p99);
   std::printf("full rebuild: %.3f ms (vs %.3f ms mean incremental)\n",
-              full_ms, Mean(reencode_ms));
+              full_ms, re_snap.mean());
   std::printf("equivalence: %zu/%zu PRQs identical to from-scratch rebuild\n",
               checked - mismatches, checked);
   if (mismatches > 0) {
@@ -186,13 +200,13 @@ int main(int argc, char** argv) {
     Json doc = Json::Object()
         .Set("bench", "policy_churn")
         .Set("params", ToJson(params))
-        .Set("num_mutations", static_cast<uint64_t>(reencode_ms.size()))
-        .Set("queries_during_churn", static_cast<uint64_t>(query_ms.size()))
+        .Set("num_mutations", static_cast<uint64_t>(re_snap.count))
+        .Set("queries_during_churn", static_cast<uint64_t>(q_snap.count))
         .Set("reencode_ms",
              Json::Object()
-                 .Set("mean", Mean(reencode_ms))
-                 .Set("p95", Percentile(reencode_ms, 0.95))
-                 .Set("max", Percentile(reencode_ms, 1.0)))
+                 .Set("mean", re_snap.mean())
+                 .Set("p95", re_snap.p95)
+                 .Set("max", re_snap.max))
         .Set("rekeyed_users",
              Json::Object()
                  .Set("mean", Mean(rekeyed))
@@ -201,13 +215,14 @@ int main(int argc, char** argv) {
         .Set("component_users_mean", Mean(component))
         .Set("query_ms",
              Json::Object()
-                 .Set("p50", Percentile(query_ms, 0.5))
-                 .Set("p95", Percentile(query_ms, 0.95))
-                 .Set("p99", Percentile(query_ms, 0.99)))
+                 .Set("p50", q_snap.p50)
+                 .Set("p95", q_snap.p95)
+                 .Set("p99", q_snap.p99))
         .Set("full_rebuild_ms", full_ms)
         .Set("equivalence_checked", static_cast<uint64_t>(checked))
         .Set("equivalence_mismatches", static_cast<uint64_t>(mismatches))
-        .Set("final_epoch", final_epoch);
+        .Set("final_epoch", final_epoch)
+        .Set("telemetry", Json::Raw(registry.SnapshotJson()));
     if (!doc.WriteTo(json_path)) return 1;
     std::printf("wrote %s\n", json_path.c_str());
   }

@@ -2,19 +2,31 @@
 
 #include <algorithm>
 
+#include "telemetry/trace.h"
+
 namespace peb {
 
-Result<std::vector<UserId>> FilteringIndex::RangeQuery(UserId issuer,
-                                                       const Rect& range,
-                                                       Timestamp tq) {
+Result<std::vector<UserId>> FilteringIndex::RangeQueryWithStats(
+    UserId issuer, const Rect& range, Timestamp tq, QueryStats* stats) {
   PEB_RETURN_NOT_OK(ValidateQueryRect(range));
   PEB_RETURN_NOT_OK(ValidateIssuer(issuer));
+  size_t span = telemetry::TraceScope::Open(stats, "bx-tree prq");
+  BufferPool::ThreadIoScope io_scope(stats == nullptr ? nullptr
+                                                      : &stats->io);
   PEB_ASSIGN_OR_RETURN(auto candidates, tree_.RangeQuery(range, tq));
   std::vector<UserId> out;
   for (const SpatialCandidate& cand : candidates) {
     if (Qualifies(issuer, cand, tq)) out.push_back(cand.uid);
   }
   std::sort(out.begin(), out.end());
+  if (stats != nullptr) {
+    // The BxTree's per-query slot is exact here: this single-tree index is
+    // externally serialized, so no other query interleaved with ours.
+    stats->counters = tree_.last_query();
+    stats->counters.results = out.size();
+    stats->epoch = encoding_epoch();
+    telemetry::TraceScope::Close(stats, span, stats->counters, stats->io);
+  }
   return out;
 }
 
@@ -38,14 +50,22 @@ bool PolicyAccept(void* raw, const SpatialCandidate& cand) {
 
 }  // namespace
 
-Result<std::vector<Neighbor>> FilteringIndex::KnnQuery(UserId issuer,
-                                                       const Point& qloc,
-                                                       size_t k,
-                                                       Timestamp tq) {
+Result<std::vector<Neighbor>> FilteringIndex::KnnQueryWithStats(
+    UserId issuer, const Point& qloc, size_t k, Timestamp tq,
+    QueryStats* stats) {
   PEB_RETURN_NOT_OK(ValidateQueryK(k));
   PEB_RETURN_NOT_OK(ValidateIssuer(issuer));
+  size_t span = telemetry::TraceScope::Open(stats, "bx-tree pknn");
+  BufferPool::ThreadIoScope io_scope(stats == nullptr ? nullptr
+                                                      : &stats->io);
   AcceptCtx ctx{this, issuer, tq, store_, roles_, time_domain_};
-  return tree_.KnnQuery(qloc, k, tq, &PolicyAccept, &ctx);
+  auto result = tree_.KnnQuery(qloc, k, tq, &PolicyAccept, &ctx);
+  if (stats != nullptr) {
+    stats->counters = tree_.last_query();
+    stats->epoch = encoding_epoch();
+    telemetry::TraceScope::Close(stats, span, stats->counters, stats->io);
+  }
+  return result;
 }
 
 }  // namespace peb

@@ -56,20 +56,23 @@ class FilteringIndex final : public PrivacyAwareIndex {
   BufferPool* pool() override { return tree_.pool(); }
   IoStats aggregate_io() const override { return tree_.pool()->stats(); }
   void ResetIo() override { tree_.pool()->ResetStats(); }
-  const QueryCounters& last_query() const override {
-    return tree_.last_query();
-  }
 
-  /// PRQ: spatial range query, then policy filtering on the result.
-  Result<std::vector<UserId>> RangeQuery(UserId issuer, const Rect& range,
-                                         Timestamp tq) override;
+  /// PRQ: spatial range query, then policy filtering on the result. The
+  /// counters come from the underlying BxTree's per-query slot, which is
+  /// exact because this single-tree index is externally serialized.
+  Result<std::vector<UserId>> RangeQueryWithStats(UserId issuer,
+                                                  const Rect& range,
+                                                  Timestamp tq,
+                                                  QueryStats* stats) override;
 
   /// PkNN: iterative spatial enlargement that keeps going until k
   /// policy-qualified users are confirmed (the Section 4 example: when the
   /// spatial NN fails the policy check, "the query then needs to examine
   /// the next nearest neighbor, and this must be repeated").
-  Result<std::vector<Neighbor>> KnnQuery(UserId issuer, const Point& qloc,
-                                         size_t k, Timestamp tq) override;
+  Result<std::vector<Neighbor>> KnnQueryWithStats(UserId issuer,
+                                                  const Point& qloc, size_t k,
+                                                  Timestamp tq,
+                                                  QueryStats* stats) override;
 
   BxTree& tree() { return tree_; }
 

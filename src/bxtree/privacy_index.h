@@ -18,6 +18,10 @@ namespace peb {
 
 class EncodingSnapshot;  // policy/sequence_value.h
 
+namespace telemetry {
+class TraceBuilder;  // telemetry/trace.h
+}
+
 /// A kNN answer entry.
 struct Neighbor {
   UserId uid = kInvalidUserId;
@@ -34,6 +38,16 @@ struct QueryCounters {
   size_t rounds = 0;               ///< kNN enlargement rounds.
   size_t seek_descents = 0;        ///< Root descents spent positioning.
   size_t leaf_hops = 0;            ///< Sibling-link hops spent positioning.
+
+  QueryCounters& operator+=(const QueryCounters& o) {
+    candidates_examined += o.candidates_examined;
+    results += o.results;
+    range_probes += o.range_probes;
+    rounds += o.rounds;
+    seek_descents += o.seek_descents;
+    leaf_hops += o.leaf_hops;
+    return *this;
+  }
 };
 
 /// Per-query observability carried out of a query by value: the query's
@@ -48,6 +62,12 @@ struct QueryStats {
   /// admission, so a response always names one consistent (encoding,
   /// index-keys) version even while re-encodes run concurrently.
   uint64_t epoch = 0;
+  /// Non-null when this query is traced: layers below open spans under the
+  /// caller's span and attribute their counters/io deltas to them. Owned by
+  /// the service layer (or whoever started the trace), never by the index.
+  telemetry::TraceBuilder* trace = nullptr;
+  /// The span the current layer should parent its spans under.
+  size_t trace_span = static_cast<size_t>(-1);
 };
 
 // --- uniform request validation --------------------------------------------
@@ -124,52 +144,31 @@ class PrivacyAwareIndex {
   /// do not embed the encoding in their keys, until one is adopted).
   virtual uint64_t encoding_epoch() const { return 0; }
 
-  /// PRQ (Definition 2): users inside `range` at time `tq` whose policies
-  /// allow `issuer` to see them. The result is sorted by user id.
-  virtual Result<std::vector<UserId>> RangeQuery(UserId issuer,
-                                                 const Rect& range,
-                                                 Timestamp tq) = 0;
+  /// PRQ (Definition 2) with per-query observability carried out by value:
+  /// users inside `range` at time `tq` whose policies allow `issuer` to see
+  /// them, sorted by user id. When `stats` is non-null it receives this
+  /// query's own counters and buffer-pool traffic delta, exact even under
+  /// concurrent submission (counters never live in shared index state).
+  virtual Result<std::vector<UserId>> RangeQueryWithStats(
+      UserId issuer, const Rect& range, Timestamp tq, QueryStats* stats) = 0;
 
-  /// PkNN (Definition 3): the k nearest users to `qloc` at `tq` among those
-  /// whose policies allow `issuer`. Sorted by ascending distance; fewer
-  /// than k entries when fewer qualify.
-  virtual Result<std::vector<Neighbor>> KnnQuery(UserId issuer,
-                                                 const Point& qloc, size_t k,
-                                                 Timestamp tq) = 0;
+  /// PkNN (Definition 3) with per-query observability: the k nearest users
+  /// to `qloc` at `tq` among those whose policies allow `issuer`. Sorted by
+  /// ascending distance; fewer than k entries when fewer qualify.
+  virtual Result<std::vector<Neighbor>> KnnQueryWithStats(
+      UserId issuer, const Point& qloc, size_t k, Timestamp tq,
+      QueryStats* stats) = 0;
 
-  /// PRQ with per-query observability carried out by value. When `stats`
-  /// is non-null it receives this query's own counters and buffer-pool
-  /// traffic delta. The base implementation wraps RangeQuery and is exact
-  /// only while calls do not overlap; thread-safe indexes (the sharded
-  /// engine) override it to stay exact under concurrent submission.
-  virtual Result<std::vector<UserId>> RangeQueryWithStats(UserId issuer,
-                                                          const Rect& range,
-                                                          Timestamp tq,
-                                                          QueryStats* stats) {
-    BufferPool::ThreadIoScope io_scope(stats == nullptr ? nullptr
-                                                        : &stats->io);
-    Result<std::vector<UserId>> result = RangeQuery(issuer, range, tq);
-    if (stats != nullptr) {
-      stats->counters = last_query();
-      stats->epoch = encoding_epoch();
-    }
-    return result;
+  /// Convenience PRQ for callers that do not need observability.
+  Result<std::vector<UserId>> RangeQuery(UserId issuer, const Rect& range,
+                                         Timestamp tq) {
+    return RangeQueryWithStats(issuer, range, tq, nullptr);
   }
 
-  /// PkNN with per-query observability; see RangeQueryWithStats.
-  virtual Result<std::vector<Neighbor>> KnnQueryWithStats(UserId issuer,
-                                                          const Point& qloc,
-                                                          size_t k,
-                                                          Timestamp tq,
-                                                          QueryStats* stats) {
-    BufferPool::ThreadIoScope io_scope(stats == nullptr ? nullptr
-                                                        : &stats->io);
-    Result<std::vector<Neighbor>> result = KnnQuery(issuer, qloc, k, tq);
-    if (stats != nullptr) {
-      stats->counters = last_query();
-      stats->epoch = encoding_epoch();
-    }
-    return result;
+  /// Convenience PkNN for callers that do not need observability.
+  Result<std::vector<Neighbor>> KnnQuery(UserId issuer, const Point& qloc,
+                                         size_t k, Timestamp tq) {
+    return KnnQueryWithStats(issuer, qloc, k, tq, nullptr);
   }
 
   /// The buffer pool serving this index (for I/O accounting). Indexes
@@ -183,15 +182,11 @@ class PrivacyAwareIndex {
   /// paper's single-tree figures.
   virtual IoStats aggregate_io() const = 0;
 
-  /// Zeroes the traffic counters of every pool serving this index.
-  /// DEPRECATED for per-query accounting: prefer the IoStats delta carried
-  /// in QueryStats/QueryResponse, which stays exact when queries overlap.
+  /// Zeroes the traffic counters of every pool serving this index. For
+  /// separating experiment phases (build vs query); per-query accounting
+  /// uses the IoStats delta carried in QueryStats/QueryResponse instead,
+  /// which stays exact when queries overlap.
   virtual void ResetIo() = 0;
-
-  /// Counters of the most recent query. DEPRECATED: meaningful only while
-  /// queries do not overlap — prefer ...WithStats / the service layer's
-  /// QueryResponse, which carry counters by value.
-  virtual const QueryCounters& last_query() const = 0;
 };
 
 }  // namespace peb

@@ -1,10 +1,13 @@
 #include "engine/sharded_engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
 #include <optional>
 #include <queue>
 #include <utility>
+
+#include "telemetry/trace.h"
 
 namespace peb {
 namespace engine {
@@ -52,11 +55,14 @@ void KWayMergeByDistance(std::vector<const std::vector<Neighbor>*> lists,
 
 /// Shared shape of LoadDataset and ApplyBatch: items already grouped by
 /// home shard are applied in order on one worker task per shard, stopping
-/// a shard's task at its first error.
+/// a shard's task at its first error. `lock_hold_ms` (when non-null)
+/// observes how long each shard task held its shard mutex — the interval
+/// concurrent queries on that shard were blocked for.
 template <typename ShardPtr, typename Item, typename Apply>
 Status RouteAndApply(std::vector<ShardPtr>& shards, ThreadPool& threads,
                      const std::vector<std::vector<const Item*>>& groups,
-                     const Apply& apply) {
+                     const Apply& apply,
+                     telemetry::Histogram* lock_hold_ms) {
   std::vector<Status> statuses(shards.size());
   std::vector<std::function<void()>> tasks;
   for (size_t s = 0; s < shards.size(); ++s) {
@@ -64,13 +70,18 @@ Status RouteAndApply(std::vector<ShardPtr>& shards, ThreadPool& threads,
     tasks.push_back([&, s] {
       auto& shard = *shards[s];
       std::lock_guard<std::mutex> lock(shard.mu);
+      auto locked_at = std::chrono::steady_clock::now();
       for (const Item* item : groups[s]) {
         Status st = apply(*shard.tree, *item);
         if (!st.ok()) {
           statuses[s] = std::move(st);
-          return;
+          break;
         }
       }
+      telemetry::Observe(lock_hold_ms,
+                         std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - locked_at)
+                             .count());
     });
   }
   threads.RunAll(std::move(tasks));
@@ -102,6 +113,47 @@ ShardedPebEngine::ShardedPebEngine(
                                             roles, snapshot_);
     shards_.push_back(std::move(shard));
   }
+  // Instruments resolve eagerly here (not lazily on first use), so a
+  // disconnected record site shows up as a registered-but-zero instrument
+  // — which CI's bench-smoke gate fails on.
+  shard_instruments_.resize(n);
+  if (options_.telemetry.enabled) {
+    registry_ = options_.telemetry.registry != nullptr
+                    ? options_.telemetry.registry
+                    : telemetry::MetricsRegistry::Default();
+    for (size_t s = 0; s < n; ++s) {
+      std::string prefix = "engine.shard" + std::to_string(s);
+      shard_instruments_[s].queries = registry_->counter(prefix + ".queries");
+      shard_instruments_[s].updates = registry_->counter(prefix + ".updates");
+    }
+    pknn_rounds_ = registry_->counter("engine.pknn.rounds");
+    pknn_retirements_ = registry_->counter("engine.pknn.retirements");
+    batch_lock_hold_ms_ = registry_->histogram("engine.batch.lock_hold_ms");
+    pool_collector_token_ = registry_->RegisterCollector([this] {
+      std::vector<telemetry::MetricsRegistry::Sample> out;
+      for (size_t i = 0; i < pool_.num_shards(); ++i) {
+        IoStats st = pool_.ShardStats(i);
+        std::string p = "pool.shard" + std::to_string(i) + ".";
+        out.emplace_back(p + "logical_fetches",
+                         static_cast<double>(st.logical_fetches));
+        out.emplace_back(p + "cache_hits",
+                         static_cast<double>(st.cache_hits));
+        out.emplace_back(p + "physical_reads",
+                         static_cast<double>(st.physical_reads));
+        out.emplace_back(p + "evictions",
+                         static_cast<double>(st.evictions));
+        out.emplace_back(p + "prefetch_reads",
+                         static_cast<double>(st.prefetch_reads));
+      }
+      return out;
+    });
+  }
+}
+
+ShardedPebEngine::~ShardedPebEngine() {
+  if (registry_ != nullptr && pool_collector_token_ != 0) {
+    registry_->UnregisterCollector(pool_collector_token_);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -110,21 +162,27 @@ ShardedPebEngine::ShardedPebEngine(
 
 Status ShardedPebEngine::Insert(const MovingObject& object) {
   std::unique_lock<std::shared_mutex> state_lock(state_mu_);
-  Shard& s = *shards_[router_->ShardOf(object.id)];
+  size_t idx = router_->ShardOf(object.id);
+  telemetry::Inc(shard_instruments_[idx].updates);
+  Shard& s = *shards_[idx];
   std::lock_guard<std::mutex> lock(s.mu);
   return s.tree->Insert(object);
 }
 
 Status ShardedPebEngine::Update(const MovingObject& object) {
   std::unique_lock<std::shared_mutex> state_lock(state_mu_);
-  Shard& s = *shards_[router_->ShardOf(object.id)];
+  size_t idx = router_->ShardOf(object.id);
+  telemetry::Inc(shard_instruments_[idx].updates);
+  Shard& s = *shards_[idx];
   std::lock_guard<std::mutex> lock(s.mu);
   return s.tree->Update(object);
 }
 
 Status ShardedPebEngine::Delete(UserId id) {
   std::unique_lock<std::shared_mutex> state_lock(state_mu_);
-  Shard& s = *shards_[router_->ShardOf(id)];
+  size_t idx = router_->ShardOf(id);
+  telemetry::Inc(shard_instruments_[idx].updates);
+  Shard& s = *shards_[idx];
   std::lock_guard<std::mutex> lock(s.mu);
   return s.tree->Delete(id);
 }
@@ -135,10 +193,14 @@ Status ShardedPebEngine::LoadDataset(const Dataset& dataset) {
   for (const MovingObject& o : dataset.objects) {
     groups[router_->ShardOf(o.id)].push_back(&o);
   }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    telemetry::Inc(shard_instruments_[s].updates, groups[s].size());
+  }
   return RouteAndApply(shards_, threads_, groups,
                        [](PebTree& tree, const MovingObject& o) {
                          return tree.Insert(o);
-                       });
+                       },
+                       batch_lock_hold_ms_);
 }
 
 Status ShardedPebEngine::ApplyBatch(const std::vector<UpdateEvent>& events) {
@@ -147,10 +209,14 @@ Status ShardedPebEngine::ApplyBatch(const std::vector<UpdateEvent>& events) {
   for (const UpdateEvent& ev : events) {
     groups[router_->ShardOf(ev.state.id)].push_back(&ev);
   }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    telemetry::Inc(shard_instruments_[s].updates, groups[s].size());
+  }
   return RouteAndApply(shards_, threads_, groups,
                        [](PebTree& tree, const UpdateEvent& ev) {
                          return tree.Update(ev.state);
-                       });
+                       },
+                       batch_lock_hold_ms_);
 }
 
 Status ShardedPebEngine::AdoptSnapshot(
@@ -268,15 +334,25 @@ Result<std::vector<UserId>> ShardedPebEngine::RangeQueryWithStats(
     QueryCounters counters;
     IoStats io;
   };
+  telemetry::TraceBuilder* trace = collect ? stats->trace : nullptr;
+  const size_t trace_parent =
+      collect ? stats->trace_span : telemetry::TraceSpan::kNoParent;
   std::vector<Slot> slots(shards_.size());
   std::vector<std::function<void()>> tasks;
   for (size_t s = 0; s < shards_.size(); ++s) {
     if (per_shard[s].empty()) continue;
-    tasks.push_back([this, s, issuer, collect, &range, tq, &per_shard,
-                     &slots, &cache] {
+    tasks.push_back([this, s, issuer, collect, trace, trace_parent, &range,
+                     tq, &per_shard, &slots, &cache] {
       // Attribute this task's pool traffic to its own slot: exact
       // per-query I/O even while other queries run on the same pool.
       BufferPool::ThreadIoScope io_scope(collect ? &slots[s].io : nullptr);
+      telemetry::Inc(shard_instruments_[s].queries);
+      size_t span = telemetry::TraceSpan::kNoParent;
+      if (trace != nullptr) {
+        span = trace->StartSpan("shard " + std::to_string(s), trace_parent);
+        trace->Annotate(span, "friends=" +
+                                  std::to_string(per_shard[s].size()));
+      }
       Shard& shard = *shards_[s];
       std::lock_guard<std::mutex> lock(shard.mu);
       // Counters land in this task's own slot (scan-local), so concurrent
@@ -287,6 +363,10 @@ Result<std::vector<UserId>> ShardedPebEngine::RangeQueryWithStats(
         slots[s].ids = std::move(*r);
       } else {
         slots[s].status = r.status();
+      }
+      if (trace != nullptr) {
+        trace->AddStats(span, slots[s].counters, slots[s].io);
+        trace->EndSpan(span);
       }
     });
   }
@@ -306,16 +386,6 @@ Result<std::vector<UserId>> ShardedPebEngine::RangeQueryWithStats(
   std::sort(merged.begin(), merged.end());
   if (collect) stats->counters.results = merged.size();
   return merged;
-}
-
-Result<std::vector<UserId>> ShardedPebEngine::RangeQuery(UserId issuer,
-                                                         const Rect& range,
-                                                         Timestamp tq) {
-  QueryStats stats;
-  auto result = RangeQueryWithStats(issuer, range, tq, &stats);
-  // Deprecated observer shim; see last_query().
-  counters_ = stats.counters;
-  return result;
 }
 
 Result<std::vector<Neighbor>> ShardedPebEngine::KnnQueryWithStats(
@@ -363,6 +433,7 @@ Result<std::vector<Neighbor>> ShardedPebEngine::KnnQueryWithStats(
   for (size_t s = 0; s < shards_.size(); ++s) {
     if (per_shard[s].empty()) continue;
     BufferPool::ThreadIoScope io_scope(collect ? &slots[s].io : nullptr);
+    telemetry::Inc(shard_instruments_[s].queries);
     Shard& shard = *shards_[s];
     std::lock_guard<std::mutex> lock(shard.mu);
     slots[s].scan.emplace(
@@ -383,17 +454,72 @@ Result<std::vector<Neighbor>> ShardedPebEngine::KnnQueryWithStats(
     // Retirement with the k-th distance of the moment stays correct when
     // later merges shrink it: unexamined users are farther than the
     // retirement-time bound, which only ever exceeds the final one.
+    telemetry::TraceBuilder* trace = collect ? stats->trace : nullptr;
+    const size_t trace_parent =
+        collect ? stats->trace_span : telemetry::TraceSpan::kNoParent;
     std::mutex merge_mu;
     std::vector<std::function<void()>> tasks;
     for (size_t s = 0; s < shards_.size(); ++s) {
       if (!slots[s].scan.has_value()) continue;
-      tasks.push_back([this, s, k, collect, &slots, &verified, &merge_mu] {
+      tasks.push_back([this, s, k, collect, trace, trace_parent, &slots,
+                       &verified, &merge_mu] {
         Slot& sl = slots[s];
         BufferPool::ThreadIoScope io_scope(collect ? &sl.io : nullptr);
+        size_t shard_span = telemetry::TraceSpan::kNoParent;
+        if (trace != nullptr) {
+          shard_span =
+              trace->StartSpan("shard " + std::to_string(s), trace_parent);
+          trace->Annotate(
+              shard_span, "runs=" + std::to_string(sl.scan->num_rows()));
+        }
         Shard& shard = *shards_[s];
         const size_t nd = sl.scan->max_diagonals();
+        // Per-round work a child span should be charged with: an inner
+        // ThreadIoScope is innermost-wins, so it SUPPRESSES the slot scope
+        // for its extent and the delta must be added back to sl.io by hand.
+        auto scan_round = [&](const std::string& name, size_t d,
+                              auto&& run) {
+          size_t round_span = telemetry::TraceSpan::kNoParent;
+          IoStats round_io;
+          QueryCounters before;
+          std::optional<BufferPool::ThreadIoScope> round_scope;
+          if (trace != nullptr) {
+            round_span = trace->StartSpan(name, shard_span);
+            before = sl.scan->counters();
+            round_scope.emplace(&round_io);
+          }
+          {
+            std::lock_guard<std::mutex> lock(shard.mu);
+            sl.status = run();
+          }
+          if (trace != nullptr) {
+            round_scope.reset();
+            sl.io += round_io;
+            QueryCounters after = sl.scan->counters();
+            QueryCounters delta;
+            delta.candidates_examined =
+                after.candidates_examined - before.candidates_examined;
+            delta.results = after.results - before.results;
+            delta.range_probes = after.range_probes - before.range_probes;
+            delta.rounds = after.rounds - before.rounds;
+            delta.seek_descents =
+                after.seek_descents - before.seek_descents;
+            delta.leaf_hops = after.leaf_hops - before.leaf_hops;
+            trace->AddStats(round_span, delta, round_io);
+            trace->Annotate(round_span,
+                            "radius=" + std::to_string(
+                                            sl.scan->RadiusForRound(d)));
+            trace->EndSpan(round_span);
+          }
+        };
+        auto close_shard_span = [&] {
+          if (trace != nullptr) {
+            trace->AddStats(shard_span, sl.scan->counters(), sl.io);
+            trace->EndSpan(shard_span);
+          }
+        };
         for (size_t d = 0; d < nd; ++d) {
-          if (sl.scan->AllFound()) return;
+          if (sl.scan->AllFound()) break;
           double dk = 0.0;
           bool have_k = false;
           {
@@ -408,25 +534,29 @@ Result<std::vector<Neighbor>> ShardedPebEngine::KnnQueryWithStats(
           // exactly as they did between the legacy path's barriers.
           // (Mutations stay excluded for the whole query by state_mu_.)
           if (have_k) {
+            // The global k-th distance bounds this shard's remaining work:
+            // it retires here, after at most one closing vertical scan.
+            telemetry::Inc(pknn_retirements_);
             if (d == 0 ||
                 sl.scan->CoveredRadiusAfterDiagonal(d - 1) < dk) {
               sl.fresh.clear();
-              {
-                std::lock_guard<std::mutex> lock(shard.mu);
-                sl.status = sl.scan->VerticalScan(dk, &sl.fresh);
-              }
-              if (!sl.status.ok() || sl.fresh.empty()) return;
+              scan_round("vertical", d, [&] {
+                return sl.scan->VerticalScan(dk, &sl.fresh);
+              });
+              if (!sl.status.ok() || sl.fresh.empty()) break;
               std::lock_guard<std::mutex> g(merge_mu);
               KWayMergeByDistance({&sl.fresh}, &verified);
             }
-            return;  // Retired.
+            // Else retired outright: the covered radius already reaches
+            // the global k-th distance, so even the vertical scan is moot.
+            break;
           }
           sl.fresh.clear();
-          {
-            std::lock_guard<std::mutex> lock(shard.mu);
-            sl.status = sl.scan->ScanDiagonal(d, &sl.fresh);
-          }
-          if (!sl.status.ok()) return;
+          telemetry::Inc(pknn_rounds_);
+          scan_round("round " + std::to_string(d), d, [&] {
+            return sl.scan->ScanDiagonal(d, &sl.fresh);
+          });
+          if (!sl.status.ok()) break;
           if (!sl.fresh.empty()) {
             std::lock_guard<std::mutex> g(merge_mu);
             KWayMergeByDistance({&sl.fresh}, &verified);
@@ -435,6 +565,7 @@ Result<std::vector<Neighbor>> ShardedPebEngine::KnnQueryWithStats(
         // Every diagonal exhausted: the scan covered the whole space for
         // each run that still has unlocated users, so those users are
         // simply not hosted here — nothing left to rule out.
+        close_shard_span();
       });
     }
     threads_.RunAll(std::move(tasks));
@@ -453,6 +584,7 @@ Result<std::vector<Neighbor>> ShardedPebEngine::KnnQueryWithStats(
         tasks.push_back([this, s, d, collect, &slots] {
           Slot& sl = slots[s];
           BufferPool::ThreadIoScope io_scope(collect ? &sl.io : nullptr);
+          telemetry::Inc(pknn_rounds_);
           Shard& shard = *shards_[s];
           std::lock_guard<std::mutex> lock(shard.mu);
           sl.status = sl.scan->ScanDiagonal(d, &sl.fresh);
@@ -515,17 +647,6 @@ Result<std::vector<Neighbor>> ShardedPebEngine::KnnQueryWithStats(
     stats->counters.results = verified.size();
   }
   return verified;
-}
-
-Result<std::vector<Neighbor>> ShardedPebEngine::KnnQuery(UserId issuer,
-                                                         const Point& qloc,
-                                                         size_t k,
-                                                         Timestamp tq) {
-  QueryStats stats;
-  auto result = KnnQueryWithStats(issuer, qloc, k, tq, &stats);
-  // Deprecated observer shim; see last_query().
-  counters_ = stats.counters;
-  return result;
 }
 
 Result<MovingObject> ShardedPebEngine::GetObject(UserId id) const {

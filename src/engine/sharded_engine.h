@@ -53,6 +53,7 @@
 #include "engine/thread_pool.h"
 #include "peb/peb_tree.h"
 #include "storage/disk_manager.h"
+#include "telemetry/metrics.h"
 
 namespace peb {
 namespace engine {
@@ -74,6 +75,9 @@ struct EngineOptions {
   size_t pool_shards = 4;
   /// Per-shard PEB-tree configuration (shared by all shards).
   PebTreeOptions tree;
+  /// Engine instruments (per-shard query/update counts, PkNN rounds and
+  /// retirements, batch lock-hold time, per-pool-shard IoStats samples).
+  telemetry::TelemetryOptions telemetry;
 };
 
 class ShardedPebEngine final : public PrivacyAwareIndex {
@@ -92,6 +96,10 @@ class ShardedPebEngine final : public PrivacyAwareIndex {
                              std::shared_ptr<const EncodingSnapshot>(),
                              encoding)) {}
 
+  /// Unregisters this engine's registry collector (benches construct many
+  /// engines against the long-lived default registry).
+  ~ShardedPebEngine() override;
+
   // --- PrivacyAwareIndex ----------------------------------------------------
   Status Insert(const MovingObject& object) override;
   Status Update(const MovingObject& object) override;
@@ -105,22 +113,17 @@ class ShardedPebEngine final : public PrivacyAwareIndex {
   BufferPool* pool() override;
   IoStats aggregate_io() const override;
   void ResetIo() override;
-  /// DEPRECATED shim: work counters of the most recent NON-OVERLAPPING
-  /// deprecated-entry-point query (RangeQuery/KnnQuery below). Queries
-  /// issued through ...WithStats / the service layer carry their counters
-  /// by value in QueryStats/QueryResponse and never touch this slot, so
-  /// concurrent service traffic cannot tear it; interleaving the deprecated
-  /// entry points from several threads yields whichever query finished
-  /// last. Kept for one PR for old callers.
-  const QueryCounters& last_query() const override { return counters_; }
 
   /// Exact per-query observability under concurrent submission: every
   /// shard task accumulates its own counters and attributes its buffer-pool
   /// traffic through BufferPool::ThreadIoScope, and the merged totals are
   /// returned by value in `stats` — no shared observer state on the hot
-  /// path (the old counters-publishing mutex is gone; PRQ shard counters
-  /// go straight into the query's own slot via RangeQueryAmong's
-  /// counters out-param, never through the shard tree's last_query()).
+  /// path (PRQ shard counters go straight into the query's own slot via
+  /// RangeQueryAmong's counters out-param, never through shared tree
+  /// state). When `stats` carries a TraceBuilder, each shard task opens a
+  /// per-shard span (and, on the incremental PkNN path, one child span per
+  /// enlargement round) whose counters/IoStats deltas sum to the query's
+  /// own totals.
   Result<std::vector<UserId>> RangeQueryWithStats(UserId issuer,
                                                   const Rect& range,
                                                   Timestamp tq,
@@ -129,14 +132,6 @@ class ShardedPebEngine final : public PrivacyAwareIndex {
                                                   const Point& qloc, size_t k,
                                                   Timestamp tq,
                                                   QueryStats* stats) override;
-
-  /// DEPRECATED entry points: forward to ...WithStats and publish the
-  /// counters into the last_query() shim. Not safe to interleave from
-  /// several threads (use the service layer / ...WithStats instead).
-  Result<std::vector<UserId>> RangeQuery(UserId issuer, const Rect& range,
-                                         Timestamp tq) override;
-  Result<std::vector<Neighbor>> KnnQuery(UserId issuer, const Point& qloc,
-                                         size_t k, Timestamp tq) override;
 
   /// Adopts a new policy-encoding snapshot ATOMICALLY across all shards:
   /// under the exclusive state lock, every shard tree swaps to `snapshot`
@@ -212,11 +207,20 @@ class ShardedPebEngine final : public PrivacyAwareIndex {
   /// Always acquired before any shard mutex; worker tasks take only shard
   /// mutexes (the dispatching thread holds this lock for them).
   mutable std::shared_mutex state_mu_;
-  /// The deprecated last_query() shim slot. Written ONLY by the deprecated
-  /// RangeQuery/KnnQuery entry points (unsynchronized — their documented
-  /// contract is non-overlapping calls); the ...WithStats hot path carries
-  /// counters by value and never locks or touches this.
-  QueryCounters counters_;
+
+  /// Engine instruments (null when telemetry is disabled). Cached pointers
+  /// into the registry, resolved once at construction.
+  struct ShardInstruments {
+    telemetry::Counter* queries = nullptr;
+    telemetry::Counter* updates = nullptr;
+  };
+  std::vector<ShardInstruments> shard_instruments_;
+  telemetry::Counter* pknn_rounds_ = nullptr;
+  telemetry::Counter* pknn_retirements_ = nullptr;
+  telemetry::Histogram* batch_lock_hold_ms_ = nullptr;
+  /// Token of the per-pool-shard IoStats collector (0 = none registered).
+  size_t pool_collector_token_ = 0;
+  telemetry::MetricsRegistry* registry_ = nullptr;
 };
 
 }  // namespace engine

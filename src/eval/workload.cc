@@ -178,7 +178,7 @@ Status Workload::SyncIndexesToCatalog() {
 
 std::unique_ptr<engine::ShardedPebEngine> MakeEngine(
     const Workload& workload, size_t num_shards, size_t num_threads,
-    engine::RouterPolicy policy) {
+    engine::RouterPolicy policy, telemetry::TelemetryOptions telemetry) {
   const WorkloadParams& params = workload.params();
   engine::EngineOptions opts;
   opts.num_shards = num_shards;
@@ -186,6 +186,7 @@ std::unique_ptr<engine::ShardedPebEngine> MakeEngine(
   opts.router = policy;
   opts.buffer_pages = params.buffer_pages;
   opts.tree = PebOptionsFor(params);
+  opts.telemetry = telemetry;
   auto engine = std::make_unique<engine::ShardedPebEngine>(
       opts, &workload.store(), &workload.roles(),
       workload.catalog().snapshot());

@@ -2,6 +2,7 @@
 
 #include "bxtree/knn_schedule.h"
 #include "costmodel/cost_model.h"
+#include "telemetry/trace.h"
 
 #include <algorithm>
 #include <cassert>
@@ -264,9 +265,10 @@ Status PebTree::ScanSvRun(ObjectBTree::LeafCursor* cursor, uint32_t partition,
 // PRQ
 // ---------------------------------------------------------------------------
 
-Result<std::vector<UserId>> PebTree::RangeQuery(UserId issuer,
-                                                const Rect& range,
-                                                Timestamp tq) {
+Result<std::vector<UserId>> PebTree::RangeQueryWithStats(UserId issuer,
+                                                         const Rect& range,
+                                                         Timestamp tq,
+                                                         QueryStats* stats) {
   PEB_RETURN_NOT_OK(ValidateQueryRect(range));
   // Pin the snapshot for the whole query: friends, quantizer, and the
   // tree's keys stay one consistent epoch.
@@ -274,9 +276,16 @@ Result<std::vector<UserId>> PebTree::RangeQuery(UserId issuer,
   if (issuer >= snap->num_users()) {
     return UnknownIssuerError(issuer);
   }
-  counters_ = QueryCounters{};
-  return RangeQueryAmong(issuer, range, tq, snap->FriendsOf(issuer), nullptr,
-                         &counters_);
+  if (stats == nullptr) {
+    return RangeQueryAmong(issuer, range, tq, snap->FriendsOf(issuer));
+  }
+  stats->epoch = snap->epoch();
+  size_t span = telemetry::TraceScope::Open(stats, "peb-tree prq");
+  BufferPool::ThreadIoScope io_scope(&stats->io);
+  auto result = RangeQueryAmong(issuer, range, tq, snap->FriendsOf(issuer),
+                                nullptr, &stats->counters);
+  telemetry::TraceScope::Close(stats, span, stats->counters, stats->io);
+  return result;
 }
 
 Result<std::vector<UserId>> PebTree::RangeQueryAmong(
@@ -471,16 +480,26 @@ double PebTree::KnnSeedRadius(size_t num_candidates, size_t k) const {
                           options_.index.space_side);
 }
 
-Result<std::vector<Neighbor>> PebTree::KnnQuery(UserId issuer,
-                                                const Point& qloc, size_t k,
-                                                Timestamp tq) {
+Result<std::vector<Neighbor>> PebTree::KnnQueryWithStats(UserId issuer,
+                                                         const Point& qloc,
+                                                         size_t k,
+                                                         Timestamp tq,
+                                                         QueryStats* stats) {
   PEB_RETURN_NOT_OK(ValidateQueryK(k));
   std::shared_ptr<const EncodingSnapshot> snap = snapshot_;
   if (issuer >= snap->num_users()) {
     return UnknownIssuerError(issuer);
   }
-  return KnnQueryAmong(issuer, qloc, k, tq, snap->FriendsOf(issuer),
-                       &counters_);
+  if (stats == nullptr) {
+    return KnnQueryAmong(issuer, qloc, k, tq, snap->FriendsOf(issuer));
+  }
+  stats->epoch = snap->epoch();
+  size_t span = telemetry::TraceScope::Open(stats, "peb-tree pknn");
+  BufferPool::ThreadIoScope io_scope(&stats->io);
+  auto result = KnnQueryAmong(issuer, qloc, k, tq, snap->FriendsOf(issuer),
+                              &stats->counters);
+  telemetry::TraceScope::Close(stats, span, stats->counters, stats->io);
+  return result;
 }
 
 // --- KnnScan: the incremental per-tree search primitive --------------------

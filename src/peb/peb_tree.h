@@ -249,7 +249,6 @@ class PebTree final : public PrivacyAwareIndex {
   BufferPool* pool() override { return pool_; }
   IoStats aggregate_io() const override { return pool_->stats(); }
   void ResetIo() override { pool_->ResetStats(); }
-  const QueryCounters& last_query() const override { return counters_; }
 
   /// Swaps in a new encoding snapshot and re-keys the named users (nullptr
   /// = diff all hosted records). Mutation: callers serialize against
@@ -262,10 +261,14 @@ class PebTree final : public PrivacyAwareIndex {
     return snapshot_;
   }
 
-  Result<std::vector<UserId>> RangeQuery(UserId issuer, const Rect& range,
-                                         Timestamp tq) override;
-  Result<std::vector<Neighbor>> KnnQuery(UserId issuer, const Point& qloc,
-                                         size_t k, Timestamp tq) override;
+  Result<std::vector<UserId>> RangeQueryWithStats(UserId issuer,
+                                                  const Rect& range,
+                                                  Timestamp tq,
+                                                  QueryStats* stats) override;
+  Result<std::vector<Neighbor>> KnnQueryWithStats(UserId issuer,
+                                                  const Point& qloc, size_t k,
+                                                  Timestamp tq,
+                                                  QueryStats* stats) override;
 
   /// PRQ restricted to an explicit candidate list (a subset of the issuer's
   /// friends, ascending by (qsv, uid)). This is the const read path the
@@ -451,8 +454,8 @@ class PebTree final : public PrivacyAwareIndex {
   /// position across the sorted probes of one query; the legacy
   /// per-interval-descent path (leaf_cursor_fast_path off) ignores it and
   /// re-descends from the root. Work is accounted into `counters` (the
-  /// tree's own for whole-query entry points, a KnnScan's own for
-  /// fanned-out scans — never shared between concurrent queries).
+  /// caller's QueryStats slot for whole-query entry points, a KnnScan's own
+  /// for fanned-out scans — never shared between concurrent queries).
   Status ScanKeyRange(ObjectBTree::LeafCursor* cursor, CompositeKey start,
                       uint64_t end_primary,
                       const std::unordered_set<UserId>* wanted,
@@ -495,11 +498,6 @@ class PebTree final : public PrivacyAwareIndex {
 
   std::unordered_map<UserId, StoredObject> objects_;
   std::unordered_map<int64_t, size_t> label_counts_;
-  /// last_query() slot for the NON-const whole-query entry points
-  /// (RangeQuery/KnnQuery). The const ...Among read path never touches it:
-  /// it accounts into the caller-supplied scan-local counters, so
-  /// concurrent fanned-out queries on one tree stay exact and race-free.
-  QueryCounters counters_;
 };
 
 }  // namespace peb

@@ -22,6 +22,7 @@
 #include "peb/continuous.h"
 #include "policy/policy_catalog.h"
 #include "spatial/geometry.h"
+#include "telemetry/trace.h"
 
 namespace peb {
 namespace service {
@@ -49,6 +50,9 @@ struct RequestOptions {
   /// picks it up is answered with ResourceExhausted instead of executing —
   /// the admission-control hook for overload shedding.
   double deadline_ms = 0.0;
+  /// Force a trace for this request regardless of the service's sampling
+  /// rate. The finished span tree comes back in QueryResponse::trace.
+  bool trace = false;
 };
 
 /// One privacy-aware operation, as a value. Build with the factories.
@@ -194,6 +198,11 @@ struct QueryResponse {
   double queue_ms = 0.0;
   /// Milliseconds spent executing.
   double exec_ms = 0.0;
+
+  /// The request's span tree when it was traced (forced via
+  /// RequestOptions::trace or caught by the service's sampling rate);
+  /// empty() otherwise. By value, like everything else here.
+  telemetry::QueryTrace trace;
 
   bool ok() const { return status.ok(); }
 };

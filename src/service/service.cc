@@ -1,5 +1,7 @@
 #include "service/service.h"
 
+#include <fstream>
+#include <string>
 #include <utility>
 
 namespace peb {
@@ -10,6 +12,29 @@ namespace {
 double MsBetween(std::chrono::steady_clock::time_point a,
                  std::chrono::steady_clock::time_point b) {
   return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/// Stable instrument-name suffix per request kind.
+const char* KindName(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kRangeQuery:
+      return "prq";
+    case QueryKind::kKnnQuery:
+      return "pknn";
+    case QueryKind::kContinuousRegister:
+      return "continuous_register";
+    case QueryKind::kContinuousCancel:
+      return "continuous_cancel";
+    case QueryKind::kAddPolicy:
+      return "add_policy";
+    case QueryKind::kRemovePolicy:
+      return "remove_policy";
+    case QueryKind::kDefineRole:
+      return "define_role";
+    case QueryKind::kReencode:
+      return "reencode";
+  }
+  return "unknown";
 }
 
 }  // namespace
@@ -26,6 +51,7 @@ MovingObjectService::MovingObjectService(PrivacyAwareIndex* index,
       workers_(options.num_workers) {
   monitor_ = std::make_unique<ContinuousQueryMonitor>(
       index_, store_, roles_, catalog->snapshot(), options_.time_domain);
+  InitTelemetry();
 }
 
 MovingObjectService::MovingObjectService(PrivacyAwareIndex* index,
@@ -47,11 +73,114 @@ MovingObjectService::MovingObjectService(PrivacyAwareIndex* index,
             std::shared_ptr<const EncodingSnapshot>(), encoding),
         options_.time_domain);
   }
+  InitTelemetry();
 }
 
 MovingObjectService::MovingObjectService(PrivacyAwareIndex* index,
                                          ServiceOptions options)
     : MovingObjectService(index, nullptr, nullptr, nullptr, options) {}
+
+MovingObjectService::~MovingObjectService() {
+  {
+    std::lock_guard<std::mutex> lock(dumper_mu_);
+    stopping_ = true;
+  }
+  dumper_cv_.notify_all();
+  if (dumper_.joinable()) dumper_.join();
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry
+// ---------------------------------------------------------------------------
+
+void MovingObjectService::InitTelemetry() {
+  const telemetry::TelemetryOptions& t = options_.telemetry;
+  if (!t.enabled) return;
+  registry_ = t.registry != nullptr ? t.registry
+                                    : telemetry::MetricsRegistry::Default();
+  submit_ms_ = registry_->histogram("service.submit_ms");
+  queue_ms_ = registry_->histogram("service.queue_ms");
+  exec_ms_ = registry_->histogram("service.exec_ms");
+  for (size_t k = 0; k < kind_requests_.size(); ++k) {
+    kind_requests_[k] = registry_->counter(
+        std::string("service.requests.") +
+        KindName(static_cast<QueryKind>(k)));
+  }
+  query_sheds_[0] = registry_->counter("service.shed.prq");
+  query_sheds_[1] = registry_->counter("service.shed.pknn");
+  queue_depth_ = registry_->gauge("service.queue_depth");
+  // Capability-gated instruments stay unregistered when the capability is
+  // off — an instrument that CANNOT move must not read zero forever.
+  if (monitor_ != nullptr) {
+    continuous_fed_ = registry_->counter("service.continuous.updates_fed");
+    continuous_events_ = registry_->counter("service.continuous.events");
+  }
+  if (catalog_ != nullptr) {
+    reencode_ms_ = registry_->histogram("service.reencode_ms");
+    reencode_rekeys_ = registry_->counter("service.reencode.rekeys");
+  }
+  trace_sample_every_.store(t.trace_sample_every, std::memory_order_relaxed);
+  if (t.slow_log_capacity > 0) {
+    slow_log_ =
+        std::make_unique<telemetry::SlowQueryLog>(t.slow_log_capacity);
+  }
+  if (!options_.stats_dump_path.empty() && options_.stats_dump_period_ms > 0) {
+    dumper_ = std::thread([this] {
+      const auto period =
+          std::chrono::milliseconds(options_.stats_dump_period_ms);
+      std::unique_lock<std::mutex> lock(dumper_mu_);
+      while (!stopping_) {
+        dumper_cv_.wait_for(lock, period, [this] { return stopping_; });
+        if (stopping_) break;
+        // Snapshot outside the dumper lock's critical work: the registry
+        // has its own synchronization.
+        lock.unlock();
+        std::string line = registry_->SnapshotJson();
+        std::ofstream out(options_.stats_dump_path, std::ios::app);
+        out << line << '\n';
+        lock.lock();
+      }
+    });
+  }
+}
+
+bool MovingObjectService::ShouldTrace(const QueryRequest& request) {
+  if (request.options.trace) return true;
+  const size_t every = trace_sample_every_.load(std::memory_order_relaxed);
+  if (every == 0) return false;
+  return query_seq_.fetch_add(1, std::memory_order_relaxed) % every == 0;
+}
+
+void MovingObjectService::FinishRequest(const QueryRequest& request,
+                                        const QueryResponse& response) {
+  if (registry_ == nullptr) return;
+  telemetry::Observe(queue_ms_, response.queue_ms);
+  telemetry::Observe(exec_ms_, response.exec_ms);
+  telemetry::Observe(submit_ms_, response.queue_ms + response.exec_ms);
+  if (slow_log_ != nullptr &&
+      response.exec_ms > options_.telemetry.slow_query_ms) {
+    if (!response.trace.empty()) {
+      slow_log_->Record(response.trace, response.exec_ms);
+    } else {
+      // Untraced slow query: synthesize a root-only trace from the
+      // response's by-value stats so it still lands in the log.
+      telemetry::TraceBuilder builder(KindName(request.kind));
+      size_t root = builder.StartSpan("untraced");
+      builder.AddStats(root, response.counters, response.io);
+      builder.EndSpan(root);
+      builder.set_epoch(response.epoch);
+      telemetry::QueryTrace trace = builder.Finish();
+      trace.total_ms = response.exec_ms;
+      slow_log_->Record(trace, response.exec_ms);
+    }
+  }
+}
+
+std::vector<telemetry::SlowQueryLog::Entry> MovingObjectService::SlowQueries()
+    const {
+  if (slow_log_ == nullptr) return {};
+  return slow_log_->Entries();
+}
 
 // ---------------------------------------------------------------------------
 // Query path
@@ -70,8 +199,10 @@ std::future<QueryResponse> MovingObjectService::Submit(QueryRequest request) {
     promise->set_value(ExecuteTimed(request, submitted));
     return future;
   }
+  telemetry::GaugeAdd(queue_depth_, 1);
   workers_.Submit(
       [this, promise, submitted, request = std::move(request)]() mutable {
+        telemetry::GaugeAdd(queue_depth_, -1);
         promise->set_value(ExecuteTimed(request, submitted));
       });
   return future;
@@ -93,6 +224,7 @@ QueryResponse MovingObjectService::ExecuteTimed(const QueryRequest& request,
   QueryResponse response;
   response.kind = request.kind;
   response.queue_ms = MsBetween(submitted, picked_up);
+  telemetry::Inc(kind_requests_[static_cast<size_t>(request.kind)]);
 
   // Admission control: a request that already overstayed its deadline in
   // the queue is shed instead of executed.
@@ -101,6 +233,18 @@ QueryResponse MovingObjectService::ExecuteTimed(const QueryRequest& request,
     response.status = Status::ResourceExhausted(
         "deadline exceeded before execution (queued " +
         std::to_string(response.queue_ms) + " ms)");
+    if (registry_ != nullptr) {
+      const size_t ki = static_cast<size_t>(request.kind);
+      if (ki < query_sheds_.size()) {
+        telemetry::Inc(query_sheds_[ki]);
+      } else {
+        // Non-query sheds are rare; resolve the counter on demand.
+        registry_
+            ->counter(std::string("service.shed.") + KindName(request.kind))
+            ->Add(1);
+      }
+      telemetry::Observe(queue_ms_, response.queue_ms);
+    }
     return response;
   }
 
@@ -126,6 +270,7 @@ QueryResponse MovingObjectService::ExecuteTimed(const QueryRequest& request,
   }
   response.queue_ms = MsBetween(submitted, picked_up);
   response.exec_ms = MsBetween(picked_up, Clock::now());
+  FinishRequest(request, response);
   return response;
 }
 
@@ -138,6 +283,14 @@ QueryResponse MovingObjectService::DoRange(const QueryRequest& request) {
   // published in between). collect_counters only gates what the response
   // reports.
   QueryStats stats;
+  std::unique_ptr<telemetry::TraceBuilder> tracer;
+  size_t root = telemetry::TraceSpan::kNoParent;
+  if (ShouldTrace(request)) {
+    tracer = std::make_unique<telemetry::TraceBuilder>("prq");
+    root = tracer->StartSpan("service prq");
+    stats.trace = tracer.get();
+    stats.trace_span = root;
+  }
 
   // Thread-safe indexes (the engine) run queries genuinely in parallel;
   // single-tree indexes are serialized so Submit stays safe over them.
@@ -162,6 +315,12 @@ QueryResponse MovingObjectService::DoRange(const QueryRequest& request) {
     response.counters = stats.counters;
     response.io = stats.io;
   }
+  if (tracer != nullptr) {
+    tracer->AddStats(root, stats.counters, stats.io);
+    tracer->EndSpan(root);
+    tracer->set_epoch(stats.epoch);
+    response.trace = tracer->Finish();
+  }
   return response;
 }
 
@@ -170,6 +329,14 @@ QueryResponse MovingObjectService::DoKnn(const QueryRequest& request) {
   response.kind = request.kind;
   const bool collect = request.options.collect_counters;
   QueryStats stats;  // Always gathered: see DoRange on epoch pinning.
+  std::unique_ptr<telemetry::TraceBuilder> tracer;
+  size_t root = telemetry::TraceSpan::kNoParent;
+  if (ShouldTrace(request)) {
+    tracer = std::make_unique<telemetry::TraceBuilder>("pknn");
+    root = tracer->StartSpan("service pknn");
+    stats.trace = tracer.get();
+    stats.trace_span = root;
+  }
 
   Result<std::vector<Neighbor>> result = [&] {
     if (index_->SupportsConcurrentQueries()) {
@@ -191,6 +358,12 @@ QueryResponse MovingObjectService::DoKnn(const QueryRequest& request) {
   if (collect) {
     response.counters = stats.counters;
     response.io = stats.io;
+  }
+  if (tracer != nullptr) {
+    tracer->AddStats(root, stats.counters, stats.io);
+    tracer->EndSpan(root);
+    tracer->set_epoch(stats.epoch);
+    response.trace = tracer->Finish();
   }
   return response;
 }
@@ -276,6 +449,7 @@ Status MovingObjectService::MutateExclusive(
 
 Status MovingObjectService::ReencodeAndAdopt(Timestamp now,
                                              ReencodeStats* stats) {
+  const auto started = Clock::now();
   PEB_ASSIGN_OR_RETURN(ReencodeResult result, catalog_->Reencode());
   *stats = result.stats;
   // Adopt on the index: the engine swaps all shards and re-keys under one
@@ -312,6 +486,8 @@ Status MovingObjectService::ReencodeAndAdopt(Timestamp now,
     }
     PEB_RETURN_NOT_OK(monitor_->AdoptSnapshot(result.snapshot, now));
   }
+  telemetry::Inc(reencode_rekeys_, result.rekeyed.size());
+  telemetry::Observe(reencode_ms_, MsBetween(started, Clock::now()));
   return Status::OK();
 }
 
@@ -390,6 +566,7 @@ Status MovingObjectService::ApplyUpdate(const MovingObject& state,
   }
   if (monitor_ != nullptr) {
     std::lock_guard<std::mutex> continuous_lock(continuous_mu_);
+    telemetry::Inc(continuous_fed_);
     PEB_RETURN_NOT_OK(monitor_->OnUpdate(state, now));
   }
   return Status::OK();
@@ -414,6 +591,7 @@ Status MovingObjectService::NotifyUpdated(const MovingObject& state,
                                           Timestamp now) {
   if (monitor_ == nullptr) return Status::OK();
   std::lock_guard<std::mutex> continuous_lock(continuous_mu_);
+  telemetry::Inc(continuous_fed_);
   return monitor_->OnUpdate(state, now);
 }
 
@@ -421,6 +599,7 @@ void MovingObjectService::FeedContinuous(
     const std::vector<UpdateEvent>& events) {
   if (monitor_ == nullptr) return;
   std::lock_guard<std::mutex> continuous_lock(continuous_mu_);
+  telemetry::Inc(continuous_fed_, events.size());
   for (const UpdateEvent& ev : events) {
     // Events arrive in stream (global time) order regardless of how many
     // shards applied them, so standing-query event streams are identical
@@ -493,7 +672,9 @@ Result<std::vector<UserId>> MovingObjectService::ContinuousResult(
 std::vector<ContinuousQueryEvent> MovingObjectService::TakeContinuousEvents() {
   if (monitor_ == nullptr) return {};
   std::lock_guard<std::mutex> continuous_lock(continuous_mu_);
-  return monitor_->TakeEvents();
+  std::vector<ContinuousQueryEvent> events = monitor_->TakeEvents();
+  telemetry::Inc(continuous_events_, events.size());
+  return events;
 }
 
 Status MovingObjectService::AdvanceContinuous(Timestamp now) {

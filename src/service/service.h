@@ -37,12 +37,17 @@
 // continuous-query maintenance are exclusive.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "bxtree/privacy_index.h"
@@ -54,6 +59,8 @@
 #include "peb/continuous.h"
 #include "policy/policy_catalog.h"
 #include "service/query_request.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace peb {
 namespace service {
@@ -65,6 +72,15 @@ struct ServiceOptions {
   size_t num_workers = 0;
   /// Time domain for continuous-query policy evaluation.
   double time_domain = kDefaultTimeDomain;
+  /// Service instruments (latency histograms, per-kind query and shed
+  /// counters, queue depth, continuous-monitor and re-encode metrics),
+  /// trace sampling, and the slow-query log.
+  telemetry::TelemetryOptions telemetry;
+  /// When non-empty, a background thread appends one registry
+  /// SnapshotJson() line to this file every stats_dump_period_ms — the
+  /// JSON-lines live-stats surface.
+  std::string stats_dump_path;
+  size_t stats_dump_period_ms = 1000;
 };
 
 class MovingObjectService {
@@ -97,6 +113,9 @@ class MovingObjectService {
 
   MovingObjectService(const MovingObjectService&) = delete;
   MovingObjectService& operator=(const MovingObjectService&) = delete;
+
+  /// Stops the stats-dumper thread and unhooks the registry.
+  ~MovingObjectService();
 
   // --- queries --------------------------------------------------------------
 
@@ -186,6 +205,25 @@ class MovingObjectService {
   IoStats aggregate_io() const { return index_->aggregate_io(); }
   size_t num_workers() const { return workers_.num_threads(); }
 
+  // --- telemetry ------------------------------------------------------------
+
+  /// The registry this service records into (null when telemetry is
+  /// disabled). Snapshot with SnapshotJson() / PrometheusText().
+  telemetry::MetricsRegistry* metrics() const { return registry_; }
+
+  /// Snapshot of the slow-query log, oldest entry first (empty when the
+  /// log is disabled).
+  std::vector<telemetry::SlowQueryLog::Entry> SlowQueries() const;
+
+  /// Live control over trace sampling: trace every Nth PRQ/PkNN request
+  /// (0 disables sampling; RequestOptions::trace still forces a trace).
+  void set_trace_sample_every(size_t every) {
+    trace_sample_every_.store(every, std::memory_order_relaxed);
+  }
+  size_t trace_sample_every() const {
+    return trace_sample_every_.load(std::memory_order_relaxed);
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
 
@@ -213,6 +251,21 @@ class MovingObjectService {
   /// Feeds an applied batch to the continuous monitor (stream order).
   void FeedContinuous(const std::vector<UpdateEvent>& events);
 
+  /// Resolves every service instrument eagerly (a disconnected instrument
+  /// then reads zero in snapshots instead of being silently absent) and
+  /// starts the stats-dumper thread when configured. Called once from
+  /// every constructor.
+  void InitTelemetry();
+
+  /// Whether this request should carry a span tree: forced per-request or
+  /// caught by the sampling rate (every Nth PRQ/PkNN).
+  bool ShouldTrace(const QueryRequest& request);
+
+  /// Records latency histograms, the per-kind request counter, and the
+  /// slow-query log for one finished request. Untraced slow queries get a
+  /// synthesized root-only trace from the response's by-value stats.
+  void FinishRequest(const QueryRequest& request, const QueryResponse& response);
+
   PrivacyAwareIndex* index_;
   /// Set when `index_` is a ShardedPebEngine: enables the engine batch
   /// update path and lock-free (shared) query execution.
@@ -231,6 +284,34 @@ class MovingObjectService {
   /// Continuous-query state (the monitor is single-threaded).
   mutable std::mutex continuous_mu_;
   std::unique_ptr<ContinuousQueryMonitor> monitor_;
+
+  // --- telemetry state (null / zero when telemetry is disabled) -------------
+  telemetry::MetricsRegistry* registry_ = nullptr;
+  telemetry::Histogram* submit_ms_ = nullptr;  ///< Submit -> completion.
+  telemetry::Histogram* queue_ms_ = nullptr;   ///< Submit -> pickup.
+  telemetry::Histogram* exec_ms_ = nullptr;    ///< Pickup -> completion.
+  /// service.requests.<kind>, indexed by QueryKind. All eight eager.
+  std::array<telemetry::Counter*, 8> kind_requests_{};
+  /// service.shed.<kind> for the two query kinds (eager). Sheds of other
+  /// kinds resolve their counter lazily — they are rare by construction.
+  std::array<telemetry::Counter*, 2> query_sheds_{};
+  telemetry::Gauge* queue_depth_ = nullptr;
+  /// Updates fed to the continuous monitor / membership events drained.
+  telemetry::Counter* continuous_fed_ = nullptr;
+  telemetry::Counter* continuous_events_ = nullptr;
+  telemetry::Histogram* reencode_ms_ = nullptr;
+  telemetry::Counter* reencode_rekeys_ = nullptr;
+
+  std::atomic<size_t> trace_sample_every_{0};
+  /// PRQ/PkNN admissions, for the every-Nth sampling decision.
+  std::atomic<uint64_t> query_seq_{0};
+  std::unique_ptr<telemetry::SlowQueryLog> slow_log_;
+
+  /// JSON-lines stats dumper (started when stats_dump_path is set).
+  std::thread dumper_;
+  std::mutex dumper_mu_;
+  std::condition_variable dumper_cv_;
+  bool stopping_ = false;
 
   engine::ThreadPool workers_;
 };

@@ -101,6 +101,8 @@ Result<size_t> BufferPool::GetVictimFrame(Shard& shard) {
     }
     shard.table.erase(f.id);
     f.id = kInvalidPageId;
+    shard.stats.evictions++;
+    if (tls_io_ != nullptr) tls_io_->evictions++;
     return idx;
   }
   return Status::ResourceExhausted("all buffer frames are pinned");
@@ -281,6 +283,12 @@ IoStats BufferPool::stats() const {
     total += shard->stats;
   }
   return total;
+}
+
+IoStats BufferPool::ShardStats(size_t i) const {
+  const Shard& shard = *shards_[i];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.stats;
 }
 
 void BufferPool::ResetStats() {

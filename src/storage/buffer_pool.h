@@ -61,6 +61,7 @@ struct IoStats {
   uint64_t logical_fetches = 0;
   uint64_t cache_hits = 0;       ///< Served from the pool without disk I/O.
   uint64_t prefetch_reads = 0;   ///< physical_reads issued by Prefetch().
+  uint64_t evictions = 0;        ///< Resident pages displaced by the clock.
 
   /// Hit ratio in [0,1]; 0 when no fetches happened.
   double HitRatio() const {
@@ -78,6 +79,7 @@ struct IoStats {
     logical_fetches += o.logical_fetches;
     cache_hits += o.cache_hits;
     prefetch_reads += o.prefetch_reads;
+    evictions += o.evictions;
     return *this;
   }
 };
@@ -188,6 +190,11 @@ class BufferPool {
 
   /// Cumulative traffic counters, aggregated over shards.
   IoStats stats() const;
+
+  /// Cumulative traffic counters of latch shard `i` alone (i <
+  /// num_shards()). The telemetry registry samples these per pool shard so
+  /// skew across the replacement domains is visible.
+  IoStats ShardStats(size_t i) const;
 
   /// RAII per-query I/O attribution. While a scope is active on a thread,
   /// every counter this thread bumps on ANY pool is additionally added to

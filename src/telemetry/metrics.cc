@@ -1,0 +1,300 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace peb {
+namespace telemetry {
+
+size_t ThreadStripe() {
+  static std::atomic<size_t> next{0};
+  thread_local size_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+Histogram::Histogram() {
+  for (Stripe& s : stripes_) {
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+  }
+}
+
+size_t Histogram::BucketFor(double value) {
+  if (!(value > kFirstBound)) return 0;  // NaN and underflow land in 0.
+  // ceil(log2(v / first) * steps): the first bucket whose bound >= value.
+  double steps = std::ceil(std::log2(value / kFirstBound) *
+                           kStepsPerDoubling);
+  if (steps >= static_cast<double>(kBuckets - 1)) return kBuckets - 1;
+  return static_cast<size_t>(steps);
+}
+
+double Histogram::BucketBound(size_t i) {
+  if (i + 1 >= kBuckets) return std::numeric_limits<double>::infinity();
+  return kFirstBound *
+         std::exp2(static_cast<double>(i) / kStepsPerDoubling);
+}
+
+void Histogram::Record(double value) {
+  if (value < 0.0) value = 0.0;
+  Stripe& s = stripes_[ThreadStripe() % kStripes];
+  s.buckets[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  s.sum.fetch_add(value, std::memory_order_relaxed);
+  double seen = s.max.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !s.max.compare_exchange_weak(seen, value,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::Aggregate(std::array<uint64_t, kBuckets>* buckets,
+                          uint64_t* count, double* sum, double* max) const {
+  buckets->fill(0);
+  *count = 0;
+  *sum = 0.0;
+  *max = 0.0;
+  for (const Stripe& s : stripes_) {
+    for (size_t i = 0; i < kBuckets; ++i) {
+      uint64_t n = s.buckets[i].load(std::memory_order_relaxed);
+      (*buckets)[i] += n;
+      *count += n;
+    }
+    *sum += s.sum.load(std::memory_order_relaxed);
+    *max = std::max(*max, s.max.load(std::memory_order_relaxed));
+  }
+}
+
+double Histogram::PercentileFrom(
+    const std::array<uint64_t, kBuckets>& buckets, uint64_t count,
+    double max, double q) {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th order statistic (1-based), then walk the buckets.
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    if (seen + buckets[i] >= rank) {
+      double lo = i == 0 ? 0.0 : BucketBound(i - 1);
+      double hi = BucketBound(i);
+      // The last bucket is unbounded; report the observed max instead of
+      // interpolating toward infinity. Same for any bucket the max caps.
+      if (std::isinf(hi)) return max;
+      hi = std::min(hi, max > lo ? max : hi);
+      double frac = static_cast<double>(rank - seen) /
+                    static_cast<double>(buckets[i]);
+      return lo + (hi - lo) * frac;
+    }
+    seen += buckets[i];
+  }
+  return max;
+}
+
+Histogram::Snapshot Histogram::Snap() const {
+  std::array<uint64_t, kBuckets> buckets;
+  Snapshot out;
+  Aggregate(&buckets, &out.count, &out.sum, &out.max);
+  out.p50 = PercentileFrom(buckets, out.count, out.max, 0.50);
+  out.p95 = PercentileFrom(buckets, out.count, out.max, 0.95);
+  out.p99 = PercentileFrom(buckets, out.count, out.max, 0.99);
+  return out;
+}
+
+double Histogram::Percentile(double q) const {
+  std::array<uint64_t, kBuckets> buckets;
+  uint64_t count;
+  double sum, max;
+  Aggregate(&buckets, &count, &sum, &max);
+  return PercentileFrom(buckets, count, max, q);
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t total = 0;
+  for (const Stripe& s : stripes_) {
+    for (const auto& b : s.buckets) {
+      total += b.load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+MetricsRegistry* MetricsRegistry::Default() {
+  static MetricsRegistry* instance = new MetricsRegistry();
+  return instance;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+size_t MetricsRegistry::RegisterCollector(Collector fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t token = next_collector_token_++;
+  collectors_[token] = std::move(fn);
+  return token;
+}
+
+void MetricsRegistry::UnregisterCollector(size_t token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  collectors_.erase(token);
+}
+
+namespace {
+
+void AppendJsonNumber(std::ostringstream& os, double v) {
+  if (v == static_cast<double>(static_cast<int64_t>(v))) {
+    os << static_cast<int64_t>(v);
+  } else {
+    os.precision(10);
+    os << v;
+  }
+}
+
+}  // namespace
+
+std::string MetricsRegistry::SnapshotJson() const {
+  // Copy the instrument pointers out, then read them unlocked: reads are
+  // relaxed-atomic aggregations, and instruments are never removed.
+  std::vector<std::pair<std::string, const Counter*>> counters;
+  std::vector<std::pair<std::string, const Gauge*>> gauges;
+  std::vector<std::pair<std::string, const Histogram*>> histograms;
+  std::vector<Collector> collectors;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, c] : counters_) counters.emplace_back(name, c.get());
+    for (const auto& [name, g] : gauges_) gauges.emplace_back(name, g.get());
+    for (const auto& [name, h] : histograms_) {
+      histograms.emplace_back(name, h.get());
+    }
+    for (const auto& [token, fn] : collectors_) collectors.push_back(fn);
+  }
+
+  std::ostringstream os;
+  os << "{\"counters\": {";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << '"' << counters[i].first << "\": " << counters[i].second->Value();
+  }
+  os << "}, \"gauges\": {";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << '"' << gauges[i].first << "\": " << gauges[i].second->Value();
+  }
+  os << "}, \"histograms\": {";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    if (i > 0) os << ", ";
+    Histogram::Snapshot s = histograms[i].second->Snap();
+    os << '"' << histograms[i].first << "\": {\"count\": " << s.count
+       << ", \"sum\": ";
+    AppendJsonNumber(os, s.sum);
+    os << ", \"mean\": ";
+    AppendJsonNumber(os, s.mean());
+    os << ", \"max\": ";
+    AppendJsonNumber(os, s.max);
+    os << ", \"p50\": ";
+    AppendJsonNumber(os, s.p50);
+    os << ", \"p95\": ";
+    AppendJsonNumber(os, s.p95);
+    os << ", \"p99\": ";
+    AppendJsonNumber(os, s.p99);
+    os << "}";
+  }
+  os << "}, \"samples\": {";
+  bool first = true;
+  for (const Collector& fn : collectors) {
+    for (const auto& [name, value] : fn()) {
+      if (!first) os << ", ";
+      first = false;
+      os << '"' << name << "\": ";
+      AppendJsonNumber(os, value);
+    }
+  }
+  os << "}}";
+  return os.str();
+}
+
+namespace {
+
+std::string PromName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::PrometheusText() const {
+  std::vector<std::pair<std::string, const Counter*>> counters;
+  std::vector<std::pair<std::string, const Gauge*>> gauges;
+  std::vector<std::pair<std::string, const Histogram*>> histograms;
+  std::vector<Collector> collectors;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, c] : counters_) counters.emplace_back(name, c.get());
+    for (const auto& [name, g] : gauges_) gauges.emplace_back(name, g.get());
+    for (const auto& [name, h] : histograms_) {
+      histograms.emplace_back(name, h.get());
+    }
+    for (const auto& [token, fn] : collectors_) collectors.push_back(fn);
+  }
+
+  std::ostringstream os;
+  for (const auto& [name, c] : counters) {
+    std::string n = PromName(name);
+    os << "# TYPE " << n << " counter\n" << n << ' ' << c->Value() << '\n';
+  }
+  for (const auto& [name, g] : gauges) {
+    std::string n = PromName(name);
+    os << "# TYPE " << n << " gauge\n" << n << ' ' << g->Value() << '\n';
+  }
+  for (const auto& [name, h] : histograms) {
+    std::string n = PromName(name);
+    Histogram::Snapshot s = h->Snap();
+    os << "# TYPE " << n << " summary\n";
+    os << n << "{quantile=\"0.5\"} " << s.p50 << '\n';
+    os << n << "{quantile=\"0.95\"} " << s.p95 << '\n';
+    os << n << "{quantile=\"0.99\"} " << s.p99 << '\n';
+    os << n << "_sum " << s.sum << '\n';
+    os << n << "_count " << s.count << '\n';
+  }
+  for (const Collector& fn : collectors) {
+    for (const auto& [name, value] : fn()) {
+      std::string n = PromName(name);
+      os << "# TYPE " << n << " gauge\n" << n << ' ' << value << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace telemetry
+}  // namespace peb

@@ -1,0 +1,234 @@
+// Process-wide metrics: named counters, gauges, and log-scale latency
+// histograms behind one registry, cheap enough to sit on every hot path.
+//
+// The paper evaluates the PEB-tree through one-shot I/O and latency
+// measurements; a long-running service (the ROADMAP's traffic-harness
+// tier) needs the same quantities continuously and in aggregate. The
+// design goals, in order:
+//
+//  * Hot-path cost is ONE relaxed atomic add. Counters and histograms are
+//    striped into cache-line-sized cells indexed by a per-thread stripe
+//    id, so concurrent recorders on different threads touch different
+//    lines; readers aggregate the stripes, accepting a momentarily torn
+//    (but monotone) view.
+//  * Instruments are registered by name once (cold, behind a mutex) and
+//    used through stable pointers — subsystems cache the pointer at
+//    construction, never re-resolving names per event.
+//  * Disabled telemetry costs nothing: components constructed with
+//    TelemetryOptions::Disabled() hold null instrument pointers, and the
+//    record helpers below compile to a null check.
+//  * Values that something else already counts (e.g. the buffer pool's
+//    per-shard IoStats) are exported through snapshot-time collectors
+//    instead of duplicated hot-path atomics.
+//
+// Export surfaces: SnapshotJson() (one JSON document: counters, gauges,
+// histogram percentiles, collector samples) and PrometheusText() (the
+// text exposition format, for scraping once a listener exists).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace peb {
+namespace telemetry {
+
+class MetricsRegistry;
+
+/// Per-component telemetry knobs, threaded through ServiceOptions and
+/// EngineOptions. A component with `enabled == false` registers nothing
+/// and records nothing.
+struct TelemetryOptions {
+  bool enabled = true;
+  /// Registry instruments land in; nullptr means the process-wide default
+  /// (MetricsRegistry::Default()). Tests pass their own registry so
+  /// parallel suites never share instrument state.
+  MetricsRegistry* registry = nullptr;
+  /// Trace every Nth query (0 = only queries with RequestOptions::trace).
+  size_t trace_sample_every = 0;
+  /// Queries slower than this land in the slow-query log.
+  double slow_query_ms = 50.0;
+  /// Slow-query log ring capacity (0 disables the log).
+  size_t slow_log_capacity = 32;
+
+  static TelemetryOptions Disabled() {
+    TelemetryOptions o;
+    o.enabled = false;
+    return o;
+  }
+};
+
+/// Stripe id of the calling thread (stable for the thread's lifetime).
+size_t ThreadStripe();
+
+/// A monotone counter. Add() is one relaxed fetch_add on the calling
+/// thread's stripe; Value() sums the stripes.
+class Counter {
+ public:
+  static constexpr size_t kStripes = 16;
+
+  void Add(uint64_t n = 1) {
+    cells_[ThreadStripe() % kStripes].v.fetch_add(n,
+                                                  std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Cell& c : cells_) total += c.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> v{0};
+  };
+  std::array<Cell, kStripes> cells_;
+};
+
+/// A point-in-time signed value (queue depth, registered queries, ...).
+/// Single atomic: gauges are updated at queueing frequency, not scan
+/// frequency, so striping would buy nothing.
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// A fixed-bucket log-scale histogram for latencies (milliseconds by
+/// convention, but any non-negative value works).
+///
+/// Buckets grow by 2^(1/4) (~19%) per step from kFirstBound, covering
+/// ~100 ns to ~1 hour in 128 buckets; everything below the first bound
+/// lands in bucket 0, everything above the last in the final bucket.
+/// Record() is one log2 and one relaxed fetch_add on the caller's stripe.
+/// Percentiles interpolate linearly inside the landing bucket, so the
+/// estimate is within one bucket width (<19% relative) of the exact
+/// order statistic — tests/telemetry_test.cc holds it to that against a
+/// sorted-vector oracle.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 128;
+  static constexpr size_t kStripes = 8;
+  static constexpr double kFirstBound = 1e-4;  ///< Upper bound of bucket 0.
+  static constexpr double kStepsPerDoubling = 4.0;
+
+  Histogram();
+
+  void Record(double value);
+
+  /// Upper bound of bucket `i` (the last bucket reports +inf as its bound).
+  static double BucketBound(size_t i);
+
+  struct Snapshot {
+    uint64_t count = 0;
+    double sum = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+
+    double mean() const {
+      return count == 0 ? 0.0 : sum / static_cast<double>(count);
+    }
+  };
+
+  /// Aggregates the stripes and reads count/sum/max/percentiles at once.
+  Snapshot Snap() const;
+
+  /// Single percentile readout (q in [0,1]); 0 when empty.
+  double Percentile(double q) const;
+
+  uint64_t Count() const;
+
+ private:
+  static size_t BucketFor(double value);
+  void Aggregate(std::array<uint64_t, kBuckets>* buckets, uint64_t* count,
+                 double* sum, double* max) const;
+  static double PercentileFrom(const std::array<uint64_t, kBuckets>& buckets,
+                               uint64_t count, double max, double q);
+
+  struct alignas(64) Stripe {
+    std::array<std::atomic<uint64_t>, kBuckets> buckets;
+    std::atomic<double> sum{0.0};
+    std::atomic<double> max{0.0};
+  };
+  std::array<Stripe, kStripes> stripes_;
+};
+
+/// Name-keyed instrument registry. Get-or-create lookups are cold (one
+/// mutex acquisition at component construction); the returned pointers are
+/// stable for the registry's lifetime. Collectors are sampled at snapshot
+/// time for values owned elsewhere (per-shard pool stats).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry benches, tools, and default-constructed
+  /// components report into.
+  static MetricsRegistry* Default();
+
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name);
+
+  /// One sampled (name, value) pair from a collector.
+  using Sample = std::pair<std::string, double>;
+  using Collector = std::function<std::vector<Sample>()>;
+
+  /// Registers a snapshot-time collector; returns a token for Unregister.
+  /// Collectors must outlive their registration (components unregister in
+  /// their destructors).
+  size_t RegisterCollector(Collector fn);
+  void UnregisterCollector(size_t token);
+
+  /// Every instrument and collector sample as one JSON document:
+  /// {"counters": {...}, "gauges": {...},
+  ///  "histograms": {name: {count,sum,mean,max,p50,p95,p99}},
+  ///  "samples": {...}}.
+  std::string SnapshotJson() const;
+
+  /// Prometheus text exposition format. Instrument names map to metric
+  /// names with '.' -> '_'; histograms export _count/_sum plus percentile
+  /// gauges (the fixed-bucket layout is an implementation detail).
+  std::string PrometheusText() const;
+
+ private:
+  mutable std::mutex mu_;
+  /// std::map keeps snapshot output sorted and insertion-stable; node
+  /// addresses are stable, so handed-out pointers survive later inserts.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<size_t, Collector> collectors_;
+  size_t next_collector_token_ = 1;
+};
+
+// --- null-safe record helpers ----------------------------------------------
+// Components hold null instrument pointers when telemetry is disabled;
+// every record site goes through these so the disabled path is one branch.
+
+inline void Inc(Counter* c, uint64_t n = 1) {
+  if (c != nullptr) c->Add(n);
+}
+inline void Observe(Histogram* h, double value) {
+  if (h != nullptr) h->Record(value);
+}
+inline void GaugeAdd(Gauge* g, int64_t d) {
+  if (g != nullptr) g->Add(d);
+}
+
+}  // namespace telemetry
+}  // namespace peb

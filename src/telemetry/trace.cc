@@ -1,0 +1,184 @@
+#include "telemetry/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace peb {
+namespace telemetry {
+
+namespace {
+
+void AppendEscaped(std::ostringstream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      default:
+        os << c;
+    }
+  }
+}
+
+/// Index of the depth-1 ancestor of `i` (or 0 for the root itself) — the
+/// lane assignment for Chrome rendering.
+size_t LaneOf(const std::vector<TraceSpan>& spans, size_t i) {
+  size_t cur = i;
+  while (spans[cur].parent != TraceSpan::kNoParent &&
+         spans[spans[cur].parent].parent != TraceSpan::kNoParent) {
+    cur = spans[cur].parent;
+  }
+  return spans[cur].parent == TraceSpan::kNoParent ? 0 : cur;
+}
+
+}  // namespace
+
+std::string QueryTrace::ChromeJson() const {
+  std::ostringstream os;
+  os << "{\"traceEvents\": [";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const TraceSpan& s = spans[i];
+    if (i > 0) os << ",\n ";
+    os << "{\"ph\": \"X\", \"pid\": 1, \"tid\": " << LaneOf(spans, i)
+       << ", \"name\": \"";
+    AppendEscaped(os, s.name);
+    os << "\", \"ts\": " << static_cast<int64_t>(s.start_ms * 1000.0)
+       << ", \"dur\": " << std::max<int64_t>(
+              1, static_cast<int64_t>(s.dur_ms * 1000.0))
+       << ", \"args\": {\"candidates\": " << s.counters.candidates_examined
+       << ", \"results\": " << s.counters.results
+       << ", \"range_probes\": " << s.counters.range_probes
+       << ", \"rounds\": " << s.counters.rounds
+       << ", \"seek_descents\": " << s.counters.seek_descents
+       << ", \"leaf_hops\": " << s.counters.leaf_hops
+       << ", \"logical_fetches\": " << s.io.logical_fetches
+       << ", \"cache_hits\": " << s.io.cache_hits
+       << ", \"physical_reads\": " << s.io.physical_reads
+       << ", \"note\": \"";
+    AppendEscaped(os, s.note);
+    os << "\"}}";
+  }
+  os << "],\n \"metadata\": {\"query\": \"";
+  AppendEscaped(os, name);
+  os << "\", \"epoch\": " << epoch << ", \"total_ms\": " << total_ms
+     << "}}";
+  return os.str();
+}
+
+std::string QueryTrace::Summary() const {
+  std::ostringstream os;
+  os << name << " epoch=" << epoch << " total=" << total_ms << "ms\n";
+  // Depth via parent chase; spans are appended in start order so a simple
+  // pass renders parents before children for trees built top-down.
+  for (const TraceSpan& s : spans) {
+    size_t depth = 0;
+    for (size_t p = s.parent; p != TraceSpan::kNoParent;
+         p = spans[p].parent) {
+      ++depth;
+    }
+    for (size_t d = 0; d < depth; ++d) os << "  ";
+    os << s.name << "  " << s.dur_ms << "ms"
+       << "  fetches=" << s.io.logical_fetches
+       << " hits=" << s.io.cache_hits << " cands="
+       << s.counters.candidates_examined;
+    if (!s.note.empty()) os << "  [" << s.note << "]";
+    os << "\n";
+  }
+  return os.str();
+}
+
+TraceBuilder::TraceBuilder(std::string name)
+    : start_(std::chrono::steady_clock::now()) {
+  trace_.name = std::move(name);
+}
+
+double TraceBuilder::NowMs() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+size_t TraceBuilder::StartSpan(const std::string& name, size_t parent) {
+  double now = NowMs();
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceSpan span;
+  span.name = name;
+  span.parent = parent;
+  span.start_ms = now;
+  trace_.spans.push_back(std::move(span));
+  open_.push_back(1);
+  return trace_.spans.size() - 1;
+}
+
+void TraceBuilder::EndSpan(size_t span) {
+  double now = NowMs();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (span >= trace_.spans.size() || !open_[span]) return;
+  trace_.spans[span].dur_ms = now - trace_.spans[span].start_ms;
+  open_[span] = 0;
+}
+
+void TraceBuilder::AddStats(size_t span, const QueryCounters& counters,
+                            const IoStats& io) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (span >= trace_.spans.size()) return;
+  TraceSpan& s = trace_.spans[span];
+  s.counters.candidates_examined += counters.candidates_examined;
+  s.counters.results += counters.results;
+  s.counters.range_probes += counters.range_probes;
+  s.counters.rounds += counters.rounds;
+  s.counters.seek_descents += counters.seek_descents;
+  s.counters.leaf_hops += counters.leaf_hops;
+  s.io += io;
+}
+
+void TraceBuilder::Annotate(size_t span, const std::string& note) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (span >= trace_.spans.size()) return;
+  std::string& n = trace_.spans[span].note;
+  if (!n.empty()) n += ' ';
+  n += note;
+}
+
+void TraceBuilder::set_epoch(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  trace_.epoch = epoch;
+}
+
+QueryTrace TraceBuilder::Finish() {
+  double now = NowMs();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < trace_.spans.size(); ++i) {
+    if (open_[i]) {
+      trace_.spans[i].dur_ms = now - trace_.spans[i].start_ms;
+      open_[i] = 0;
+    }
+  }
+  trace_.total_ms = now;
+  return std::move(trace_);
+}
+
+void SlowQueryLog::Record(QueryTrace trace, double total_ms) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() >= capacity_) ring_.pop_front();
+  Entry e;
+  e.trace = std::move(trace);
+  e.total_ms = total_ms;
+  e.sequence = next_sequence_++;
+  ring_.push_back(std::move(e));
+}
+
+std::vector<SlowQueryLog::Entry> SlowQueryLog::Entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<Entry>(ring_.begin(), ring_.end());
+}
+
+}  // namespace telemetry
+}  // namespace peb

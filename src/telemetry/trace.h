@@ -1,0 +1,150 @@
+// Per-query trace span trees.
+//
+// A traced query carries a TraceBuilder pointer down through
+// MovingObjectService -> ShardedPebEngine -> per-shard task -> PebTree
+// scan; each layer opens a span, annotates it (round, annulus, shard),
+// and records the QueryCounters / IoStats delta it contributed. The
+// finished tree travels back up BY VALUE inside QueryResponse (the same
+// discipline as QueryStats: no shared mutable state outlives the call),
+// and can be serialized as Chrome trace_event JSON for about:tracing.
+//
+// Tracing is sampled (TelemetryOptions::trace_sample_every) or forced
+// per-request (RequestOptions::trace); untraced queries carry a null
+// builder and pay one branch per would-be span.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "bxtree/privacy_index.h"
+#include "storage/buffer_pool.h"
+
+namespace peb {
+namespace telemetry {
+
+/// One node of a span tree. Spans are stored flat, parent-linked by index
+/// into QueryTrace::spans (kNoParent for the root), which keeps the tree
+/// trivially copyable by value.
+struct TraceSpan {
+  static constexpr size_t kNoParent = static_cast<size_t>(-1);
+
+  std::string name;
+  size_t parent = kNoParent;
+  double start_ms = 0.0;  ///< Relative to the trace's start.
+  double dur_ms = 0.0;
+  QueryCounters counters;  ///< Work attributed to this span (not children).
+  IoStats io;              ///< Pages attributed to this span (not children).
+  std::string note;        ///< "round=2 annulus=[3,5)" style annotations.
+};
+
+/// A finished, by-value trace. `spans[0]` is the root when non-empty.
+struct QueryTrace {
+  std::string name;  ///< "pknn", "prq", ...
+  uint64_t epoch = 0;
+  double total_ms = 0.0;
+  std::vector<TraceSpan> spans;
+
+  bool empty() const { return spans.empty(); }
+
+  /// Chrome trace_event JSON (a {"traceEvents": [...]} document of "ph":"X"
+  /// complete events, timestamps in microseconds). Spans at depth 1 get
+  /// distinct tids so concurrent per-shard work renders on separate lanes;
+  /// deeper spans inherit their depth-1 ancestor's lane.
+  std::string ChromeJson() const;
+
+  /// One-line-per-span indented text rendering for the shell / slow log.
+  std::string Summary() const;
+};
+
+/// Mutable builder a traced query carries down the stack. Thread-safe:
+/// per-shard tasks open and close spans concurrently. Span handles are
+/// indices, valid for the builder's lifetime.
+class TraceBuilder {
+ public:
+  explicit TraceBuilder(std::string name);
+
+  /// Opens a span under `parent` (TraceSpan::kNoParent for the root);
+  /// returns its handle.
+  size_t StartSpan(const std::string& name,
+                   size_t parent = TraceSpan::kNoParent);
+  void EndSpan(size_t span);
+
+  /// Attributes a counters/io delta to a span (adds to prior deltas).
+  void AddStats(size_t span, const QueryCounters& counters,
+                const IoStats& io);
+  /// Appends an annotation ("round=2"); multiple notes are space-joined.
+  void Annotate(size_t span, const std::string& note);
+
+  void set_epoch(uint64_t epoch);
+
+  /// Closes any still-open spans, stamps total_ms, and moves the tree out.
+  /// The builder is spent afterwards.
+  QueryTrace Finish();
+
+ private:
+  double NowMs() const;
+
+  std::mutex mu_;
+  QueryTrace trace_;
+  std::vector<char> open_;  // Parallel to trace_.spans; 1 = still open.
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Convenience for layers handed a QueryStats that may or may not be
+/// traced: Open() starts a span under stats->trace_span when a builder is
+/// present (no-op handle otherwise); Close() attributes a counters/io
+/// delta and ends it. Layers call these instead of branching on
+/// stats->trace at every site.
+struct TraceScope {
+  static size_t Open(const QueryStats* stats, const std::string& name) {
+    if (stats == nullptr || stats->trace == nullptr) {
+      return TraceSpan::kNoParent;
+    }
+    return stats->trace->StartSpan(name, stats->trace_span);
+  }
+
+  static void Close(const QueryStats* stats, size_t span,
+                    const QueryCounters& counters, const IoStats& io) {
+    if (stats == nullptr || stats->trace == nullptr ||
+        span == TraceSpan::kNoParent) {
+      return;
+    }
+    stats->trace->AddStats(span, counters, io);
+    stats->trace->EndSpan(span);
+  }
+};
+
+/// Ring of the worst traces seen over a threshold. FIFO: when full, the
+/// oldest entry is evicted first. Thread-safe.
+class SlowQueryLog {
+ public:
+  explicit SlowQueryLog(size_t capacity) : capacity_(capacity) {}
+
+  struct Entry {
+    QueryTrace trace;
+    double total_ms = 0.0;
+    uint64_t sequence = 0;  ///< Monotone admission order.
+  };
+
+  /// Admits the trace if it cleared the caller's threshold (the caller
+  /// decides; the log just stores). No-op when capacity is 0.
+  void Record(QueryTrace trace, double total_ms);
+
+  /// Oldest-first copy of the current ring.
+  std::vector<Entry> Entries() const;
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<Entry> ring_;
+  uint64_t next_sequence_ = 0;
+};
+
+}  // namespace telemetry
+}  // namespace peb

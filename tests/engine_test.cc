@@ -322,10 +322,14 @@ TEST_F(EngineWorldTest, FastPathAnswersAreBitIdenticalToLegacyDescents) {
     ASSERT_TRUE(b.ok());
     EXPECT_EQ(*a, *b);
   }
+  QueryCounters fast_totals;
   for (const auto& query : knn) {
     auto a = legacy.tree->KnnQuery(query.issuer, query.qloc, query.k,
                                    query.tq);
-    auto b = fast.tree->KnnQuery(query.issuer, query.qloc, query.k, query.tq);
+    QueryStats stats;
+    auto b = fast.tree->KnnQueryWithStats(query.issuer, query.qloc, query.k,
+                                          query.tq, &stats);
+    fast_totals += stats.counters;
     ASSERT_TRUE(a.ok());
     ASSERT_TRUE(b.ok());
     ASSERT_EQ(a->size(), b->size());
@@ -337,9 +341,8 @@ TEST_F(EngineWorldTest, FastPathAnswersAreBitIdenticalToLegacyDescents) {
     }
   }
   // The fast path actually engaged: descents far below one per probe.
-  const QueryCounters& c = fast.tree->last_query();
-  EXPECT_GT(c.range_probes, 0u);
-  EXPECT_LT(c.seek_descents, c.range_probes);
+  EXPECT_GT(fast_totals.range_probes, 0u);
+  EXPECT_LT(fast_totals.seek_descents, fast_totals.range_probes);
 }
 
 TEST_F(EngineWorldTest, EngineFastPathMatchesLegacySingleTree) {

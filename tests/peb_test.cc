@@ -241,14 +241,18 @@ TEST(PebTree, EmptyFriendListGivesEmptyResults) {
   PebTree tree(&pool, opt, &gp.store, &gp.roles, &enc);
   for (const auto& o : ds.objects) ASSERT_TRUE(tree.Insert(o).ok());
 
-  auto prq = tree.RangeQuery(19, Rect::Space(1000), 120.0);
+  QueryStats prq_stats;
+  auto prq = tree.RangeQueryWithStats(19, Rect::Space(1000), 120.0,
+                                      &prq_stats);
   ASSERT_TRUE(prq.ok());
   EXPECT_TRUE(prq->empty());
-  auto knn = tree.KnnQuery(19, {500, 500}, 5, 120.0);
+  QueryStats knn_stats;
+  auto knn = tree.KnnQueryWithStats(19, {500, 500}, 5, 120.0, &knn_stats);
   ASSERT_TRUE(knn.ok());
   EXPECT_TRUE(knn->empty());
   // The friend list prunes to zero before any tree descent: zero probes.
-  EXPECT_EQ(tree.last_query().range_probes, 0u);
+  EXPECT_EQ(prq_stats.counters.range_probes, 0u);
+  EXPECT_EQ(knn_stats.counters.range_probes, 0u);
 }
 
 TEST(PebTree, MultiplePoliciesPerPairAllUnioned) {
@@ -381,13 +385,14 @@ TEST(PebTree, SpanScanCostsAtLeastAsMuchAsPerFriend) {
     UserId issuer = static_cast<UserId>(rng.NextBelow(800));
     Rect range = Rect::CenteredSquare(
         {rng.Uniform(0, 1000), rng.Uniform(0, 1000)}, 300);
-    auto a = per.tree->RangeQuery(issuer, range, 120.0);
+    QueryStats per_stats;
+    auto a = per.tree->RangeQueryWithStats(issuer, range, 120.0, &per_stats);
     ASSERT_TRUE(a.ok());
-    per_cands += static_cast<double>(per.tree->last_query().candidates_examined);
-    auto b = span.tree->RangeQuery(issuer, range, 120.0);
+    per_cands += static_cast<double>(per_stats.counters.candidates_examined);
+    QueryStats span_stats;
+    auto b = span.tree->RangeQueryWithStats(issuer, range, 120.0, &span_stats);
     ASSERT_TRUE(b.ok());
-    span_cands +=
-        static_cast<double>(span.tree->last_query().candidates_examined);
+    span_cands += static_cast<double>(span_stats.counters.candidates_examined);
     EXPECT_EQ(*a, *b);  // Same answers.
   }
   EXPECT_LE(per_cands, span_cands);

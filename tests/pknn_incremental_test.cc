@@ -134,15 +134,20 @@ TEST_F(PknnWorldTest, IncrementalDoesLessWorkThanLegacy) {
   size_t legacy_descents = 0, inc_descents = 0;
   size_t legacy_rounds = 0, inc_rounds = 0;
   for (const PknnQuery& query : knn) {
-    ASSERT_TRUE(legacy.tree->KnnQuery(query.issuer, query.qloc, query.k,
-                                      query.tq)
+    QueryStats legacy_stats;
+    ASSERT_TRUE(legacy.tree
+                    ->KnnQueryWithStats(query.issuer, query.qloc, query.k,
+                                        query.tq, &legacy_stats)
                     .ok());
-    legacy_descents += legacy.tree->last_query().seek_descents;
-    legacy_rounds += legacy.tree->last_query().rounds;
-    ASSERT_TRUE(
-        inc.tree->KnnQuery(query.issuer, query.qloc, query.k, query.tq).ok());
-    inc_descents += inc.tree->last_query().seek_descents;
-    inc_rounds += inc.tree->last_query().rounds;
+    legacy_descents += legacy_stats.counters.seek_descents;
+    legacy_rounds += legacy_stats.counters.rounds;
+    QueryStats inc_stats;
+    ASSERT_TRUE(inc.tree
+                    ->KnnQueryWithStats(query.issuer, query.qloc, query.k,
+                                        query.tq, &inc_stats)
+                    .ok());
+    inc_descents += inc_stats.counters.seek_descents;
+    inc_rounds += inc_stats.counters.rounds;
   }
   // The seeded schedule needs fewer enlargement rounds and the annulus
   // deltas + qsv runs need fewer positioning descents.

@@ -150,7 +150,7 @@ TEST(ServiceExecute, AnswersMatchIndexAndCarryExactStats) {
     ASSERT_TRUE(direct.ok());
     EXPECT_EQ(resp.ids, *direct);
 
-    // Counters arrive by value and agree with the last_query() shim of the
+    // Counters arrive by value and are internally consistent on the
     // serial path.
     EXPECT_EQ(resp.counters.results, resp.ids.size());
     EXPECT_LE(resp.counters.results, resp.counters.candidates_examined);

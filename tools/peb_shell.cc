@@ -30,6 +30,8 @@
 #include "eval/runner.h"
 #include "eval/workload.h"
 #include "service/service.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 using namespace peb;
 using namespace peb::eval;
@@ -65,10 +67,18 @@ void PrintHelp() {
       "  reencode         flush pending mutations: incremental re-encode,\n"
       "                   re-key the affected users, publish a new epoch\n"
       "  epoch            current encoding epoch and pending mutations\n"
+      "  telemetry [json] live metrics registry (Prometheus text or JSON)\n"
+      "  trace on|off     trace every query; prq/knn print the span tree\n"
+      "  slowlog          worst traced queries over the slow threshold\n"
       "  help | quit\n");
 }
 
 struct Shell {
+  /// One registry for the shell's lifetime: engines and services come and
+  /// go (gen / shards / engine on|off), their instruments accumulate
+  /// here. Declared first so it outlives everything registered to it —
+  /// the engine's destructor unregisters its pool collector.
+  telemetry::MetricsRegistry registry;
   std::unique_ptr<Workload> world;
   std::unique_ptr<engine::ShardedPebEngine> eng;
   /// The service front-end queries go through: over the engine when
@@ -77,6 +87,7 @@ struct Shell {
   size_t engine_shards = 4;
   size_t engine_threads = 4;
   bool use_engine = false;
+  size_t trace_every = 0;  ///< Sticky across RebindService; 1 = trace all.
 
   bool EnsureWorld() {
     if (world == nullptr) {
@@ -95,7 +106,11 @@ struct Shell {
             ? static_cast<PrivacyAwareIndex*>(eng.get())
             : &world->peb();
     // Catalog-backed: policy add/remove, role define, and reencode work.
-    svc = std::make_unique<MovingObjectService>(index, world->catalog());
+    service::ServiceOptions so;
+    so.time_domain = world->params().time_domain;
+    so.telemetry.registry = &registry;
+    svc = std::make_unique<MovingObjectService>(index, world->catalog(), so);
+    svc->set_trace_sample_every(trace_every);
     if (standing > 0) {
       std::printf("note: %zu standing quer%s dropped (index switched)\n",
                   standing, standing == 1 ? "y" : "ies");
@@ -105,7 +120,10 @@ struct Shell {
   void RebuildEngine(bool enable) {
     std::printf("building engine: %zu shard(s), %zu thread(s)...\n",
                 engine_shards, engine_threads);
-    eng = MakeEngine(*world, engine_shards, engine_threads);
+    telemetry::TelemetryOptions topts;
+    topts.registry = &registry;
+    eng = MakeEngine(*world, engine_shards, engine_threads,
+                     engine::RouterPolicy::kHashUser, topts);
     use_engine = enable;
     RebindService();
     std::printf("engine ready (%zu users)%s\n", eng->size(),
@@ -207,6 +225,7 @@ struct Shell {
       std::printf(" u%u", u);
     }
     std::printf("\n");
+    if (!resp.trace.empty()) std::printf("%s", resp.trace.Summary().c_str());
   }
 
   void Knn(std::istringstream& in) {
@@ -231,6 +250,7 @@ struct Shell {
     std::printf("  [%llu I/O, %zu rounds, %.2f ms]\n",
                 static_cast<unsigned long long>(resp.io.physical_reads),
                 resp.counters.rounds, resp.exec_ms);
+    if (!resp.trace.empty()) std::printf("%s", resp.trace.Summary().c_str());
   }
 
   void Watch(std::istringstream& in) {
@@ -491,6 +511,45 @@ struct Shell {
                 world->catalog()->dirty_count());
   }
 
+  void Telemetry(std::istringstream& in) {
+    std::string mode;
+    in >> mode;
+    if (mode == "json") {
+      std::printf("%s\n", registry.SnapshotJson().c_str());
+    } else {
+      std::printf("%s", registry.PrometheusText().c_str());
+    }
+  }
+
+  void Trace(std::istringstream& in) {
+    if (!EnsureWorld()) return;
+    std::string mode;
+    if (!(in >> mode) || (mode != "on" && mode != "off")) {
+      std::printf("usage: trace on|off\n");
+      return;
+    }
+    trace_every = mode == "on" ? 1 : 0;
+    svc->set_trace_sample_every(trace_every);
+    std::printf("tracing %s\n", trace_every != 0
+                                    ? "on — prq/knn print the span tree"
+                                    : "off");
+  }
+
+  void Slowlog() {
+    if (!EnsureWorld()) return;
+    auto entries = svc->SlowQueries();
+    if (entries.empty()) {
+      std::printf("(slow-query log is empty)\n");
+      return;
+    }
+    for (const auto& e : entries) {
+      std::printf("#%llu %s %.2f ms\n%s",
+                  static_cast<unsigned long long>(e.sequence),
+                  e.trace.name.c_str(), e.total_ms,
+                  e.trace.Summary().c_str());
+    }
+  }
+
   void Compare(std::istringstream& in) {
     if (!EnsureWorld()) return;
     size_t n = 0;
@@ -562,6 +621,12 @@ int main() {
       shell.Reencode();
     } else if (cmd == "epoch") {
       shell.Epoch();
+    } else if (cmd == "telemetry") {
+      shell.Telemetry(in);
+    } else if (cmd == "trace") {
+      shell.Trace(in);
+    } else if (cmd == "slowlog") {
+      shell.Slowlog();
     } else {
       std::printf("unknown command '%s' — try 'help'\n", cmd.c_str());
     }
