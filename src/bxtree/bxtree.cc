@@ -165,6 +165,52 @@ Result<std::vector<SpatialCandidate>> BxTree::RangeQuery(const Rect& range,
   return out;
 }
 
+Status BxTree::ValidateInvariants() const {
+  PEB_RETURN_NOT_OK(tree_.Validate());
+  if (tree_.stats().num_entries != objects_.size()) {
+    return Status::Corruption(
+        "tree entry count " + std::to_string(tree_.stats().num_entries) +
+        " != object table size " + std::to_string(objects_.size()));
+  }
+  std::unordered_map<int64_t, size_t> recount;
+  for (const auto& [uid, stored] : objects_) {
+    if (stored.state.id != uid) {
+      return Status::Corruption("object table key " + std::to_string(uid) +
+                                " stores state of user " +
+                                std::to_string(stored.state.id));
+    }
+    if (stored.key != KeyFor(stored.state)) {
+      return Status::Corruption("user " + std::to_string(uid) +
+                                ": stored Bx key does not match the key "
+                                "derived from the stored state");
+    }
+    if (stored.label_index !=
+        options_.partitions.LabelIndexFor(stored.state.tu)) {
+      return Status::Corruption("user " + std::to_string(uid) +
+                                ": stored label index does not match tu");
+    }
+    recount[stored.label_index]++;
+    auto rec = tree_.Lookup({stored.key, uid});
+    if (!rec.ok()) {
+      return Status::Corruption("user " + std::to_string(uid) +
+                                " unreachable under its composite key: " +
+                                rec.status().ToString());
+    }
+    if (rec->x != stored.state.pos.x || rec->y != stored.state.pos.y ||
+        rec->vx != stored.state.vel.x || rec->vy != stored.state.vel.y ||
+        rec->tu != stored.state.tu) {
+      return Status::Corruption("user " + std::to_string(uid) +
+                                ": tree payload disagrees with the object "
+                                "table");
+    }
+  }
+  if (recount != label_counts_) {
+    return Status::Corruption("per-label histogram out of sync with the "
+                              "object table");
+  }
+  return Status::OK();
+}
+
 double BxTree::EstimateKnnDistance(size_t k) const {
   size_t n = std::max<size_t>(size(), 1);
   double ratio = std::min(1.0, static_cast<double>(k) / static_cast<double>(n));

@@ -70,6 +70,12 @@ struct MovingIndexOptions {
   /// wanted-set filter, so answers are unchanged). Applies to PRQ
   /// per-friend scans and incremental PkNN.
   uint32_t qsv_run_gap = 1;
+  /// Run the deep structural validators (ValidateInvariants) inside every
+  /// exclusive batch section — ApplyBatch, LoadDataset, AdoptSnapshot —
+  /// so a corrupting batch is rejected before any query can observe it.
+  /// Costs a full tree walk per batch (see README "Correctness tooling");
+  /// off by default, on in the randomized-churn invariant tests.
+  bool paranoid_checks = false;
 };
 
 /// A candidate produced by the spatial search (pre-verification state).
@@ -119,6 +125,13 @@ class BxTree {
   /// Estimated k-NN distance Dk (Section 5.4's equation, scaled to the
   /// space side), given the current population size.
   double EstimateKnnDistance(size_t k) const;
+
+  /// Deep structural self-check: the B+-tree's own invariants, object-table
+  /// ↔ tree-entry agreement (counts, every object reachable under its
+  /// recomputed Bx key with a payload matching the stored state), and the
+  /// per-label histogram. Returns Corruption naming the first violation.
+  /// Cost: one full tree walk plus one point lookup per object.
+  Status ValidateInvariants() const;
 
  private:
   struct StoredObject {

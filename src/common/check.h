@@ -1,0 +1,91 @@
+// CHECK / DCHECK: fatal invariant assertions with formatted messages.
+//
+//   CHECK(frame != nullptr) << "shard " << i << " lost its frame";
+//   CHECK_EQ(stats_.entries, counted) << "stats drifted";
+//   DCHECK_GE(pin, 0);   // compiled out under NDEBUG (condition unevaluated)
+//
+// A failed CHECK prints file:line, the stringified condition, the streamed
+// message, and aborts — corruption is never something to limp past. The
+// Status-returning deep validators (ValidateInvariants) are the recoverable
+// complement for tests and the peb_shell `check` command; CHECK is for
+// invariants whose violation means the process state is already garbage.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace peb {
+namespace check_internal {
+
+/// Collects the streamed message and aborts in the destructor.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << condition;
+  }
+
+  FatalMessage(const FatalMessage&) = delete;
+  FatalMessage& operator=(const FatalMessage&) = delete;
+
+  ~FatalMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Lets the macro's ternary produce void on both arms: `voidifier & stream`
+/// binds looser than << so the message chain completes first.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace check_internal
+}  // namespace peb
+
+#define PEB_CHECK_IMPL(condition, text)           \
+  (condition) ? (void)0                           \
+              : ::peb::check_internal::Voidify()& \
+                    ::peb::check_internal::FatalMessage(__FILE__, __LINE__, \
+                                                        text)               \
+                        .stream()
+
+#define CHECK(condition) PEB_CHECK_IMPL(!!(condition), #condition)
+
+#define PEB_CHECK_OP(op, a, b)                                             \
+  PEB_CHECK_IMPL((a)op(b), #a " " #op " " #b)                              \
+      << "(" << (a) << " vs " << (b) << ") "
+
+#define CHECK_EQ(a, b) PEB_CHECK_OP(==, a, b)
+#define CHECK_NE(a, b) PEB_CHECK_OP(!=, a, b)
+#define CHECK_LE(a, b) PEB_CHECK_OP(<=, a, b)
+#define CHECK_LT(a, b) PEB_CHECK_OP(<, a, b)
+#define CHECK_GE(a, b) PEB_CHECK_OP(>=, a, b)
+#define CHECK_GT(a, b) PEB_CHECK_OP(>, a, b)
+
+#ifndef NDEBUG
+#define DCHECK(condition) CHECK(condition)
+#define DCHECK_EQ(a, b) CHECK_EQ(a, b)
+#define DCHECK_NE(a, b) CHECK_NE(a, b)
+#define DCHECK_LE(a, b) CHECK_LE(a, b)
+#define DCHECK_LT(a, b) CHECK_LT(a, b)
+#define DCHECK_GE(a, b) CHECK_GE(a, b)
+#define DCHECK_GT(a, b) CHECK_GT(a, b)
+#else
+// `true || (cond)` short-circuits: the condition and any streamed message
+// stay name-checked (builds can't diverge) but are never evaluated, and
+// the whole expression folds away.
+#define PEB_DCHECK_NOP(condition) PEB_CHECK_IMPL(true || (condition), "")
+#define DCHECK(condition) PEB_DCHECK_NOP(!!(condition))
+#define DCHECK_EQ(a, b) PEB_DCHECK_NOP((a) == (b))
+#define DCHECK_NE(a, b) PEB_DCHECK_NOP((a) != (b))
+#define DCHECK_LE(a, b) PEB_DCHECK_NOP((a) <= (b))
+#define DCHECK_LT(a, b) PEB_DCHECK_NOP((a) < (b))
+#define DCHECK_GE(a, b) PEB_DCHECK_NOP((a) >= (b))
+#define DCHECK_GT(a, b) PEB_DCHECK_NOP((a) > (b))
+#endif

@@ -34,6 +34,12 @@ struct BatchApplierOptions {
   std::function<void(const std::vector<UpdateEvent>&)> on_batch;
 };
 
+/// Thread-compatibility: the applier owns no lock. One thread drives it
+/// (the drain loop is inherently sequential — batches must leave the
+/// stream in time order); the concurrency lives inside
+/// ShardedPebEngine::ApplyBatch, which fans the batch out per shard under
+/// its own annotated locks. Feeding one applier from two threads is a
+/// caller bug, not a data race this class defends against.
 class BatchUpdateApplier {
  public:
   /// The engine and stream must outlive the applier.

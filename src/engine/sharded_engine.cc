@@ -69,7 +69,7 @@ Status RouteAndApply(std::vector<ShardPtr>& shards, ThreadPool& threads,
     if (groups[s].empty()) continue;
     tasks.push_back([&, s] {
       auto& shard = *shards[s];
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(&shard.mu);
       auto locked_at = std::chrono::steady_clock::now();
       for (const Item* item : groups[s]) {
         Status st = apply(*shard.tree, *item);
@@ -161,34 +161,34 @@ ShardedPebEngine::~ShardedPebEngine() {
 // ---------------------------------------------------------------------------
 
 Status ShardedPebEngine::Insert(const MovingObject& object) {
-  std::unique_lock<std::shared_mutex> state_lock(state_mu_);
+  WriterMutexLock state_lock(&state_mu_);
   size_t idx = router_->ShardOf(object.id);
   telemetry::Inc(shard_instruments_[idx].updates);
   Shard& s = *shards_[idx];
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(&s.mu);
   return s.tree->Insert(object);
 }
 
 Status ShardedPebEngine::Update(const MovingObject& object) {
-  std::unique_lock<std::shared_mutex> state_lock(state_mu_);
+  WriterMutexLock state_lock(&state_mu_);
   size_t idx = router_->ShardOf(object.id);
   telemetry::Inc(shard_instruments_[idx].updates);
   Shard& s = *shards_[idx];
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(&s.mu);
   return s.tree->Update(object);
 }
 
 Status ShardedPebEngine::Delete(UserId id) {
-  std::unique_lock<std::shared_mutex> state_lock(state_mu_);
+  WriterMutexLock state_lock(&state_mu_);
   size_t idx = router_->ShardOf(id);
   telemetry::Inc(shard_instruments_[idx].updates);
   Shard& s = *shards_[idx];
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(&s.mu);
   return s.tree->Delete(id);
 }
 
 Status ShardedPebEngine::LoadDataset(const Dataset& dataset) {
-  std::unique_lock<std::shared_mutex> state_lock(state_mu_);
+  WriterMutexLock state_lock(&state_mu_);
   std::vector<std::vector<const MovingObject*>> groups(shards_.size());
   for (const MovingObject& o : dataset.objects) {
     groups[router_->ShardOf(o.id)].push_back(&o);
@@ -196,15 +196,17 @@ Status ShardedPebEngine::LoadDataset(const Dataset& dataset) {
   for (size_t s = 0; s < shards_.size(); ++s) {
     telemetry::Inc(shard_instruments_[s].updates, groups[s].size());
   }
-  return RouteAndApply(shards_, threads_, groups,
-                       [](PebTree& tree, const MovingObject& o) {
-                         return tree.Insert(o);
-                       },
-                       batch_lock_hold_ms_);
+  Status st = RouteAndApply(shards_, threads_, groups,
+                            [](PebTree& tree, const MovingObject& o) {
+                              return tree.Insert(o);
+                            },
+                            batch_lock_hold_ms_);
+  if (st.ok() && options_.tree.index.paranoid_checks) st = ValidateLocked();
+  return st;
 }
 
 Status ShardedPebEngine::ApplyBatch(const std::vector<UpdateEvent>& events) {
-  std::unique_lock<std::shared_mutex> state_lock(state_mu_);
+  WriterMutexLock state_lock(&state_mu_);
   std::vector<std::vector<const UpdateEvent*>> groups(shards_.size());
   for (const UpdateEvent& ev : events) {
     groups[router_->ShardOf(ev.state.id)].push_back(&ev);
@@ -212,11 +214,15 @@ Status ShardedPebEngine::ApplyBatch(const std::vector<UpdateEvent>& events) {
   for (size_t s = 0; s < shards_.size(); ++s) {
     telemetry::Inc(shard_instruments_[s].updates, groups[s].size());
   }
-  return RouteAndApply(shards_, threads_, groups,
-                       [](PebTree& tree, const UpdateEvent& ev) {
-                         return tree.Update(ev.state);
-                       },
-                       batch_lock_hold_ms_);
+  Status st = RouteAndApply(shards_, threads_, groups,
+                            [](PebTree& tree, const UpdateEvent& ev) {
+                              return tree.Update(ev.state);
+                            },
+                            batch_lock_hold_ms_);
+  // paranoid_checks: structural audit inside the batch's own exclusive
+  // section, so a corrupting batch is caught before any query sees it.
+  if (st.ok() && options_.tree.index.paranoid_checks) st = ValidateLocked();
+  return st;
 }
 
 Status ShardedPebEngine::AdoptSnapshot(
@@ -228,7 +234,7 @@ Status ShardedPebEngine::AdoptSnapshot(
   // One exclusive section swaps every shard AND applies every re-key:
   // queries (shared holders) observe either the old epoch with old keys or
   // the new epoch with new keys, never a mix — on any shard count.
-  std::unique_lock<std::shared_mutex> state_lock(state_mu_);
+  WriterMutexLock state_lock(&state_mu_);
   snapshot_ = snapshot;
 
   std::vector<std::vector<UserId>> groups(shards_.size());
@@ -242,7 +248,7 @@ Status ShardedPebEngine::AdoptSnapshot(
   for (size_t s = 0; s < shards_.size(); ++s) {
     tasks.push_back([&, s] {
       Shard& shard = *shards_[s];
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(&shard.mu);
       statuses[s] = shard.tree->AdoptSnapshot(
           snapshot, rekey == nullptr ? nullptr : &groups[s]);
     });
@@ -251,16 +257,17 @@ Status ShardedPebEngine::AdoptSnapshot(
   for (Status& st : statuses) {
     if (!st.ok()) return st;
   }
+  if (options_.tree.index.paranoid_checks) return ValidateLocked();
   return Status::OK();
 }
 
 uint64_t ShardedPebEngine::encoding_epoch() const {
-  std::shared_lock<std::shared_mutex> state_lock(state_mu_);
+  ReaderMutexLock state_lock(&state_mu_);
   return snapshot_->epoch();
 }
 
 Status ShardedPebEngine::RunExclusive(const std::function<Status()>& fn) {
-  std::unique_lock<std::shared_mutex> state_lock(state_mu_);
+  WriterMutexLock state_lock(&state_mu_);
   return fn();
 }
 
@@ -271,14 +278,14 @@ Status ShardedPebEngine::RunExclusive(const std::function<Status()>& fn) {
 size_t ShardedPebEngine::SizeLocked() const {
   size_t total = 0;
   for (const auto& s : shards_) {
-    std::lock_guard<std::mutex> lock(s->mu);
+    MutexLock lock(&s->mu);
     total += s->tree->size();
   }
   return total;
 }
 
 size_t ShardedPebEngine::size() const {
-  std::shared_lock<std::shared_mutex> state_lock(state_mu_);
+  ReaderMutexLock state_lock(&state_mu_);
   return SizeLocked();
 }
 
@@ -320,7 +327,7 @@ Result<std::vector<UserId>> ShardedPebEngine::RangeQueryWithStats(
   // Queries hold the engine state lock shared: parallel with each other,
   // atomic with respect to update batches AND snapshot adoption — the
   // epoch is pinned at admission.
-  std::shared_lock<std::shared_mutex> state_lock(state_mu_);
+  ReaderMutexLock state_lock(&state_mu_);
   if (issuer >= snapshot_->num_users()) {
     return UnknownIssuerError(issuer);
   }
@@ -354,7 +361,7 @@ Result<std::vector<UserId>> ShardedPebEngine::RangeQueryWithStats(
                                   std::to_string(per_shard[s].size()));
       }
       Shard& shard = *shards_[s];
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(&shard.mu);
       // Counters land in this task's own slot (scan-local), so concurrent
       // queries touching the same shard tree never share observer state.
       auto r = shard.tree->RangeQueryAmong(issuer, range, tq, per_shard[s],
@@ -394,7 +401,7 @@ Result<std::vector<Neighbor>> ShardedPebEngine::KnnQueryWithStats(
   PEB_RETURN_NOT_OK(ValidateQueryK(k));
   const bool collect = stats != nullptr;
   std::vector<Neighbor> verified;
-  std::shared_lock<std::shared_mutex> state_lock(state_mu_);
+  ReaderMutexLock state_lock(&state_mu_);
   if (issuer >= snapshot_->num_users()) {
     return UnknownIssuerError(issuer);
   }
@@ -435,7 +442,7 @@ Result<std::vector<Neighbor>> ShardedPebEngine::KnnQueryWithStats(
     BufferPool::ThreadIoScope io_scope(collect ? &slots[s].io : nullptr);
     telemetry::Inc(shard_instruments_[s].queries);
     Shard& shard = *shards_[s];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     slots[s].scan.emplace(
         shard.tree->NewKnnScan(issuer, qloc, tq, rq, per_shard[s], &cache));
     max_diagonals = std::max(max_diagonals, slots[s].scan->max_diagonals());
@@ -457,7 +464,7 @@ Result<std::vector<Neighbor>> ShardedPebEngine::KnnQueryWithStats(
     telemetry::TraceBuilder* trace = collect ? stats->trace : nullptr;
     const size_t trace_parent =
         collect ? stats->trace_span : telemetry::TraceSpan::kNoParent;
-    std::mutex merge_mu;
+    Mutex merge_mu;
     std::vector<std::function<void()>> tasks;
     for (size_t s = 0; s < shards_.size(); ++s) {
       if (!slots[s].scan.has_value()) continue;
@@ -489,7 +496,7 @@ Result<std::vector<Neighbor>> ShardedPebEngine::KnnQueryWithStats(
             round_scope.emplace(&round_io);
           }
           {
-            std::lock_guard<std::mutex> lock(shard.mu);
+            MutexLock lock(&shard.mu);
             sl.status = run();
           }
           if (trace != nullptr) {
@@ -523,7 +530,7 @@ Result<std::vector<Neighbor>> ShardedPebEngine::KnnQueryWithStats(
           double dk = 0.0;
           bool have_k = false;
           {
-            std::lock_guard<std::mutex> g(merge_mu);
+            MutexLock g(&merge_mu);
             if (verified.size() >= k) {
               have_k = true;
               dk = verified[k - 1].distance;
@@ -544,7 +551,7 @@ Result<std::vector<Neighbor>> ShardedPebEngine::KnnQueryWithStats(
                 return sl.scan->VerticalScan(dk, &sl.fresh);
               });
               if (!sl.status.ok() || sl.fresh.empty()) break;
-              std::lock_guard<std::mutex> g(merge_mu);
+              MutexLock g(&merge_mu);
               KWayMergeByDistance({&sl.fresh}, &verified);
             }
             // Else retired outright: the covered radius already reaches
@@ -558,7 +565,7 @@ Result<std::vector<Neighbor>> ShardedPebEngine::KnnQueryWithStats(
           });
           if (!sl.status.ok()) break;
           if (!sl.fresh.empty()) {
-            std::lock_guard<std::mutex> g(merge_mu);
+            MutexLock g(&merge_mu);
             KWayMergeByDistance({&sl.fresh}, &verified);
           }
         }
@@ -586,7 +593,7 @@ Result<std::vector<Neighbor>> ShardedPebEngine::KnnQueryWithStats(
           BufferPool::ThreadIoScope io_scope(collect ? &sl.io : nullptr);
           telemetry::Inc(pknn_rounds_);
           Shard& shard = *shards_[s];
-          std::lock_guard<std::mutex> lock(shard.mu);
+          MutexLock lock(&shard.mu);
           sl.status = sl.scan->ScanDiagonal(d, &sl.fresh);
         });
       }
@@ -618,7 +625,7 @@ Result<std::vector<Neighbor>> ShardedPebEngine::KnnQueryWithStats(
           Slot& sl = slots[s];
           BufferPool::ThreadIoScope io_scope(collect ? &sl.io : nullptr);
           Shard& shard = *shards_[s];
-          std::lock_guard<std::mutex> lock(shard.mu);
+          MutexLock lock(&shard.mu);
           sl.status = sl.scan->VerticalScan(dk, &sl.fresh);
         });
       }
@@ -650,10 +657,50 @@ Result<std::vector<Neighbor>> ShardedPebEngine::KnnQueryWithStats(
 }
 
 Result<MovingObject> ShardedPebEngine::GetObject(UserId id) const {
-  std::shared_lock<std::shared_mutex> state_lock(state_mu_);
+  ReaderMutexLock state_lock(&state_mu_);
   const Shard& s = *shards_[router_->ShardOf(id)];
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(&s.mu);
   return s.tree->GetObject(id);
+}
+
+// ---------------------------------------------------------------------------
+// Structural validation
+// ---------------------------------------------------------------------------
+
+Status ShardedPebEngine::ValidateLocked() const {
+  const uint64_t epoch = snapshot_ == nullptr ? 0 : snapshot_->epoch();
+  size_t total = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = *shards_[s];
+    MutexLock lock(&shard.mu);
+    if (shard.tree->encoding_epoch() != epoch) {
+      return Status::Corruption(
+          "engine shard " + std::to_string(s) + " serves epoch " +
+          std::to_string(shard.tree->encoding_epoch()) +
+          " while the engine pins epoch " + std::to_string(epoch));
+    }
+    PEB_RETURN_NOT_OK(shard.tree->ValidateInvariants());
+    Status routing = Status::OK();
+    shard.tree->ForEachObject([&](UserId uid, const MovingObject&) {
+      if (routing.ok() && router_->ShardOf(uid) != s) {
+        routing = Status::Corruption(
+            "user " + std::to_string(uid) + " hosted by shard " +
+            std::to_string(s) + " but routed to shard " +
+            std::to_string(router_->ShardOf(uid)));
+      }
+    });
+    PEB_RETURN_NOT_OK(routing);
+    total += shard.tree->size();
+  }
+  if (total != SizeLocked()) {
+    return Status::Corruption("engine size drifted during validation");
+  }
+  return pool_.ValidateInvariants();
+}
+
+Status ShardedPebEngine::ValidateInvariants() const {
+  ReaderMutexLock state_lock(&state_mu_);
+  return ValidateLocked();
 }
 
 }  // namespace engine

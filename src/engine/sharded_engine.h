@@ -44,11 +44,10 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <vector>
 
 #include "bxtree/privacy_index.h"
+#include "common/thread_annotations.h"
 #include "engine/shard_router.h"
 #include "engine/thread_pool.h"
 #include "peb/peb_tree.h"
@@ -168,26 +167,48 @@ class ShardedPebEngine final : public PrivacyAwareIndex {
   /// Frames of the shared pool (always exactly options().buffer_pages).
   size_t buffer_frames_total() const;
   ThreadPool& threads() { return threads_; }
-  /// Shard i's tree (read-only; for stats and tests).
-  const PebTree& shard_tree(size_t i) const { return *shards_[i]->tree; }
+  /// Shard i's tree (read-only; for stats and tests). Deliberately
+  /// unchecked: single-threaded test/bench introspection only — concurrent
+  /// callers would need shard i's mutex, which cannot outlive this call.
+  const PebTree& shard_tree(size_t i) const NO_THREAD_SAFETY_ANALYSIS {
+    return *shards_[i]->tree;
+  }
   /// Number of users currently hosted by shard i.
-  size_t shard_size(size_t i) const { return shards_[i]->tree->size(); }
+  size_t shard_size(size_t i) const {
+    MutexLock lock(&shards_[i]->mu);
+    return shards_[i]->tree->size();
+  }
+
+  /// Deep structural cross-check of the whole engine: every shard tree's
+  /// own invariants (PebTree::ValidateInvariants, including the underlying
+  /// B+-tree walk), every hosted user routed to exactly the shard that
+  /// hosts it, one uniform encoding epoch across shards and the engine's
+  /// pinned snapshot, shard sizes consistent with the engine total, and
+  /// the shared buffer pool's frame accounting. Takes the state lock
+  /// shared, so it can run concurrently with queries (but not mid-batch).
+  Status ValidateInvariants() const EXCLUDES(state_mu_);
 
  private:
   struct Shard {
-    std::unique_ptr<PebTree> tree;
+    /// Set once at construction; the pointee is guarded by `mu` below.
+    std::unique_ptr<PebTree> tree PT_GUARDED_BY(mu);
     /// Serializes all access to the tree's structure and query counters.
     /// Page access goes through the shared thread-safe pool and needs no
     /// per-shard serialization.
-    mutable std::mutex mu;
+    mutable Mutex mu;
   };
 
   /// Splits the issuer's friend list by home shard. Per-shard lists keep
   /// the encoding's ascending (qsv, uid) order, as BuildRows requires.
-  std::vector<std::vector<FriendEntry>> PartitionFriends(UserId issuer) const;
+  std::vector<std::vector<FriendEntry>> PartitionFriends(UserId issuer) const
+      REQUIRES_SHARED(state_mu_);
 
   /// size() for callers already holding state_mu_.
-  size_t SizeLocked() const;
+  size_t SizeLocked() const REQUIRES_SHARED(state_mu_);
+
+  /// ValidateInvariants() for callers already holding state_mu_ (the
+  /// paranoid_checks hook runs it at the end of exclusive batch sections).
+  Status ValidateLocked() const REQUIRES_SHARED(state_mu_);
 
   /// Adds a finished shard query's counters into a query-local total.
   static void MergeCounters(const QueryCounters& shard_counters,
@@ -196,7 +217,7 @@ class ShardedPebEngine final : public PrivacyAwareIndex {
   EngineOptions options_;
   /// Engine-level copy of the current snapshot (shard trees hold their
   /// own); written under the exclusive state lock, read under shared.
-  std::shared_ptr<const EncodingSnapshot> snapshot_;
+  std::shared_ptr<const EncodingSnapshot> snapshot_ GUARDED_BY(state_mu_);
   std::unique_ptr<ShardRouter> router_;
   /// One disk + one sharded clock pool shared by every shard tree.
   InMemoryDiskManager disk_;
@@ -206,7 +227,7 @@ class ShardedPebEngine final : public PrivacyAwareIndex {
   /// Engine-level snapshot isolation: queries shared, mutations exclusive.
   /// Always acquired before any shard mutex; worker tasks take only shard
   /// mutexes (the dispatching thread holds this lock for them).
-  mutable std::shared_mutex state_mu_;
+  mutable SharedMutex state_mu_;
 
   /// Engine instruments (null when telemetry is disabled). Cached pointers
   /// into the registry, resolved once at construction.

@@ -12,9 +12,10 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace peb {
 namespace engine {
@@ -34,7 +35,7 @@ class ThreadPool {
 
   ~ThreadPool() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       stopping_ = true;
     }
     wake_.notify_all();
@@ -44,13 +45,13 @@ class ThreadPool {
   size_t num_threads() const { return workers_.size(); }
 
   /// Enqueues a task. Runs it inline when the pool has no workers.
-  void Submit(std::function<void()> task) {
+  void Submit(std::function<void()> task) EXCLUDES(mu_) {
     if (workers_.empty()) {
       task();
       return;
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       queue_.push_back(std::move(task));
     }
     wake_.notify_one();
@@ -58,7 +59,7 @@ class ThreadPool {
 
   /// Runs every task and returns once all have completed. The calling
   /// thread blocks (or, with no workers, executes the tasks itself).
-  void RunAll(std::vector<std::function<void()>> tasks) {
+  void RunAll(std::vector<std::function<void()>> tasks) EXCLUDES(mu_) {
     if (tasks.empty()) return;
     if (workers_.empty()) {
       for (auto& t : tasks) t();
@@ -80,27 +81,33 @@ class ThreadPool {
   class Latch {
    public:
     explicit Latch(size_t count) : remaining_(count) {}
-    void CountDown() {
-      std::lock_guard<std::mutex> lock(mu_);
+    void CountDown() EXCLUDES(mu_) {
+      MutexLock lock(&mu_);
       if (--remaining_ == 0) done_.notify_all();
     }
-    void Wait() {
-      std::unique_lock<std::mutex> lock(mu_);
-      done_.wait(lock, [this] { return remaining_ == 0; });
+    void Wait() EXCLUDES(mu_) {
+      MutexLock lock(&mu_);
+      done_.wait(mu_, [this]() {
+        mu_.AssertHeld();  // The cv re-locks before testing the predicate.
+        return remaining_ == 0;
+      });
     }
 
    private:
-    std::mutex mu_;
-    std::condition_variable done_;
-    size_t remaining_;
+    Mutex mu_;
+    std::condition_variable_any done_;
+    size_t remaining_ GUARDED_BY(mu_);
   };
 
-  void WorkerLoop() {
+  void WorkerLoop() EXCLUDES(mu_) {
     for (;;) {
       std::function<void()> task;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        MutexLock lock(&mu_);
+        wake_.wait(mu_, [this]() {
+          mu_.AssertHeld();
+          return stopping_ || !queue_.empty();
+        });
         if (queue_.empty()) return;  // stopping_ and drained.
         task = std::move(queue_.front());
         queue_.pop_front();
@@ -109,10 +116,10 @@ class ThreadPool {
     }
   }
 
-  std::mutex mu_;
-  std::condition_variable wake_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
+  Mutex mu_;
+  std::condition_variable_any wake_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  bool stopping_ GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

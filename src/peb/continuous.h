@@ -54,9 +54,11 @@ struct ContinuousQueryEvent {
 /// top of ANY PrivacyAwareIndex — a single PEB-tree or the sharded engine
 /// (queries seed through RangeQueryWithStats, membership re-evaluation
 /// through GetObject, both part of the index interface). Single-threaded:
-/// callers that feed it from several threads (the service layer) serialize
-/// externally. The index, store, roles, and encoding must outlive the
-/// monitor.
+/// callers that feed it from several threads serialize externally — the
+/// service layer's continuous_mu_ IS that serialization (the monitor
+/// pointer is PT_GUARDED_BY it), which is why this class carries no lock
+/// and no annotations of its own. The index, store, roles, and encoding
+/// must outlive the monitor.
 class ContinuousQueryMonitor {
  public:
   ContinuousQueryMonitor(PrivacyAwareIndex* index, const PolicyStore* store,

@@ -164,6 +164,69 @@ Status PebTree::AttachExisting(const PebTreeManifest& manifest) {
   return Status::OK();
 }
 
+Status PebTree::ValidateInvariants() const {
+  // Layer 1: the B+-tree's own structural walk (key order, separator
+  // bounds, occupancy, uniform depth, leaf chain, stats agreement).
+  PEB_RETURN_NOT_OK(tree_.Validate());
+
+  // Layer 2: tree ↔ object-table correspondence.
+  if (tree_.stats().num_entries != objects_.size()) {
+    return Status::Corruption(
+        "tree holds " + std::to_string(tree_.stats().num_entries) +
+        " entries but the object table holds " +
+        std::to_string(objects_.size()));
+  }
+  std::unordered_map<int64_t, size_t> recount;
+  for (const auto& [uid, stored] : objects_) {
+    if (stored.state.id != uid) {
+      return Status::Corruption("object table slot " + std::to_string(uid) +
+                                " holds state of user " +
+                                std::to_string(stored.state.id));
+    }
+    // Layer 3: every composite key re-derives from the state under the
+    // PINNED snapshot (partition ⊕ quantized SV ⊕ Z value, Eq. 5) — a
+    // missed re-key after snapshot adoption shows up here.
+    const uint64_t expect = KeyFor(stored.state);
+    if (stored.key != expect) {
+      return Status::Corruption(
+          "user " + std::to_string(uid) + " stored under key " +
+          std::to_string(stored.key) +
+          " but the pinned snapshot derives key " + std::to_string(expect));
+    }
+    const int64_t label =
+        options_.index.partitions.LabelIndexFor(stored.state.tu);
+    if (stored.label_index != label) {
+      return Status::Corruption(
+          "user " + std::to_string(uid) + " carries label index " +
+          std::to_string(stored.label_index) + " but tu derives " +
+          std::to_string(label));
+    }
+    recount[label]++;
+    Result<ObjectRecord> rec = tree_.Lookup({stored.key, uid});
+    if (!rec.ok()) {
+      return Status::Corruption("user " + std::to_string(uid) +
+                                " unreachable under its composite key: " +
+                                rec.status().ToString());
+    }
+    if (rec->x != stored.state.pos.x || rec->y != stored.state.pos.y ||
+        rec->vx != stored.state.vel.x || rec->vy != stored.state.vel.y ||
+        rec->tu != stored.state.tu) {
+      return Status::Corruption("user " + std::to_string(uid) +
+                                ": leaf payload disagrees with the object "
+                                "table");
+    }
+  }
+  // Layer 4: the per-label population histogram the query planner
+  // enumerates (one scan loop per live label) is exact.
+  if (recount != label_counts_) {
+    return Status::Corruption("label population histogram drifted (" +
+                              std::to_string(label_counts_.size()) +
+                              " labels tracked, " +
+                              std::to_string(recount.size()) + " live)");
+  }
+  return Status::OK();
+}
+
 std::vector<PebTree::SvRun> PebTree::BuildRuns(
     const std::vector<FriendEntry>& friends, uint32_t gap) {
   std::vector<SvRun> runs;

@@ -30,7 +30,6 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -40,6 +39,7 @@
 #include "bxtree/bx_key.h"
 #include "bxtree/privacy_index.h"
 #include "bxtree/bxtree.h"
+#include "common/thread_annotations.h"
 #include "peb/peb_key.h"
 #include "policy/policy_store.h"
 #include "policy/role_registry.h"
@@ -109,13 +109,13 @@ class SharedScanCache {
   /// decomposition instead of deep-copying it on every hit.
   IntervalsPtr PrqIntervals(int64_t label, const ComputeIntervals& compute) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       auto it = prq_.find(label);
       if (it != prq_.end()) return it->second;
     }
     auto value =
         std::make_shared<const std::vector<CurveInterval>>(compute());
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return prq_.try_emplace(label, std::move(value)).first->second;
   }
 
@@ -124,12 +124,12 @@ class SharedScanCache {
                         const ComputeSpan& compute) {
     auto key = std::make_pair(label, round);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       auto it = knn_.find(key);
       if (it != knn_.end()) return it->second;
     }
     CurveInterval value = compute();
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return knn_.try_emplace(key, value).first->second;
   }
 
@@ -146,24 +146,24 @@ class SharedScanCache {
   RingEntry KnnRing(int64_t label, size_t round, const ComputeRing& compute) {
     auto key = std::make_pair(label, round);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       auto it = rings_.find(key);
       if (it != rings_.end()) return it->second;
     }
     RingEntry value = compute();
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return rings_.try_emplace(key, std::move(value)).first->second;
   }
 
   /// PkNN: the final vertical-scan span for a label. Legacy round path.
   CurveInterval VerticalSpan(int64_t label, const ComputeSpan& compute) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       auto it = vertical_.find(label);
       if (it != vertical_.end()) return it->second;
     }
     CurveInterval value = compute();
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return vertical_.try_emplace(label, value).first->second;
   }
 
@@ -172,24 +172,25 @@ class SharedScanCache {
   IntervalsPtr VerticalIntervals(int64_t label,
                                  const ComputeIntervals& compute) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       auto it = vertical_intervals_.find(label);
       if (it != vertical_intervals_.end()) return it->second;
     }
     auto value =
         std::make_shared<const std::vector<CurveInterval>>(compute());
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return vertical_intervals_.try_emplace(label, std::move(value))
         .first->second;
   }
 
  private:
-  std::mutex mu_;
-  std::unordered_map<int64_t, IntervalsPtr> prq_;
-  std::map<std::pair<int64_t, size_t>, CurveInterval> knn_;
-  std::map<std::pair<int64_t, size_t>, RingEntry> rings_;
-  std::unordered_map<int64_t, CurveInterval> vertical_;
-  std::unordered_map<int64_t, IntervalsPtr> vertical_intervals_;
+  Mutex mu_;
+  std::unordered_map<int64_t, IntervalsPtr> prq_ GUARDED_BY(mu_);
+  std::map<std::pair<int64_t, size_t>, CurveInterval> knn_ GUARDED_BY(mu_);
+  std::map<std::pair<int64_t, size_t>, RingEntry> rings_ GUARDED_BY(mu_);
+  std::unordered_map<int64_t, CurveInterval> vertical_ GUARDED_BY(mu_);
+  std::unordered_map<int64_t, IntervalsPtr> vertical_intervals_
+      GUARDED_BY(mu_);
 };
 
 /// Everything about a persisted PEB-tree that is not stored in its pages:
@@ -433,6 +434,24 @@ class PebTree final : public PrivacyAwareIndex {
   /// table and partition counts by scanning the leaves. The tree handle
   /// must be freshly constructed (empty).
   Status AttachExisting(const PebTreeManifest& manifest);
+
+  /// Visits every hosted user's current state (read path; callers
+  /// serialize against mutations exactly as for queries).
+  void ForEachObject(
+      const std::function<void(UserId, const MovingObject&)>& fn) const {
+    for (const auto& [uid, stored] : objects_) fn(uid, stored.state);
+  }
+
+  /// Deep structural self-check: the underlying B+-tree's full walk
+  /// (BTree::Validate — key order, separator bounds, occupancy, leaf
+  /// chain), entry count agreement between tree and object table, every
+  /// stored composite key re-derivable from the object's state under the
+  /// PINNED encoding snapshot (partition from the label timestamp, Z value
+  /// from the projected position, quantized SV from the snapshot — Eq. 5),
+  /// each entry present in the tree with a payload matching the table, and
+  /// the per-label population histogram exact. Returns Corruption naming
+  /// the first violated invariant. Read path: serialize like a query.
+  Status ValidateInvariants() const;
 
  private:
   struct StoredObject {

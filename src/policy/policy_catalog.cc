@@ -31,6 +31,9 @@ PolicyCatalog::PolicyCatalog(PolicyStore store, RoleRegistry roles,
       store_(std::move(store)),
       roles_(std::move(roles)) {
   auto t0 = std::chrono::steady_clock::now();
+  // Uncontended (no other thread can see the catalog yet); taken so the
+  // thread-safety analysis covers the guarded-member writes below.
+  MutexLock lock(&mu_);
   snapshot_ = std::make_shared<const EncodingSnapshot>(EncodingSnapshot::Build(
       store_, options_.num_users, options_.compat, options_.sv, quantizer_,
       options_.strategy));
@@ -41,17 +44,17 @@ PolicyCatalog::PolicyCatalog(PolicyStore store, RoleRegistry roles,
 }
 
 std::shared_ptr<const EncodingSnapshot> PolicyCatalog::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return snapshot_;
 }
 
 uint64_t PolicyCatalog::epoch() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return snapshot_->epoch();
 }
 
 size_t PolicyCatalog::dirty_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::unordered_set<UserId> unique(dirty_.begin(), dirty_.end());
   return unique.size();
 }
@@ -71,7 +74,7 @@ Status PolicyCatalog::ValidatePair(UserId owner, UserId peer) const {
 Status PolicyCatalog::AddPolicy(UserId owner, UserId peer,
                                 const Lpp& policy) {
   PEB_RETURN_NOT_OK(ValidatePair(owner, peer));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (policy.role == kInvalidRoleId ||
       policy.role >= roles_.num_roles()) {
     return Status::InvalidArgument("policy references an unregistered role");
@@ -88,7 +91,7 @@ Status PolicyCatalog::AddPolicy(UserId owner, UserId peer,
 
 Result<size_t> PolicyCatalog::RemovePolicies(UserId owner, UserId peer) {
   PEB_RETURN_NOT_OK(ValidatePair(owner, peer));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   size_t removed = store_.RemoveAll(owner, peer);
   if (removed > 0) {
     dirty_.push_back(owner);
@@ -99,13 +102,13 @@ Result<size_t> PolicyCatalog::RemovePolicies(UserId owner, UserId peer) {
 }
 
 RoleId PolicyCatalog::DefineRole(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return roles_.RegisterRole(name);
 }
 
 Status PolicyCatalog::AssignRole(UserId owner, UserId peer, RoleId role) {
   PEB_RETURN_NOT_OK(ValidatePair(owner, peer));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (role >= roles_.num_roles()) {
     return Status::InvalidArgument("unregistered role");
   }
@@ -115,7 +118,7 @@ Status PolicyCatalog::AssignRole(UserId owner, UserId peer, RoleId role) {
 
 Status PolicyCatalog::RevokeRole(UserId owner, UserId peer, RoleId role) {
   PEB_RETURN_NOT_OK(ValidatePair(owner, peer));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   roles_.RevokeRole(owner, peer, role);
   return Status::OK();
 }
@@ -138,7 +141,7 @@ std::vector<UserId> PolicyCatalog::RelatedTo(UserId u) const {
 }
 
 Result<ReencodeResult> PolicyCatalog::Reencode() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto t0 = std::chrono::steady_clock::now();
 
   ReencodeResult out;
@@ -269,7 +272,7 @@ Result<ReencodeResult> PolicyCatalog::Reencode() {
 }
 
 Result<ReencodeResult> PolicyCatalog::RebuildFull() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto t0 = std::chrono::steady_clock::now();
 
   auto next = std::make_shared<EncodingSnapshot>(EncodingSnapshot::Build(

@@ -43,11 +43,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "policy/compatibility.h"
@@ -109,8 +109,12 @@ class PolicyCatalog {
   std::shared_ptr<const EncodingSnapshot> snapshot() const;
 
   /// Reference to the current snapshot — valid until the next Reencode()/
-  /// RebuildFull(). For static worlds and measurement code.
-  const EncodingSnapshot& current() const { return *snapshot_; }
+  /// RebuildFull(). For static worlds and measurement code, where no
+  /// concurrent re-encode exists by construction — hence exempt from the
+  /// thread-safety analysis.
+  const EncodingSnapshot& current() const NO_THREAD_SAFETY_ANALYSIS {
+    return *snapshot_;
+  }
 
   uint64_t epoch() const;
   size_t num_users() const { return options_.num_users; }
@@ -167,18 +171,23 @@ class PolicyCatalog {
   SvQuantizer quantizer_;
   double build_seconds_ = 0.0;
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
+  /// Mutated under mu_, but also read lock-free by query verification
+  /// inside the indexes (via store()/roles()): the service layer provides
+  /// that exclusion by running catalog mutations under the index's
+  /// exclusive lock, so the protocol cannot be expressed as a GUARDED_BY
+  /// (see the header comment's thread-safety contract).
   PolicyStore store_;
   RoleRegistry roles_;
-  std::shared_ptr<const EncodingSnapshot> snapshot_;
+  std::shared_ptr<const EncodingSnapshot> snapshot_ GUARDED_BY(mu_);
   /// Largest raw SV any user currently holds; fresh component bases are
   /// allocated above it so untouched users never collide.
-  double max_sv_ = 0.0;
+  double max_sv_ GUARDED_BY(mu_) = 0.0;
   /// Direct endpoints of un-re-encoded mutations.
-  std::vector<UserId> dirty_;
+  std::vector<UserId> dirty_ GUARDED_BY(mu_);
   /// Users whose incoming friend list changed shape (policy add/remove
   /// peers) and must be rebuilt at the next snapshot derivation.
-  std::vector<UserId> list_dirty_;
+  std::vector<UserId> list_dirty_ GUARDED_BY(mu_);
 };
 
 }  // namespace peb

@@ -82,7 +82,7 @@ MovingObjectService::MovingObjectService(PrivacyAwareIndex* index,
 
 MovingObjectService::~MovingObjectService() {
   {
-    std::lock_guard<std::mutex> lock(dumper_mu_);
+    MutexLock lock(&dumper_mu_);
     stopping_ = true;
   }
   dumper_cv_.notify_all();
@@ -128,17 +128,20 @@ void MovingObjectService::InitTelemetry() {
     dumper_ = std::thread([this] {
       const auto period =
           std::chrono::milliseconds(options_.stats_dump_period_ms);
-      std::unique_lock<std::mutex> lock(dumper_mu_);
-      while (!stopping_) {
-        dumper_cv_.wait_for(lock, period, [this] { return stopping_; });
-        if (stopping_) break;
-        // Snapshot outside the dumper lock's critical work: the registry
-        // has its own synchronization.
-        lock.unlock();
+      for (;;) {
+        {
+          MutexLock lock(&dumper_mu_);
+          dumper_cv_.wait_for(dumper_mu_, period, [this]() {
+            dumper_mu_.AssertHeld();
+            return stopping_;
+          });
+          if (stopping_) break;
+        }
+        // Snapshot outside the dumper lock: the registry has its own
+        // synchronization.
         std::string line = registry_->SnapshotJson();
         std::ofstream out(options_.stats_dump_path, std::ios::app);
         out << line << '\n';
-        lock.lock();
       }
     });
   }
@@ -295,12 +298,8 @@ QueryResponse MovingObjectService::DoRange(const QueryRequest& request) {
   // Thread-safe indexes (the engine) run queries genuinely in parallel;
   // single-tree indexes are serialized so Submit stays safe over them.
   Result<std::vector<UserId>> result = [&] {
-    if (index_->SupportsConcurrentQueries()) {
-      std::shared_lock<std::shared_mutex> lock(index_mu_);
-      return index_->RangeQueryWithStats(request.issuer, request.range,
-                                         request.tq, &stats);
-    }
-    std::unique_lock<std::shared_mutex> lock(index_mu_);
+    SharedOrExclusiveLock lock(&index_mu_,
+                               !index_->SupportsConcurrentQueries());
     return index_->RangeQueryWithStats(request.issuer, request.range,
                                        request.tq, &stats);
   }();
@@ -339,12 +338,8 @@ QueryResponse MovingObjectService::DoKnn(const QueryRequest& request) {
   }
 
   Result<std::vector<Neighbor>> result = [&] {
-    if (index_->SupportsConcurrentQueries()) {
-      std::shared_lock<std::shared_mutex> lock(index_mu_);
-      return index_->KnnQueryWithStats(request.issuer, request.qloc,
-                                       request.k, request.tq, &stats);
-    }
-    std::unique_lock<std::shared_mutex> lock(index_mu_);
+    SharedOrExclusiveLock lock(&index_mu_,
+                               !index_->SupportsConcurrentQueries());
     return index_->KnnQueryWithStats(request.issuer, request.qloc, request.k,
                                      request.tq, &stats);
   }();
@@ -386,16 +381,9 @@ QueryResponse MovingObjectService::DoContinuousRegister(
   // its own state lock orders the seed against updates and continuous_mu_
   // orders it against monitor feeds — so registration never stalls the
   // concurrent query plane.
-  std::lock_guard<std::mutex> continuous_lock(continuous_mu_);
-  std::shared_lock<std::shared_mutex> shared_index_lock(index_mu_,
-                                                        std::defer_lock);
-  std::unique_lock<std::shared_mutex> unique_index_lock(index_mu_,
-                                                        std::defer_lock);
-  if (index_->SupportsConcurrentQueries()) {
-    shared_index_lock.lock();
-  } else {
-    unique_index_lock.lock();
-  }
+  MutexLock continuous_lock(&continuous_mu_);
+  SharedOrExclusiveLock index_lock(&index_mu_,
+                                   !index_->SupportsConcurrentQueries());
   Result<ContinuousQueryId> id = monitor_->Register(
       request.issuer, request.range, request.tq, &stats);
   if (!id.ok()) {
@@ -424,7 +412,7 @@ QueryResponse MovingObjectService::DoContinuousCancel(
         "roles, and encoding");
     return response;
   }
-  std::lock_guard<std::mutex> continuous_lock(continuous_mu_);
+  MutexLock continuous_lock(&continuous_mu_);
   response.status = monitor_->Unregister(request.continuous_id);
   // Cancellation touches no index keys; the current epoch suffices.
   response.epoch = index_->encoding_epoch();
@@ -443,7 +431,7 @@ Status MovingObjectService::MutateExclusive(
   // else through the service's own index lock (single-tree queries hold it
   // unique already, so unique here excludes them).
   if (engine_ != nullptr) return engine_->RunExclusive(fn);
-  std::unique_lock<std::shared_mutex> lock(index_mu_);
+  WriterMutexLock lock(&index_mu_);
   return fn();
 }
 
@@ -463,7 +451,7 @@ Status MovingObjectService::ReencodeAndAdopt(Timestamp now,
     if (index_->SupportsConcurrentQueries()) {
       return index_->AdoptSnapshot(result.snapshot, rekey);
     }
-    std::unique_lock<std::shared_mutex> lock(index_mu_);
+    WriterMutexLock lock(&index_mu_);
     return index_->AdoptSnapshot(result.snapshot, rekey);
   };
   Status adopted = adopt(&result.rekeyed);
@@ -475,15 +463,8 @@ Status MovingObjectService::ReencodeAndAdopt(Timestamp now,
   // as AdvanceContinuous (the caller already holds continuous_mu_): the
   // monitor re-reads object states through the index.
   if (monitor_ != nullptr) {
-    std::shared_lock<std::shared_mutex> shared_index_lock(index_mu_,
-                                                          std::defer_lock);
-    std::unique_lock<std::shared_mutex> unique_index_lock(index_mu_,
-                                                          std::defer_lock);
-    if (index_->SupportsConcurrentQueries()) {
-      shared_index_lock.lock();
-    } else {
-      unique_index_lock.lock();
-    }
+    SharedOrExclusiveLock index_lock(&index_mu_,
+                                     !index_->SupportsConcurrentQueries());
     PEB_RETURN_NOT_OK(monitor_->AdoptSnapshot(result.snapshot, now));
   }
   telemetry::Inc(reencode_rekeys_, result.rekeyed.size());
@@ -505,7 +486,7 @@ QueryResponse MovingObjectService::DoPolicyLifecycle(
   // then the index. Serializes lifecycle requests against each other and
   // against monitor feeds; queries keep flowing until the brief exclusive
   // sections inside.
-  std::lock_guard<std::mutex> continuous_lock(continuous_mu_);
+  MutexLock continuous_lock(&continuous_mu_);
 
   bool run_reencode = false;
   switch (request.kind) {
@@ -561,11 +542,11 @@ Status MovingObjectService::ApplyUpdate(const MovingObject& state,
     // The engine's own state lock makes the update atomic vs queries.
     PEB_RETURN_NOT_OK(engine_->Update(state));
   } else {
-    std::unique_lock<std::shared_mutex> lock(index_mu_);
+    WriterMutexLock lock(&index_mu_);
     PEB_RETURN_NOT_OK(index_->Update(state));
   }
   if (monitor_ != nullptr) {
-    std::lock_guard<std::mutex> continuous_lock(continuous_mu_);
+    MutexLock continuous_lock(&continuous_mu_);
     telemetry::Inc(continuous_fed_);
     PEB_RETURN_NOT_OK(monitor_->OnUpdate(state, now));
   }
@@ -578,7 +559,7 @@ Status MovingObjectService::ApplyBatch(
     // Engine path: shard-parallel application, atomic vs queries.
     PEB_RETURN_NOT_OK(engine_->ApplyBatch(events));
   } else {
-    std::unique_lock<std::shared_mutex> lock(index_mu_);
+    WriterMutexLock lock(&index_mu_);
     for (const UpdateEvent& ev : events) {
       PEB_RETURN_NOT_OK(index_->Update(ev.state));
     }
@@ -590,7 +571,7 @@ Status MovingObjectService::ApplyBatch(
 Status MovingObjectService::NotifyUpdated(const MovingObject& state,
                                           Timestamp now) {
   if (monitor_ == nullptr) return Status::OK();
-  std::lock_guard<std::mutex> continuous_lock(continuous_mu_);
+  MutexLock continuous_lock(&continuous_mu_);
   telemetry::Inc(continuous_fed_);
   return monitor_->OnUpdate(state, now);
 }
@@ -598,7 +579,7 @@ Status MovingObjectService::NotifyUpdated(const MovingObject& state,
 void MovingObjectService::FeedContinuous(
     const std::vector<UpdateEvent>& events) {
   if (monitor_ == nullptr) return;
-  std::lock_guard<std::mutex> continuous_lock(continuous_mu_);
+  MutexLock continuous_lock(&continuous_mu_);
   telemetry::Inc(continuous_fed_, events.size());
   for (const UpdateEvent& ev : events) {
     // Events arrive in stream (global time) order regardless of how many
@@ -665,13 +646,13 @@ Result<std::vector<UserId>> MovingObjectService::ContinuousResult(
   if (monitor_ == nullptr) {
     return Status::NotSupported("continuous queries disabled");
   }
-  std::lock_guard<std::mutex> continuous_lock(continuous_mu_);
+  MutexLock continuous_lock(&continuous_mu_);
   return monitor_->ResultOf(id);
 }
 
 std::vector<ContinuousQueryEvent> MovingObjectService::TakeContinuousEvents() {
   if (monitor_ == nullptr) return {};
-  std::lock_guard<std::mutex> continuous_lock(continuous_mu_);
+  MutexLock continuous_lock(&continuous_mu_);
   std::vector<ContinuousQueryEvent> events = monitor_->TakeEvents();
   telemetry::Inc(continuous_events_, events.size());
   return events;
@@ -683,22 +664,15 @@ Status MovingObjectService::AdvanceContinuous(Timestamp now) {
   }
   // Same locking shape as registration: shared index access suffices for
   // a concurrency-capable index (Advance only reads via GetObject).
-  std::lock_guard<std::mutex> continuous_lock(continuous_mu_);
-  std::shared_lock<std::shared_mutex> shared_index_lock(index_mu_,
-                                                        std::defer_lock);
-  std::unique_lock<std::shared_mutex> unique_index_lock(index_mu_,
-                                                        std::defer_lock);
-  if (index_->SupportsConcurrentQueries()) {
-    shared_index_lock.lock();
-  } else {
-    unique_index_lock.lock();
-  }
+  MutexLock continuous_lock(&continuous_mu_);
+  SharedOrExclusiveLock index_lock(&index_mu_,
+                                   !index_->SupportsConcurrentQueries());
   return monitor_->Advance(now);
 }
 
 size_t MovingObjectService::num_continuous_queries() const {
   if (monitor_ == nullptr) return 0;
-  std::lock_guard<std::mutex> continuous_lock(continuous_mu_);
+  MutexLock continuous_lock(&continuous_mu_);
   return monitor_->num_queries();
 }
 

@@ -44,14 +44,13 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bxtree/privacy_index.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "engine/batch_applier.h"
 #include "engine/sharded_engine.h"
 #include "engine/thread_pool.h"
@@ -245,11 +244,13 @@ class MovingObjectService {
 
   /// Re-encodes the catalog's dirty-set, adopts the snapshot on the index
   /// (re-keying only the changed users) and reconciles standing queries at
-  /// `now`. Caller holds continuous_mu_. Fills `stats`.
-  Status ReencodeAndAdopt(Timestamp now, ReencodeStats* stats);
+  /// `now`. Fills `stats`.
+  Status ReencodeAndAdopt(Timestamp now, ReencodeStats* stats)
+      REQUIRES(continuous_mu_);
 
   /// Feeds an applied batch to the continuous monitor (stream order).
-  void FeedContinuous(const std::vector<UpdateEvent>& events);
+  void FeedContinuous(const std::vector<UpdateEvent>& events)
+      EXCLUDES(continuous_mu_);
 
   /// Resolves every service instrument eagerly (a disconnected instrument
   /// then reads zero in snapshots instead of being silently absent) and
@@ -278,12 +279,14 @@ class MovingObjectService {
 
   /// Query/update coordination for indexes without internal thread-safety:
   /// queries shared when the index supports concurrency (engine) else
-  /// unique; updates always unique.
-  mutable std::shared_mutex index_mu_;
+  /// unique; updates always unique. Lock order: continuous_mu_ first.
+  mutable SharedMutex index_mu_ ACQUIRED_AFTER(continuous_mu_);
 
-  /// Continuous-query state (the monitor is single-threaded).
-  mutable std::mutex continuous_mu_;
-  std::unique_ptr<ContinuousQueryMonitor> monitor_;
+  /// Continuous-query state (the monitor is single-threaded by contract;
+  /// this mutex IS its serialization). The pointer itself is set once at
+  /// construction; only the pointee is guarded.
+  mutable Mutex continuous_mu_;
+  std::unique_ptr<ContinuousQueryMonitor> monitor_ PT_GUARDED_BY(continuous_mu_);
 
   // --- telemetry state (null / zero when telemetry is disabled) -------------
   telemetry::MetricsRegistry* registry_ = nullptr;
@@ -309,9 +312,9 @@ class MovingObjectService {
 
   /// JSON-lines stats dumper (started when stats_dump_path is set).
   std::thread dumper_;
-  std::mutex dumper_mu_;
-  std::condition_variable dumper_cv_;
-  bool stopping_ = false;
+  Mutex dumper_mu_;
+  std::condition_variable_any dumper_cv_;
+  bool stopping_ GUARDED_BY(dumper_mu_) = false;
 
   engine::ThreadPool workers_;
 };

@@ -44,6 +44,9 @@ BufferPool::BufferPool(DiskManager* disk, BufferPoolOptions options)
     shards_[i % num_shards]->frames.push_back(frames_[i].get());
   }
   for (auto& shard : shards_) {
+    // Uncontended (no other thread can see the pool yet) but taken anyway:
+    // free_list is guarded, and the analysis checks constructors too.
+    MutexLock lock(&shard->mu);
     // Free-list popped from the back: lowest frame index is used first,
     // matching the previous pool's fill order.
     for (size_t i = shard->frames.size(); i > 0; --i) {
@@ -65,7 +68,7 @@ void BufferPool::Unpin(BufferFrame* frame) {
 
 int BufferPool::PinCount(PageId id) const {
   const Shard& shard = ShardOf(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto it = shard.table.find(id);
   return it == shard.table.end()
              ? 0
@@ -92,7 +95,7 @@ Result<size_t> BufferPool::GetVictimFrame(Shard& shard) {
     // hold, so the frame cannot be re-pinned while we evict it.
     if (f.dirty.load(std::memory_order_relaxed)) {
       {
-        std::lock_guard<std::mutex> disk_lock(disk_mu_);
+        MutexLock disk_lock(&disk_mu_);
         PEB_RETURN_NOT_OK(disk_->Write(f.id, f.page));
       }
       shard.stats.physical_writes++;
@@ -114,7 +117,7 @@ Result<BufferFrame*> BufferPool::LoadPage(Shard& shard, PageId id, bool pin,
   BufferFrame& f = *shard.frames[idx];
   Status s;
   {
-    std::lock_guard<std::mutex> disk_lock(disk_mu_);
+    MutexLock disk_lock(&disk_mu_);
     s = disk_->Read(id, &f.page);
   }
   if (!s.ok()) {
@@ -138,13 +141,13 @@ Result<BufferFrame*> BufferPool::LoadPage(Shard& shard, PageId id, bool pin,
 Result<PageGuard> BufferPool::NewPage() {
   PageId id;
   {
-    std::lock_guard<std::mutex> disk_lock(disk_mu_);
+    MutexLock disk_lock(&disk_mu_);
     PEB_ASSIGN_OR_RETURN(id, disk_->Allocate());
   }
   Shard& shard = ShardOf(id);
   for (int attempt = 0;; ++attempt) {
     {
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(&shard.mu);
       Result<size_t> victim = GetVictimFrame(shard);
       if (victim.ok()) {
         BufferFrame& f = *shard.frames[*victim];
@@ -171,7 +174,7 @@ Result<PageGuard> BufferPool::FetchPage(PageId id) {
   Shard& shard = ShardOf(id);
   for (int attempt = 0;; ++attempt) {
     {
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(&shard.mu);
       // Re-check residency every attempt: another thread may have loaded
       // the page while we waited for a pinned shard to drain.
       auto it = shard.table.find(id);
@@ -204,7 +207,7 @@ Result<PageGuard> BufferPool::FetchPage(PageId id) {
 
 PageGuard BufferPool::FetchIfResident(PageId id) {
   Shard& shard = ShardOf(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto it = shard.table.find(id);
   if (it == shard.table.end()) return PageGuard{};
   shard.stats.logical_fetches++;
@@ -222,7 +225,7 @@ PageGuard BufferPool::FetchIfResident(PageId id) {
 void BufferPool::Prefetch(PageId id) {
   if (id == kInvalidPageId) return;
   Shard& shard = ShardOf(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto it = shard.table.find(id);
   if (it != shard.table.end()) {
     shard.frames[it->second]->referenced.store(true,
@@ -235,7 +238,7 @@ void BufferPool::Prefetch(PageId id) {
 Status BufferPool::DeletePage(PageId id) {
   Shard& shard = ShardOf(id);
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     auto it = shard.table.find(id);
     if (it != shard.table.end()) {
       BufferFrame& f = *shard.frames[it->second];
@@ -250,13 +253,13 @@ Status BufferPool::DeletePage(PageId id) {
       shard.table.erase(it);
     }
   }
-  std::lock_guard<std::mutex> disk_lock(disk_mu_);
+  MutexLock disk_lock(&disk_mu_);
   return disk_->Free(id);
 }
 
 Status BufferPool::FlushAll() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     for (BufferFrame* f : shard->frames) {
       // Skip pinned frames: their holders may be mid-write on the page
       // bytes. Pins only grow under this latch, so an unpinned frame
@@ -265,7 +268,7 @@ Status BufferPool::FlushAll() {
       if (f->id != kInvalidPageId &&
           f->dirty.load(std::memory_order_relaxed)) {
         {
-          std::lock_guard<std::mutex> disk_lock(disk_mu_);
+          MutexLock disk_lock(&disk_mu_);
           PEB_RETURN_NOT_OK(disk_->Write(f->id, f->page));
         }
         shard->stats.physical_writes++;
@@ -279,7 +282,7 @@ Status BufferPool::FlushAll() {
 IoStats BufferPool::stats() const {
   IoStats total;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     total += shard->stats;
   }
   return total;
@@ -287,13 +290,13 @@ IoStats BufferPool::stats() const {
 
 IoStats BufferPool::ShardStats(size_t i) const {
   const Shard& shard = *shards_[i];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   return shard.stats;
 }
 
 void BufferPool::ResetStats() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     shard->stats = IoStats{};
   }
 }
@@ -301,10 +304,102 @@ void BufferPool::ResetStats() {
 size_t BufferPool::resident() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     total += shard->table.size();
   }
   return total;
+}
+
+namespace {
+
+Status PoolCorruption(size_t shard, const std::string& what) {
+  return Status::Corruption("buffer pool shard " + std::to_string(shard) +
+                            ": " + what);
+}
+
+}  // namespace
+
+Status BufferPool::ValidateInvariants() const {
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = *shards_[s];
+    MutexLock lock(&shard.mu);
+    const size_t n = shard.frames.size();
+    if (n == 0) return PoolCorruption(s, "owns no frames");
+    if (shard.clock_hand >= n) {
+      return PoolCorruption(
+          s, "clock hand " + std::to_string(shard.clock_hand) +
+                 " out of range (frames: " + std::to_string(n) + ")");
+    }
+    // 0 = in use, 1 = free-listed, 2 = mapped by the table.
+    std::vector<char> state(n, 0);
+    for (size_t idx : shard.free_list) {
+      if (idx >= n) {
+        return PoolCorruption(s, "free-list index " + std::to_string(idx) +
+                                     " out of range");
+      }
+      if (state[idx] != 0) {
+        return PoolCorruption(
+            s, "frame " + std::to_string(idx) + " free-listed twice");
+      }
+      state[idx] = 1;
+      const BufferFrame& f = *shard.frames[idx];
+      if (f.id != kInvalidPageId) {
+        return PoolCorruption(s, "free frame " + std::to_string(idx) +
+                                     " still carries page " +
+                                     std::to_string(f.id));
+      }
+      if (f.pin_count.load(std::memory_order_acquire) != 0) {
+        return PoolCorruption(
+            s, "free frame " + std::to_string(idx) + " is pinned");
+      }
+    }
+    for (const auto& [id, idx] : shard.table) {
+      if (idx >= n) {
+        return PoolCorruption(s, "table index " + std::to_string(idx) +
+                                     " out of range for page " +
+                                     std::to_string(id));
+      }
+      if (state[idx] == 1) {
+        return PoolCorruption(s, "frame " + std::to_string(idx) +
+                                     " is both free-listed and mapped to "
+                                     "page " +
+                                     std::to_string(id));
+      }
+      if (state[idx] == 2) {
+        return PoolCorruption(s, "frame " + std::to_string(idx) +
+                                     " mapped by two table entries");
+      }
+      state[idx] = 2;
+      const BufferFrame& f = *shard.frames[idx];
+      if (f.id != id) {
+        return PoolCorruption(s, "table maps page " + std::to_string(id) +
+                                     " to a frame carrying page " +
+                                     std::to_string(f.id));
+      }
+      if (&ShardOf(id) != &shard) {
+        return PoolCorruption(
+            s, "page " + std::to_string(id) + " resident in foreign shard");
+      }
+      if (f.pin_count.load(std::memory_order_acquire) < 0) {
+        return PoolCorruption(s, "page " + std::to_string(id) +
+                                     " has negative pin count " +
+                                     std::to_string(f.pin_count.load(
+                                         std::memory_order_acquire)));
+      }
+    }
+    // Anything neither free nor mapped must be empty: a frame holding a
+    // page id that the table does not know about is unreachable (it can
+    // never be fetched or evicted) and means the table lost an entry.
+    for (size_t idx = 0; idx < n; ++idx) {
+      if (state[idx] == 0 && shard.frames[idx]->id != kInvalidPageId) {
+        return PoolCorruption(s, "frame " + std::to_string(idx) +
+                                     " holds page " +
+                                     std::to_string(shard.frames[idx]->id) +
+                                     " unknown to the frame table");
+      }
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace peb

@@ -29,12 +29,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "storage/disk_manager.h"
 #include "storage/page.h"
@@ -233,18 +233,33 @@ class BufferPool {
 
   DiskManager* disk() { return disk_; }
 
+  /// Deep structural self-check of every latch shard: the frame table maps
+  /// each resident page to a frame carrying exactly that id in this shard's
+  /// replacement domain, free-listed frames are empty and unpinned (and
+  /// listed once), no frame is simultaneously free and mapped, no valid
+  /// frame is orphaned outside both, pin counts are non-negative, and the
+  /// clock hand is in range. Returns Corruption naming the first violated
+  /// invariant. Safe to call concurrently with normal traffic (each shard
+  /// is checked under its latch).
+  Status ValidateInvariants() const;
+
  private:
   friend class PageGuard;
+  /// Test-only corruption injection (tests/invariants_test.cc).
+  friend struct BufferPoolTestPeer;
 
   /// Per-shard replacement state. Frames are permanently owned by one
   /// shard; `frames` indexes into the pool-level frame store.
   struct Shard {
-    mutable std::mutex mu;
+    mutable Mutex mu;
+    /// Immutable after construction (the frame partition never changes);
+    /// the frames' guarded metadata is covered by `mu`, their hot-path
+    /// metadata (pin/dirty/reference bits) is atomic.
     std::vector<BufferFrame*> frames;
-    std::vector<size_t> free_list;  ///< Indices into `frames`.
-    std::unordered_map<PageId, size_t> table;
-    size_t clock_hand = 0;
-    IoStats stats;
+    std::vector<size_t> free_list GUARDED_BY(mu);  ///< Indices into `frames`.
+    std::unordered_map<PageId, size_t> table GUARDED_BY(mu);
+    size_t clock_hand GUARDED_BY(mu) = 0;
+    IoStats stats GUARDED_BY(mu);
   };
 
   Shard& ShardOf(PageId id) {
@@ -259,19 +274,19 @@ class BufferPool {
   /// Finds a frame to (re)use within `shard` (latch held): a free frame,
   /// else a clock-sweep victim (written back when dirty). The returned
   /// frame is detached from the table.
-  Result<size_t> GetVictimFrame(Shard& shard);
+  Result<size_t> GetVictimFrame(Shard& shard) REQUIRES(shard.mu);
 
   /// Installs `id` into `shard` (latch held) reading it from disk; returns
   /// the frame, pinned iff `pin`.
   Result<BufferFrame*> LoadPage(Shard& shard, PageId id, bool pin,
-                                bool prefetch);
+                                bool prefetch) REQUIRES(shard.mu);
 
   /// The thread's active per-query attribution target (see ThreadIoScope).
   static thread_local IoStats* tls_io_;
 
-  DiskManager* disk_;
+  DiskManager* disk_ PT_GUARDED_BY(disk_mu_);
   /// Serializes DiskManager access (implementations are not thread-safe).
-  std::mutex disk_mu_;
+  Mutex disk_mu_;
   std::vector<std::unique_ptr<BufferFrame>> frames_;
   std::vector<std::unique_ptr<Shard>> shards_;
 };

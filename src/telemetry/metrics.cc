@@ -133,35 +133,35 @@ MetricsRegistry* MetricsRegistry::Default() {
 }
 
 Counter* MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* MetricsRegistry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return slot.get();
 }
 
 Histogram* MetricsRegistry::histogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>();
   return slot.get();
 }
 
 size_t MetricsRegistry::RegisterCollector(Collector fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   size_t token = next_collector_token_++;
   collectors_[token] = std::move(fn);
   return token;
 }
 
 void MetricsRegistry::UnregisterCollector(size_t token) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   collectors_.erase(token);
 }
 
@@ -186,7 +186,7 @@ std::string MetricsRegistry::SnapshotJson() const {
   std::vector<std::pair<std::string, const Histogram*>> histograms;
   std::vector<Collector> collectors;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (const auto& [name, c] : counters_) counters.emplace_back(name, c.get());
     for (const auto& [name, g] : gauges_) gauges.emplace_back(name, g.get());
     for (const auto& [name, h] : histograms_) {
@@ -259,7 +259,7 @@ std::string MetricsRegistry::PrometheusText() const {
   std::vector<std::pair<std::string, const Histogram*>> histograms;
   std::vector<Collector> collectors;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (const auto& [name, c] : counters_) counters.emplace_back(name, c.get());
     for (const auto& [name, g] : gauges_) gauges.emplace_back(name, g.get());
     for (const auto& [name, h] : histograms_) {

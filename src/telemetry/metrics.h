@@ -32,10 +32,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace peb {
 namespace telemetry {
@@ -206,14 +207,15 @@ class MetricsRegistry {
   std::string PrometheusText() const;
 
  private:
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   /// std::map keeps snapshot output sorted and insertion-stable; node
   /// addresses are stable, so handed-out pointers survive later inserts.
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
-  std::map<size_t, Collector> collectors_;
-  size_t next_collector_token_ = 1;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      GUARDED_BY(mu_);
+  std::map<size_t, Collector> collectors_ GUARDED_BY(mu_);
+  size_t next_collector_token_ GUARDED_BY(mu_) = 1;
 };
 
 // --- null-safe record helpers ----------------------------------------------

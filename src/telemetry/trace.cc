@@ -106,7 +106,7 @@ double TraceBuilder::NowMs() const {
 
 size_t TraceBuilder::StartSpan(const std::string& name, size_t parent) {
   double now = NowMs();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   TraceSpan span;
   span.name = name;
   span.parent = parent;
@@ -118,7 +118,7 @@ size_t TraceBuilder::StartSpan(const std::string& name, size_t parent) {
 
 void TraceBuilder::EndSpan(size_t span) {
   double now = NowMs();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (span >= trace_.spans.size() || !open_[span]) return;
   trace_.spans[span].dur_ms = now - trace_.spans[span].start_ms;
   open_[span] = 0;
@@ -126,7 +126,7 @@ void TraceBuilder::EndSpan(size_t span) {
 
 void TraceBuilder::AddStats(size_t span, const QueryCounters& counters,
                             const IoStats& io) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (span >= trace_.spans.size()) return;
   TraceSpan& s = trace_.spans[span];
   s.counters.candidates_examined += counters.candidates_examined;
@@ -139,7 +139,7 @@ void TraceBuilder::AddStats(size_t span, const QueryCounters& counters,
 }
 
 void TraceBuilder::Annotate(size_t span, const std::string& note) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (span >= trace_.spans.size()) return;
   std::string& n = trace_.spans[span].note;
   if (!n.empty()) n += ' ';
@@ -147,13 +147,13 @@ void TraceBuilder::Annotate(size_t span, const std::string& note) {
 }
 
 void TraceBuilder::set_epoch(uint64_t epoch) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   trace_.epoch = epoch;
 }
 
 QueryTrace TraceBuilder::Finish() {
   double now = NowMs();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (size_t i = 0; i < trace_.spans.size(); ++i) {
     if (open_[i]) {
       trace_.spans[i].dur_ms = now - trace_.spans[i].start_ms;
@@ -166,7 +166,7 @@ QueryTrace TraceBuilder::Finish() {
 
 void SlowQueryLog::Record(QueryTrace trace, double total_ms) {
   if (capacity_ == 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (ring_.size() >= capacity_) ring_.pop_front();
   Entry e;
   e.trace = std::move(trace);
@@ -176,7 +176,7 @@ void SlowQueryLog::Record(QueryTrace trace, double total_ms) {
 }
 
 std::vector<SlowQueryLog::Entry> SlowQueryLog::Entries() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return std::vector<Entry>(ring_.begin(), ring_.end());
 }
 

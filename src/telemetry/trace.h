@@ -16,11 +16,11 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "bxtree/privacy_index.h"
+#include "common/thread_annotations.h"
 #include "storage/buffer_pool.h"
 
 namespace peb {
@@ -88,9 +88,10 @@ class TraceBuilder {
  private:
   double NowMs() const;
 
-  std::mutex mu_;
-  QueryTrace trace_;
-  std::vector<char> open_;  // Parallel to trace_.spans; 1 = still open.
+  Mutex mu_;
+  QueryTrace trace_ GUARDED_BY(mu_);
+  /// Parallel to trace_.spans; 1 = still open.
+  std::vector<char> open_ GUARDED_BY(mu_);
   std::chrono::steady_clock::time_point start_;
 };
 
@@ -141,9 +142,9 @@ class SlowQueryLog {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::deque<Entry> ring_;
-  uint64_t next_sequence_ = 0;
+  mutable Mutex mu_;
+  std::deque<Entry> ring_ GUARDED_BY(mu_);
+  uint64_t next_sequence_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace telemetry

@@ -67,8 +67,8 @@ TEST_P(IntegrationTest, LongMixedWorkloadStaysConsistent) {
 INSTANTIATE_TEST_SUITE_P(Distributions, IntegrationTest,
                          ::testing::Values(Distribution::kUniform,
                                            Distribution::kNetwork),
-                         [](const auto& info) {
-                           return info.param == Distribution::kUniform
+                         [](const auto& param_info) {
+                           return param_info.param == Distribution::kUniform
                                       ? "Uniform"
                                       : "Network";
                          });

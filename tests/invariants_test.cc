@@ -9,7 +9,11 @@
 #include <memory>
 
 #include "common/rng.h"
+#include "common/thread_annotations.h"
+#include "engine/sharded_engine.h"
+#include "eval/workload.h"
 #include "motion/uniform_generator.h"
+#include "motion/update_stream.h"
 #include "peb/peb_tree.h"
 #include "policy/policy_generator.h"
 #include "storage/buffer_pool.h"
@@ -17,6 +21,46 @@
 #include "test_util.h"
 
 namespace peb {
+
+/// Test-only corruption injection for the negative validator tests: pokes
+/// holes into the pool's guarded replacement state exactly the way a bug
+/// would, so the tests prove ValidateInvariants actually detects damage
+/// (not merely that healthy pools pass).
+struct BufferPoolTestPeer {
+  /// Overwrites the pin count of the frame holding `id`; returns the old
+  /// value so the test can restore it before teardown.
+  static int SetPinCount(BufferPool* pool, PageId id, int value) {
+    BufferPool::Shard& shard = pool->ShardOf(id);
+    MutexLock lock(&shard.mu);
+    return shard.frames[shard.table.at(id)]->pin_count.exchange(value);
+  }
+
+  /// Crosses the table entries of two resident pages in the same latch
+  /// shard, so each maps to a frame holding the other's bytes.
+  static void SwapTableEntries(BufferPool* pool, PageId a, PageId b) {
+    BufferPool::Shard& shard = pool->ShardOf(a);
+    ASSERT_EQ(&shard, &pool->ShardOf(b)) << "pages in different shards";
+    MutexLock lock(&shard.mu);
+    std::swap(shard.table.at(a), shard.table.at(b));
+  }
+
+  /// Two resident page ids in shard 0 (kInvalidPageId when fewer exist).
+  static std::pair<PageId, PageId> TwoResidentPages(BufferPool* pool) {
+    BufferPool::Shard& shard = *pool->shards_[0];
+    MutexLock lock(&shard.mu);
+    std::pair<PageId, PageId> out{kInvalidPageId, kInvalidPageId};
+    for (const auto& [id, idx] : shard.table) {
+      if (out.first == kInvalidPageId) {
+        out.first = id;
+      } else {
+        out.second = id;
+        break;
+      }
+    }
+    return out;
+  }
+};
+
 namespace {
 
 struct Config {
@@ -244,6 +288,169 @@ TEST(QueryInvariants, ResultsUnaffectedByUnrelatedChurn) {
   auto after = tree.RangeQuery(issuer, range, tq);
   ASSERT_TRUE(after.ok());
   EXPECT_EQ(*before, *after);
+}
+
+
+// ---------------------------------------------------------------------------
+// Deep structural validators under randomized churn
+// ---------------------------------------------------------------------------
+
+Lpp EverywherePolicy(RoleId role) {
+  Lpp p;
+  p.role = role;
+  p.locr = Rect{{-1e9, -1e9}, {1e9, 1e9}};
+  p.tint = TimeOfDayInterval::AllDay();
+  return p;
+}
+
+class EngineChurnTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(EngineChurnTest, DeepValidatorsHoldUnderRandomizedChurn) {
+  // Interleave update batches, policy mutations, and re-key adoptions, with
+  // paranoid_checks running the validators inside every exclusive batch
+  // section AND an explicit deep check after each round.
+  eval::WorkloadParams p;
+  p.num_users = 300;
+  p.policies_per_user = 8;
+  p.grouping_factor = 0.6;
+  p.seed = 71;
+  eval::Workload w = eval::Workload::Build(p);
+
+  engine::EngineOptions opts;
+  opts.num_shards = GetParam();
+  opts.num_threads = 2;
+  opts.buffer_pages = p.buffer_pages;
+  opts.tree = eval::PebOptionsFor(p);
+  opts.tree.index.paranoid_checks = true;
+  engine::ShardedPebEngine eng(opts, &w.store(), &w.roles(),
+                               w.catalog()->snapshot());
+  ASSERT_TRUE(eng.LoadDataset(w.dataset()).ok());
+
+  auto stream = eval::CloneUniformUpdateStream(w);
+  ASSERT_NE(stream, nullptr);
+  RoleId role = w.catalog()->DefineRole("churn");
+
+  Rng rng(72);
+  for (int round = 0; round < 4; ++round) {
+    std::vector<UpdateEvent> batch;
+    for (int i = 0; i < 64; ++i) batch.push_back(stream->Next());
+    ASSERT_TRUE(eng.ApplyBatch(batch).ok()) << "round " << round;
+
+    for (int m = 0; m < 6; ++m) {
+      UserId owner = static_cast<UserId>(rng.NextBelow(p.num_users));
+      UserId peer = static_cast<UserId>(rng.NextBelow(p.num_users));
+      if (owner == peer) continue;
+      if (m % 3 == 2) {
+        ASSERT_TRUE(w.catalog()->RemovePolicies(owner, peer).ok());
+      } else {
+        ASSERT_TRUE(
+            w.catalog()->AddPolicy(owner, peer, EverywherePolicy(role)).ok());
+      }
+    }
+    auto re = w.catalog()->Reencode();
+    ASSERT_TRUE(re.ok()) << re.status().ToString();
+    ASSERT_TRUE(eng.AdoptSnapshot(re->snapshot, &re->rekeyed).ok())
+        << "round " << round;
+
+    Status deep = eng.ValidateInvariants();
+    ASSERT_TRUE(deep.ok()) << "round " << round << ": " << deep.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, EngineChurnTest, ::testing::Values(1, 4),
+                         [](const auto& param_info) {
+                           return param_info.param == 1 ? "OneShard"
+                                                        : "FourShards";
+                         });
+
+// ---------------------------------------------------------------------------
+// Negative validation: the validators must DETECT deliberate damage, not
+// merely pass on healthy structures.
+// ---------------------------------------------------------------------------
+
+TEST(NegativeValidation, DetectsCorruptedLeafChain) {
+  const size_t users = 400;
+  UniformGeneratorOptions gen;
+  gen.num_objects = users;
+  gen.stagger_window = 120.0;
+  gen.seed = 81;
+  Dataset ds = GenerateUniformDataset(gen);
+  PolicyGeneratorOptions pg;
+  pg.num_users = users;
+  pg.policies_per_user = 8;
+  pg.seed = 82;
+  GeneratedPolicies gp = GeneratePolicies(pg);
+  CompatibilityOptions compat;
+  SvQuantizer quant(64.0, 26);
+  auto enc = PolicyEncoding::Build(gp.store, users, compat, {}, quant);
+  InMemoryDiskManager disk;
+  BufferPool pool(&disk, BufferPoolOptions{64});
+  PebTreeOptions opt;
+  opt.index.grid_bits = 8;
+  PebTree tree(&pool, opt, &gp.store, &gp.roles, &enc);
+  for (const auto& o : ds.objects) ASSERT_TRUE(tree.Insert(o).ok());
+  ASSERT_TRUE(tree.ValidateInvariants().ok());
+
+  // Find a leaf page (node type 1) with a live sibling pointer and point
+  // its next-link at itself — a damage pattern no healthy chain contains.
+  PageId leaf = kInvalidPageId;
+  PageId old_next = kInvalidPageId;
+  for (PageId id = 0;; ++id) {
+    auto g = pool.FetchPage(id);
+    if (!g.ok()) break;
+    const Page& page = *g->page();
+    if (page.ReadAt<uint8_t>(0) == 1 &&
+        page.ReadAt<PageId>(8) != kInvalidPageId) {
+      leaf = id;
+      old_next = page.ReadAt<PageId>(8);
+      g->page()->WriteAt<PageId>(8, id);
+      g->MarkDirty();
+      break;
+    }
+  }
+  ASSERT_NE(leaf, kInvalidPageId) << "no chained leaf found";
+
+  Status st = tree.ValidateInvariants();
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+
+  // Repair and re-validate: the detector must go quiet again (proves the
+  // failure came from the injected damage, not a latent defect).
+  auto g = pool.FetchPage(leaf);
+  ASSERT_TRUE(g.ok());
+  g->page()->WriteAt<PageId>(8, old_next);
+  g->MarkDirty();
+  g->Release();
+  EXPECT_TRUE(tree.ValidateInvariants().ok());
+}
+
+TEST(NegativeValidation, DetectsCorruptedPinCountAndFrameTable) {
+  InMemoryDiskManager disk;
+  BufferPool pool(&disk, BufferPoolOptions{8});
+  std::vector<PageId> ids;
+  for (int i = 0; i < 4; ++i) {
+    auto g = pool.NewPage();
+    ASSERT_TRUE(g.ok());
+    ids.push_back(g->id());
+  }
+  ASSERT_TRUE(pool.ValidateInvariants().ok());
+
+  // A negative pin count can only come from an unbalanced unpin.
+  int old_pin = BufferPoolTestPeer::SetPinCount(&pool, ids[0], -3);
+  Status st = pool.ValidateInvariants();
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+  BufferPoolTestPeer::SetPinCount(&pool, ids[0], old_pin);
+  ASSERT_TRUE(pool.ValidateInvariants().ok());
+
+  // Crossed table entries: each page id resolves to a frame holding the
+  // other page's bytes.
+  auto [a, b] = BufferPoolTestPeer::TwoResidentPages(&pool);
+  ASSERT_NE(a, kInvalidPageId);
+  ASSERT_NE(b, kInvalidPageId);
+  BufferPoolTestPeer::SwapTableEntries(&pool, a, b);
+  st = pool.ValidateInvariants();
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+  BufferPoolTestPeer::SwapTableEntries(&pool, a, b);
+  EXPECT_TRUE(pool.ValidateInvariants().ok());
 }
 
 }  // namespace

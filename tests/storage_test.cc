@@ -110,9 +110,10 @@ TEST_P(DiskManagerTest, ReadPastCapacityFails) {
 
 INSTANTIATE_TEST_SUITE_P(AllDisks, DiskManagerTest,
                          ::testing::Values(DiskKind::kMemory, DiskKind::kFile),
-                         [](const auto& info) {
-                           return info.param == DiskKind::kMemory ? "Memory"
-                                                                  : "File";
+                         [](const auto& param_info) {
+                           return param_info.param == DiskKind::kMemory
+                                      ? "Memory"
+                                      : "File";
                          });
 
 // ---------------------------------------------------------------------------

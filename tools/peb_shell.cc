@@ -67,6 +67,8 @@ void PrintHelp() {
       "  reencode         flush pending mutations: incremental re-encode,\n"
       "                   re-key the affected users, publish a new epoch\n"
       "  epoch            current encoding epoch and pending mutations\n"
+      "  check            run the deep structural validators on every\n"
+      "                   index (PEB-tree, Bx-tree, pools, engine)\n"
       "  telemetry [json] live metrics registry (Prometheus text or JSON)\n"
       "  trace on|off     trace every query; prq/knn print the span tree\n"
       "  slowlog          worst traced queries over the slow threshold\n"
@@ -511,6 +513,31 @@ struct Shell {
                 world->catalog()->dirty_count());
   }
 
+  void Check() {
+    if (!EnsureWorld()) return;
+    struct Item {
+      const char* name;
+      Status st;
+    };
+    std::vector<Item> items;
+    items.push_back({"peb-tree ", world->peb().ValidateInvariants()});
+    items.push_back({"peb-pool ", world->peb().pool()->ValidateInvariants()});
+    items.push_back({"bx-tree  ", world->spatial().tree().ValidateInvariants()});
+    items.push_back(
+        {"bx-pool  ", world->spatial().tree().pool()->ValidateInvariants()});
+    if (eng != nullptr) {
+      items.push_back({"engine   ", eng->ValidateInvariants()});
+    }
+    bool all_ok = true;
+    for (const Item& item : items) {
+      std::printf("  %s %s\n", item.name,
+                  item.st.ok() ? "OK" : item.st.ToString().c_str());
+      all_ok = all_ok && item.st.ok();
+    }
+    std::printf(all_ok ? "all invariants hold\n"
+                       : "CORRUPTION DETECTED\n");
+  }
+
   void Telemetry(std::istringstream& in) {
     std::string mode;
     in >> mode;
@@ -621,6 +648,8 @@ int main() {
       shell.Reencode();
     } else if (cmd == "epoch") {
       shell.Epoch();
+    } else if (cmd == "check") {
+      shell.Check();
     } else if (cmd == "telemetry") {
       shell.Telemetry(in);
     } else if (cmd == "trace") {
