@@ -204,12 +204,33 @@ void RunTelemetrySmoke(Workload& w, const std::string& snapshot_path,
       std::abort();
     }
   }
+  // Re-run the query batch while the session's updates are still buffered
+  // in the shard deltas: the overlay probes fire (engine.delta.probes) and
+  // freshly-updated friends answer from their delta state
+  // (engine.delta.shadowed). Then drain explicitly — the session's volume
+  // sits below the merge threshold by design, so the merge instruments
+  // (engine.delta.merges, merged_records, engine.merge.lock_hold_ms) need
+  // this deliberate merge to move.
+  for (auto& f : svc.SubmitBatch(batch)) {
+    CheckResponse(f.get(), "post-update batch query");
+  }
+  {
+    Status merged = engine->MergeDeltas();
+    if (!merged.ok()) {
+      std::cerr << "telemetry smoke delta merge failed: " << merged.ToString()
+                << "\n";
+      std::abort();
+    }
+  }
   (void)svc.AdvanceContinuous(w.now() + 120.0);
   size_t drained = svc.TakeContinuousEvents().size();
   CheckResponse(svc.Execute(QueryRequest::CancelContinuous(standing[0])),
                 "continuous cancel");
 
   // Policy lifecycle: role, grant (re-encode + re-key now), revoke, flush.
+  // The peer is the last user so the pair stays inside the population at
+  // any PEB_BENCH_SCALE.
+  UserId policy_peer = static_cast<UserId>(w.params().num_users - 1);
   QueryResponse role = svc.Execute(QueryRequest::DefineRole("smoke-role"));
   CheckResponse(role, "define role");
   Lpp policy;
@@ -217,10 +238,10 @@ void RunTelemetrySmoke(Workload& w, const std::string& snapshot_path,
   policy.locr = Rect{{-1e9, -1e9}, {1e9, 1e9}};
   policy.tint = TimeOfDayInterval::AllDay();
   CheckResponse(
-      svc.Execute(QueryRequest::AddPolicy(3, 1501, policy, w.now())),
+      svc.Execute(QueryRequest::AddPolicy(3, policy_peer, policy, w.now())),
       "add policy");
   CheckResponse(svc.Execute(QueryRequest::RemovePolicy(
-                    3, 1501, w.now(), /*reencode_now=*/false)),
+                    3, policy_peer, w.now(), /*reencode_now=*/false)),
                 "remove policy");
   CheckResponse(svc.Execute(QueryRequest::Reencode(w.now())), "reencode");
 

@@ -7,8 +7,11 @@
 // ShardedPebEngine::ApplyBatch, which groups them by home shard and applies
 // every shard's group on its own worker thread. A user's updates stay
 // ordered (one user, one shard); only cross-shard ordering inside a batch
-// is relaxed, which no query can observe because the engine's state lock
-// makes every query atomic with respect to a whole batch.
+// is relaxed, which no query can observe: on the direct-apply path the
+// engine's state lock makes every query atomic with respect to a whole
+// batch, and on the delta-ingest path the batch is published with a single
+// atomic watermark store — a query's pinned watermark sees all of the
+// batch or none of it (and queries never block on its application).
 #pragma once
 
 #include <cstddef>

@@ -102,9 +102,13 @@ ShardedPebEngine::ShardedPebEngine(
       router_(MakeRouter(options.router,
                          options.num_shards == 0 ? 1 : options.num_shards,
                          snapshot_)),
+      store_(store),
+      roles_(roles),
+      num_users_(snapshot_ == nullptr ? 0 : snapshot_->num_users()),
       pool_(&disk_,
             BufferPoolOptions{options.buffer_pages, options.pool_shards}),
-      threads_(options.num_threads) {
+      threads_(options.num_threads),
+      delta_on_(options.tree.index.delta_ingest) {
   size_t n = router_->num_shards();
   shards_.reserve(n);
   for (size_t s = 0; s < n; ++s) {
@@ -112,6 +116,12 @@ ShardedPebEngine::ShardedPebEngine(
     shard->tree = std::make_unique<PebTree>(&pool_, options_.tree, store,
                                             roles, snapshot_);
     shards_.push_back(std::move(shard));
+  }
+  if (delta_on_) {
+    deltas_.reserve(n);
+    for (size_t s = 0; s < n; ++s) {
+      deltas_.push_back(std::make_unique<ShardDelta>());
+    }
   }
   // Instruments resolve eagerly here (not lazily on first use), so a
   // disconnected record site shows up as a registered-but-zero instrument
@@ -129,6 +139,16 @@ ShardedPebEngine::ShardedPebEngine(
     pknn_rounds_ = registry_->counter("engine.pknn.rounds");
     pknn_retirements_ = registry_->counter("engine.pknn.retirements");
     batch_lock_hold_ms_ = registry_->histogram("engine.batch.lock_hold_ms");
+    if (delta_on_) {
+      delta_appends_ = registry_->counter("engine.delta.appends");
+      delta_probes_ = registry_->counter("engine.delta.probes");
+      delta_shadowed_ = registry_->counter("engine.delta.shadowed");
+      delta_merges_ = registry_->counter("engine.delta.merges");
+      delta_merged_records_counter_ =
+          registry_->counter("engine.delta.merged_records");
+      merge_lock_hold_ms_ = registry_->histogram("engine.merge.lock_hold_ms");
+      delta_backlog_ = registry_->gauge("engine.delta.backlog");
+    }
     pool_collector_token_ = registry_->RegisterCollector([this] {
       std::vector<telemetry::MetricsRegistry::Sample> out;
       for (size_t i = 0; i < pool_.num_shards(); ++i) {
@@ -148,9 +168,38 @@ ShardedPebEngine::ShardedPebEngine(
       return out;
     });
   }
+  if (delta_on_ && options_.delta.background_merge_period_ms > 0) {
+    merger_ = std::thread([this] {
+      const auto period =
+          std::chrono::milliseconds(options_.delta.background_merge_period_ms);
+      for (;;) {
+        {
+          MutexLock lock(&merger_mu_);
+          merger_cv_.wait_for(merger_mu_, period, [this]() {
+            merger_mu_.AssertHeld();
+            return merger_stop_;
+          });
+          if (merger_stop_) break;
+        }
+        // Drain every non-empty delta: across writer idle gaps this is the
+        // only trigger, and it keeps query-side read amplification low.
+        // Merge errors surface through paranoid foreground merges and
+        // ValidateInvariants; the thread itself has nobody to report to.
+        (void)MergeDeltas();
+      }
+    });
+  }
 }
 
 ShardedPebEngine::~ShardedPebEngine() {
+  if (merger_.joinable()) {
+    {
+      MutexLock lock(&merger_mu_);
+      merger_stop_ = true;
+    }
+    merger_cv_.notify_all();
+    merger_.join();
+  }
   if (registry_ != nullptr && pool_collector_token_ != 0) {
     registry_->UnregisterCollector(pool_collector_token_);
   }
@@ -160,7 +209,69 @@ ShardedPebEngine::~ShardedPebEngine() {
 // Update path
 // ---------------------------------------------------------------------------
 
+bool ShardedPebEngine::PresentInShard(size_t idx, UserId id) const {
+  const Shard& shard = *shards_[idx];
+  // The shard mutex covers BOTH probes: a merge holds it across drain and
+  // apply, so the verdict can never land in the drained-but-not-applied
+  // window (see the lock-order note in the header).
+  MutexLock lock(&shard.mu);
+  ShardDelta::Record rec;
+  // Under ingest_mu_ every buffered record is published — probe unbounded.
+  if (deltas_[idx]->LatestVisible(id, ~uint64_t{0}, &rec)) {
+    return !rec.tombstone;
+  }
+  return shard.tree->GetObject(id).ok();
+}
+
+void ShardedPebEngine::UpdateBacklogGauge() const {
+  if (delta_backlog_ == nullptr) return;
+  size_t total = 0;
+  for (const auto& d : deltas_) total += d->records();
+  delta_backlog_->Set(static_cast<int64_t>(total));
+}
+
+Status ShardedPebEngine::IngestOne(const MovingObject& state, bool tombstone,
+                                   bool require_absent, bool require_present) {
+  const size_t idx = router_->ShardOf(state.id);
+  telemetry::Inc(shard_instruments_[idx].updates);
+  // Backpressure: the writer (never a query) absorbs the merge cost when
+  // this shard's delta is at the hard cap.
+  const size_t cap = options_.delta.hard_cap != 0
+                         ? options_.delta.hard_cap
+                         : options_.delta.merge_threshold * 8;
+  if (deltas_[idx]->records() >= cap) {
+    delta_backpressure_merges_.fetch_add(1, std::memory_order_relaxed);
+    PEB_RETURN_NOT_OK(MergeShards({idx}));
+  }
+  {
+    MutexLock ingest(&ingest_mu_);
+    // Status parity with the tree ops the direct path would have run:
+    // Insert -> AlreadyExists/InvalidArgument, Delete -> NotFound, Update
+    // is an upsert bounded by the encoding.
+    if (require_absent && PresentInShard(idx, state.id)) {
+      return Status::AlreadyExists("object " + std::to_string(state.id) +
+                                   " already indexed");
+    }
+    if (!tombstone && state.id >= num_users_) {
+      return Status::InvalidArgument("object id outside the policy encoding");
+    }
+    if (require_present && !PresentInShard(idx, state.id)) {
+      return Status::NotFound("object " + std::to_string(state.id));
+    }
+    const uint64_t seq = ++next_seq_;
+    deltas_[idx]->Append(state, tombstone, seq);
+    published_seq_.store(seq, std::memory_order_release);
+  }
+  telemetry::Inc(delta_appends_);
+  UpdateBacklogGauge();
+  return MaybeMergeDeltas();
+}
+
 Status ShardedPebEngine::Insert(const MovingObject& object) {
+  if (delta_on_) {
+    return IngestOne(object, /*tombstone=*/false, /*require_absent=*/true,
+                     /*require_present=*/false);
+  }
   WriterMutexLock state_lock(&state_mu_);
   size_t idx = router_->ShardOf(object.id);
   telemetry::Inc(shard_instruments_[idx].updates);
@@ -170,6 +281,10 @@ Status ShardedPebEngine::Insert(const MovingObject& object) {
 }
 
 Status ShardedPebEngine::Update(const MovingObject& object) {
+  if (delta_on_) {
+    return IngestOne(object, /*tombstone=*/false, /*require_absent=*/false,
+                     /*require_present=*/false);
+  }
   WriterMutexLock state_lock(&state_mu_);
   size_t idx = router_->ShardOf(object.id);
   telemetry::Inc(shard_instruments_[idx].updates);
@@ -179,6 +294,12 @@ Status ShardedPebEngine::Update(const MovingObject& object) {
 }
 
 Status ShardedPebEngine::Delete(UserId id) {
+  if (delta_on_) {
+    MovingObject tomb;
+    tomb.id = id;
+    return IngestOne(tomb, /*tombstone=*/true, /*require_absent=*/false,
+                     /*require_present=*/true);
+  }
   WriterMutexLock state_lock(&state_mu_);
   size_t idx = router_->ShardOf(id);
   telemetry::Inc(shard_instruments_[idx].updates);
@@ -206,6 +327,47 @@ Status ShardedPebEngine::LoadDataset(const Dataset& dataset) {
 }
 
 Status ShardedPebEngine::ApplyBatch(const std::vector<UpdateEvent>& events) {
+  if (delta_on_) {
+    if (events.empty()) return Status::OK();
+    // Pre-validate so the whole batch is rejected before anything is
+    // published (the direct path stops the bad event's shard group
+    // mid-application instead; error batches are outside the equivalence
+    // contract — see the header).
+    for (const UpdateEvent& ev : events) {
+      if (ev.state.id >= num_users_) {
+        return Status::InvalidArgument("object id outside the policy encoding");
+      }
+    }
+    // Backpressure: merge any destination shard already at the hard cap
+    // BEFORE appending — the writer stalls here, queries never do.
+    const size_t cap = options_.delta.hard_cap != 0
+                           ? options_.delta.hard_cap
+                           : options_.delta.merge_threshold * 8;
+    std::vector<size_t> over;
+    for (size_t s = 0; s < deltas_.size(); ++s) {
+      if (deltas_[s]->records() >= cap) over.push_back(s);
+    }
+    if (!over.empty()) {
+      delta_backpressure_merges_.fetch_add(over.size(),
+                                           std::memory_order_relaxed);
+      PEB_RETURN_NOT_OK(MergeShards(over));
+    }
+    {
+      MutexLock ingest(&ingest_mu_);
+      // ONE seq for the whole batch: the release store below publishes it
+      // atomically, so a query's pinned watermark sees all of it or none.
+      const uint64_t seq = ++next_seq_;
+      for (const UpdateEvent& ev : events) {
+        const size_t idx = router_->ShardOf(ev.state.id);
+        telemetry::Inc(shard_instruments_[idx].updates);
+        deltas_[idx]->Append(ev.state, /*tombstone=*/false, seq);
+      }
+      published_seq_.store(seq, std::memory_order_release);
+    }
+    telemetry::Inc(delta_appends_, events.size());
+    UpdateBacklogGauge();
+    return MaybeMergeDeltas();
+  }
   WriterMutexLock state_lock(&state_mu_);
   std::vector<std::vector<const UpdateEvent*>> groups(shards_.size());
   for (const UpdateEvent& ev : events) {
@@ -223,6 +385,123 @@ Status ShardedPebEngine::ApplyBatch(const std::vector<UpdateEvent>& events) {
   // section, so a corrupting batch is caught before any query sees it.
   if (st.ok() && options_.tree.index.paranoid_checks) st = ValidateLocked();
   return st;
+}
+
+// ---------------------------------------------------------------------------
+// Delta merges
+// ---------------------------------------------------------------------------
+
+Status ShardedPebEngine::MergeShards(const std::vector<size_t>& which) {
+  if (!delta_on_ || which.empty()) return Status::OK();
+  WriterMutexLock state_lock(&state_mu_);
+  // Only PUBLISHED records drain: a batch mid-append (writers do not hold
+  // the state lock) must not become visible through the tree before its
+  // publication makes it visible through the delta.
+  const uint64_t bound = published_seq_.load(std::memory_order_acquire);
+  const bool paranoid = options_.tree.index.paranoid_checks;
+  std::vector<Status> statuses(shards_.size());
+  std::atomic<uint64_t> merged_total{0};
+  std::vector<std::function<void()>> tasks;
+  for (size_t s : which) {
+    tasks.push_back([this, s, bound, paranoid, &statuses, &merged_total] {
+      Shard& shard = *shards_[s];
+      // The shard mutex spans drain AND apply, so presence probes (which
+      // also hold it across both their probes) never see the window where
+      // a record has left the delta but not yet reached the tree.
+      MutexLock lock(&shard.mu);
+      const auto locked_at = std::chrono::steady_clock::now();
+      const auto drained = deltas_[s]->DrainUpTo(bound);
+      Status st;
+      for (const auto& [uid, rec] : drained) {
+        if (rec.tombstone) {
+          // Delete-if-present: the tombstoned user may only ever have
+          // existed inside this delta (insert and delete both buffered).
+          if (shard.tree->GetObject(uid).ok()) st = shard.tree->Delete(uid);
+        } else {
+          st = shard.tree->Update(rec.state);  // Upsert.
+        }
+        if (!st.ok()) break;
+      }
+      if (st.ok() && paranoid) {
+        // Delta/tree agreement: a drained user with no newer buffered
+        // record must now read back from the tree exactly as the delta
+        // said — tombstoned users gone, updated users at their new state.
+        ShardDelta::Record newer;
+        for (const auto& [uid, rec] : drained) {
+          if (deltas_[s]->LatestVisible(uid, ~uint64_t{0}, &newer)) continue;
+          auto got = shard.tree->GetObject(uid);
+          bool agree;
+          if (rec.tombstone) {
+            agree = !got.ok();
+          } else {
+            agree = got.ok() && (*got).pos.x == rec.state.pos.x &&
+                    (*got).pos.y == rec.state.pos.y &&
+                    (*got).vel.x == rec.state.vel.x &&
+                    (*got).vel.y == rec.state.vel.y &&
+                    (*got).tu == rec.state.tu;
+          }
+          if (!agree) {
+            st = Status::Corruption(
+                "delta merge left shard " + std::to_string(s) +
+                " disagreeing with its tree about object " +
+                std::to_string(uid));
+            break;
+          }
+        }
+      }
+      statuses[s] = std::move(st);
+      merged_total.fetch_add(drained.size(), std::memory_order_relaxed);
+      telemetry::Observe(merge_lock_hold_ms_,
+                         std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - locked_at)
+                             .count());
+    });
+  }
+  threads_.RunAll(std::move(tasks));
+  for (Status& st : statuses) PEB_RETURN_NOT_OK(st);
+  delta_merges_count_.fetch_add(which.size(), std::memory_order_relaxed);
+  delta_merged_records_.fetch_add(merged_total.load(std::memory_order_relaxed),
+                                  std::memory_order_relaxed);
+  telemetry::Inc(delta_merges_, which.size());
+  telemetry::Inc(delta_merged_records_counter_,
+                 merged_total.load(std::memory_order_relaxed));
+  UpdateBacklogGauge();
+  if (options_.tree.index.paranoid_checks) return ValidateLocked();
+  return Status::OK();
+}
+
+Status ShardedPebEngine::MaybeMergeDeltas() {
+  std::vector<size_t> which;
+  for (size_t s = 0; s < deltas_.size(); ++s) {
+    if (deltas_[s]->records() >= options_.delta.merge_threshold) {
+      which.push_back(s);
+    }
+  }
+  return MergeShards(which);
+}
+
+Status ShardedPebEngine::MergeDeltas() {
+  if (!delta_on_) return Status::OK();
+  std::vector<size_t> which;
+  for (size_t s = 0; s < deltas_.size(); ++s) {
+    if (deltas_[s]->records() > 0) which.push_back(s);
+  }
+  return MergeShards(which);
+}
+
+ShardedPebEngine::DeltaStats ShardedPebEngine::delta_stats() const {
+  DeltaStats out;
+  for (const auto& d : deltas_) {
+    const size_t n = d->records();
+    out.buffered_records += n;
+    out.max_shard_records = std::max(out.max_shard_records, n);
+    out.appended_total += d->appended_total();
+  }
+  out.merges = delta_merges_count_.load(std::memory_order_relaxed);
+  out.merged_records = delta_merged_records_.load(std::memory_order_relaxed);
+  out.backpressure_merges =
+      delta_backpressure_merges_.load(std::memory_order_relaxed);
+  return out;
 }
 
 Status ShardedPebEngine::AdoptSnapshot(
@@ -276,12 +555,62 @@ Status ShardedPebEngine::RunExclusive(const std::function<Status()>& fn) {
 // ---------------------------------------------------------------------------
 
 size_t ShardedPebEngine::SizeLocked() const {
+  const uint64_t watermark =
+      delta_on_ ? published_seq_.load(std::memory_order_acquire) : 0;
   size_t total = 0;
-  for (const auto& s : shards_) {
-    MutexLock lock(&s->mu);
-    total += s->tree->size();
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = *shards_[s];
+    MutexLock lock(&shard.mu);
+    size_t n = shard.tree->size();
+    if (delta_on_ && deltas_[s]->records() > 0) {
+      // Authoritative logical size: a delta-only insert adds a user the
+      // tree does not host yet; a tombstone of a tree-resident user
+      // removes one. (The raw pointer keeps the guarded access out of the
+      // lambda; shard.mu is held for its whole extent.)
+      const PebTree* tree = shard.tree.get();
+      deltas_[s]->ForEachLatestVisible(
+          watermark, [&](UserId uid, const ShardDelta::Record& rec) {
+            const bool in_tree = tree->GetObject(uid).ok();
+            if (rec.tombstone && in_tree) --n;
+            if (!rec.tombstone && !in_tree) ++n;
+          });
+    }
+    total += n;
   }
   return total;
+}
+
+void ShardedPebEngine::OverlayFriends(
+    std::vector<std::vector<FriendEntry>>* per_shard, uint64_t watermark,
+    std::vector<DeltaCandidate>* out) const {
+  uint64_t probes = 0;
+  uint64_t shadowed = 0;
+  for (size_t s = 0; s < per_shard->size(); ++s) {
+    std::vector<FriendEntry>& friends = (*per_shard)[s];
+    // records() AFTER the watermark acquire-load: the publishing release
+    // store orders the counter increments, so an empty read really means
+    // no visible records (newer invisible ones may still be missed —
+    // fine, they are invisible anyway).
+    if (friends.empty() || deltas_[s]->records() == 0) continue;
+    size_t kept = 0;
+    ShardDelta::Record rec;
+    for (FriendEntry& f : friends) {
+      ++probes;
+      if (deltas_[s]->LatestVisible(f.uid, watermark, &rec)) {
+        ++shadowed;
+        // Shadowed: the delta answers for this friend. Tombstoned users
+        // simply vanish from the query.
+        if (!rec.tombstone) out->push_back({f.uid, rec.state});
+      } else {
+        // Keeping survivors in place preserves the encoding's ascending
+        // (qsv, uid) order BuildRows requires.
+        friends[kept++] = f;
+      }
+    }
+    friends.resize(kept);
+  }
+  if (probes > 0) telemetry::Inc(delta_probes_, probes);
+  if (shadowed > 0) telemetry::Inc(delta_shadowed_, shadowed);
 }
 
 size_t ShardedPebEngine::size() const {
@@ -333,6 +662,15 @@ Result<std::vector<UserId>> ShardedPebEngine::RangeQueryWithStats(
   }
   if (collect) stats->epoch = snapshot_->epoch();
   std::vector<std::vector<FriendEntry>> per_shard = PartitionFriends(issuer);
+  // Delta overlay: friends with a visible delta record leave the tree
+  // candidate lists and are answered from their delta state below, through
+  // the same Definition-2 predicate the tree scans apply — so the answer
+  // is bit-identical to direct apply at the same update prefix.
+  std::vector<DeltaCandidate> delta_cands;
+  if (delta_on_) {
+    const uint64_t watermark = published_seq_.load(std::memory_order_acquire);
+    OverlayFriends(&per_shard, watermark, &delta_cands);
+  }
   SharedScanCache cache;  // One window decomposition for all shards.
 
   struct Slot {
@@ -388,6 +726,16 @@ Result<std::vector<UserId>> ShardedPebEngine::RangeQueryWithStats(
     }
     merged.insert(merged.end(), slot.ids.begin(), slot.ids.end());
   }
+  // Shadowed friends answer from their delta state: same acceptance test
+  // as PebTree's candidate filter (window containment + Definition 2).
+  for (const DeltaCandidate& c : delta_cands) {
+    const Point pos = c.state.PositionAt(tq);
+    if (range.Contains(pos) &&
+        PebTree::VerifyAgainst(*store_, *roles_, options_.tree.time_domain,
+                               issuer, c.uid, pos, tq)) {
+      merged.push_back(c.uid);
+    }
+  }
   // Shards host disjoint user sets, so this is a disjoint union; the
   // interface promises ascending user id.
   std::sort(merged.begin(), merged.end());
@@ -426,6 +774,29 @@ Result<std::vector<Neighbor>> ShardedPebEngine::KnnQueryWithStats(
     rq = EstimateKnnDistanceFor(SizeLocked(), k,
                                 options_.tree.index.space_side) /
          static_cast<double>(k);
+  }
+  // Delta overlay AFTER the seed radius: the schedule above already uses
+  // the authoritative SizeLocked() and the PRE-overlay friend count, so a
+  // delta engine and a direct-apply engine at the same update prefix run
+  // the identical enlargement geometry. Shadowed friends are answered
+  // exactly, from their delta state, before any scan runs — the same
+  // verification and distance the tree's InsertVerified would compute.
+  if (delta_on_) {
+    const uint64_t watermark = published_seq_.load(std::memory_order_acquire);
+    std::vector<DeltaCandidate> delta_cands;
+    OverlayFriends(&per_shard, watermark, &delta_cands);
+    for (const DeltaCandidate& c : delta_cands) {
+      const Point pos = c.state.PositionAt(tq);
+      if (PebTree::VerifyAgainst(*store_, *roles_, options_.tree.time_domain,
+                                 issuer, c.uid, pos, tq)) {
+        Neighbor nb{c.uid, pos.DistanceTo(qloc)};
+        auto at = std::lower_bound(verified.begin(), verified.end(), nb,
+                                   [](const Neighbor& a, const Neighbor& b) {
+                                     return a.distance < b.distance;
+                                   });
+        verified.insert(at, nb);
+      }
+    }
   }
   SharedScanCache cache;  // One ring decomposition per round for all shards.
 
@@ -658,8 +1029,23 @@ Result<std::vector<Neighbor>> ShardedPebEngine::KnnQueryWithStats(
 
 Result<MovingObject> ShardedPebEngine::GetObject(UserId id) const {
   ReaderMutexLock state_lock(&state_mu_);
-  const Shard& s = *shards_[router_->ShardOf(id)];
+  const size_t idx = router_->ShardOf(id);
+  const Shard& s = *shards_[idx];
   MutexLock lock(&s.mu);
+  if (delta_on_) {
+    const uint64_t watermark = published_seq_.load(std::memory_order_acquire);
+    if (deltas_[idx]->records() > 0) {
+      ShardDelta::Record rec;
+      telemetry::Inc(delta_probes_);
+      if (deltas_[idx]->LatestVisible(id, watermark, &rec)) {
+        telemetry::Inc(delta_shadowed_);
+        if (rec.tombstone) {
+          return Status::NotFound("object " + std::to_string(id));
+        }
+        return rec.state;
+      }
+    }
+  }
   return s.tree->GetObject(id);
 }
 
@@ -690,9 +1076,56 @@ Status ShardedPebEngine::ValidateLocked() const {
       }
     });
     PEB_RETURN_NOT_OK(routing);
+    if (delta_on_) {
+      // Delta invariants: every buffered record routed here, in-bounds,
+      // per-user seqs ascending, no tombstone chains, and a user whose
+      // FIRST buffered record is a tombstone must still be tree-resident
+      // (Delete only ever tombstones a then-present user, and merges drain
+      // record prefixes atomically with the tree application).
+      const PebTree* tree = shard.tree.get();
+      Status delta_st = Status::OK();
+      UserId prev_uid = kInvalidUserId;
+      uint64_t prev_seq = 0;
+      bool prev_tomb = false;
+      deltas_[s]->ForEachRecord([&](UserId uid,
+                                    const ShardDelta::Record& rec) {
+        if (!delta_st.ok()) return;
+        if (router_->ShardOf(uid) != s) {
+          delta_st = Status::Corruption(
+              "delta record for user " + std::to_string(uid) +
+              " buffered by shard " + std::to_string(s) +
+              " but routed to shard " +
+              std::to_string(router_->ShardOf(uid)));
+        } else if (uid >= num_users_) {
+          delta_st = Status::Corruption(
+              "delta record for user " + std::to_string(uid) +
+              " outside the policy encoding");
+        } else if (uid == prev_uid && rec.seq < prev_seq) {
+          delta_st = Status::Corruption(
+              "delta seqs not ascending for user " + std::to_string(uid));
+        } else if (uid == prev_uid && rec.tombstone && prev_tomb) {
+          delta_st = Status::Corruption(
+              "consecutive tombstones buffered for user " +
+              std::to_string(uid));
+        } else if (uid != prev_uid && rec.tombstone &&
+                   !tree->GetObject(uid).ok()) {
+          delta_st = Status::Corruption(
+              "leading tombstone for user " + std::to_string(uid) +
+              " who is not hosted by shard " + std::to_string(s) +
+              "'s tree");
+        }
+        prev_uid = uid;
+        prev_seq = rec.seq;
+        prev_tomb = rec.tombstone;
+      });
+      PEB_RETURN_NOT_OK(delta_st);
+    }
     total += shard.tree->size();
   }
-  if (total != SizeLocked()) {
+  if (!delta_on_ && total != SizeLocked()) {
+    // With delta ingestion on, writers may publish between the two reads —
+    // logical-size exactness is covered by the merge-time agreement checks
+    // and the oracle equivalence tests instead.
     return Status::Corruption("engine size drifted during validation");
   }
   return pool_.ValidateInvariants();

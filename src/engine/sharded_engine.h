@@ -36,18 +36,49 @@
 // const read path (RangeQueryAmong / KnnScan), so concurrent work on
 // distinct shards never races. On top of
 // that, an engine-level reader-writer lock keeps every query's view
-// atomic: queries hold it shared, mutations (Insert/Update/Delete/
-// LoadDataset/ApplyBatch) hold it exclusive — so a query fanned out over
-// several lock acquisitions can never observe half an update batch, while
-// concurrent queries still proceed in parallel.
+// atomic: queries hold it shared, mutations that touch tree structure
+// (LoadDataset, AdoptSnapshot, delta merges — and Insert/Update/Delete/
+// ApplyBatch on the direct-apply path) hold it exclusive — so a query
+// fanned out over several lock acquisitions can never observe half an
+// update batch, while concurrent queries still proceed in parallel.
+//
+// Log-structured ingestion (MovingIndexOptions::delta_ingest, the
+// default): updates never take the engine-wide exclusive lock at all.
+// Writers serialize on a dedicated ingest mutex, append raw-state records
+// to the home shard's in-memory delta (engine/shard_delta.h) under that
+// shard's delta latch, and publish the batch by storing its seq into an
+// atomic watermark. Read paths pin the watermark once at admission and
+// merge the delta with the tree scan: friends with a visible delta record
+// are lifted out of the per-shard tree candidate lists and evaluated
+// directly from their delta state through the SAME Definition-2 predicate
+// the tree scans use (PebTree::VerifyAgainst), so answers are bit-identical
+// to direct apply while queries never wait behind update application.
+// Deltas drain into the B+-trees in bounded merges — on a per-shard
+// record-count threshold at the end of an ingest call, from the optional
+// background merge thread, or explicitly via MergeDeltas() — under the
+// existing exclusive section, whose hold time is bounded by the threshold
+// (and shortened further by latest-record dedup: N buffered updates of one
+// user cost one tree update).
+//
+// Lock order: ingest_mu_ -> shard.mu -> delta.mu (writers; presence probes
+// hold shard.mu across both the tree and delta probe so a concurrent merge
+// — which holds shard.mu across drain AND apply — can never show them the
+// window where a record left the delta but has not reached the tree), and
+// state_mu_ -> shard.mu -> delta.mu (merges, queries, validation). The
+// ingest path never takes state_mu_ in either mode's read paths' way:
+// queries only ever hold state_mu_ shared.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <functional>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "bxtree/privacy_index.h"
 #include "common/thread_annotations.h"
+#include "engine/shard_delta.h"
 #include "engine/shard_router.h"
 #include "engine/thread_pool.h"
 #include "peb/peb_tree.h"
@@ -74,8 +105,25 @@ struct EngineOptions {
   size_t pool_shards = 4;
   /// Per-shard PEB-tree configuration (shared by all shards).
   PebTreeOptions tree;
+  /// Log-structured ingestion tuning (active when tree.index.delta_ingest).
+  struct DeltaIngestOptions {
+    /// A shard whose delta reaches this many buffered records is merged at
+    /// the end of the ingest call that crossed it. Bounds both merge
+    /// lock-hold time and query-side read amplification.
+    size_t merge_threshold = 4096;
+    /// Backpressure ceiling: an ingest batch that would land on a shard
+    /// already buffering this many records first merges that shard inline
+    /// (the writer stalls; queries never do). 0 = 8 * merge_threshold.
+    size_t hard_cap = 0;
+    /// When non-zero, a background thread drains EVERY non-empty delta
+    /// each period — keeps read amplification low across writer idle gaps
+    /// without any ingest-path trigger. 0 (default) = no thread.
+    size_t background_merge_period_ms = 0;
+  };
+  DeltaIngestOptions delta;
   /// Engine instruments (per-shard query/update counts, PkNN rounds and
-  /// retirements, batch lock-hold time, per-pool-shard IoStats samples).
+  /// retirements, batch lock-hold time, delta append/probe/merge counters
+  /// and merge lock-hold, per-pool-shard IoStats samples).
   telemetry::TelemetryOptions telemetry;
 };
 
@@ -153,12 +201,45 @@ class ShardedPebEngine final : public PrivacyAwareIndex {
   /// Routes and inserts every object, loading shards in parallel.
   Status LoadDataset(const Dataset& dataset);
 
-  /// Applies a time-ordered update batch: events are grouped by home shard
-  /// (preserving order within each group) and every shard's group is
-  /// applied on a worker thread. Per-user ordering is preserved because a
-  /// user maps to exactly one shard; cross-shard ordering within the batch
-  /// is relaxed.
+  /// Applies a time-ordered update batch. Direct-apply mode: events are
+  /// grouped by home shard (preserving order within each group) and every
+  /// shard's group is applied on a worker thread under the exclusive state
+  /// lock. Delta-ingest mode: the whole batch is appended to the home
+  /// shards' deltas under the ingest lock and published atomically (one
+  /// seq per batch), so concurrent queries see all of it or none of it —
+  /// without the batch ever blocking them. Per-user ordering is preserved
+  /// in both modes because a user maps to exactly one shard. A batch
+  /// naming an id outside the policy encoding is rejected whole (the
+  /// direct path instead stops that user's shard group at the bad event;
+  /// error batches are excluded from the equivalence contract).
   Status ApplyBatch(const std::vector<UpdateEvent>& events);
+
+  // --- delta ingestion ------------------------------------------------------
+  /// Drains every non-empty shard delta into its tree (one exclusive
+  /// section). No-op in direct-apply mode. Benches and tests call this to
+  /// settle the engine before comparing against a direct-apply oracle;
+  /// the service layer calls it on shutdown-like barriers.
+  Status MergeDeltas() EXCLUDES(state_mu_);
+
+  /// Aggregate delta-ingestion state (zeros in direct-apply mode).
+  struct DeltaStats {
+    size_t buffered_records = 0;   ///< Currently buffered across shards.
+    size_t max_shard_records = 0;  ///< Largest single shard's buffer.
+    uint64_t appended_total = 0;   ///< Lifetime appends.
+    uint64_t merges = 0;           ///< Merge sections executed.
+    uint64_t merged_records = 0;   ///< Tree mutations applied by merges.
+    uint64_t backpressure_merges = 0;  ///< Merges forced by hard_cap.
+  };
+  DeltaStats delta_stats() const;
+
+  /// Whether updates go through the per-shard deltas (the configured
+  /// MovingIndexOptions::delta_ingest, honored only by the engine).
+  bool delta_ingest_enabled() const { return delta_on_; }
+
+  /// Buffered delta records of shard i (tests/benches).
+  size_t shard_delta_records(size_t i) const {
+    return delta_on_ ? deltas_[i]->records() : 0;
+  }
 
   // --- introspection --------------------------------------------------------
   const EngineOptions& options() const { return options_; }
@@ -203,6 +284,50 @@ class ShardedPebEngine final : public PrivacyAwareIndex {
   std::vector<std::vector<FriendEntry>> PartitionFriends(UserId issuer) const
       REQUIRES_SHARED(state_mu_);
 
+  /// A friend lifted out of the tree scan by the delta overlay: their
+  /// latest visible delta state answers for them instead of the tree.
+  struct DeltaCandidate {
+    UserId uid = kInvalidUserId;
+    MovingObject state;
+  };
+
+  /// Delta overlay for one query pinned at `watermark`: removes every
+  /// friend with a visible delta record from the per-shard tree candidate
+  /// lists (order preserved) and collects the non-tombstoned ones into
+  /// `out` for direct evaluation. Tree scans then cannot return a stale
+  /// position for a user the delta shadows, and tombstoned users vanish.
+  void OverlayFriends(std::vector<std::vector<FriendEntry>>* per_shard,
+                      uint64_t watermark,
+                      std::vector<DeltaCandidate>* out) const
+      REQUIRES_SHARED(state_mu_);
+
+  /// Whether `id` currently exists logically in shard `idx` — tree OR
+  /// visible delta, tombstones excluded. Holds the shard mutex across both
+  /// probes (see the lock-order note above) so the verdict is atomic with
+  /// respect to merges. Writers call it under ingest_mu_, where every
+  /// buffered record is already published — hence the unbounded watermark.
+  bool PresentInShard(size_t idx, UserId id) const REQUIRES(ingest_mu_);
+
+  /// Appends one single-object mutation (Insert/Update/Delete) to the home
+  /// shard's delta with direct-path status parity, then publishes it.
+  Status IngestOne(const MovingObject& state, bool tombstone,
+                   bool require_absent, bool require_present)
+      EXCLUDES(ingest_mu_);
+
+  /// Merges the named shards' deltas into their trees under one exclusive
+  /// state section: drain (latest record per user, dedup) + apply, with
+  /// per-shard lock-hold observed into merge_lock_hold_ms_. paranoid_checks
+  /// additionally validates delta/tree agreement for every drained user
+  /// and runs the full structural audit before queries resume.
+  Status MergeShards(const std::vector<size_t>& which) EXCLUDES(state_mu_);
+
+  /// Merges every shard at or above the merge threshold (the ingest-path
+  /// trigger; call WITHOUT ingest_mu_ held).
+  Status MaybeMergeDeltas() EXCLUDES(state_mu_, ingest_mu_);
+
+  /// Refreshes engine.delta.backlog to the current buffered-record total.
+  void UpdateBacklogGauge() const;
+
   /// size() for callers already holding state_mu_.
   size_t SizeLocked() const REQUIRES_SHARED(state_mu_);
 
@@ -219,6 +344,14 @@ class ShardedPebEngine final : public PrivacyAwareIndex {
   /// own); written under the exclusive state lock, read under shared.
   std::shared_ptr<const EncodingSnapshot> snapshot_ GUARDED_BY(state_mu_);
   std::unique_ptr<ShardRouter> router_;
+  /// Verification inputs for the delta overlay (the pointees are mutated
+  /// only inside RunExclusive sections, which exclude all queries).
+  const PolicyStore* store_ = nullptr;
+  const RoleRegistry* roles_ = nullptr;
+  /// Population bound, immutable after construction: AdoptSnapshot rejects
+  /// snapshots with a different population, so the ingest path can check
+  /// id bounds without touching state_mu_.
+  size_t num_users_ = 0;
   /// One disk + one sharded clock pool shared by every shard tree.
   InMemoryDiskManager disk_;
   BufferPool pool_;
@@ -228,6 +361,31 @@ class ShardedPebEngine final : public PrivacyAwareIndex {
   /// Always acquired before any shard mutex; worker tasks take only shard
   /// mutexes (the dispatching thread holds this lock for them).
   mutable SharedMutex state_mu_;
+
+  // --- log-structured ingestion state (delta_on_ only) ----------------------
+  /// tree.index.delta_ingest, cached (options_ is const after construction).
+  bool delta_on_ = false;
+  /// One delta per shard, indexed like shards_. Each has its own latch.
+  std::vector<std::unique_ptr<ShardDelta>> deltas_;
+  /// Serializes WRITERS only (seq assignment, presence probes, batch
+  /// publication). Queries never touch it — that is the whole point.
+  mutable Mutex ingest_mu_ ACQUIRED_BEFORE(merger_mu_);
+  /// Seq of the most recently assigned ingest batch.
+  uint64_t next_seq_ GUARDED_BY(ingest_mu_) = 0;
+  /// Watermark of the most recently PUBLISHED batch: stored with release
+  /// after all of the batch's appends, loaded with acquire once per query.
+  /// Records above a reader's watermark are invisible to it.
+  std::atomic<uint64_t> published_seq_{0};
+  std::atomic<uint64_t> delta_merges_count_{0};
+  std::atomic<uint64_t> delta_merged_records_{0};
+  std::atomic<uint64_t> delta_backpressure_merges_{0};
+
+  /// Background merge thread (started when delta ingestion is on and
+  /// background_merge_period_ms > 0).
+  std::thread merger_;
+  mutable Mutex merger_mu_;
+  std::condition_variable_any merger_cv_;
+  bool merger_stop_ GUARDED_BY(merger_mu_) = false;
 
   /// Engine instruments (null when telemetry is disabled). Cached pointers
   /// into the registry, resolved once at construction.
@@ -239,6 +397,16 @@ class ShardedPebEngine final : public PrivacyAwareIndex {
   telemetry::Counter* pknn_rounds_ = nullptr;
   telemetry::Counter* pknn_retirements_ = nullptr;
   telemetry::Histogram* batch_lock_hold_ms_ = nullptr;
+  /// Delta instruments, registered only when delta ingestion is on (an
+  /// instrument that CANNOT move must not read zero forever — the CI
+  /// telemetry gate fails on dead instruments).
+  telemetry::Counter* delta_appends_ = nullptr;
+  telemetry::Counter* delta_probes_ = nullptr;
+  telemetry::Counter* delta_shadowed_ = nullptr;
+  telemetry::Counter* delta_merges_ = nullptr;
+  telemetry::Counter* delta_merged_records_counter_ = nullptr;
+  telemetry::Histogram* merge_lock_hold_ms_ = nullptr;
+  telemetry::Gauge* delta_backlog_ = nullptr;
   /// Token of the per-pool-shard IoStats collector (0 = none registered).
   size_t pool_collector_token_ = 0;
   telemetry::MetricsRegistry* registry_ = nullptr;

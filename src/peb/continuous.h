@@ -10,9 +10,14 @@
 // re-evaluation:
 //
 //  * Register   — seeds the result with a one-shot PEB-tree PRQ.
-//  * OnUpdate   — feed every index update through the monitor; only the
-//                 queries whose friend lists contain the updated user are
-//                 re-checked.
+//  * OnUpdate   — feed every index update through the monitor, in stream
+//                 (global time) order; only the queries whose friend lists
+//                 contain the updated user are re-checked. Feed updates
+//                 when they are APPLIED-OR-PUBLISHED, not when a
+//                 log-structured engine later merges them into its trees:
+//                 the service layer feeds each batch synchronously with
+//                 its publication and asserts the non-decreasing feed
+//                 clock (MovingObjectService::FeedContinuous).
 //  * Advance    — re-evaluates memberships at a later time (linear motion
 //                 and time-of-day policy windows change answers even
 //                 without updates).

@@ -243,11 +243,18 @@ std::vector<PebTree::SvRun> PebTree::BuildRuns(
   return runs;
 }
 
+bool PebTree::VerifyAgainst(const PolicyStore& store,
+                            const RoleRegistry& roles, double time_domain,
+                            UserId issuer, UserId uid, const Point& pos,
+                            Timestamp tq) {
+  return uid != issuer &&
+         store.Allows(uid, issuer, pos, tq, roles, time_domain);
+}
+
 bool PebTree::Verify(UserId issuer, const SpatialCandidate& cand,
                      Timestamp tq) const {
-  return cand.uid != issuer &&
-         store_->Allows(cand.uid, issuer, cand.pos, tq, *roles_,
-                        options_.time_domain);
+  return VerifyAgainst(*store_, *roles_, options_.time_domain, issuer,
+                       cand.uid, cand.pos, tq);
 }
 
 namespace {

@@ -442,6 +442,16 @@ class PebTree final : public PrivacyAwareIndex {
     for (const auto& [uid, stored] : objects_) fn(uid, stored.state);
   }
 
+  /// Definition 2's verification predicate, shared between the tree's scan
+  /// paths (Verify) and the sharded engine's delta overlay: a candidate
+  /// located OUTSIDE the tree (in a shard's ingestion delta) must pass
+  /// exactly the check a tree-scanned candidate passes, or delta-ingest
+  /// answers would diverge from the direct-apply oracle. `pos` is the
+  /// candidate's position extrapolated to `tq`.
+  static bool VerifyAgainst(const PolicyStore& store, const RoleRegistry& roles,
+                            double time_domain, UserId issuer, UserId uid,
+                            const Point& pos, Timestamp tq);
+
   /// Deep structural self-check: the underlying B+-tree's full walk
   /// (BTree::Validate — key order, separator bounds, occupancy, leaf
   /// chain), entry count agreement between tree and object table, every

@@ -248,7 +248,8 @@ class MovingObjectService {
   Status ReencodeAndAdopt(Timestamp now, ReencodeStats* stats)
       REQUIRES(continuous_mu_);
 
-  /// Feeds an applied batch to the continuous monitor (stream order).
+  /// Feeds an applied batch to the continuous monitor in stream order
+  /// (asserted non-decreasing event time; see last_fed_t_).
   void FeedContinuous(const std::vector<UpdateEvent>& events)
       EXCLUDES(continuous_mu_);
 
@@ -287,6 +288,12 @@ class MovingObjectService {
   /// construction; only the pointee is guarded.
   mutable Mutex continuous_mu_;
   std::unique_ptr<ContinuousQueryMonitor> monitor_ PT_GUARDED_BY(continuous_mu_);
+  /// Stream clock of the last batch event fed to the monitor. FeedContinuous
+  /// asserts it never goes backwards: update streams are globally
+  /// time-ordered, and under delta ingestion the monitor is fed from the
+  /// batch at publication time (never from the engine's later merges), so
+  /// the feed order is the stream order in both ingestion modes.
+  Timestamp last_fed_t_ GUARDED_BY(continuous_mu_) = 0;
 
   // --- telemetry state (null / zero when telemetry is disabled) -------------
   telemetry::MetricsRegistry* registry_ = nullptr;
