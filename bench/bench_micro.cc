@@ -18,6 +18,10 @@
 //    delta ingest. Settled answers must be bit-identical, and CI fails
 //    when the delta side's query p99 stops beating direct apply or its
 //    merge lock-hold p99 exceeds direct's batch holds.
+//  * "reopen cell": cold ShardedPebEngine::Open() of a checkpointed file
+//    (superblock manifest + tree attach, no per-object work) vs a full
+//    in-memory rebuild of the same dataset. Answers must be bit-identical
+//    and CI fails when the cold open stops beating the rebuild.
 // `--json <path>` records the cells in BENCH_micro.json so the reductions
 // are part of the perf trajectory.
 #include <benchmark/benchmark.h>
@@ -25,7 +29,9 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -762,6 +768,129 @@ eval::Json RunAndReportUpdateInterferenceCell() {
       .Set("query_p99_speedup", p99_speedup);
 }
 
+// ---------------------------------------------------------------------------
+// A/B reopen cell: cold Open() from superblock + WAL vs full rebuild
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::vector<std::vector<UserId>> RunReopenPrqBatch(
+    engine::ShardedPebEngine& engine,
+    const std::vector<eval::PrqQuery>& queries) {
+  std::vector<std::vector<UserId>> answers;
+  answers.reserve(queries.size());
+  for (const auto& q : queries) {
+    auto res = engine.RangeQuery(q.issuer, q.range, q.tq);
+    if (!res.ok()) {
+      std::cerr << "reopen cell query failed: " << res.status().ToString()
+                << "\n";
+      std::abort();
+    }
+    std::vector<UserId> ans = std::move(*res);
+    std::sort(ans.begin(), ans.end());
+    answers.push_back(std::move(ans));
+  }
+  return answers;
+}
+
+}  // namespace
+
+/// Times bringing an index back after a clean shutdown: Open() re-attaches
+/// the shard trees to the checkpointed file (superblock roots, empty WAL —
+/// no tree rebuild) vs constructing a fresh engine and re-inserting the
+/// whole dataset. Both must answer the PRQ sample bit-identically; CI
+/// fails when the cold open stops beating the rebuild.
+eval::Json RunAndReportReopenCell() {
+  eval::WorkloadParams p;  // Table 1 defaults.
+  p.num_users = eval::Scaled(40000, 2000);
+  size_t num_queries = eval::Scaled(100, 20);
+  const eval::Workload w = eval::Workload::Build(p);
+  eval::QuerySetOptions q;
+  q.count = num_queries;
+  q.seed = 55;
+  auto queries = eval::MakePrqQueries(w, q);
+
+  const std::string path = "bench_reopen_cell.db";
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+
+  engine::EngineOptions opts;
+  opts.num_shards = 4;
+  opts.num_threads = 0;
+  opts.buffer_pages = p.buffer_pages;
+  opts.tree = eval::PebOptionsFor(p);
+  opts.durability.path = path;
+  opts.durability.checkpoint_on_close = true;
+
+  // Seed the durable file: load, checkpoint on close.
+  std::vector<std::vector<UserId>> want;
+  {
+    engine::ShardedPebEngine engine(opts, &w.store(), &w.roles(),
+                                    w.catalog().snapshot());
+    Status load = engine.LoadDataset(w.dataset());
+    if (!load.ok()) {
+      std::cerr << "reopen cell load failed: " << load.ToString() << "\n";
+      std::abort();
+    }
+    want = RunReopenPrqBatch(engine, queries);
+  }
+
+  // Cold open: superblock manifest + attach, no per-object work.
+  auto t0 = std::chrono::steady_clock::now();
+  auto reopened = engine::ShardedPebEngine::Open(opts, &w.store(), &w.roles(),
+                                                 w.catalog().snapshot());
+  auto t1 = std::chrono::steady_clock::now();
+  if (!reopened.ok()) {
+    std::cerr << "reopen cell open failed: " << reopened.status().ToString()
+              << "\n";
+    std::abort();
+  }
+  double open_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  auto got_open = RunReopenPrqBatch(**reopened, queries);
+  reopened->reset();
+
+  // Full rebuild: fresh in-memory engine, every object re-inserted.
+  engine::EngineOptions mem_opts = opts;
+  mem_opts.durability = {};
+  t0 = std::chrono::steady_clock::now();
+  engine::ShardedPebEngine rebuilt(mem_opts, &w.store(), &w.roles(),
+                                   w.catalog().snapshot());
+  Status load = rebuilt.LoadDataset(w.dataset());
+  t1 = std::chrono::steady_clock::now();
+  if (!load.ok()) {
+    std::cerr << "reopen cell rebuild failed: " << load.ToString() << "\n";
+    std::abort();
+  }
+  double rebuild_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  auto got_rebuild = RunReopenPrqBatch(rebuilt, queries);
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (want[i] != got_open[i] || want[i] != got_rebuild[i]) {
+      std::cerr << "reopen cell mismatch at query " << i << "\n";
+      std::abort();
+    }
+  }
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+
+  double speedup = open_ms > 0.0 ? rebuild_ms / open_ms : 0.0;
+  std::cout << "\n--- reopen cell (" << p.num_users
+            << " users, clean-shutdown file, " << num_queries
+            << "-PRQ equivalence sample) ---\n"
+            << "cold open   : " << eval::Fmt(open_ms) << " ms\n"
+            << "full rebuild: " << eval::Fmt(rebuild_ms) << " ms\n"
+            << "answers bit-identical; speedup " << eval::Fmt(speedup)
+            << "x\n";
+
+  return eval::Json::Object()
+      .Set("num_users", static_cast<uint64_t>(p.num_users))
+      .Set("num_queries", static_cast<uint64_t>(num_queries))
+      .Set("open_ms", open_ms)
+      .Set("rebuild_ms", rebuild_ms)
+      .Set("speedup", speedup);
+}
+
 }  // namespace peb
 
 int main(int argc, char** argv) {
@@ -784,6 +913,7 @@ int main(int argc, char** argv) {
   peb::eval::Json telemetry_cell = peb::RunAndReportTelemetryOverheadCell();
   peb::eval::Json interference_cell =
       peb::RunAndReportUpdateInterferenceCell();
+  peb::eval::Json reopen_cell = peb::RunAndReportReopenCell();
   if (!json_path.empty()) {
     peb::eval::Json doc =
         peb::eval::Json::Object()
@@ -792,7 +922,8 @@ int main(int argc, char** argv) {
             .Set("range_scan_cell", std::move(range_cell))
             .Set("pknn_cell", std::move(pknn_cell))
             .Set("telemetry_overhead_cell", std::move(telemetry_cell))
-            .Set("update_interference_cell", std::move(interference_cell));
+            .Set("update_interference_cell", std::move(interference_cell))
+            .Set("reopen_cell", std::move(reopen_cell));
     if (doc.WriteTo(json_path)) {
       std::cout << "wrote " << json_path << "\n";
     }

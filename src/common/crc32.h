@@ -1,0 +1,48 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected), table-driven. Shared by the
+// durable page store's superblock and the write-ahead log framing: both
+// refuse to trust any on-disk structure whose checksum does not match, which
+// is what turns a torn write into a detectable (and recoverable) condition
+// instead of silent corruption.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace peb {
+
+namespace internal {
+
+inline constexpr std::array<uint32_t, 256> MakeCrc32Table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<uint32_t, 256> kCrc32Table = MakeCrc32Table();
+
+}  // namespace internal
+
+/// Extends a running CRC (pass the previous return value to checksum data
+/// arriving in chunks; start from 0).
+inline uint32_t Crc32Extend(uint32_t crc, const void* data, size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc ^= 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    crc = internal::kCrc32Table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+/// One-shot CRC-32 of `len` bytes at `data`.
+inline uint32_t Crc32(const void* data, size_t len) {
+  return Crc32Extend(0, data, len);
+}
+
+}  // namespace peb

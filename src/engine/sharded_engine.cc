@@ -7,6 +7,7 @@
 #include <queue>
 #include <utility>
 
+#include "storage/fault_injection.h"
 #include "telemetry/trace.h"
 
 namespace peb {
@@ -93,10 +94,40 @@ Status RouteAndApply(std::vector<ShardPtr>& shards, ThreadPool& threads,
 
 }  // namespace
 
+ShardedPebEngine::DiskHolder ShardedPebEngine::MakeDisk(
+    const EngineOptions& options) {
+  DiskHolder holder;
+  const auto& dur = options.durability;
+  if (dur.path.empty()) {
+    holder.disk = std::make_unique<InMemoryDiskManager>();
+    return holder;
+  }
+  FileDiskOptions fopts;
+  fopts.use_mmap = dur.use_mmap;
+  std::unique_ptr<FileDiskManager> file;
+  if (dur.fault_injector != nullptr) {
+    file = std::make_unique<FaultInjectingDiskManager>(dur.path,
+                                                       dur.fault_injector,
+                                                       fopts);
+  } else {
+    file = std::make_unique<FileDiskManager>(dur.path, fopts);
+  }
+  holder.durable = file.get();
+  holder.disk = std::move(file);
+  return holder;
+}
+
 ShardedPebEngine::ShardedPebEngine(
     const EngineOptions& options, const PolicyStore* store,
     const RoleRegistry* roles,
     std::shared_ptr<const EncodingSnapshot> snapshot)
+    : ShardedPebEngine(MakeDisk(options), options, store, roles,
+                       std::move(snapshot), /*fresh=*/true) {}
+
+ShardedPebEngine::ShardedPebEngine(
+    DiskHolder holder, const EngineOptions& options, const PolicyStore* store,
+    const RoleRegistry* roles,
+    std::shared_ptr<const EncodingSnapshot> snapshot, bool fresh)
     : options_(options),
       snapshot_(std::move(snapshot)),
       router_(MakeRouter(options.router,
@@ -105,10 +136,31 @@ ShardedPebEngine::ShardedPebEngine(
       store_(store),
       roles_(roles),
       num_users_(snapshot_ == nullptr ? 0 : snapshot_->num_users()),
-      pool_(&disk_,
+      disk_(std::move(holder.disk)),
+      durable_(holder.durable),
+      pool_(disk_.get(),
             BufferPoolOptions{options.buffer_pages, options.pool_shards}),
       threads_(options.num_threads),
       delta_on_(options.tree.index.delta_ingest) {
+  if (durable_ != nullptr) {
+    Status st = durable_->status();
+    if (st.ok()) {
+      auto wal = WriteAheadLog::Open(options_.durability.path + ".wal",
+                                     options_.durability.fault_injector);
+      if (wal.ok()) {
+        wal_ = std::move(*wal);
+        // A fresh database truncates any WAL a previous database at this
+        // path left behind — its records describe pages we just discarded.
+        if (fresh) st = wal_->Truncate();
+      } else {
+        st = wal.status();
+      }
+    }
+    if (!st.ok()) {
+      MutexLock wal_lock(&wal_mu_);
+      durability_error_ = st;
+    }
+  }
   size_t n = router_->num_shards();
   shards_.reserve(n);
   for (size_t s = 0; s < n; ++s) {
@@ -200,9 +252,326 @@ ShardedPebEngine::~ShardedPebEngine() {
     merger_cv_.notify_all();
     merger_.join();
   }
+  // Clean shutdown: one final checkpoint marks the superblock clean so the
+  // next open may skip validation. Best-effort — a poisoned engine, or one
+  // whose owner opted out (crash tests), simply leaves the unclean flag,
+  // and recovery replays the WAL as after any crash.
+  if (durable_ != nullptr && options_.durability.checkpoint_on_close &&
+      CheckDurable().ok()) {
+    WriterMutexLock state_lock(&state_mu_);
+    (void)CheckpointLocked(/*clean=*/true);
+  }
   if (registry_ != nullptr && pool_collector_token_ != 0) {
     registry_->UnregisterCollector(pool_collector_token_);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Durability: WAL logging, checkpoints, recovery
+// ---------------------------------------------------------------------------
+
+Status ShardedPebEngine::durability_status() const {
+  if (wal_ == nullptr && durable_ == nullptr) return Status::OK();
+  MutexLock wal_lock(&wal_mu_);
+  return durability_error_;
+}
+
+Status ShardedPebEngine::CheckDurable() const {
+  if (durable_ == nullptr) return Status::OK();
+  MutexLock wal_lock(&wal_mu_);
+  return durability_error_;
+}
+
+Status ShardedPebEngine::LogOps(
+    const std::vector<engine_wal::LoggedOp>& ops) {
+  if (wal_ == nullptr || replaying_.load(std::memory_order_relaxed)) {
+    return Status::OK();
+  }
+  MutexLock wal_lock(&wal_mu_);
+  PEB_RETURN_NOT_OK(durability_error_);
+  WalRecord rec;
+  rec.seq = ++wal_seq_;
+  rec.type = engine_wal::kEvents;
+  rec.payload = engine_wal::EncodeEvents(ops);
+  Status st = wal_->Append(rec);
+  if (st.ok() && options_.durability.sync_each_batch) st = wal_->Sync();
+  if (!st.ok()) durability_error_ = st;
+  return st;
+}
+
+Status ShardedPebEngine::LogMerge() {
+  if (wal_ == nullptr || replaying_.load(std::memory_order_relaxed)) {
+    return Status::OK();
+  }
+  MutexLock wal_lock(&wal_mu_);
+  PEB_RETURN_NOT_OK(durability_error_);
+  WalRecord rec;
+  rec.seq = ++wal_seq_;
+  rec.type = engine_wal::kMerge;
+  // Advisory — not synced: losing the marker loses no data, replay just
+  // carries a larger delta until its own merge triggers fire.
+  Status st = wal_->Append(rec);
+  if (!st.ok()) durability_error_ = st;
+  return st;
+}
+
+Status ShardedPebEngine::Checkpoint() {
+  WriterMutexLock state_lock(&state_mu_);
+  return CheckpointLocked(/*clean=*/false);
+}
+
+Status ShardedPebEngine::CheckpointLocked(bool clean) {
+  if (durable_ == nullptr) {
+    return Status::InvalidArgument(
+        "Checkpoint() requires a durable engine (EngineOptions::durability)");
+  }
+  // Freeze ingest for the whole protocol (state_mu_ -> ingest_mu_, see the
+  // header's lock order): between the delta merge below and the WAL
+  // truncation at the end, no writer may append a kEvents record — it
+  // would be truncated away while its events sit in an unmerged delta.
+  MutexLock ingest(&ingest_mu_);
+  // 1. Every buffered event must reach the trees: the WAL is about to be
+  //    truncated, and only tree pages are checkpointed.
+  if (delta_on_) {
+    std::vector<size_t> which;
+    for (size_t s = 0; s < deltas_.size(); ++s) {
+      if (deltas_[s]->records() > 0) which.push_back(s);
+    }
+    PEB_RETURN_NOT_OK(MergeShardsLocked(which));
+  }
+  // 2. Every dirty frame must reach the overlay — strictly: a pinned dirty
+  //    page would silently checkpoint a stale version.
+  PEB_RETURN_NOT_OK(pool_.FlushAllStrict());
+  // 3. Snapshot the manifest (tree roots + stats + epoch).
+  engine_wal::EngineManifest manifest;
+  manifest.epoch = snapshot_ == nullptr ? 0 : snapshot_->epoch();
+  for (auto& shard : shards_) {
+    MutexLock lock(&shard->mu);
+    manifest.shards.push_back(shard->tree->Manifest());
+  }
+  const std::string manifest_blob = engine_wal::EncodeManifest(manifest);
+
+  MutexLock wal_lock(&wal_mu_);
+  PEB_RETURN_NOT_OK(durability_error_);
+  // 4. Journal the checkpoint itself: every overlay page plus a commit
+  //    record carrying the allocation state and manifest. If the fold in
+  //    step 5 crashes midway, recovery finishes the checkpoint from these
+  //    records instead of reading torn pages.
+  Status st;
+  durable_->ForEachDirtyPage([&](PageId id, const Page& page) {
+    if (!st.ok()) return;
+    WalRecord rec;
+    rec.seq = ++wal_seq_;
+    rec.type = engine_wal::kPageImage;
+    rec.payload = engine_wal::EncodePageImage(id, page);
+    st = wal_->Append(rec);
+  });
+  uint64_t commit_seq = 0;
+  if (st.ok()) {
+    engine_wal::CheckpointRecord cr;
+    cr.next_page = static_cast<PageId>(durable_->capacity());
+    cr.free_list = durable_->FreeList();
+    cr.manifest = manifest_blob;
+    commit_seq = ++wal_seq_;
+    WalRecord rec;
+    rec.seq = commit_seq;
+    rec.type = engine_wal::kCheckpoint;
+    rec.payload = engine_wal::EncodeCheckpoint(cr);
+    st = wal_->Append(rec);
+  }
+  if (st.ok()) st = wal_->Sync();
+  // 5. Fold the overlay into the file under a new superblock generation.
+  //    Crash before the superblock lands: the old generation + the WAL
+  //    records above reproduce this exact state. Crash after: the new
+  //    generation IS this state, and replay skips the stale WAL by seq.
+  if (st.ok()) {
+    st = durable_->Commit(manifest_blob, commit_seq, manifest.epoch, clean);
+  }
+  // 6. The log's work is done.
+  if (st.ok()) st = wal_->Truncate();
+  if (!st.ok()) durability_error_ = st;
+  return st;
+}
+
+Result<std::unique_ptr<ShardedPebEngine>> ShardedPebEngine::Open(
+    const EngineOptions& options, const PolicyStore* store,
+    const RoleRegistry* roles,
+    std::shared_ptr<const EncodingSnapshot> snapshot) {
+  const auto& dur = options.durability;
+  if (dur.path.empty()) {
+    return Status::InvalidArgument(
+        "Open() requires EngineOptions::durability.path");
+  }
+  if (snapshot == nullptr) {
+    return Status::InvalidArgument(
+        "Open() requires the encoding snapshot the database was "
+        "checkpointed under");
+  }
+  // 1. Reopen the page store (never truncates; rejects corrupt files).
+  DiskHolder holder;
+  FileDiskOptions fopts;
+  fopts.use_mmap = dur.use_mmap;
+  if (dur.fault_injector != nullptr) {
+    PEB_ASSIGN_OR_RETURN(auto fd, FaultInjectingDiskManager::OpenExisting(
+                                      dur.path, dur.fault_injector, fopts));
+    holder.durable = fd.get();
+    holder.disk = std::move(fd);
+  } else {
+    PEB_ASSIGN_OR_RETURN(auto fd,
+                         FileDiskManager::OpenExisting(dur.path, fopts));
+    holder.durable = fd.get();
+    holder.disk = std::move(fd);
+  }
+  DurableDiskManager* durable = holder.durable;
+  const bool unclean = !durable->clean_shutdown();
+
+  // 2. The WAL's longest valid prefix (a torn tail parses as end-of-log:
+  //    an incomplete batch was never acknowledged, so dropping it is the
+  //    correct at-most-once outcome).
+  PEB_ASSIGN_OR_RETURN(std::vector<WalRecord> records,
+                       WriteAheadLog::ReadAll(dur.path + ".wal"));
+
+  // 3. Adopt the newest complete checkpoint. Normally the superblock; a
+  //    kCheckpoint record with a NEWER seq means a checkpoint journaled
+  //    its pages but crashed before (or during) the fold — finish it from
+  //    the WAL images. A kCheckpoint in the durable log always has its
+  //    full image set before it (they were appended first, and torn tails
+  //    only cut the end).
+  std::string manifest_blob = durable->metadata();
+  uint64_t ckpt_seq = durable->checkpoint_seq();
+  ptrdiff_t last_ckpt = -1;
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (records[i].type == engine_wal::kCheckpoint &&
+        records[i].seq > ckpt_seq) {
+      last_ckpt = static_cast<ptrdiff_t>(i);
+    }
+  }
+  if (last_ckpt >= 0) {
+    engine_wal::CheckpointRecord cr;
+    PEB_RETURN_NOT_OK(engine_wal::DecodeCheckpoint(
+        records[static_cast<size_t>(last_ckpt)].payload, &cr));
+    PEB_RETURN_NOT_OK(
+        durable->RestoreAllocationState(cr.next_page, cr.free_list));
+    // This checkpoint's images are the contiguous kPageImage run right
+    // before its commit record; they land in the overlay (the file itself
+    // stays untouched until the re-checkpoint in step 7, so a crash HERE
+    // replays this same recovery from the same bytes).
+    size_t first_img = static_cast<size_t>(last_ckpt);
+    while (first_img > 0 &&
+           records[first_img - 1].type == engine_wal::kPageImage) {
+      --first_img;
+    }
+    for (size_t i = first_img; i < static_cast<size_t>(last_ckpt); ++i) {
+      PageId id = kInvalidPageId;
+      Page page;
+      PEB_RETURN_NOT_OK(
+          engine_wal::DecodePageImage(records[i].payload, &id, &page));
+      PEB_RETURN_NOT_OK(durable->Write(id, page));
+    }
+    manifest_blob = cr.manifest;
+    ckpt_seq = records[static_cast<size_t>(last_ckpt)].seq;
+  }
+
+  // 4. Re-attach the shard trees from the manifest — no rebuild: the tree
+  //    pages are already in the store, the manifest carries their roots.
+  engine_wal::EngineManifest manifest;
+  if (!manifest_blob.empty()) {
+    PEB_RETURN_NOT_OK(engine_wal::DecodeManifest(manifest_blob, &manifest));
+  }
+  std::unique_ptr<ShardedPebEngine> engine(new ShardedPebEngine(
+      std::move(holder), options, store, roles, snapshot, /*fresh=*/false));
+  PEB_RETURN_NOT_OK(engine->durability_status());
+  if (!manifest.shards.empty()) {
+    if (manifest.shards.size() != engine->shards_.size()) {
+      return Status::InvalidArgument(
+          "database was checkpointed with " +
+          std::to_string(manifest.shards.size()) +
+          " shards but the engine is configured for " +
+          std::to_string(engine->shards_.size()));
+    }
+    if (manifest.epoch != snapshot->epoch()) {
+      return Status::InvalidArgument(
+          "database was checkpointed under encoding epoch " +
+          std::to_string(manifest.epoch) + " but the caller's snapshot is " +
+          std::to_string(snapshot->epoch()));
+    }
+    for (size_t s = 0; s < engine->shards_.size(); ++s) {
+      const PebTreeManifest& m = manifest.shards[s];
+      if (m.root == kInvalidPageId) continue;  // Checkpointed empty.
+      Shard& shard = *engine->shards_[s];
+      MutexLock lock(&shard.mu);
+      PEB_RETURN_NOT_OK(shard.tree->AttachExisting(m));
+    }
+  }
+
+  // 5. Replay the WAL suffix through the normal mutation paths (replay is
+  //    not re-logged; the re-checkpoint below supersedes the log).
+  engine->replaying_.store(true, std::memory_order_relaxed);
+  uint64_t max_seq = ckpt_seq;
+  Status replay_st;
+  for (const WalRecord& rec : records) {
+    if (rec.seq <= ckpt_seq) continue;
+    max_seq = std::max(max_seq, rec.seq);
+    if (rec.type == engine_wal::kEvents) {
+      std::vector<engine_wal::LoggedOp> ops;
+      replay_st = engine_wal::DecodeEvents(rec.payload, &ops);
+      for (const engine_wal::LoggedOp& op : ops) {
+        if (!replay_st.ok()) break;
+        switch (op.kind) {
+          case engine_wal::LoggedOp::kInsert:
+            replay_st = engine->Insert(op.state);
+            break;
+          case engine_wal::LoggedOp::kUpdate:
+            replay_st = engine->Update(op.state);
+            break;
+          case engine_wal::LoggedOp::kDelete:
+            replay_st = engine->Delete(op.state.id);
+            break;
+        }
+      }
+    } else if (rec.type == engine_wal::kMerge) {
+      replay_st = engine->MergeDeltas();
+    } else if (rec.type == engine_wal::kRekey) {
+      // Epoch barrier: records past it would need the post-adopt encoding,
+      // and AdoptSnapshot checkpoints right after logging it — so a kRekey
+      // still in the log means that checkpoint never committed, and the
+      // log holds nothing replayable beyond this point.
+      break;
+    }
+    // kPageImage / kCheckpoint with seq > ckpt_seq belong to a checkpoint
+    // whose commit record never landed — dead weight, skipped.
+    if (!replay_st.ok()) {
+      return Status::Corruption("WAL replay failed at seq " +
+                                std::to_string(rec.seq) + ": " +
+                                replay_st.message());
+    }
+  }
+  {
+    MutexLock wal_lock(&engine->wal_mu_);
+    for (const WalRecord& rec : records) {
+      max_seq = std::max(max_seq, rec.seq);
+    }
+    engine->wal_seq_ = max_seq;
+  }
+  engine->replaying_.store(false, std::memory_order_relaxed);
+
+  // 6. Deep validation after any unclean shutdown (and whenever the tree
+  //    is configured paranoid). A non-empty log also counts as unclean:
+  //    the writer died before its close checkpoint could truncate it.
+  if (unclean || !records.empty() || options.tree.index.paranoid_checks) {
+    PEB_RETURN_NOT_OK(engine->ValidateInvariants());
+  }
+
+  // 7. Re-checkpoint: folds the restored images + replayed mutations into
+  //    the file and truncates the log. Until this call, recovery wrote
+  //    NOTHING durable — a crash anywhere above re-runs byte-identical
+  //    recovery (the double-crash test exercises exactly this). A clean
+  //    shutdown with an empty log has nothing to fold: the file already
+  //    IS the state, and skipping the commit keeps cold opens cheap.
+  if (unclean || !records.empty()) {
+    PEB_RETURN_NOT_OK(engine->Checkpoint());
+  }
+  return engine;
 }
 
 // ---------------------------------------------------------------------------
@@ -232,6 +601,7 @@ void ShardedPebEngine::UpdateBacklogGauge() const {
 
 Status ShardedPebEngine::IngestOne(const MovingObject& state, bool tombstone,
                                    bool require_absent, bool require_present) {
+  PEB_RETURN_NOT_OK(CheckDurable());
   const size_t idx = router_->ShardOf(state.id);
   telemetry::Inc(shard_instruments_[idx].updates);
   // Backpressure: the writer (never a query) absorbs the merge cost when
@@ -261,6 +631,17 @@ Status ShardedPebEngine::IngestOne(const MovingObject& state, bool tombstone,
     const uint64_t seq = ++next_seq_;
     deltas_[idx]->Append(state, tombstone, seq);
     published_seq_.store(seq, std::memory_order_release);
+    if (wal_ != nullptr) {
+      // Journal inside the ingest section so WAL order matches publication
+      // order. Failure poisons the engine; this op was applied in RAM but
+      // reports an error, and no later mutation can commit past it.
+      engine_wal::LoggedOp op;
+      op.kind = tombstone ? engine_wal::LoggedOp::kDelete
+                          : (require_absent ? engine_wal::LoggedOp::kInsert
+                                            : engine_wal::LoggedOp::kUpdate);
+      op.state = state;
+      PEB_RETURN_NOT_OK(LogOps({op}));
+    }
   }
   telemetry::Inc(delta_appends_);
   UpdateBacklogGauge();
@@ -272,12 +653,16 @@ Status ShardedPebEngine::Insert(const MovingObject& object) {
     return IngestOne(object, /*tombstone=*/false, /*require_absent=*/true,
                      /*require_present=*/false);
   }
+  PEB_RETURN_NOT_OK(CheckDurable());
   WriterMutexLock state_lock(&state_mu_);
   size_t idx = router_->ShardOf(object.id);
   telemetry::Inc(shard_instruments_[idx].updates);
   Shard& s = *shards_[idx];
-  MutexLock lock(&s.mu);
-  return s.tree->Insert(object);
+  {
+    MutexLock lock(&s.mu);
+    PEB_RETURN_NOT_OK(s.tree->Insert(object));
+  }
+  return LogOps({{engine_wal::LoggedOp::kInsert, object}});
 }
 
 Status ShardedPebEngine::Update(const MovingObject& object) {
@@ -285,12 +670,16 @@ Status ShardedPebEngine::Update(const MovingObject& object) {
     return IngestOne(object, /*tombstone=*/false, /*require_absent=*/false,
                      /*require_present=*/false);
   }
+  PEB_RETURN_NOT_OK(CheckDurable());
   WriterMutexLock state_lock(&state_mu_);
   size_t idx = router_->ShardOf(object.id);
   telemetry::Inc(shard_instruments_[idx].updates);
   Shard& s = *shards_[idx];
-  MutexLock lock(&s.mu);
-  return s.tree->Update(object);
+  {
+    MutexLock lock(&s.mu);
+    PEB_RETURN_NOT_OK(s.tree->Update(object));
+  }
+  return LogOps({{engine_wal::LoggedOp::kUpdate, object}});
 }
 
 Status ShardedPebEngine::Delete(UserId id) {
@@ -300,15 +689,22 @@ Status ShardedPebEngine::Delete(UserId id) {
     return IngestOne(tomb, /*tombstone=*/true, /*require_absent=*/false,
                      /*require_present=*/true);
   }
+  PEB_RETURN_NOT_OK(CheckDurable());
   WriterMutexLock state_lock(&state_mu_);
   size_t idx = router_->ShardOf(id);
   telemetry::Inc(shard_instruments_[idx].updates);
   Shard& s = *shards_[idx];
-  MutexLock lock(&s.mu);
-  return s.tree->Delete(id);
+  {
+    MutexLock lock(&s.mu);
+    PEB_RETURN_NOT_OK(s.tree->Delete(id));
+  }
+  MovingObject tomb;
+  tomb.id = id;
+  return LogOps({{engine_wal::LoggedOp::kDelete, tomb}});
 }
 
 Status ShardedPebEngine::LoadDataset(const Dataset& dataset) {
+  PEB_RETURN_NOT_OK(CheckDurable());
   WriterMutexLock state_lock(&state_mu_);
   std::vector<std::vector<const MovingObject*>> groups(shards_.size());
   for (const MovingObject& o : dataset.objects) {
@@ -323,10 +719,17 @@ Status ShardedPebEngine::LoadDataset(const Dataset& dataset) {
                             },
                             batch_lock_hold_ms_);
   if (st.ok() && options_.tree.index.paranoid_checks) st = ValidateLocked();
+  // Bulk loads are not journaled event-by-event; a checkpoint makes the
+  // loaded base state durable in one stroke instead.
+  if (st.ok() && durable_ != nullptr &&
+      !replaying_.load(std::memory_order_relaxed)) {
+    st = CheckpointLocked(/*clean=*/false);
+  }
   return st;
 }
 
 Status ShardedPebEngine::ApplyBatch(const std::vector<UpdateEvent>& events) {
+  PEB_RETURN_NOT_OK(CheckDurable());
   if (delta_on_) {
     if (events.empty()) return Status::OK();
     // Pre-validate so the whole batch is rejected before anything is
@@ -363,6 +766,17 @@ Status ShardedPebEngine::ApplyBatch(const std::vector<UpdateEvent>& events) {
         deltas_[idx]->Append(ev.state, /*tombstone=*/false, seq);
       }
       published_seq_.store(seq, std::memory_order_release);
+      if (wal_ != nullptr) {
+        // One kEvents record per batch, journaled inside the ingest section
+        // (WAL order = publication order); an OK return means the whole
+        // batch is on disk once the sync below lands.
+        std::vector<engine_wal::LoggedOp> ops;
+        ops.reserve(events.size());
+        for (const UpdateEvent& ev : events) {
+          ops.push_back({engine_wal::LoggedOp::kUpdate, ev.state});
+        }
+        PEB_RETURN_NOT_OK(LogOps(ops));
+      }
     }
     telemetry::Inc(delta_appends_, events.size());
     UpdateBacklogGauge();
@@ -384,6 +798,14 @@ Status ShardedPebEngine::ApplyBatch(const std::vector<UpdateEvent>& events) {
   // paranoid_checks: structural audit inside the batch's own exclusive
   // section, so a corrupting batch is caught before any query sees it.
   if (st.ok() && options_.tree.index.paranoid_checks) st = ValidateLocked();
+  if (st.ok() && wal_ != nullptr) {
+    std::vector<engine_wal::LoggedOp> ops;
+    ops.reserve(events.size());
+    for (const UpdateEvent& ev : events) {
+      ops.push_back({engine_wal::LoggedOp::kUpdate, ev.state});
+    }
+    st = LogOps(ops);
+  }
   return st;
 }
 
@@ -394,6 +816,11 @@ Status ShardedPebEngine::ApplyBatch(const std::vector<UpdateEvent>& events) {
 Status ShardedPebEngine::MergeShards(const std::vector<size_t>& which) {
   if (!delta_on_ || which.empty()) return Status::OK();
   WriterMutexLock state_lock(&state_mu_);
+  return MergeShardsLocked(which);
+}
+
+Status ShardedPebEngine::MergeShardsLocked(const std::vector<size_t>& which) {
+  if (!delta_on_ || which.empty()) return Status::OK();
   // Only PUBLISHED records drain: a batch mid-append (writers do not hold
   // the state lock) must not become visible through the tree before its
   // publication makes it visible through the delta.
@@ -466,8 +893,10 @@ Status ShardedPebEngine::MergeShards(const std::vector<size_t>& which) {
   telemetry::Inc(delta_merged_records_counter_,
                  merged_total.load(std::memory_order_relaxed));
   UpdateBacklogGauge();
-  if (options_.tree.index.paranoid_checks) return ValidateLocked();
-  return Status::OK();
+  if (options_.tree.index.paranoid_checks) PEB_RETURN_NOT_OK(ValidateLocked());
+  // Advisory marker so replay merges at roughly the same points and the
+  // recovered engine's delta/tree split converges to the original's.
+  return LogMerge();
 }
 
 Status ShardedPebEngine::MaybeMergeDeltas() {
@@ -510,6 +939,7 @@ Status ShardedPebEngine::AdoptSnapshot(
   if (snapshot == nullptr) {
     return Status::InvalidArgument("cannot adopt a null encoding snapshot");
   }
+  PEB_RETURN_NOT_OK(CheckDurable());
   // One exclusive section swaps every shard AND applies every re-key:
   // queries (shared holders) observe either the old epoch with old keys or
   // the new epoch with new keys, never a mix — on any shard count.
@@ -536,7 +966,31 @@ Status ShardedPebEngine::AdoptSnapshot(
   for (Status& st : statuses) {
     if (!st.ok()) return st;
   }
-  if (options_.tree.index.paranoid_checks) return ValidateLocked();
+  if (options_.tree.index.paranoid_checks) {
+    PEB_RETURN_NOT_OK(ValidateLocked());
+  }
+  if (wal_ != nullptr && !replaying_.load(std::memory_order_relaxed)) {
+    // Journal the epoch barrier, then checkpoint IMMEDIATELY: recovery
+    // replays pre-adopt records against the pre-adopt encoding, so a
+    // kRekey record must never have replayable records after it. The
+    // checkpoint truncates the log right here, making an uncommitted
+    // kRekey provably the WAL tail — replay stops when it sees one.
+    {
+      MutexLock wal_lock(&wal_mu_);
+      PEB_RETURN_NOT_OK(durability_error_);
+      WalRecord rec;
+      rec.seq = ++wal_seq_;
+      rec.type = engine_wal::kRekey;
+      rec.payload = engine_wal::EncodeRekey(snapshot->epoch());
+      Status st = wal_->Append(rec);
+      if (st.ok()) st = wal_->Sync();
+      if (!st.ok()) {
+        durability_error_ = st;
+        return st;
+      }
+    }
+    PEB_RETURN_NOT_OK(CheckpointLocked(/*clean=*/false));
+  }
   return Status::OK();
 }
 

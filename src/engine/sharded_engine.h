@@ -66,7 +66,35 @@
 // window where a record left the delta but has not reached the tree), and
 // state_mu_ -> shard.mu -> delta.mu (merges, queries, validation). The
 // ingest path never takes state_mu_ in either mode's read paths' way:
-// queries only ever hold state_mu_ shared.
+// queries only ever hold state_mu_ shared. Checkpoints additionally take
+// state_mu_ -> ingest_mu_ (never the reverse: ingest calls MergeShards only
+// OUTSIDE its ingest section), freezing both mutation paths so the WAL
+// truncation at the end of a checkpoint cannot race a concurrent append.
+// wal_mu_ is a leaf: it guards only the WAL sequence counter and the
+// durability poison status, and no code acquires another lock under it.
+//
+// Durability (EngineOptions::durability.path non-empty): the engine runs on
+// a FileDiskManager overlay store + write-ahead log instead of the
+// in-memory disk. Between checkpoints the database FILE never changes —
+// every page write lands in the disk manager's in-RAM overlay — so the
+// file always holds exactly the last checkpoint and a crash loses nothing
+// that was checkpointed. Logical mutations are journaled to the WAL AFTER
+// the in-RAM apply succeeds (log-after-apply is correct precisely because
+// durable state only changes at checkpoints: replay starts from the last
+// checkpoint image, so only the WAL suffix — not the apply order — decides
+// the recovered state). A WAL append/sync failure latches a poison status:
+// the in-RAM engine may then be ahead of what recovery can reproduce, so
+// every further mutation and checkpoint is rejected until the engine is
+// reopened — the failed batch reported an error to its caller, so
+// at-most-once application is preserved. Checkpoint() = merge all deltas
+// (truncating the WAL must not orphan buffered events) -> flush the pool
+// (strict: a pinned dirty page fails the checkpoint) -> journal every
+// overlay page + a commit record into the WAL -> fold the overlay into the
+// file under a new superblock generation -> truncate the WAL. Recovery
+// (Open) adopts the newest complete checkpoint (superblock, or a newer one
+// whose fold crashed but whose WAL commit record landed), re-attaches the
+// shard trees from its manifest without rebuilding, replays the WAL suffix
+// through the normal mutation paths, and re-checkpoints.
 #pragma once
 
 #include <atomic>
@@ -78,14 +106,19 @@
 
 #include "bxtree/privacy_index.h"
 #include "common/thread_annotations.h"
+#include "engine/engine_wal.h"
 #include "engine/shard_delta.h"
 #include "engine/shard_router.h"
 #include "engine/thread_pool.h"
 #include "peb/peb_tree.h"
 #include "storage/disk_manager.h"
+#include "storage/wal.h"
 #include "telemetry/metrics.h"
 
 namespace peb {
+
+struct FaultInjector;
+
 namespace engine {
 
 /// Engine configuration.
@@ -121,6 +154,27 @@ struct EngineOptions {
     size_t background_merge_period_ms = 0;
   };
   DeltaIngestOptions delta;
+  /// Durable storage. Default (empty path) keeps the in-memory disk — no
+  /// behavior change for experiments that only measure I/O counts.
+  struct DurabilityOptions {
+    /// Database file path. Non-empty = durable engine: file-backed overlay
+    /// store at `path` plus a write-ahead log at `path + ".wal"`.
+    std::string path;
+    /// fsync the WAL after every logged mutation batch (the durability
+    /// contract: an OK ApplyBatch survives a crash). Off trades that for
+    /// throughput — a crash may lose the un-synced suffix, never atomicity.
+    bool sync_each_batch = true;
+    /// mmap the database file (storage/disk_manager.h); off = stdio.
+    bool use_mmap = true;
+    /// Take a clean-shutdown checkpoint in the destructor. Crash tests turn
+    /// this off to make engine teardown indistinguishable from kill -9.
+    bool checkpoint_on_close = true;
+    /// Test-only failpoints (storage/fault_injection.h): counted crash
+    /// drops / torn writes on the file and WAL, EIO on sync. Null in
+    /// production.
+    FaultInjector* fault_injector = nullptr;
+  };
+  DurabilityOptions durability;
   /// Engine instruments (per-shard query/update counts, PkNN rounds and
   /// retirements, batch lock-hold time, delta append/probe/merge counters
   /// and merge lock-hold, per-pool-shard IoStats samples).
@@ -214,6 +268,37 @@ class ShardedPebEngine final : public PrivacyAwareIndex {
   /// error batches are excluded from the equivalence contract).
   Status ApplyBatch(const std::vector<UpdateEvent>& events);
 
+  // --- durability -----------------------------------------------------------
+  /// Reopens a durable engine from `options.durability.path` (which must
+  /// name an existing database file): adopts the newest complete
+  /// checkpoint, re-attaches the shard trees from its manifest WITHOUT
+  /// rebuilding, replays the WAL suffix up to the last complete batch
+  /// boundary, validates (always after an unclean shutdown, and whenever
+  /// paranoid_checks is on), and re-checkpoints so a crash during recovery
+  /// itself replays idempotently. `snapshot` must carry the same encoding
+  /// epoch the file was checkpointed under, and options.num_shards must
+  /// match the persisted shard count.
+  static Result<std::unique_ptr<ShardedPebEngine>> Open(
+      const EngineOptions& options, const PolicyStore* store,
+      const RoleRegistry* roles,
+      std::shared_ptr<const EncodingSnapshot> snapshot);
+
+  /// Folds all in-RAM state into the database file and truncates the WAL
+  /// (see the checkpoint protocol in the header comment). InvalidArgument
+  /// on a non-durable engine; any I/O failure poisons the engine.
+  Status Checkpoint() EXCLUDES(state_mu_);
+
+  /// Whether this engine has a durable backing store.
+  bool durable() const { return durable_ != nullptr; }
+
+  /// OK, or the latched poison status after a durability I/O failure (all
+  /// mutations and checkpoints fail with it until the engine is reopened).
+  Status durability_status() const EXCLUDES(wal_mu_);
+
+  /// The durable store (null on in-memory engines); tests inspect overlay
+  /// and superblock state through it.
+  const DurableDiskManager* durable_store() const { return durable_; }
+
   // --- delta ingestion ------------------------------------------------------
   /// Drains every non-empty shard delta into its tree (one exclusive
   /// section). No-op in direct-apply mode. Benches and tests call this to
@@ -279,6 +364,26 @@ class ShardedPebEngine final : public PrivacyAwareIndex {
     mutable Mutex mu;
   };
 
+  /// The disk a constructor run will own, plus its durable view (null for
+  /// the in-memory disk). Carried as one value so the delegating
+  /// constructors can hand both through a single argument without RTTI.
+  struct DiskHolder {
+    std::unique_ptr<DiskManager> disk;
+    DurableDiskManager* durable = nullptr;
+  };
+
+  /// Builds the disk options_.durability selects: in-memory (empty path),
+  /// file-backed, or fault-injecting file-backed.
+  static DiskHolder MakeDisk(const EngineOptions& options);
+
+  /// The one real constructor; the public ones delegate. `fresh` means the
+  /// disk was just created (not reopened): any WAL left at the path is a
+  /// stale artifact of a previous database and is truncated.
+  ShardedPebEngine(DiskHolder holder, const EngineOptions& options,
+                   const PolicyStore* store, const RoleRegistry* roles,
+                   std::shared_ptr<const EncodingSnapshot> snapshot,
+                   bool fresh);
+
   /// Splits the issuer's friend list by home shard. Per-shard lists keep
   /// the encoding's ascending (qsv, uid) order, as BuildRows requires.
   std::vector<std::vector<FriendEntry>> PartitionFriends(UserId issuer) const
@@ -321,6 +426,37 @@ class ShardedPebEngine final : public PrivacyAwareIndex {
   /// and runs the full structural audit before queries resume.
   Status MergeShards(const std::vector<size_t>& which) EXCLUDES(state_mu_);
 
+  /// MergeShards for callers already holding state_mu_ exclusive
+  /// (checkpoints merge under their own lock scope).
+  Status MergeShardsLocked(const std::vector<size_t>& which)
+      REQUIRES(state_mu_);
+
+  // --- durability internals -------------------------------------------------
+  /// Fast-fails a mutation once the engine is poisoned. OK on in-memory
+  /// engines and healthy durable ones.
+  Status CheckDurable() const EXCLUDES(wal_mu_);
+
+  /// Journals `ops` as one kEvents record (one WAL record per logical
+  /// batch), syncing when durability.sync_each_batch. Called after the
+  /// in-RAM apply succeeded, from inside the caller's ingest or exclusive
+  /// state section — so record order in the log matches publication order.
+  /// No-op on in-memory engines and during recovery replay. Failure
+  /// poisons the engine and propagates.
+  Status LogOps(const std::vector<engine_wal::LoggedOp>& ops)
+      EXCLUDES(wal_mu_);
+
+  /// Journals an advisory kMerge marker (not synced: losing it never loses
+  /// data, replay just buffers more before its own merges).
+  Status LogMerge() EXCLUDES(wal_mu_);
+
+  /// Checkpoint() body for callers already holding state_mu_ exclusive.
+  /// Additionally freezes ingest (state_mu_ -> ingest_mu_, see lock order)
+  /// so no kEvents record can slip between the delta merge below and the
+  /// WAL truncation at the end. `clean` marks the superblock's
+  /// clean-shutdown flag (destructor checkpoint only).
+  Status CheckpointLocked(bool clean) REQUIRES(state_mu_)
+      EXCLUDES(ingest_mu_, wal_mu_);
+
   /// Merges every shard at or above the merge threshold (the ingest-path
   /// trigger; call WITHOUT ingest_mu_ held).
   Status MaybeMergeDeltas() EXCLUDES(state_mu_, ingest_mu_);
@@ -352,8 +488,24 @@ class ShardedPebEngine final : public PrivacyAwareIndex {
   /// snapshots with a different population, so the ingest path can check
   /// id bounds without touching state_mu_.
   size_t num_users_ = 0;
-  /// One disk + one sharded clock pool shared by every shard tree.
-  InMemoryDiskManager disk_;
+  /// One disk + one sharded clock pool shared by every shard tree. The
+  /// disk is in-memory by default, file-backed when durability.path is set
+  /// (then durable_ is its non-owning durable view, else null).
+  std::unique_ptr<DiskManager> disk_;
+  DurableDiskManager* durable_ = nullptr;
+  /// Write-ahead log (durable engines only, else null).
+  std::unique_ptr<WriteAheadLog> wal_;
+  /// Leaf lock: WAL sequencing + poison status only (see lock order).
+  mutable Mutex wal_mu_;
+  /// Seq of the most recently appended WAL record (checkpoint image/commit
+  /// records included — one monotonic sequence per log).
+  uint64_t wal_seq_ GUARDED_BY(wal_mu_) = 0;
+  /// First durability I/O failure, latched forever (see header comment).
+  Status durability_error_ GUARDED_BY(wal_mu_);
+  /// True while Open() replays the WAL through the normal mutation paths:
+  /// suppresses re-logging the records being replayed. Atomic because the
+  /// background merger can already be running during replay.
+  std::atomic<bool> replaying_{false};
   BufferPool pool_;
   std::vector<std::unique_ptr<Shard>> shards_;
   ThreadPool threads_;

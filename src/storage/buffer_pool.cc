@@ -279,6 +279,30 @@ Status BufferPool::FlushAll() {
   return Status::OK();
 }
 
+Status BufferPool::FlushAllStrict() {
+  for (auto& shard : shards_) {
+    MutexLock lock(&shard->mu);
+    for (BufferFrame* f : shard->frames) {
+      if (f->id == kInvalidPageId ||
+          !f->dirty.load(std::memory_order_relaxed)) {
+        continue;
+      }
+      if (f->pin_count.load(std::memory_order_acquire) != 0) {
+        return Status::Internal("FlushAllStrict: page " +
+                                std::to_string(f->id) +
+                                " is dirty but still pinned");
+      }
+      {
+        MutexLock disk_lock(&disk_mu_);
+        PEB_RETURN_NOT_OK(disk_->Write(f->id, f->page));
+      }
+      shard->stats.physical_writes++;
+      f->dirty.store(false, std::memory_order_relaxed);
+    }
+  }
+  return Status::OK();
+}
+
 IoStats BufferPool::stats() const {
   IoStats total;
   for (const auto& shard : shards_) {

@@ -188,6 +188,12 @@ class BufferPool {
   /// released (e.g. before persisting a manifest) to flush everything.
   Status FlushAll();
 
+  /// FlushAll that refuses to skip: a dirty frame that is still pinned is an
+  /// error, not a deferral. Checkpoints use this — a checkpoint taken while
+  /// a writer still holds a dirty page would silently persist a stale
+  /// version of it.
+  Status FlushAllStrict();
+
   /// Cumulative traffic counters, aggregated over shards.
   IoStats stats() const;
 

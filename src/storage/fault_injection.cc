@@ -1,0 +1,56 @@
+#include "storage/fault_injection.h"
+
+#include <string>
+
+namespace peb {
+
+FaultInjectingDiskManager::FaultInjectingDiskManager(std::string path,
+                                                     FaultInjector* injector,
+                                                     FileDiskOptions options)
+    : injector_(injector) {
+  // CreateNew runs in this (derived) constructor body, so its superblock
+  // write already dispatches through the overridden PhysicalWrite.
+  CreateNew(std::move(path), options);
+}
+
+Result<std::unique_ptr<FaultInjectingDiskManager>>
+FaultInjectingDiskManager::OpenExisting(std::string path,
+                                        FaultInjector* injector,
+                                        FileDiskOptions options) {
+  auto dm = std::unique_ptr<FaultInjectingDiskManager>(
+      new FaultInjectingDiskManager(injector));
+  PEB_RETURN_NOT_OK(dm->OpenImpl(std::move(path), options));
+  return dm;
+}
+
+Status FaultInjectingDiskManager::PhysicalWrite(uint64_t offset,
+                                                const void* data, size_t len) {
+  switch (injector_->OnDurableWrite()) {
+    case FaultInjector::WriteVerdict::kProceed:
+      return FileDiskManager::PhysicalWrite(offset, data, len);
+    case FaultInjector::WriteVerdict::kCrashDrop:
+      return Status::IOError("injected crash: write of " +
+                             std::to_string(len) + " bytes at offset " +
+                             std::to_string(offset) + " dropped");
+    case FaultInjector::WriteVerdict::kCrashTorn: {
+      const size_t torn = len / 2;
+      if (torn > 0) {
+        (void)FileDiskManager::PhysicalWrite(offset, data, torn);
+      }
+      return Status::IOError("injected crash: torn write (" +
+                             std::to_string(torn) + " of " +
+                             std::to_string(len) + " bytes at offset " +
+                             std::to_string(offset) + ")");
+    }
+  }
+  return Status::Internal("unreachable fault verdict");
+}
+
+Status FaultInjectingDiskManager::PhysicalSync() {
+  if (!injector_->OnSync()) {
+    return Status::IOError("injected EIO on sync");
+  }
+  return FileDiskManager::PhysicalSync();
+}
+
+}  // namespace peb

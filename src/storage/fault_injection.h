@@ -1,0 +1,116 @@
+// Fault injection for the durable storage stack. A FaultInjector is a small
+// shared failpoint switchboard; FileDiskManager (via its PhysicalWrite /
+// PhysicalSync virtual seams, see FaultInjectingDiskManager) and
+// WriteAheadLog both consult the same injector, so "crash after N durable
+// writes" counts every byte range headed for disk — WAL appends, checkpoint
+// page writes, and superblock commits alike. That is what lets the crash-
+// recovery tests kill the engine at an arbitrary point mid-batch and then
+// prove the reopened state bit-matches a never-crashed oracle.
+//
+// Failpoints:
+//   * writes_until_crash — allow N durable writes, then fail the (N+1)th and
+//     every write after it. With torn_on_crash the fatal write persists only
+//     a prefix (a torn page / torn WAL record) before reporting the error —
+//     the classic power-cut failure the CRCs exist to catch.
+//   * fail_sync — the next Sync() reports EIO and the device is considered
+//     gone (all later durable ops fail too).
+//
+// Once `crashed` latches, the process-level contract mimics a dead disk:
+// every durable write and sync fails, while reads keep serving (the process
+// is assumed to still hold its file mappings). Tests then discard the
+// in-memory engine and reopen from the path, exactly like a restart.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "storage/disk_manager.h"
+
+namespace peb {
+
+struct FaultInjector {
+  /// Number of durable writes still allowed before the injected crash;
+  /// negative means "never crash". Decremented on every durable write.
+  std::atomic<int64_t> writes_until_crash{-1};
+
+  /// When the crash fires, persist the first half of the fatal write before
+  /// failing it (torn write) instead of dropping it entirely.
+  std::atomic<bool> torn_on_crash{false};
+
+  /// Fail the next Sync() with EIO (and latch `crashed`).
+  std::atomic<bool> fail_sync{false};
+
+  /// Latched once any failpoint fires; all later durable ops fail.
+  std::atomic<bool> crashed{false};
+
+  enum class WriteVerdict {
+    kProceed,    ///< Let the write through untouched.
+    kCrashDrop,  ///< Fail the write; nothing reaches the disk.
+    kCrashTorn,  ///< Persist a prefix of the write, then fail it.
+  };
+
+  WriteVerdict OnDurableWrite() {
+    if (crashed.load(std::memory_order_acquire)) {
+      return WriteVerdict::kCrashDrop;
+    }
+    if (writes_until_crash.load(std::memory_order_relaxed) < 0) {
+      return WriteVerdict::kProceed;
+    }
+    if (writes_until_crash.fetch_sub(1, std::memory_order_acq_rel) > 0) {
+      return WriteVerdict::kProceed;
+    }
+    crashed.store(true, std::memory_order_release);
+    return torn_on_crash.load(std::memory_order_relaxed)
+               ? WriteVerdict::kCrashTorn
+               : WriteVerdict::kCrashDrop;
+  }
+
+  /// Returns false if the sync must fail.
+  bool OnSync() {
+    if (crashed.load(std::memory_order_acquire)) return false;
+    if (fail_sync.load(std::memory_order_relaxed)) {
+      crashed.store(true, std::memory_order_release);
+      return false;
+    }
+    return true;
+  }
+
+  /// Re-arms the injector (e.g. before a second crash in a double-crash
+  /// recovery test).
+  void Reset() {
+    writes_until_crash.store(-1, std::memory_order_relaxed);
+    torn_on_crash.store(false, std::memory_order_relaxed);
+    fail_sync.store(false, std::memory_order_relaxed);
+    crashed.store(false, std::memory_order_release);
+  }
+};
+
+/// A FileDiskManager whose physical I/O consults a FaultInjector. Everything
+/// above the PhysicalWrite/PhysicalSync seam — overlay semantics, superblock
+/// commits, free-list persistence — is the production code path, which is the
+/// point: the tests exercise the real commit protocol, only the disk lies.
+class FaultInjectingDiskManager final : public FileDiskManager {
+ public:
+  /// Creates or truncates `path`. Check `status()` before use.
+  FaultInjectingDiskManager(std::string path, FaultInjector* injector,
+                            FileDiskOptions options = {});
+
+  /// Opens an existing database file, with injection active from the first
+  /// recovery write onward (double-crash tests crash during recovery's own
+  /// checkpoint).
+  static Result<std::unique_ptr<FaultInjectingDiskManager>> OpenExisting(
+      std::string path, FaultInjector* injector, FileDiskOptions options = {});
+
+ protected:
+  Status PhysicalWrite(uint64_t offset, const void* data,
+                       size_t len) override;
+  Status PhysicalSync() override;
+
+ private:
+  explicit FaultInjectingDiskManager(FaultInjector* injector)
+      : injector_(injector) {}
+
+  FaultInjector* injector_;
+};
+
+}  // namespace peb

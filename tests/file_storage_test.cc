@@ -105,6 +105,13 @@ TEST_F(FileBackedTest, PersistAndReopenPebTree) {
     ASSERT_TRUE(pool.FlushAll().ok());
     manifest = tree.Manifest();
     EXPECT_NE(manifest.root, kInvalidPageId);
+    // Flushing hands pages to the overlay; only Commit() makes them (and the
+    // superblock's next-page watermark) durable.
+    EXPECT_GT(disk.dirty_page_count(), 0u);
+    ASSERT_TRUE(disk.Commit(/*metadata=*/"", /*checkpoint_seq=*/1,
+                            /*epoch=*/0, /*clean=*/true)
+                    .ok());
+    EXPECT_EQ(disk.dirty_page_count(), 0u);
   }
 
   // Session 2: reopen the same file without truncation, attach, compare.

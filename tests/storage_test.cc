@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <memory>
@@ -106,6 +107,48 @@ TEST_P(DiskManagerTest, FreeRejectsDoubleFreeAndReuse) {
 TEST_P(DiskManagerTest, ReadPastCapacityFails) {
   Page out;
   EXPECT_TRUE(disk_->Read(999, &out).IsOutOfRange());
+}
+
+// Regression: freed pages used to be forgotten on reopen (the free list was
+// never persisted), so a reopened file leaked every freed slot forever and
+// could double-serve ids. The superblock now carries the free list.
+TEST(FileDiskManagerTest, FreeListSurvivesReopen) {
+  const std::string path = ::testing::TempDir() + "/peb_freelist_test.db";
+  std::remove(path.c_str());
+  std::vector<PageId> freed;
+  {
+    FileDiskManager disk(path);
+    ASSERT_TRUE(disk.status().ok());
+    std::vector<PageId> ids;
+    for (uint64_t i = 0; i < 8; ++i) {
+      auto r = disk.Allocate();
+      ASSERT_TRUE(r.ok());
+      ids.push_back(*r);
+      ASSERT_TRUE(disk.Write(*r, MakePage(i)).ok());
+    }
+    for (size_t i : {1u, 4u, 6u}) {
+      ASSERT_TRUE(disk.Free(ids[i]).ok());
+      freed.push_back(ids[i]);
+    }
+    ASSERT_TRUE(disk.Commit("", 1, 0, true).ok());
+  }
+  auto reopened = FileDiskManager::OpenExisting(path);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  auto& disk = **reopened;
+  EXPECT_EQ(disk.capacity(), 8u);
+  EXPECT_EQ(disk.live_pages(), 5u);
+  // Freed slots stayed freed across the reopen: reads reject them...
+  Page out;
+  for (PageId id : freed) EXPECT_FALSE(disk.Read(id, &out).ok());
+  // ...and the next allocations recycle them instead of growing the file.
+  for (int i = 0; i < 3; ++i) {
+    auto r = disk.Allocate();
+    ASSERT_TRUE(r.ok());
+    EXPECT_NE(std::find(freed.begin(), freed.end(), *r), freed.end())
+        << "allocation " << i << " returned fresh page " << *r;
+  }
+  EXPECT_EQ(disk.capacity(), 8u);
+  std::remove(path.c_str());
 }
 
 INSTANTIATE_TEST_SUITE_P(AllDisks, DiskManagerTest,

@@ -69,6 +69,11 @@ void PrintHelp() {
       "  epoch            current encoding epoch and pending mutations\n"
       "  check            run the deep structural validators on every\n"
       "                   index (PEB-tree, Bx-tree, pools, engine)\n"
+      "  save <path>      checkpoint current object states into a durable\n"
+      "                   file (superblock + WAL sidecar at <path>.wal)\n"
+      "  open <path>      recover a saved/crashed engine from its\n"
+      "                   superblock + WAL; it becomes the active index\n"
+      "  checkpoint       fold the open engine's WAL into the file\n"
       "  telemetry [json] live metrics registry (Prometheus text or JSON)\n"
       "  trace on|off     trace every query; prq/knn print the span tree\n"
       "  slowlog          worst traced queries over the slow threshold\n"
@@ -594,6 +599,93 @@ struct Shell {
                 "I/O/query (%.1fx)\n", n, peb.avg_io, spatial.avg_io,
                 peb.avg_io > 0 ? spatial.avg_io / peb.avg_io : 0.0);
   }
+
+  engine::EngineOptions DurableEngineOptions(const std::string& path) {
+    engine::EngineOptions opts;
+    opts.num_shards = engine_shards;
+    opts.num_threads = engine_threads;
+    opts.router = engine::RouterPolicy::kHashUser;
+    opts.buffer_pages = world->params().buffer_pages;
+    opts.tree = PebOptionsFor(world->params());
+    opts.telemetry.registry = &registry;
+    opts.durability.path = path;
+    return opts;
+  }
+
+  /// save <path>: checkpoints the current object states into a durable
+  /// file (+ its WAL sidecar) that `open <path>` can bring back cold.
+  void Save(std::istringstream& in) {
+    if (!EnsureWorld()) return;
+    std::string path;
+    if (!(in >> path)) {
+      std::printf("usage: save <path>\n");
+      return;
+    }
+    // Current states, not the generation-time dataset: streamed updates
+    // are part of what gets saved.
+    Dataset snapshot = world->dataset();
+    PrivacyAwareIndex* index = use_engine && eng != nullptr
+                                   ? static_cast<PrivacyAwareIndex*>(eng.get())
+                                   : &world->peb();
+    for (auto& obj : snapshot.objects) {
+      auto cur = index->GetObject(obj.id);
+      if (cur.ok()) obj = *cur;
+    }
+    engine::ShardedPebEngine saver(DurableEngineOptions(path),
+                                   &world->store(), &world->roles(),
+                                   world->catalog()->snapshot());
+    Status st = saver.durability_status();
+    if (st.ok()) st = saver.LoadDataset(snapshot);
+    if (st.ok()) st = saver.Checkpoint();
+    if (!st.ok()) {
+      std::printf("save failed: %s\n", st.ToString().c_str());
+      return;
+    }
+    std::printf("saved %zu users to %s (%zu shard(s); WAL at %s.wal)\n",
+                snapshot.objects.size(), path.c_str(), engine_shards,
+                path.c_str());
+  }
+
+  /// open <path>: recovers a previously saved (or crashed) engine from its
+  /// superblock + WAL and makes it the active index.
+  void OpenDb(std::istringstream& in) {
+    if (!EnsureWorld()) return;
+    std::string path;
+    if (!(in >> path)) {
+      std::printf("usage: open <path>\n");
+      return;
+    }
+    auto opened = engine::ShardedPebEngine::Open(
+        DurableEngineOptions(path), &world->store(), &world->roles(),
+        world->catalog()->snapshot());
+    if (!opened.ok()) {
+      std::printf("open failed: %s\n", opened.status().ToString().c_str());
+      std::printf("(shard count must match the saved file — currently %zu; "
+                  "adjust with 'shards <n>' and retry)\n", engine_shards);
+      return;
+    }
+    eng = std::move(*opened);
+    use_engine = true;
+    RebindService();
+    std::printf("opened %s: %zu users, %zu shard(s); prq/knn now use it, "
+                "updates land in its WAL\n", path.c_str(), eng->size(),
+                eng->num_shards());
+  }
+
+  /// checkpoint: folds the open engine's WAL into the database file.
+  void Checkpoint() {
+    if (!EnsureWorld()) return;
+    if (eng == nullptr || !eng->durable()) {
+      std::printf("no durable engine — 'open <path>' first\n");
+      return;
+    }
+    Status st = eng->Checkpoint();
+    if (!st.ok()) {
+      std::printf("checkpoint failed: %s\n", st.ToString().c_str());
+      return;
+    }
+    std::printf("checkpoint committed (WAL truncated)\n");
+  }
 };
 
 }  // namespace
@@ -656,6 +748,12 @@ int main() {
       shell.Trace(in);
     } else if (cmd == "slowlog") {
       shell.Slowlog();
+    } else if (cmd == "save") {
+      shell.Save(in);
+    } else if (cmd == "open") {
+      shell.OpenDb(in);
+    } else if (cmd == "checkpoint") {
+      shell.Checkpoint();
     } else {
       std::printf("unknown command '%s' — try 'help'\n", cmd.c_str());
     }
