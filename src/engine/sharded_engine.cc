@@ -104,6 +104,7 @@ ShardedPebEngine::DiskHolder ShardedPebEngine::MakeDisk(
   }
   FileDiskOptions fopts;
   fopts.use_mmap = dur.use_mmap;
+  fopts.overwrite_existing = dur.overwrite_existing;
   std::unique_ptr<FileDiskManager> file;
   if (dur.fault_injector != nullptr) {
     file = std::make_unique<FaultInjectingDiskManager>(dur.path,
@@ -253,11 +254,13 @@ ShardedPebEngine::~ShardedPebEngine() {
     merger_.join();
   }
   // Clean shutdown: one final checkpoint marks the superblock clean so the
-  // next open may skip validation. Best-effort — a poisoned engine, or one
-  // whose owner opted out (crash tests), simply leaves the unclean flag,
-  // and recovery replays the WAL as after any crash.
-  if (durable_ != nullptr && options_.durability.checkpoint_on_close &&
-      CheckDurable().ok()) {
+  // next open may skip validation. Best-effort — a poisoned engine, one
+  // whose owner opted out (crash tests), or one Open() abandoned mid-
+  // recovery (disarmed: committing its half-restored state would destroy
+  // the database) simply leaves the unclean flag, and recovery replays the
+  // WAL as after any crash.
+  if (durable_ != nullptr && close_checkpoint_armed_ &&
+      options_.durability.checkpoint_on_close && CheckDurable().ok()) {
     WriterMutexLock state_lock(&state_mu_);
     (void)CheckpointLocked(/*clean=*/true);
   }
@@ -480,6 +483,12 @@ Result<std::unique_ptr<ShardedPebEngine>> ShardedPebEngine::Open(
   }
   std::unique_ptr<ShardedPebEngine> engine(new ShardedPebEngine(
       std::move(holder), options, store, roles, snapshot, /*fresh=*/false));
+  // Every error return below destroys a half-recovered engine. Disarm its
+  // close checkpoint until recovery fully succeeds: with it armed, the
+  // destructor would commit the partial (or empty) shard manifest as a new
+  // clean generation and truncate the WAL — permanently losing whatever
+  // was not yet replayed.
+  engine->close_checkpoint_armed_ = false;
   PEB_RETURN_NOT_OK(engine->durability_status());
   if (!manifest.shards.empty()) {
     if (manifest.shards.size() != engine->shards_.size()) {
@@ -571,6 +580,7 @@ Result<std::unique_ptr<ShardedPebEngine>> ShardedPebEngine::Open(
   if (unclean || !records.empty()) {
     PEB_RETURN_NOT_OK(engine->Checkpoint());
   }
+  engine->close_checkpoint_armed_ = true;
   return engine;
 }
 

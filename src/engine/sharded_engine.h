@@ -166,6 +166,12 @@ struct EngineOptions {
     bool sync_each_batch = true;
     /// mmap the database file (storage/disk_manager.h); off = stdio.
     bool use_mmap = true;
+    /// Allow fresh-engine construction to truncate a path that already
+    /// holds a valid database. Off (the default) poisons the engine
+    /// instead (durability_status() reports it): reopening a database is
+    /// Open()'s job, and constructing a fresh engine over one would
+    /// silently destroy it.
+    bool overwrite_existing = false;
     /// Take a clean-shutdown checkpoint in the destructor. Crash tests turn
     /// this off to make engine teardown indistinguishable from kill -9.
     bool checkpoint_on_close = true;
@@ -506,6 +512,14 @@ class ShardedPebEngine final : public PrivacyAwareIndex {
   /// suppresses re-logging the records being replayed. Atomic because the
   /// background merger can already be running during replay.
   std::atomic<bool> replaying_{false};
+  /// False while Open() owns a partially recovered engine: disarms the
+  /// destructor's clean-shutdown checkpoint so a failed recovery cannot
+  /// publish half-restored (or empty) state as a clean generation and
+  /// truncate the WAL that a retry still needs. Constructor-built engines
+  /// are born armed; Open() re-arms only after recovery fully succeeds.
+  /// Plain bool: written single-threaded inside Open() before the engine
+  /// is ever shared.
+  bool close_checkpoint_armed_ = true;
   BufferPool pool_;
   std::vector<std::unique_ptr<Shard>> shards_;
   ThreadPool threads_;

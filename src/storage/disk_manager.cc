@@ -4,6 +4,7 @@
 #include <sys/mman.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -101,6 +102,25 @@ uint64_t DataOffset(PageId id) {
   return (static_cast<uint64_t>(id) + 2) * kPageSize;
 }
 
+/// Whether either superblock slot of `path` carries the database magic.
+/// A cheap probe, deliberately weaker than OpenImpl's full validation: a
+/// half-created or corrupt database still counts as one for the purpose of
+/// refusing to silently truncate it.
+bool HoldsDatabase(const std::string& path) {
+  std::FILE* probe = std::fopen(path.c_str(), "rb");
+  if (probe == nullptr) return false;
+  bool holds = false;
+  for (int slot = 0; slot < 2 && !holds; ++slot) {
+    uint64_t magic = 0;
+    holds = std::fseek(probe, static_cast<long>(slot * kPageSize),
+                       SEEK_SET) == 0 &&
+            std::fread(&magic, 1, sizeof(magic), probe) == sizeof(magic) &&
+            magic == kSbMagic;
+  }
+  std::fclose(probe);
+  return holds;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -119,6 +139,13 @@ FileDiskManager::~FileDiskManager() {
 void FileDiskManager::CreateNew(std::string path, FileDiskOptions options) {
   path_ = std::move(path);
   options_ = options;
+  if (!options_.overwrite_existing && HoldsDatabase(path_)) {
+    status_ = Status::InvalidArgument(
+        path_ + " already holds a database; reopen it with OpenExisting() "
+                "(engine: ShardedPebEngine::Open), or set "
+                "overwrite_existing to recreate it");
+    return;
+  }
   file_ = std::fopen(path_.c_str(), "w+b");
   if (file_ == nullptr) {
     status_ = Status::IOError("cannot open " + path_ + ": " +
@@ -507,12 +534,19 @@ Status FileDiskManager::Commit(const std::string& metadata,
   Status st = EnsureCapacity(DataOffset(next_page_));
   if (!st.ok()) return status_ = st;
 
-  // 1. Reclaim the previous commit's free-list overflow chain pages.
-  for (PageId id : overflow_pages_) {
+  // 1. Reclaim the previous commit's free-list overflow chain pages. They
+  //    become allocatable in the NEW generation (its superblock lists them
+  //    free), but must not be physically overwritten before that superblock
+  //    is durable: until then a crash falls back to the previous
+  //    generation, which still reads its free list from these very pages.
+  //    So they rejoin free_ here but are excluded from spill-page selection
+  //    in step 3.
+  const std::vector<PageId> prev_chain = std::move(overflow_pages_);
+  overflow_pages_.clear();
+  for (PageId id : prev_chain) {
     // freed_[id] is already true; the page was merely held off free_.
     free_.push_back(id);
   }
-  overflow_pages_.clear();
 
   // 2. Fold the overlay into the file (ascending PageId).
   for (const auto& [id, page] : overlay_) {
@@ -522,14 +556,29 @@ Status FileDiskManager::Commit(const std::string& metadata,
 
   // 3. Spill free-list entries that do not fit inline to overflow pages
   //    taken from the free list itself (so they cannot be reallocated
-  //    before the next commit).
+  //    before the next commit), skipping the previous chain's pages; if
+  //    only those remain, extend the watermark with a fresh page rather
+  //    than overwrite one the previous superblock still needs.
   const size_t entries_start = Align4(kSbOffMetaStart + metadata.size());
   const size_t inline_capacity = (kSbCrcOffset - entries_start) / 4;
   std::vector<PageId> spill_pages;
+  size_t scan = free_.size();
   while (free_.size() >
          inline_capacity + spill_pages.size() * kOverflowEntryCapacity) {
-    spill_pages.push_back(free_.back());
-    free_.pop_back();
+    while (scan > 0 &&
+           std::find(prev_chain.begin(), prev_chain.end(), free_[scan - 1]) !=
+               prev_chain.end()) {
+      --scan;
+    }
+    if (scan > 0) {
+      --scan;
+      spill_pages.push_back(free_[scan]);
+      free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(scan));
+    } else {
+      // Reserved off the free list, exactly like any other chain page.
+      spill_pages.push_back(next_page_++);
+      freed_.push_back(true);
+    }
   }
   const size_t inline_count = std::min(free_.size(), inline_capacity);
   size_t cursor = inline_count;  // Entries [0, inline_count) go inline.

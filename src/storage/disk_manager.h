@@ -165,6 +165,11 @@ struct FileDiskOptions {
   /// Use mmap + ftruncate doubling for file I/O; false selects the portable
   /// stdio (fseek/fread/fwrite) path.
   bool use_mmap = true;
+  /// Allow create-mode construction to truncate a path that already holds a
+  /// valid database. Off (the default) fails creation instead: reopening a
+  /// database goes through OpenExisting, and silently recreating over one
+  /// is almost always a caller bug that destroys data.
+  bool overwrite_existing = false;
 };
 
 /// File-backed durable page store. See the file-format comment at the top of
@@ -172,8 +177,10 @@ struct FileDiskOptions {
 /// (FaultInjectingDiskManager); all other methods are the production path.
 class FileDiskManager : public DurableDiskManager {
  public:
-  /// Creates or truncates `path` and writes an empty generation-1
-  /// checkpoint. Check `status()` before use.
+  /// Creates `path` and writes an empty generation-1 checkpoint. Refuses a
+  /// path that already holds a valid database unless
+  /// FileDiskOptions::overwrite_existing is set. Check `status()` before
+  /// use.
   explicit FileDiskManager(std::string path, FileDiskOptions options = {});
   ~FileDiskManager() override;
 

@@ -27,6 +27,17 @@ uint32_t FrameCrc(const WalRecord& record) {
 
 }  // namespace
 
+Status WriteAheadLog::CheckOpen() const {
+  // file_ goes null when a failed freopen in Truncate() closed the stream.
+  // The engine's durability latch normally keeps callers away afterwards,
+  // but fwrite/fileno on a null FILE* is UB, so the log defends itself.
+  if (file_ == nullptr) {
+    return Status::IOError("WAL " + path_ +
+                           " is closed (a previous truncate failed)");
+  }
+  return Status::OK();
+}
+
 Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
     std::string path, FaultInjector* injector) {
   std::FILE* file = std::fopen(path.c_str(), "ab");
@@ -62,6 +73,7 @@ Status WriteAheadLog::Append(const WalRecord& record) {
   frame.append(record.payload);
 
   MutexLock lock(&mu_);
+  PEB_RETURN_NOT_OK(CheckOpen());
   if (injector_ != nullptr) {
     switch (injector_->OnDurableWrite()) {
       case FaultInjector::WriteVerdict::kProceed:
@@ -91,6 +103,7 @@ Status WriteAheadLog::Append(const WalRecord& record) {
 
 Status WriteAheadLog::Sync() {
   MutexLock lock(&mu_);
+  PEB_RETURN_NOT_OK(CheckOpen());
   if (injector_ != nullptr && !injector_->OnSync()) {
     return Status::IOError("injected EIO on WAL sync");
   }
@@ -107,6 +120,7 @@ Status WriteAheadLog::Sync() {
 
 Status WriteAheadLog::Truncate() {
   MutexLock lock(&mu_);
+  PEB_RETURN_NOT_OK(CheckOpen());
   if (injector_ != nullptr && !injector_->OnSync()) {
     return Status::IOError("injected EIO on WAL truncate");
   }

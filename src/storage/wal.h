@@ -72,6 +72,11 @@ class WriteAheadLog {
   WriteAheadLog(std::string path, std::FILE* file, FaultInjector* injector)
       : path_(std::move(path)), file_(file), injector_(injector) {}
 
+  /// IOError when the stream is closed (a failed Truncate() nulled file_):
+  /// Append/Sync/Truncate must fail cleanly instead of handing a null
+  /// FILE* to stdio.
+  Status CheckOpen() const REQUIRES(mu_);
+
   const std::string path_;
   mutable Mutex mu_;
   std::FILE* file_ GUARDED_BY(mu_) = nullptr;

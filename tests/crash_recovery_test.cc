@@ -525,6 +525,58 @@ TEST_F(CrashRecoveryTest, CheckpointTruncatesWalAndSurvivesReopen) {
   ExpectEquivalent(**reopened, *oracle, QueryTime(2));
 }
 
+// Regression: a failed Open() used to destroy the database. Its error paths
+// destroyed the half-recovered engine, whose destructor (checkpoint_on_close
+// defaults to true) committed the partial shard manifest as a new clean
+// generation and truncated the WAL. The close checkpoint is now disarmed
+// until recovery fully succeeds.
+TEST_F(CrashRecoveryTest, FailedOpenLeavesDatabaseIntact) {
+  {
+    auto engine = std::make_unique<ShardedPebEngine>(
+        DurableOptions(nullptr, /*checkpoint_on_close=*/true),
+        &world_->store(), &world_->roles(), world_->catalog().snapshot());
+    ASSERT_TRUE(engine->LoadDataset(world_->dataset()).ok());
+    ASSERT_TRUE(engine->ApplyBatch((*batches_)[0]).ok());
+  }
+  // A misconfigured open fails — with checkpoint_on_close left at its
+  // default true, exactly the configuration that used to clobber the file.
+  EngineOptions wrong_shards =
+      DurableOptions(nullptr, /*checkpoint_on_close=*/true);
+  wrong_shards.num_shards = 5;
+  auto open = ShardedPebEngine::Open(wrong_shards, &world_->store(),
+                                     &world_->roles(),
+                                     world_->catalog().snapshot());
+  ASSERT_FALSE(open.ok());
+  // The database survived: a correctly configured open still matches the
+  // oracle.
+  auto reopened = Reopen();
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  auto oracle = BuildOracle(1);
+  ExpectEquivalent(**reopened, *oracle, QueryTime(1));
+}
+
+// Regression: constructing a FRESH durable engine at a path that already
+// holds a database used to truncate both the file and its WAL. It now
+// poisons the new engine and leaves the database alone.
+TEST_F(CrashRecoveryTest, FreshEngineRefusesExistingDatabase) {
+  {
+    auto engine = std::make_unique<ShardedPebEngine>(
+        DurableOptions(nullptr, /*checkpoint_on_close=*/true),
+        &world_->store(), &world_->roles(), world_->catalog().snapshot());
+    ASSERT_TRUE(engine->LoadDataset(world_->dataset()).ok());
+    ASSERT_TRUE(engine->ApplyBatch((*batches_)[0]).ok());
+  }
+  {
+    ShardedPebEngine clobber(DurableOptions(nullptr, true), &world_->store(),
+                             &world_->roles(), world_->catalog().snapshot());
+    EXPECT_FALSE(clobber.durability_status().ok());
+  }
+  auto reopened = Reopen();
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  auto oracle = BuildOracle(1);
+  ExpectEquivalent(**reopened, *oracle, QueryTime(1));
+}
+
 TEST_F(CrashRecoveryTest, OpenRejectsBadConfigurations) {
   {
     auto engine = std::make_unique<ShardedPebEngine>(

@@ -10,6 +10,7 @@
 
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
+#include "storage/fault_injection.h"
 #include "storage/page.h"
 
 namespace peb {
@@ -36,6 +37,7 @@ class DiskManagerTest : public ::testing::TestWithParam<DiskKind> {
       disk_ = std::make_unique<InMemoryDiskManager>();
     } else {
       path_ = ::testing::TempDir() + "/peb_disk_test.db";
+      std::remove(path_.c_str());
       auto fd = std::make_unique<FileDiskManager>(path_);
       ASSERT_TRUE(fd->status().ok()) << fd->status();
       disk_ = std::move(fd);
@@ -148,6 +150,81 @@ TEST(FileDiskManagerTest, FreeListSurvivesReopen) {
         << "allocation " << i << " returned fresh page " << *r;
   }
   EXPECT_EQ(disk.capacity(), 8u);
+  std::remove(path.c_str());
+}
+
+// Regression: create-mode construction used to fopen("w+b"), silently
+// truncating any database already at the path.
+TEST(FileDiskManagerTest, CreateRefusesToClobberExistingDatabase) {
+  const std::string path = ::testing::TempDir() + "/peb_clobber_test.db";
+  std::remove(path.c_str());
+  {
+    FileDiskManager disk(path);
+    ASSERT_TRUE(disk.status().ok());
+    auto r = disk.Allocate();
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(disk.Write(*r, MakePage(7)).ok());
+    ASSERT_TRUE(disk.Commit("survivor", 1, 0, true).ok());
+  }
+  {
+    FileDiskManager clobber(path);
+    EXPECT_TRUE(clobber.status().IsInvalidArgument()) << clobber.status();
+  }
+  // The refusal left the database untouched.
+  {
+    auto reopened = FileDiskManager::OpenExisting(path);
+    ASSERT_TRUE(reopened.ok()) << reopened.status();
+    EXPECT_EQ((*reopened)->metadata(), "survivor");
+  }
+  // An explicit opt-in recreates it.
+  FileDiskOptions opts;
+  opts.overwrite_existing = true;
+  FileDiskManager fresh(path, opts);
+  EXPECT_TRUE(fresh.status().ok()) << fresh.status();
+  EXPECT_EQ(fresh.capacity(), 0u);
+  std::remove(path.c_str());
+}
+
+// Regression: Commit() used to pick the previous superblock's free-list
+// overflow chain pages as the new generation's spill pages, physically
+// overwriting them before the new superblock was durable. A crash between
+// the spill write and the superblock publish then fell back to the old
+// superblock, whose chain was clobbered — OpenExisting reported Corruption
+// and the database was unrecoverable.
+TEST(FileDiskManagerTest, CrashBetweenSpillWriteAndSuperblockKeepsOldChain) {
+  const std::string path = ::testing::TempDir() + "/peb_spill_crash_test.db";
+  std::remove(path.c_str());
+  FaultInjector injector;
+  // Enough free pages that the free list overflows the inline superblock
+  // area on every commit: ~1007 entries fit inline with empty metadata.
+  constexpr size_t kPages = 1200;
+  constexpr size_t kFreed = 1100;
+  {
+    FaultInjectingDiskManager disk(path, &injector);
+    ASSERT_TRUE(disk.status().ok()) << disk.status();
+    std::vector<PageId> ids;
+    for (size_t i = 0; i < kPages; ++i) {
+      auto r = disk.Allocate();
+      ASSERT_TRUE(r.ok());
+      ids.push_back(*r);
+    }
+    for (size_t i = 0; i < kFreed; ++i) ASSERT_TRUE(disk.Free(ids[i]).ok());
+    ASSERT_TRUE(disk.Commit("", 1, 0, false).ok());
+    // Second commit: its only physical writes are the new spill page(s)
+    // and the superblock. Tear the very first one — with the old bug that
+    // write landed on the committed generation's chain page.
+    ASSERT_TRUE(disk.Free(ids[kFreed]).ok());
+    injector.torn_on_crash.store(true);
+    injector.writes_until_crash.store(0);
+    EXPECT_FALSE(disk.Commit("", 2, 0, false).ok());
+  }
+  // The crashed commit never published: the previous generation — chain
+  // pages included — must reopen intact.
+  auto reopened = FileDiskManager::OpenExisting(path);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ((*reopened)->checkpoint_seq(), 1u);
+  // +1: the generation's chain page is reserved off the free list.
+  EXPECT_EQ((*reopened)->live_pages(), kPages - kFreed + 1);
   std::remove(path.c_str());
 }
 

@@ -631,8 +631,12 @@ struct Shell {
       auto cur = index->GetObject(obj.id);
       if (cur.ok()) obj = *cur;
     }
-    engine::ShardedPebEngine saver(DurableEngineOptions(path),
-                                   &world->store(), &world->roles(),
+    engine::EngineOptions save_opts = DurableEngineOptions(path);
+    // `save <path>` explicitly names its target: replacing a previous save
+    // at that path is the expected behavior.
+    save_opts.durability.overwrite_existing = true;
+    engine::ShardedPebEngine saver(save_opts, &world->store(),
+                                   &world->roles(),
                                    world->catalog()->snapshot());
     Status st = saver.durability_status();
     if (st.ok()) st = saver.LoadDataset(snapshot);
